@@ -1,0 +1,58 @@
+//! Criterion bench — leaf performance as a function of stride.
+//!
+//! The paper's Section III-B motivation in benchmark form: a batch of
+//! 64-point DFT codelets over a fixed number of points, with the read
+//! stride swept from 1 to far beyond the cache. On the paper's machines
+//! performance collapses once `size * stride` exceeds the cache; on a
+//! modern host the same collapse appears at the L2/TLB boundary. This is
+//! the empirical basis for keying the planner's costs on (size, stride).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ddl_kernels::dft_leaf_strided;
+use ddl_num::{Complex64, Direction};
+
+fn bench_leaf_stride(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leaf_stride");
+    group.sample_size(10);
+
+    let leaf = 64usize;
+    let batch = 4096usize; // 256k points processed per iteration
+
+    for log_stride in [0u32, 4, 8, 12, 16] {
+        let stride = 1usize << log_stride;
+        // lay the batch out as the executor would: sub-DFT j starts at
+        // base j (successive leaves adjacent), elements at `stride`
+        let span = (leaf - 1) * stride + batch;
+        let src: Vec<Complex64> = (0..span)
+            .map(|i| Complex64::new((i % 97) as f64, (i % 61) as f64))
+            .collect();
+        let mut dst = vec![Complex64::ZERO; leaf * batch];
+        group.throughput(Throughput::Elements((leaf * batch) as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("dft64_batch", format!("stride_2^{log_stride}")),
+            &stride,
+            |b, &s| {
+                b.iter(|| {
+                    for j in 0..batch {
+                        dft_leaf_strided(
+                            leaf,
+                            Direction::Forward,
+                            &src,
+                            j,
+                            s,
+                            &mut dst,
+                            j * leaf,
+                            1,
+                        );
+                    }
+                    std::hint::black_box(&mut dst);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_leaf_stride);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Figs. 11–14 — FFT performance: DDL vs SDL vs the FFTW-proxy.
+//!
+//! The paper's headline figures plot pseudo-MFLOPS (`5 n log2 n / t_us`)
+//! of FFT DDL against FFT SDL, and the relative improvement over FFTW,
+//! on four platforms. This binary reproduces both series on the host:
+//!
+//! * **FFT SDL** — tree from the size-only measured DP (the CMU-package
+//!   baseline the paper modifies);
+//! * **FFT DDL** — tree from the (size, stride) measured DP with
+//!   reorganizations (the paper's system);
+//! * **FFTW-proxy** — a fixed right-most radix-64 recursion, standing in
+//!   for FFTW 2.1.3 (not buildable here; see DESIGN.md substitutions) as
+//!   a static-layout cache-oblivious divide-and-conquer baseline.
+//!
+//! Planning uses one DP sweep per strategy (`plan_dft_sweep`), so the
+//! whole figure costs two searches plus the final measurements.
+//!
+//! ```sh
+//! cargo run --release -p ddl-bench --bin fig11_fft [--max-log-n 22] [--quick]
+//! ```
+
+use ddl_bench::{measure_floor, measured_cfg, parse_sweep_args, wisdom_path};
+use ddl_core::measure::fft_mflops;
+use ddl_core::planner::{plan_dft_sweep, time_dft_tree, Strategy};
+use ddl_core::tree::Tree;
+use ddl_core::wisdom::Wisdom;
+
+fn main() {
+    let (max_log, quick) = parse_sweep_args();
+    let max_log = if quick { max_log.min(16) } else { max_log };
+    let max_n = 1usize << max_log;
+    let floor = measure_floor(quick);
+
+    eprintln!("planning SDL sweep (measured DP, one pass) ...");
+    let sdl = plan_dft_sweep(max_n, &measured_cfg(Strategy::Sdl, quick));
+    eprintln!("planning DDL sweep (measured DP, one pass) ...");
+    let ddl = plan_dft_sweep(max_n, &measured_cfg(Strategy::Ddl, quick));
+
+    // share the planning results with the other binaries (table6)
+    let path = wisdom_path();
+    let mut wisdom = Wisdom::load(&path).unwrap_or_default();
+    for (n, o) in sdl.iter() {
+        wisdom.put("dft", *n, Strategy::Sdl, &o.tree, o.cost, "fig11 measured sweep");
+    }
+    for (n, o) in ddl.iter() {
+        wisdom.put("dft", *n, Strategy::Ddl, &o.tree, o.cost, "fig11 measured sweep");
+    }
+    if let Some(parent) = path.parent() { std::fs::create_dir_all(parent).ok(); }
+    wisdom.save(&path).ok();
+
+    println!("# Figs. 11-14: FFT pseudo-MFLOPS = 5 n log2(n) / t_us");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "log2(n)", "SDL", "DDL", "FFTWpxy", "DDL/SDL", "DDL/pxy"
+    );
+
+    for log_n in 10..=max_log {
+        let n = 1usize << log_n;
+        let sdl_tree = &sdl[(log_n - 1) as usize].1.tree;
+        let ddl_tree = &ddl[(log_n - 1) as usize].1.tree;
+        let proxy_tree = Tree::rightmost(n, 64);
+
+        let t_sdl = time_dft_tree(sdl_tree, n, 1, floor, 3);
+        let t_ddl = time_dft_tree(ddl_tree, n, 1, floor, 3);
+        let t_proxy = time_dft_tree(&proxy_tree, n, 1, floor, 3);
+
+        println!(
+            "{:>8} {:>10.1} {:>10.1} {:>10.1} {:>9.2} {:>9.2}",
+            log_n,
+            fft_mflops(n, t_sdl),
+            fft_mflops(n, t_ddl),
+            fft_mflops(n, t_proxy),
+            t_sdl / t_ddl,
+            t_proxy / t_ddl,
+        );
+    }
+
+    println!("\n# chosen trees at the largest size:");
+    println!("#   SDL: {}", sdl.last().unwrap().1.tree);
+    println!("#   DDL: {}", ddl.last().unwrap().1.tree);
+    println!("# paper shape: DDL tracks SDL below the cache crossover and wins above");
+    println!("# it (paper: up to 2.2x over FFT SDL, up to ~2x over FFTW)");
+}

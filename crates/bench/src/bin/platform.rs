@@ -1,0 +1,51 @@
+//! Tables III/IV analogue: the experimental platform.
+//!
+//! The paper tabulates each platform's clock, cache hierarchy, compiler
+//! and flags (Tables III and IV). This binary prints the same inventory
+//! for the host the reproduction runs on.
+//!
+//! ```sh
+//! cargo run --release -p ddl-bench --bin platform
+//! ```
+
+use ddl_bench::host;
+
+fn main() {
+    println!("== Platform parameters (paper Tables III/IV analogue) ==\n");
+    println!("CPU:          {}", host::cpu_model());
+    println!(
+        "cores:        {}",
+        std::thread::available_parallelism()
+            .map(|n| n.get().to_string())
+            .unwrap_or_else(|_| "unknown".into())
+    );
+
+    println!("\ndata caches:");
+    println!(
+        "  {:<6} {:>12} {:>10} {:>8} {:>16} {:>16}",
+        "level", "size", "line", "ways", "complex points", "f64 points"
+    );
+    for (level, size, line, ways) in host::caches() {
+        println!(
+            "  L{:<5} {:>12} {:>10} {:>8} {:>16} {:>16}",
+            level,
+            format!("{} KiB", size / 1024),
+            format!("{line} B"),
+            ways,
+            size / 16,
+            size / 8
+        );
+    }
+
+    println!("\ntoolchain:");
+    println!("  compiler:   rustc (see `rustc --version` of the build)");
+    println!("  profile:    release, opt-level=3, codegen-units=1, lto=thin");
+    println!("  note:       the paper's Table IV lists `cc -O5`/`-Ofast` etc.; the");
+    println!("              equivalent here is the workspace release profile above.");
+
+    println!("\npaper platforms for comparison (Table III):");
+    println!("  UltraSPARC III  750 MHz, L2 8 MB     (64 B lines)");
+    println!("  Alpha 21264     500 MHz, L2 2 MB     (64 B lines)");
+    println!("  MIPS R10000     195 MHz, L2 1 MB     (32 B lines)");
+    println!("  Pentium 4       1.5 GHz, L2 256 KB   (64 B lines)");
+}

@@ -1,0 +1,45 @@
+//! Table V — optimal WHT factorization trees chosen by dynamic
+//! programming, SDL vs DDL, per size.
+//!
+//! The paper's Table V prints, for each WHT size on Alpha 21264, the tree
+//! the SDL search selects and the tree the DDL search selects — showing
+//! that below the cache they coincide, and above it the DDL trees apply
+//! `splitddl` reorganizations while SDL trees stay close to right-most
+//! shapes. This binary prints the same comparison from the measured
+//! planner on the host (use `--quick` for the analytical planner's
+//! deterministic equivalent).
+//!
+//! ```sh
+//! cargo run --release -p ddl-bench --bin table5 [--max-log-n 22] [--quick]
+//! ```
+
+use ddl_bench::host;
+use ddl_bench::{measured_cfg, parse_sweep_args, plan_cached};
+use ddl_core::grammar::print_wht;
+use ddl_core::planner::{PlannerConfig, Strategy};
+
+fn main() {
+    let (max_log, quick) = parse_sweep_args();
+    let max_log = if quick { max_log.min(16) } else { max_log };
+
+    let cfg = |s: Strategy| PlannerConfig {
+        cache_points: host::l2_points(8),
+        ..measured_cfg(s, quick)
+    };
+    // plan_cached reuses fig15_wht's wisdom entries when present
+    println!("# Table V: optimal WHT factorizations (dynamic programming output)");
+    for log_n in 8..=max_log {
+        let n = 1usize << log_n;
+        let s = plan_cached("wht", n, &cfg(Strategy::Sdl));
+        let d = plan_cached("wht", n, &cfg(Strategy::Ddl));
+        println!("n = 2^{log_n}");
+        println!("  SDL: {}", print_wht(&s));
+        println!(
+            "  DDL: {}   ({} reorg node(s))",
+            print_wht(&d),
+            d.reorg_count()
+        );
+    }
+    println!("\n# paper shape: identical trees below the cache size; splitddl nodes");
+    println!("# appearing above it, with DDL trees more balanced than SDL's");
+}

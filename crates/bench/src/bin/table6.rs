@@ -1,0 +1,36 @@
+//! Table VI — optimal FFT factorization trees chosen by dynamic
+//! programming, SDL vs DDL, per size.
+//!
+//! The FFT counterpart of Table V (the paper reports MIPS R10000): the
+//! trees the size-only SDL search and the (size, stride) DDL search
+//! select per size, in the `ct`/`ctddl` grammar.
+//!
+//! ```sh
+//! cargo run --release -p ddl-bench --bin table6 [--max-log-n 22] [--quick]
+//! ```
+
+use ddl_bench::{measured_cfg, parse_sweep_args, plan_cached};
+use ddl_core::grammar::print_dft;
+use ddl_core::planner::Strategy;
+
+fn main() {
+    let (max_log, quick) = parse_sweep_args();
+    let max_log = if quick { max_log.min(16) } else { max_log };
+
+    // plan_cached reuses the wisdom file written by fig11_fft when
+    // present, so running the harness end-to-end plans only once.
+    println!("# Table VI: optimal FFT factorizations (dynamic programming output)");
+    for log_n in 8..=max_log {
+        let n = 1usize << log_n;
+        let s = plan_cached("dft", n, &measured_cfg(Strategy::Sdl, quick));
+        let d = plan_cached("dft", n, &measured_cfg(Strategy::Ddl, quick));
+        println!("n = 2^{log_n}");
+        println!("  SDL: {}", print_dft(&s));
+        println!(
+            "  DDL: {}   ({} reorg node(s))",
+            print_dft(&d),
+            d.reorg_count()
+        );
+    }
+    println!("\n# paper shape: identical below the cache; ctddl nodes above it");
+}

@@ -1,0 +1,151 @@
+//! Trace analysis: characterizing an access stream without a cache.
+//!
+//! The paper's argument runs from *access pattern* (strides) to *cache
+//! behaviour*; these tools recover the pattern from a recorded trace, so
+//! tests and ablations can check statements like "the DDL tree's
+//! dominant stride is one point" directly, independent of any cache
+//! geometry.
+
+use crate::trace::RecordingTracer;
+use std::collections::HashMap;
+
+/// Summary statistics of a recorded access stream.
+#[derive(Clone, Debug, Default)]
+pub struct TraceProfile {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Distinct cache lines touched (for the given line size).
+    pub distinct_lines: u64,
+    /// Histogram of byte deltas between consecutive accesses
+    /// (`delta -> count`), capped to `[-max_delta, max_delta]`; larger
+    /// jumps land in the `other` bucket.
+    pub stride_histogram: HashMap<i64, u64>,
+    /// Consecutive deltas outside the histogram range.
+    pub other_strides: u64,
+    /// Fraction of consecutive accesses whose delta is exactly one
+    /// element of the given size (the "unit stride fraction").
+    pub unit_fraction: f64,
+}
+
+/// Profiles a trace: stride histogram and working-set size.
+///
+/// `line_bytes` sets the granularity for `distinct_lines`;
+/// `elem_bytes` defines "unit stride"; `max_delta` bounds the histogram.
+pub fn profile(
+    trace: &RecordingTracer,
+    line_bytes: u64,
+    elem_bytes: i64,
+    max_delta: i64,
+) -> TraceProfile {
+    let mut out = TraceProfile {
+        accesses: trace.events.len() as u64,
+        ..Default::default()
+    };
+    let mut lines = std::collections::HashSet::new();
+    let mut prev: Option<u64> = None;
+    let mut unit = 0u64;
+    let mut deltas = 0u64;
+    for &(_, addr, bytes) in &trace.events {
+        let first = addr / line_bytes;
+        let last = (addr + bytes.max(1) as u64 - 1) / line_bytes;
+        for l in first..=last {
+            lines.insert(l);
+        }
+        if let Some(p) = prev {
+            let delta = addr as i64 - p as i64;
+            deltas += 1;
+            if delta == elem_bytes {
+                unit += 1;
+            }
+            if delta.abs() <= max_delta {
+                *out.stride_histogram.entry(delta).or_insert(0) += 1;
+            } else {
+                out.other_strides += 1;
+            }
+        }
+        prev = Some(addr);
+    }
+    out.distinct_lines = lines.len() as u64;
+    out.unit_fraction = if deltas == 0 {
+        0.0
+    } else {
+        unit as f64 / deltas as f64
+    };
+    out
+}
+
+/// The most frequent non-zero absolute stride in a profile, if any.
+pub fn dominant_stride(profile: &TraceProfile) -> Option<i64> {
+    profile
+        .stride_histogram
+        .iter()
+        .filter(|(&d, _)| d != 0)
+        .max_by_key(|(_, &c)| c)
+        .map(|(&d, _)| d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::MemoryTracer;
+
+    fn record(addrs: &[u64]) -> RecordingTracer {
+        let mut t = RecordingTracer::default();
+        for &a in addrs {
+            t.read(a, 16);
+        }
+        t
+    }
+
+    #[test]
+    fn sequential_stream_is_unit_stride() {
+        let addrs: Vec<u64> = (0..100).map(|i| i * 16).collect();
+        let t = record(&addrs);
+        let p = profile(&t, 64, 16, 1 << 20);
+        assert_eq!(p.accesses, 100);
+        assert_eq!(p.distinct_lines, 25);
+        assert!((p.unit_fraction - 1.0).abs() < 1e-12);
+        assert_eq!(dominant_stride(&p), Some(16));
+    }
+
+    #[test]
+    fn strided_stream_is_detected() {
+        let addrs: Vec<u64> = (0..64).map(|i| i * 4096).collect();
+        let t = record(&addrs);
+        let p = profile(&t, 64, 16, 1 << 20);
+        assert_eq!(p.unit_fraction, 0.0);
+        assert_eq!(dominant_stride(&p), Some(4096));
+        assert_eq!(p.distinct_lines, 64);
+    }
+
+    #[test]
+    fn out_of_range_deltas_counted_separately() {
+        let t = record(&[0, 1 << 30, 0, 1 << 30]);
+        let p = profile(&t, 64, 16, 1 << 20);
+        assert_eq!(p.other_strides, 3);
+    }
+
+    #[test]
+    fn empty_trace_profiles_cleanly() {
+        let t = RecordingTracer::default();
+        let p = profile(&t, 64, 16, 1024);
+        assert_eq!(p.accesses, 0);
+        assert_eq!(p.distinct_lines, 0);
+        assert_eq!(dominant_stride(&p), None);
+    }
+
+    #[test]
+    fn mixed_stream_reports_majority() {
+        // mostly unit stride with occasional jumps
+        let mut addrs = Vec::new();
+        for block in 0..4u64 {
+            for i in 0..32u64 {
+                addrs.push(block * (1 << 16) + i * 16);
+            }
+        }
+        let t = record(&addrs);
+        let p = profile(&t, 64, 16, 1 << 20);
+        assert!(p.unit_fraction > 0.9);
+        assert_eq!(dominant_stride(&p), Some(16));
+    }
+}

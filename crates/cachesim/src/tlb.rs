@@ -1,0 +1,169 @@
+//! TLB simulation.
+//!
+//! The paper notes that "TLB misses and page faults also occur along with
+//! cache misses" (Section III-B) and sets them aside for small
+//! transforms; on modern machines with multi-megabyte caches the dTLB is
+//! often the *first* structure that large power-of-two strides exhaust —
+//! a stride of one page means every point touches a new page. A TLB is
+//! structurally a small, highly associative cache whose "line" is the
+//! page, so the model reuses [`Cache`] with page-sized lines.
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::trace::MemoryTracer;
+
+/// A data-TLB model: `entries` page translations, LRU, `ways`-way set
+/// associative (use `entries` ways for fully associative).
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    inner: Cache,
+    page_bytes: usize,
+}
+
+impl Tlb {
+    /// Creates a TLB with the given number of entries, page size and
+    /// associativity. `entries` must be a multiple of `ways` with a
+    /// power-of-two set count.
+    pub fn new(entries: usize, page_bytes: usize, ways: usize) -> Self {
+        Tlb {
+            inner: Cache::new(CacheConfig {
+                capacity_bytes: entries * page_bytes,
+                line_bytes: page_bytes,
+                associativity: ways,
+            }),
+            page_bytes,
+        }
+    }
+
+    /// A typical modern dTLB: 64 entries, 4 KiB pages, 4-way.
+    pub fn typical_l1_dtlb() -> Self {
+        Tlb::new(64, 4096, 4)
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.page_bytes
+    }
+
+    /// Accumulated counters (hits = translation hits, misses = page
+    /// walks).
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+
+    /// Invalidates all entries and counters.
+    pub fn flush(&mut self) {
+        self.inner.flush();
+    }
+
+    /// Records a memory access (any width; spanning a page boundary
+    /// costs two translations, as in hardware).
+    pub fn access(&mut self, addr: u64, bytes: u32) {
+        self.inner.read(addr, bytes);
+    }
+}
+
+impl MemoryTracer for Tlb {
+    #[inline]
+    fn read(&mut self, addr: u64, bytes: u32) {
+        self.access(addr, bytes);
+    }
+    #[inline]
+    fn write(&mut self, addr: u64, bytes: u32) {
+        self.access(addr, bytes);
+    }
+}
+
+/// A cache and a TLB observing the same access stream — the usual
+/// simulation pairing.
+#[derive(Clone, Debug)]
+pub struct CacheWithTlb {
+    /// The data cache.
+    pub cache: Cache,
+    /// The TLB.
+    pub tlb: Tlb,
+}
+
+impl CacheWithTlb {
+    /// Pairs a cache geometry with a TLB.
+    pub fn new(cache: CacheConfig, tlb: Tlb) -> Self {
+        CacheWithTlb {
+            cache: Cache::new(cache),
+            tlb,
+        }
+    }
+}
+
+impl MemoryTracer for CacheWithTlb {
+    #[inline]
+    fn read(&mut self, addr: u64, bytes: u32) {
+        self.cache.read(addr, bytes);
+        self.tlb.access(addr, bytes);
+    }
+    #[inline]
+    fn write(&mut self, addr: u64, bytes: u32) {
+        self.cache.write(addr, bytes);
+        self.tlb.access(addr, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn within_page_accesses_hit() {
+        let mut tlb = Tlb::typical_l1_dtlb();
+        tlb.access(0, 8);
+        for off in (8..4096).step_by(8) {
+            tlb.access(off, 8);
+        }
+        let s = tlb.stats();
+        assert_eq!(s.misses, 1, "one page, one walk");
+        assert_eq!(s.hits, 511);
+    }
+
+    #[test]
+    fn page_stride_misses_once_per_page_then_reuses() {
+        let mut tlb = Tlb::new(16, 4096, 16); // fully associative, 16 entries
+        for i in 0..8u64 {
+            tlb.access(i * 4096, 8);
+        }
+        assert_eq!(tlb.stats().misses, 8);
+        // second sweep over the same 8 pages: all hits (fits in 16 entries)
+        for i in 0..8u64 {
+            tlb.access(i * 4096, 8);
+        }
+        assert_eq!(tlb.stats().misses, 8);
+    }
+
+    #[test]
+    fn working_set_beyond_entries_thrashes() {
+        let mut tlb = Tlb::new(16, 4096, 16);
+        // 32 pages cyclically: LRU on 16 entries means every access walks
+        for _ in 0..3 {
+            for i in 0..32u64 {
+                tlb.access(i * 4096, 8);
+            }
+        }
+        let s = tlb.stats();
+        assert_eq!(s.hits, 0);
+        assert_eq!(s.misses, 96);
+    }
+
+    #[test]
+    fn page_straddle_costs_two_translations() {
+        let mut tlb = Tlb::typical_l1_dtlb();
+        tlb.access(4092, 8);
+        assert_eq!(tlb.stats().line_lookups, 2);
+    }
+
+    #[test]
+    fn combined_tracer_feeds_both() {
+        let mut both = CacheWithTlb::new(CacheConfig::paper_default(64), Tlb::typical_l1_dtlb());
+        MemoryTracer::read(&mut both, 0, 16);
+        MemoryTracer::write(&mut both, 1 << 20, 16);
+        assert_eq!(both.cache.stats().accesses, 2);
+        assert_eq!(both.tlb.stats().accesses, 2);
+        assert_eq!(both.tlb.stats().misses, 2);
+    }
+}

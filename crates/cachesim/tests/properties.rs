@@ -1,0 +1,119 @@
+//! Property-based tests of the cache model's invariants.
+
+use ddl_cachesim::{Cache, CacheConfig, MemoryTracer, TwoLevelCache};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (6u32..12, 4u32..8, 0u32..3).prop_map(|(log_cap, log_line, log_ways)| {
+        // keep sets >= 1 and a power of two
+        let line = 1usize << log_line;
+        let ways = 1usize << log_ways;
+        let capacity = (1usize << log_cap).max(line * ways);
+        CacheConfig {
+            capacity_bytes: capacity,
+            line_bytes: line,
+            associativity: ways,
+        }
+    })
+}
+
+fn arb_trace() -> impl Strategy<Value = Vec<(bool, u64, u32)>> {
+    prop::collection::vec(
+        (any::<bool>(), 0u64..65536, prop::sample::select(vec![8u32, 16])),
+        0..400,
+    )
+}
+
+proptest! {
+    #[test]
+    fn stats_are_internally_consistent(cfg in arb_config(), trace in arb_trace()) {
+        let mut c = Cache::new(cfg);
+        for &(w, addr, bytes) in &trace {
+            if w { c.write(addr, bytes) } else { c.read(addr, bytes) }
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, trace.len() as u64);
+        prop_assert_eq!(s.reads + s.writes, s.accesses);
+        prop_assert_eq!(s.hits + s.misses, s.line_lookups);
+        prop_assert!(s.line_lookups >= s.accesses);
+        prop_assert!(s.compulsory_misses <= s.misses);
+        prop_assert!(s.evictions <= s.misses);
+        prop_assert!((0.0..=1.0).contains(&s.miss_rate()));
+    }
+
+    #[test]
+    fn compulsory_misses_equal_distinct_lines(cfg in arb_config(), trace in arb_trace()) {
+        let mut c = Cache::new(cfg);
+        let mut lines = std::collections::HashSet::new();
+        for &(w, addr, bytes) in &trace {
+            let first = addr / cfg.line_bytes as u64;
+            let last = (addr + bytes.max(1) as u64 - 1) / cfg.line_bytes as u64;
+            for l in first..=last {
+                lines.insert(l);
+            }
+            if w { c.write(addr, bytes) } else { c.read(addr, bytes) }
+        }
+        prop_assert_eq!(c.stats().compulsory_misses, lines.len() as u64);
+    }
+
+    #[test]
+    fn associativity_does_not_change_compulsory_misses(
+        trace in arb_trace(),
+        log_line in 4u32..7,
+    ) {
+        // Note: a fully-associative LRU cache CAN miss more than a
+        // direct-mapped one of the same capacity (cyclic thrashing), so
+        // total misses are not comparable across associativity. Compulsory
+        // misses, however, depend only on the trace and the line size.
+        let line = 1usize << log_line;
+        let capacity = 4096usize;
+        let mut dm = Cache::new(CacheConfig { capacity_bytes: capacity, line_bytes: line, associativity: 1 });
+        let ways = capacity / line;
+        let mut fa = Cache::new(CacheConfig { capacity_bytes: capacity, line_bytes: line, associativity: ways });
+        for &(w, addr, bytes) in &trace {
+            if w { dm.write(addr, bytes); fa.write(addr, bytes); }
+            else { dm.read(addr, bytes); fa.read(addr, bytes); }
+        }
+        prop_assert_eq!(fa.stats().compulsory_misses, dm.stats().compulsory_misses);
+        prop_assert_eq!(fa.stats().line_lookups, dm.stats().line_lookups);
+    }
+
+    #[test]
+    fn larger_cache_never_misses_more_fully_assoc(trace in arb_trace()) {
+        // LRU inclusion property: for fully-associative LRU, a larger
+        // cache's contents always include the smaller one's.
+        let small = Cache::new(CacheConfig { capacity_bytes: 1024, line_bytes: 64, associativity: 16 });
+        let large = Cache::new(CacheConfig { capacity_bytes: 4096, line_bytes: 64, associativity: 64 });
+        let mut small = small;
+        let mut large = large;
+        for &(w, addr, bytes) in &trace {
+            if w { small.write(addr, bytes); large.write(addr, bytes); }
+            else { small.read(addr, bytes); large.read(addr, bytes); }
+        }
+        prop_assert!(large.stats().misses <= small.stats().misses);
+    }
+
+    #[test]
+    fn two_level_l2_accesses_equal_l1_misses(trace in arb_trace()) {
+        let mut h = TwoLevelCache::new(
+            CacheConfig { capacity_bytes: 1024, line_bytes: 64, associativity: 1 },
+            CacheConfig { capacity_bytes: 16384, line_bytes: 64, associativity: 4 },
+        );
+        for &(w, addr, bytes) in &trace {
+            if w { MemoryTracer::write(&mut h, addr, bytes) } else { MemoryTracer::read(&mut h, addr, bytes) }
+        }
+        prop_assert_eq!(h.l2_stats().line_lookups, h.l1_stats().misses);
+    }
+
+    #[test]
+    fn replay_is_deterministic(cfg in arb_config(), trace in arb_trace()) {
+        let run = |t: &[(bool, u64, u32)]| {
+            let mut c = Cache::new(cfg);
+            for &(w, addr, bytes) in t {
+                if w { c.write(addr, bytes) } else { c.read(addr, bytes) }
+            }
+            c.stats()
+        };
+        prop_assert_eq!(run(&trace), run(&trace));
+    }
+}

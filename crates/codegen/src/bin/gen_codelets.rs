@@ -1,0 +1,25 @@
+//! Regenerates the checked-in codelet module of `ddl-kernels`.
+//!
+//! ```sh
+//! cargo run -p ddl-codegen --bin gen_codelets -- crates/kernels/src/generated.rs
+//! ```
+//!
+//! With no argument the module is printed to stdout.
+
+use ddl_codegen::emit_module;
+
+/// Sizes worth straight-line code: the hand-written codelets cover 1/2/4/8,
+/// the generator adds the small primes (3, 5, 7) and the larger
+/// powers of two the planner's leaves use most (16, 32).
+const SIZES: &[usize] = &[3, 5, 7, 16, 32];
+
+fn main() {
+    let module = emit_module(SIZES);
+    match std::env::args().nth(1) {
+        Some(path) => {
+            std::fs::write(&path, &module).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {} bytes to {path}", module.len());
+        }
+        None => print!("{module}"),
+    }
+}

@@ -1,0 +1,168 @@
+//! Symbolic DFT network generation.
+//!
+//! [`generate_dft`] unrolls an `n`-point DFT over symbolic inputs into an
+//! expression DAG by the same Cooley–Tukey recursion the runtime executor
+//! uses — but with every twiddle factor a literal constant, so the smart
+//! constructors fold the trivial ones (`1`, `±i`, conjugate symmetries)
+//! away on the spot. Prime sizes bottom out in the direct
+//! definition-with-constants, which after simplification reproduces the
+//! classic small-prime networks for `n = 2, 3, 5, 7`.
+
+use crate::expr::{CVal, Graph};
+use ddl_num::{root_of_unity, Direction};
+
+/// Builds the output expressions of an `n`-point DFT of symbolic inputs
+/// `0..n`. Returns the graph and the `n` output values in natural order.
+pub fn generate_dft(n: usize, dir: Direction) -> (Graph, Vec<CVal>) {
+    assert!(n >= 1, "cannot generate a 0-point DFT");
+    let mut g = Graph::new();
+    let inputs: Vec<CVal> = (0..n).map(|i| CVal::load(&mut g, i)).collect();
+    let outputs = dft_rec(&mut g, &inputs, dir);
+    (g, outputs)
+}
+
+/// Smallest prime factor of `n >= 2`.
+fn smallest_factor(n: usize) -> usize {
+    let mut p = 2;
+    while p * p <= n {
+        if n % p == 0 {
+            return p;
+        }
+        p += 1;
+    }
+    n
+}
+
+fn dft_rec(g: &mut Graph, x: &[CVal], dir: Direction) -> Vec<CVal> {
+    let n = x.len();
+    if n == 1 {
+        return x.to_vec();
+    }
+    // Prefer radix 4 where possible: the size-4 sub-network is
+    // multiplication-free and one level of radix-4 needs half the twiddle
+    // stages of two levels of radix-2 (the reason FFTW's codelets are
+    // radix-4/8 based).
+    let n1 = if n % 4 == 0 && n > 4 {
+        4
+    } else {
+        smallest_factor(n)
+    };
+    if n1 == n {
+        return dft_direct(g, x, dir);
+    }
+    let n2 = n / n1;
+
+    // Stage 1: n2 sub-DFTs of size n1 over x[i1*n2 + i2].
+    // B[j1][i2] = sum_i1 x[i1*n2 + i2] w_{n1}^{i1 j1}
+    let mut b = vec![Vec::new(); n1];
+    for i2 in 0..n2 {
+        let sub: Vec<CVal> = (0..n1).map(|i1| x[i1 * n2 + i2]).collect();
+        let sub_out = dft_rec(g, &sub, dir);
+        for (j1, v) in sub_out.into_iter().enumerate() {
+            b[j1].push(v);
+        }
+    }
+
+    // Twiddle: B[j1][i2] *= w_n^{j1*i2} (literal constants).
+    for (j1, row) in b.iter_mut().enumerate() {
+        for (i2, v) in row.iter_mut().enumerate() {
+            let w = root_of_unity(n, j1 * i2, dir);
+            *v = CVal::mul_const(g, w, *v);
+        }
+    }
+
+    // Stage 2: n1 sub-DFTs of size n2 over B[j1][..];
+    // Y[j1 + n1*j2] = sum_i2 B[j1][i2] w_{n2}^{i2 j2}.
+    let mut y = vec![None; n];
+    for (j1, row) in b.iter().enumerate() {
+        let out = dft_rec(g, row, dir);
+        for (j2, v) in out.into_iter().enumerate() {
+            y[j1 + n1 * j2] = Some(v);
+        }
+    }
+    y.into_iter().map(|v| v.unwrap()).collect()
+}
+
+/// Direct definition for prime sizes: `Y[j] = Σ_i x[i] w^{ij}`.
+fn dft_direct(g: &mut Graph, x: &[CVal], dir: Direction) -> Vec<CVal> {
+    let n = x.len();
+    (0..n)
+        .map(|j| {
+            let mut acc = CVal::mul_const(g, root_of_unity(n, 0, dir), x[0]);
+            for (i, &xi) in x.iter().enumerate().skip(1) {
+                let w = root_of_unity(n, i * j, dir);
+                let term = CVal::mul_const(g, w, xi);
+                acc = CVal::add(g, acc, term);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::evaluate;
+    use ddl_kernels::naive_dft;
+    use ddl_num::{relative_rms_error, Complex64};
+
+    fn sample(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 1.1).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn generated_networks_match_naive_dft() {
+        for n in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 20, 32] {
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let (g, outs) = generate_dft(n, dir);
+                let x = sample(n);
+                let got = evaluate(&g, &outs, &x);
+                let want = naive_dft(&x, dir);
+                assert!(
+                    relative_rms_error(&got, &want) < 1e-12,
+                    "n={n} dir={dir:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn op_counts_are_fft_like() {
+        // DFT-8 classic radix-2: 52 real adds + a handful of multiplies
+        // (exact counts depend on the factorization order; bound them).
+        let (g, outs) = generate_dft(8, Direction::Forward);
+        let roots: Vec<_> = outs.iter().flat_map(|c| [c.re, c.im]).collect();
+        let (adds, muls) = g.op_count(&roots);
+        assert!(adds <= 60, "adds = {adds}");
+        assert!(muls <= 8, "muls = {muls}");
+    }
+
+    #[test]
+    fn dft2_is_four_additions() {
+        let (g, outs) = generate_dft(2, Direction::Forward);
+        let roots: Vec<_> = outs.iter().flat_map(|c| [c.re, c.im]).collect();
+        let (adds, muls) = g.op_count(&roots);
+        assert_eq!(muls, 0);
+        assert_eq!(adds, 4);
+    }
+
+    #[test]
+    fn dft16_op_count_is_near_optimal() {
+        // split-radix 16: 144 real ops; plain radix-2: 168+. Our
+        // mixed-radix with folding should land well under the naive 4n^2.
+        let (g, outs) = generate_dft(16, Direction::Forward);
+        let roots: Vec<_> = outs.iter().flat_map(|c| [c.re, c.im]).collect();
+        let (adds, muls) = g.op_count(&roots);
+        assert!(adds + muls < 200, "ops = {}", adds + muls);
+    }
+
+    #[test]
+    fn smallest_factor_basics() {
+        assert_eq!(smallest_factor(2), 2);
+        assert_eq!(smallest_factor(9), 3);
+        assert_eq!(smallest_factor(35), 5);
+        assert_eq!(smallest_factor(13), 13);
+    }
+}

@@ -1,0 +1,165 @@
+//! Rust source emission.
+//!
+//! The graph's creation order is already topological, so emission is a
+//! single pass: every live node becomes one `let` binding, inputs load
+//! from the strided source view, outputs store to the strided destination
+//! view — the exact calling convention of the hand-written codelets in
+//! `ddl-kernels`. Constants are printed with `{:?}`, which round-trips
+//! `f64` exactly.
+
+use crate::dft_gen::generate_dft;
+use crate::expr::{ExprId, Node};
+use crate::simplify::compact;
+use ddl_num::Direction;
+use std::fmt::Write;
+
+/// Emits one codelet function for an `n`-point DFT in the given
+/// direction.
+pub fn emit_codelet(name: &str, n: usize, dir: Direction) -> String {
+    let (g, outputs) = generate_dft(n, dir);
+    let (g, outputs) = compact(&g, &outputs);
+
+    let mut body = String::new();
+    for i in 0..g.len() {
+        let id = ExprId(i as u32);
+        let line = match g.node(id) {
+            Node::LoadRe(k) => format!("let t{i} = src[sb + {k} * ss].re;"),
+            Node::LoadIm(k) => format!("let t{i} = src[sb + {k} * ss].im;"),
+            Node::Const(b) => format!("let t{i} = {:?}f64;", f64::from_bits(b)),
+            Node::Add(a, bb) => format!("let t{i} = t{} + t{};", a.0, bb.0),
+            Node::Sub(a, bb) => format!("let t{i} = t{} - t{};", a.0, bb.0),
+            Node::Neg(a) => format!("let t{i} = -t{};", a.0),
+            Node::MulC(c, a) => format!("let t{i} = {:?}f64 * t{};", f64::from_bits(c), a.0),
+        };
+        let _ = writeln!(body, "    {line}");
+    }
+    for (j, out) in outputs.iter().enumerate() {
+        let _ = writeln!(
+            body,
+            "    dst[db + {j} * ds] = Complex64::new(t{}, t{});",
+            out.re.0, out.im.0
+        );
+    }
+
+    let dir_name = match dir {
+        Direction::Forward => "forward",
+        Direction::Inverse => "inverse",
+    };
+    let (adds, muls) = {
+        let roots: Vec<ExprId> = outputs.iter().flat_map(|c| [c.re, c.im]).collect();
+        g.op_count(&roots)
+    };
+    format!(
+        "/// Generated {n}-point {dir_name} DFT codelet ({adds} real additions,\n\
+         /// {muls} real multiplications). Out-of-place; `src`/`dst` views must\n\
+         /// not alias.\n\
+         #[allow(clippy::too_many_arguments, clippy::just_underscores_and_digits)]\n\
+         pub fn {name}(src: &[Complex64], sb: usize, ss: usize, dst: &mut [Complex64], db: usize, ds: usize) {{\n\
+         {body}}}\n"
+    )
+}
+
+/// Emits a complete module: codelets for every size in both directions
+/// plus the [`generated_dft_leaf`]-style dispatcher used by
+/// `ddl-kernels`.
+pub fn emit_module(sizes: &[usize]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "//! Machine-generated DFT codelets. DO NOT EDIT.\n//!\n\
+         //! Regenerate with:\n//!\n\
+         //! ```sh\n//! cargo run -p ddl-codegen --bin gen_codelets -- crates/kernels/src/generated.rs\n//! ```\n\
+         //!\n//! Produced by `ddl-codegen` (see that crate for the generator\n\
+         //! pipeline); validated against the naive DFT by `ddl-kernels` tests.\n\
+         #![allow(clippy::excessive_precision)]\n\n\
+         use ddl_num::{{Complex64, Direction}};\n"
+    );
+
+    for &n in sizes {
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let suffix = match dir {
+                Direction::Forward => "f",
+                Direction::Inverse => "i",
+            };
+            let name = format!("dft{n}_{suffix}");
+            out.push_str(&emit_codelet(&name, n, dir));
+            out.push('\n');
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "/// Sizes covered by the generated codelets.\n\
+         pub const GENERATED_SIZES: &[usize] = &{sizes:?};\n\n\
+         /// Dispatches to a generated codelet; returns `false` when the size\n\
+         /// has no generated implementation.\n\
+         #[allow(clippy::too_many_arguments)]\n\
+         pub fn generated_dft_leaf(\n\
+         \x20   n: usize,\n\
+         \x20   dir: Direction,\n\
+         \x20   src: &[Complex64],\n\
+         \x20   sb: usize,\n\
+         \x20   ss: usize,\n\
+         \x20   dst: &mut [Complex64],\n\
+         \x20   db: usize,\n\
+         \x20   ds: usize,\n\
+         ) -> bool {{\n\
+         \x20   match (n, dir) {{"
+    );
+    for &n in sizes {
+        let _ = writeln!(
+            out,
+            "        ({n}, Direction::Forward) => dft{n}_f(src, sb, ss, dst, db, ds),\n\
+             \x20       ({n}, Direction::Inverse) => dft{n}_i(src, sb, ss, dst, db, ds),"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "        _ => return false,\n    }}\n    true\n}}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitted_codelet_has_expected_shape() {
+        let code = emit_codelet("dft4_f", 4, Direction::Forward);
+        assert!(code.contains("pub fn dft4_f(src: &[Complex64]"));
+        assert!(code.contains("src[sb + 3 * ss]"));
+        assert!(code.contains("dst[db + 3 * ds]"));
+        // radix-2 size-4 network: no multiplications at all
+        assert!(!code.contains("f64 *"), "dft4 should be multiplication-free:\n{code}");
+    }
+
+    #[test]
+    fn emitted_module_contains_dispatcher_and_all_sizes() {
+        let module = emit_module(&[2, 3, 4]);
+        for n in [2, 3, 4] {
+            assert!(module.contains(&format!("pub fn dft{n}_f")));
+            assert!(module.contains(&format!("pub fn dft{n}_i")));
+        }
+        assert!(module.contains("pub fn generated_dft_leaf"));
+        assert!(module.contains("GENERATED_SIZES: &[usize] = &[2, 3, 4]"));
+        assert!(module.contains("_ => return false,"));
+    }
+
+    #[test]
+    fn constants_are_emitted_with_full_precision() {
+        let code = emit_codelet("dft8_f", 8, Direction::Forward);
+        // 1/sqrt(2) must appear with enough digits to round-trip
+        assert!(
+            code.contains("0.7071067811865476"),
+            "missing full-precision constant:\n{code}"
+        );
+    }
+
+    #[test]
+    fn codelet_line_count_is_linear_not_quadratic() {
+        let code = emit_codelet("dft32_f", 32, Direction::Forward);
+        let lines = code.lines().count();
+        assert!(lines < 900, "dft32 emitted {lines} lines");
+    }
+}

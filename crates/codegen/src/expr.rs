@@ -1,0 +1,359 @@
+//! Hash-consed real-valued expression DAGs.
+//!
+//! Like genfft, the generator works on *real* scalars (the re/im parts of
+//! each complex value are separate nodes): algebraic identities such as
+//! multiplication by `0`, `±1` and sign propagation then fall out of the
+//! smart constructors, and hash-consing gives common-subexpression
+//! elimination by construction — two structurally identical expressions
+//! always share one node.
+
+use std::collections::HashMap;
+
+/// Index of an expression node within its [`Graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ExprId(pub u32);
+
+/// One DAG node. Constants store the `f64` bit pattern so nodes are
+/// `Eq + Hash` (all constants the generator produces are well-behaved;
+/// `-0.0` is normalized to `0.0` on construction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Real part of input element `i`.
+    LoadRe(u32),
+    /// Imaginary part of input element `i`.
+    LoadIm(u32),
+    /// A literal constant (f64 bits).
+    Const(u64),
+    /// `lhs + rhs` (operands stored in sorted order — addition commutes).
+    Add(ExprId, ExprId),
+    /// `lhs - rhs`.
+    Sub(ExprId, ExprId),
+    /// `-operand`.
+    Neg(ExprId),
+    /// `constant * operand` (f64 bits, operand).
+    MulC(u64, ExprId),
+}
+
+/// An append-only, hash-consed expression graph.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    intern: HashMap<Node, ExprId>,
+}
+
+fn bits(v: f64) -> u64 {
+    // normalize -0.0 so x and -x don't produce distinct zeros
+    if v == 0.0 {
+        0f64.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of nodes (including loads and constants).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes exist yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: ExprId) -> Node {
+        self.nodes[id.0 as usize]
+    }
+
+    fn intern(&mut self, node: Node) -> ExprId {
+        if let Some(&id) = self.intern.get(&node) {
+            return id;
+        }
+        let id = ExprId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.intern.insert(node, id);
+        id
+    }
+
+    /// A literal constant.
+    pub fn constant(&mut self, v: f64) -> ExprId {
+        self.intern(Node::Const(bits(v)))
+    }
+
+    /// The constant value of a node, if it is one.
+    pub fn as_const(&self, id: ExprId) -> Option<f64> {
+        match self.node(id) {
+            Node::Const(b) => Some(f64::from_bits(b)),
+            _ => None,
+        }
+    }
+
+    /// Real part of input `i`.
+    pub fn load_re(&mut self, i: usize) -> ExprId {
+        self.intern(Node::LoadRe(i as u32))
+    }
+
+    /// Imaginary part of input `i`.
+    pub fn load_im(&mut self, i: usize) -> ExprId {
+        self.intern(Node::LoadIm(i as u32))
+    }
+
+    /// `a + b`, simplified.
+    pub fn add(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => return self.constant(x + y),
+            (Some(x), None) if x == 0.0 => return b,
+            (None, Some(y)) if y == 0.0 => return a,
+            _ => {}
+        }
+        // a + (-b) = a - b; (-a) + b = b - a
+        if let Node::Neg(nb) = self.node(b) {
+            return self.sub(a, nb);
+        }
+        if let Node::Neg(na) = self.node(a) {
+            return self.sub(b, na);
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(Node::Add(lo, hi))
+    }
+
+    /// `a - b`, simplified.
+    pub fn sub(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        if a == b {
+            return self.constant(0.0);
+        }
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => return self.constant(x - y),
+            (None, Some(y)) if y == 0.0 => return a,
+            (Some(x), None) if x == 0.0 => return self.neg(b),
+            _ => {}
+        }
+        // a - (-b) = a + b
+        if let Node::Neg(nb) = self.node(b) {
+            return self.add(a, nb);
+        }
+        self.intern(Node::Sub(a, b))
+    }
+
+    /// `-a`, simplified.
+    pub fn neg(&mut self, a: ExprId) -> ExprId {
+        if let Some(x) = self.as_const(a) {
+            return self.constant(-x);
+        }
+        match self.node(a) {
+            Node::Neg(inner) => inner,
+            Node::Sub(x, y) => self.intern(Node::Sub(y, x)),
+            Node::MulC(c, x) => {
+                let c = f64::from_bits(c);
+                self.mul_const(-c, x)
+            }
+            _ => self.intern(Node::Neg(a)),
+        }
+    }
+
+    /// `c * a`, simplified (`c` a literal).
+    pub fn mul_const(&mut self, c: f64, a: ExprId) -> ExprId {
+        if c == 0.0 {
+            return self.constant(0.0);
+        }
+        if c == 1.0 {
+            return a;
+        }
+        if c == -1.0 {
+            return self.neg(a);
+        }
+        if let Some(x) = self.as_const(a) {
+            return self.constant(c * x);
+        }
+        match self.node(a) {
+            Node::Neg(inner) => self.mul_const(-c, inner),
+            Node::MulC(c2, inner) => {
+                let c2 = f64::from_bits(c2);
+                self.mul_const(c * c2, inner)
+            }
+            _ => self.intern(Node::MulC(bits(c), a)),
+        }
+    }
+
+    /// Marks reachability from `roots`; returns a boolean per node.
+    pub fn live_set(&self, roots: &[ExprId]) -> Vec<bool> {
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<ExprId> = roots.to_vec();
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut live[id.0 as usize], true) {
+                continue;
+            }
+            match self.node(id) {
+                Node::Add(a, b) | Node::Sub(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Node::Neg(a) | Node::MulC(_, a) => stack.push(a),
+                _ => {}
+            }
+        }
+        live
+    }
+
+    /// Counts arithmetic operations (adds/subs/negs/mults) reachable from
+    /// `roots` — the generator's quality metric.
+    pub fn op_count(&self, roots: &[ExprId]) -> (usize, usize) {
+        let live = self.live_set(roots);
+        let mut adds = 0;
+        let mut muls = 0;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !live[i] {
+                continue;
+            }
+            match node {
+                Node::Add(..) | Node::Sub(..) | Node::Neg(..) => adds += 1,
+                Node::MulC(..) => muls += 1,
+                _ => {}
+            }
+        }
+        (adds, muls)
+    }
+}
+
+/// A complex value as a pair of real nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CVal {
+    /// Real-part node.
+    pub re: ExprId,
+    /// Imaginary-part node.
+    pub im: ExprId,
+}
+
+impl CVal {
+    /// Loads input element `i` as a complex value.
+    pub fn load(g: &mut Graph, i: usize) -> CVal {
+        CVal {
+            re: g.load_re(i),
+            im: g.load_im(i),
+        }
+    }
+
+    /// Complex addition.
+    pub fn add(g: &mut Graph, a: CVal, b: CVal) -> CVal {
+        CVal {
+            re: g.add(a.re, b.re),
+            im: g.add(a.im, b.im),
+        }
+    }
+
+    /// Complex subtraction.
+    pub fn sub(g: &mut Graph, a: CVal, b: CVal) -> CVal {
+        CVal {
+            re: g.sub(a.re, b.re),
+            im: g.sub(a.im, b.im),
+        }
+    }
+
+    /// Multiplication by a literal complex constant; purely real or
+    /// purely imaginary constants cost half the work automatically via
+    /// the zero-propagation in the smart constructors.
+    pub fn mul_const(g: &mut Graph, w: ddl_num::Complex64, a: CVal) -> CVal {
+        let ar_wr = g.mul_const(w.re, a.re);
+        let ai_wi = g.mul_const(w.im, a.im);
+        let ar_wi = g.mul_const(w.im, a.re);
+        let ai_wr = g.mul_const(w.re, a.im);
+        CVal {
+            re: g.sub(ar_wr, ai_wi),
+            im: g.add(ar_wi, ai_wr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_fold() {
+        let mut g = Graph::new();
+        let a = g.constant(2.0);
+        let b = g.constant(3.0);
+        let c = g.add(a, b);
+        assert_eq!(g.as_const(c), Some(5.0));
+        let d = g.mul_const(4.0, c);
+        assert_eq!(g.as_const(d), Some(20.0));
+    }
+
+    #[test]
+    fn zero_and_one_identities() {
+        let mut g = Graph::new();
+        let x = g.load_re(0);
+        let zero = g.constant(0.0);
+        assert_eq!(g.add(x, zero), x);
+        assert_eq!(g.add(zero, x), x);
+        assert_eq!(g.sub(x, zero), x);
+        assert_eq!(g.mul_const(1.0, x), x);
+        assert_eq!(g.mul_const(0.0, x), zero);
+        assert_eq!(g.sub(x, x), zero);
+    }
+
+    #[test]
+    fn negation_simplifies() {
+        let mut g = Graph::new();
+        let x = g.load_re(0);
+        let nx = g.neg(x);
+        assert_eq!(g.neg(nx), x);
+        // a + (-b) becomes a - b
+        let y = g.load_re(1);
+        let sum = g.add(y, nx);
+        assert!(matches!(g.node(sum), Node::Sub(a, b) if a == y && b == x));
+        // -1 * x is Neg
+        assert_eq!(g.mul_const(-1.0, x), nx);
+    }
+
+    #[test]
+    fn nested_constant_multiplies_collapse() {
+        let mut g = Graph::new();
+        let x = g.load_im(2);
+        let a = g.mul_const(2.0, x);
+        let b = g.mul_const(3.0, a);
+        assert!(matches!(g.node(b), Node::MulC(c, y) if f64::from_bits(c) == 6.0 && y == x));
+    }
+
+    #[test]
+    fn hash_consing_shares_structure() {
+        let mut g = Graph::new();
+        let x = g.load_re(0);
+        let y = g.load_re(1);
+        let a = g.add(x, y);
+        let b = g.add(y, x); // commuted
+        assert_eq!(a, b, "commutative CSE failed");
+        let before = g.len();
+        let _ = g.add(x, y);
+        assert_eq!(g.len(), before, "re-adding created a node");
+    }
+
+    #[test]
+    fn purely_imaginary_constant_multiply_is_cheap() {
+        // w = -i: (re, im) -> (im, -re), no multiplies at all
+        let mut g = Graph::new();
+        let a = CVal::load(&mut g, 0);
+        let w = ddl_num::Complex64::new(0.0, -1.0);
+        let r = CVal::mul_const(&mut g, w, a);
+        let (_, muls) = g.op_count(&[r.re, r.im]);
+        assert_eq!(muls, 0, "multiplication by -i must be free");
+    }
+
+    #[test]
+    fn live_set_skips_dead_nodes() {
+        let mut g = Graph::new();
+        let x = g.load_re(0);
+        let y = g.load_re(1);
+        let used = g.add(x, y);
+        let dead = g.sub(x, y);
+        let live = g.live_set(&[used]);
+        assert!(live[used.0 as usize]);
+        assert!(!live[dead.0 as usize]);
+    }
+}

@@ -1,0 +1,300 @@
+//! The factorization-tree expression grammar.
+//!
+//! The CMU WHT package the paper builds on describes algorithmic choices
+//! "by a simple grammar, which can be parsed to create different
+//! algorithms" (Section II-B), and the paper's tables print trees in that
+//! notation: `ct(16, ct(16, 16))`, `ctddl(2^4, ctddl(2^9, 2^7))` for FFT
+//! (Tables I and VI) and `split[small[2], …]` for WHT (Table V).
+//!
+//! This module implements the equivalent language:
+//!
+//! ```text
+//! tree   := leaf | split
+//! leaf   := INT | "ddl" "(" INT ")" | "small" "(" INT ")" | "2^" INT
+//! split  := ("ct" | "split") "(" tree "," tree ")"
+//!         | ("ctddl" | "splitddl") "(" tree "," tree ")"
+//! ```
+//!
+//! `ct` and `split` are synonyms (DFT vs WHT spelling); `…ddl` marks the
+//! node's input for reorganization. `2^k` exponent notation is accepted on
+//! leaves, matching the paper's tables. Whitespace is insignificant.
+
+use crate::tree::Tree;
+use std::fmt::Write as _;
+
+/// Prints a tree in DFT notation: `ct(…)`, `ctddl(…)`, plain leaf sizes,
+/// `ddl(n)` for reorganized leaves.
+pub fn print_dft(tree: &Tree) -> String {
+    let mut s = String::new();
+    print(tree, "ct", &mut s);
+    s
+}
+
+/// Prints a tree in WHT notation: `split(…)`, `splitddl(…)`.
+pub fn print_wht(tree: &Tree) -> String {
+    let mut s = String::new();
+    print(tree, "split", &mut s);
+    s
+}
+
+fn print(tree: &Tree, combinator: &str, out: &mut String) {
+    match tree {
+        Tree::Leaf { n, reorg } => {
+            if *reorg {
+                let _ = write!(out, "ddl({n})");
+            } else {
+                let _ = write!(out, "{n}");
+            }
+        }
+        Tree::Split { left, right, reorg } => {
+            let _ = write!(out, "{combinator}{}(", if *reorg { "ddl" } else { "" });
+            print(left, combinator, out);
+            out.push(',');
+            print(right, combinator, out);
+            out.push(')');
+        }
+    }
+}
+
+/// A parse failure with byte position and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a tree expression in either spelling.
+pub fn parse(input: &str) -> Result<Tree, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let tree = p.tree()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing input"));
+    }
+    tree.validate().map_err(|msg| ParseError { pos: 0, msg })?;
+    Ok(tree)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            pos: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn ident(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .peek()
+            .map(|b| b.is_ascii_alphabetic())
+            .unwrap_or(false)
+        {
+            self.pos += 1;
+        }
+        String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()
+    }
+
+    fn number(&mut self) -> Result<usize, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("expected a number"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let value: usize = text
+            .parse()
+            .map_err(|_| self.err("number out of range"))?;
+        // exponent notation 2^k
+        if self.peek() == Some(b'^') {
+            self.pos += 1;
+            let estart = self.pos;
+            while self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
+                self.pos += 1;
+            }
+            if estart == self.pos {
+                return Err(self.err("expected exponent after '^'"));
+            }
+            let etext = std::str::from_utf8(&self.bytes[estart..self.pos]).unwrap();
+            let exp: u32 = etext
+                .parse()
+                .map_err(|_| self.err("exponent out of range"))?;
+            return value
+                .checked_pow(exp)
+                .ok_or_else(|| self.err("size overflows"));
+        }
+        Ok(value)
+    }
+
+    fn tree(&mut self) -> Result<Tree, ParseError> {
+        self.skip_ws();
+        if self.peek().map(|b| b.is_ascii_digit()).unwrap_or(false) {
+            return Ok(Tree::leaf(self.number()?));
+        }
+        let name = self.ident();
+        // both () and [] bracket styles are accepted (the paper's tables
+        // use brackets for WHT)
+        let open = {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'(') => b'(',
+                Some(b'[') => b'[',
+                _ => return Err(self.err("expected '(' or '['")),
+            }
+        };
+        let close = if open == b'(' { b')' } else { b']' };
+        self.eat(open)?;
+        let result = match name.as_str() {
+            "ddl" | "small" | "smallddl" => {
+                let n = self.number()?;
+                let reorg = name != "small";
+                Ok(Tree::Leaf { n, reorg })
+            }
+            "ct" | "split" | "ctddl" | "splitddl" => {
+                let left = self.tree()?;
+                self.eat(b',')?;
+                let right = self.tree()?;
+                let reorg = name.ends_with("ddl");
+                Ok(Tree::Split {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    reorg,
+                })
+            }
+            other => Err(self.err(&format!("unknown combinator '{other}'"))),
+        }?;
+        self.eat(close)?;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_plain_leaf() {
+        assert_eq!(parse("16").unwrap(), Tree::leaf(16));
+        assert_eq!(parse("  8 ").unwrap(), Tree::leaf(8));
+    }
+
+    #[test]
+    fn parse_exponent_leaf() {
+        assert_eq!(parse("2^10").unwrap(), Tree::leaf(1024));
+        assert_eq!(parse("ct(2^4, 2^4)").unwrap().size(), 256);
+    }
+
+    #[test]
+    fn parse_ct_and_split_are_synonyms() {
+        let a = parse("ct(4, 8)").unwrap();
+        let b = parse("split(4, 8)").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, Tree::split(Tree::leaf(4), Tree::leaf(8)));
+    }
+
+    #[test]
+    fn parse_ddl_variants() {
+        let t = parse("ctddl(ddl(4), ct(8, 2))").unwrap();
+        assert!(t.reorg());
+        assert_eq!(t.size(), 64);
+        assert_eq!(t.reorg_count(), 2);
+    }
+
+    #[test]
+    fn parse_wht_bracket_style() {
+        let t = parse("split[small[4], split[small[2], small[2]]]").unwrap();
+        assert_eq!(t.size(), 16);
+        assert_eq!(t.reorg_count(), 0);
+    }
+
+    #[test]
+    fn print_parse_round_trip() {
+        let trees = vec![
+            Tree::leaf(32),
+            Tree::leaf_ddl(8),
+            Tree::split(Tree::leaf(4), Tree::leaf(8)),
+            Tree::split_ddl(
+                Tree::split(Tree::leaf_ddl(2), Tree::leaf(16)),
+                Tree::leaf(64),
+            ),
+            Tree::rightmost(1 << 14, 8),
+            Tree::balanced(1 << 14, 8),
+        ];
+        for t in trees {
+            let dft = print_dft(&t);
+            assert_eq!(parse(&dft).unwrap(), t, "dft spelling: {dft}");
+            let wht = print_wht(&t);
+            assert_eq!(parse(&wht).unwrap(), t, "wht spelling: {wht}");
+        }
+    }
+
+    #[test]
+    fn display_uses_dft_spelling() {
+        let t = Tree::split_ddl(Tree::leaf(4), Tree::leaf(4));
+        assert_eq!(t.to_string(), "ctddl(4,4)");
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let e = parse("ct(4; 8)").unwrap_err();
+        assert!(e.pos >= 4, "pos was {}", e.pos);
+        assert!(parse("frob(2,2)").is_err());
+        assert!(parse("ct(2,2) garbage").is_err());
+        assert!(parse("ct(2,)").is_err());
+        assert!(parse("2^").is_err());
+    }
+
+    #[test]
+    fn rejects_invalid_tree_structure() {
+        // split with size-1 child fails validation
+        assert!(parse("ct(1, 8)").is_err());
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let a = parse("ct ( 4 ,\n\t8 )").unwrap();
+        assert_eq!(a, parse("ct(4,8)").unwrap());
+    }
+}

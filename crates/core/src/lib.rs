@@ -1,0 +1,70 @@
+//! Cache-conscious factorization of signal transforms with dynamic data
+//! layouts — the paper's primary contribution.
+//!
+//! The pipeline mirrors the paper's Section IV:
+//!
+//! 1. A transform size is factorized into a [`tree::Tree`] whose nodes are
+//!    annotated with *(size, stride)* and optional **reorganization** flags
+//!    (the Dynamic Data Layout decision).
+//! 2. [`planner`] searches the space of such trees with dynamic
+//!    programming (Fig. 8 of the paper): the *SDL* search considers sizes
+//!    only (reproducing the FFTW/CMU baseline), the *DDL* search considers
+//!    `(size, stride)` states and reorganization, using either measured
+//!    execution times (the paper's `Get_time`) or the analytical cache
+//!    [`model`].
+//! 3. The chosen tree compiles into a [`dft::DftPlan`] or
+//!    [`wht::WhtPlan`] with precomputed twiddle tables and scratch
+//!    requirements, and executes through stride-explicit recursion that
+//!    can optionally emit its exact memory-access stream into the
+//!    `ddl-cachesim` simulator ([`traced`]).
+//!
+//! Supporting modules: [`grammar`] (the `ct`/`ctddl`/`split` tree
+//! expression language mirroring the CMU WHT package), [`measure`]
+//! (timing), [`wisdom`] (plan persistence), [`parallel`] (crossbeam-based
+//! stage parallelism, an extension beyond the paper's uniprocessor scope).
+//! Transforms built on top of the planned FFT: [`dft2d`], [`rfft`],
+//! [`dct`], [`sixstep`].
+//!
+//! ```
+//! use ddl_core::{plan_dft, DftPlan, PlannerConfig};
+//! use ddl_num::{Complex64, Direction};
+//!
+//! // Search, compile, execute.
+//! let outcome = plan_dft(1 << 10, &PlannerConfig::ddl_analytical());
+//! let plan = DftPlan::new(outcome.tree, Direction::Forward).unwrap();
+//! let x = vec![Complex64::ONE; 1 << 10];
+//! let mut y = vec![Complex64::ZERO; 1 << 10];
+//! plan.execute(&x, &mut y);
+//! assert!((y[0].re - 1024.0).abs() < 1e-9); // DC bin of a constant
+//! ```
+
+pub mod dct;
+pub mod dft;
+pub mod dft2d;
+pub mod grammar;
+pub mod measure;
+pub mod model;
+pub mod parallel;
+pub mod planner;
+pub mod rfft;
+pub mod sixstep;
+pub mod traced;
+pub mod tree;
+pub mod wht;
+pub mod wisdom;
+
+pub use dct::DctPlan;
+pub use dft::DftPlan;
+pub use dft2d::Dft2dPlan;
+pub use rfft::RfftPlan;
+pub use sixstep::SixStepPlan;
+pub use model::CacheModel;
+pub use planner::{plan_dft, plan_wht, CostBackend, PlannerConfig, Strategy};
+pub use tree::Tree;
+pub use wht::WhtPlan;
+
+/// Size of one DFT data point in bytes (double-precision complex), as in
+/// the paper's experiments.
+pub const DFT_POINT_BYTES: usize = 16;
+/// Size of one WHT data point in bytes (double precision).
+pub const WHT_POINT_BYTES: usize = 8;

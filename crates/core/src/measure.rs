@@ -1,0 +1,104 @@
+//! Wall-clock measurement utilities.
+//!
+//! The paper's methodology (Section V-B): "computations were repeated
+//! until the overall execution time was larger than 1 s … the average
+//! execution time is reported", with loop overhead deducted. These
+//! helpers implement the same estimator with a configurable floor so the
+//! full sweep fits in a session; they are used both by the measured
+//! planner backend (`Get_time` in the paper's Fig. 8) and by the benchmark
+//! harness.
+
+use std::time::Instant;
+
+/// Repeats `f` until the accumulated time exceeds `min_total_secs` (at
+/// least `min_reps` times) and returns the mean seconds per call.
+pub fn time_per_call<F: FnMut()>(mut f: F, min_total_secs: f64, min_reps: u32) -> f64 {
+    // One untimed warm-up call: touches the buffers, faults pages and
+    // populates twiddle caches.
+    f();
+    let mut reps: u64 = 0;
+    let mut total = 0.0f64;
+    let mut batch: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        total += start.elapsed().as_secs_f64();
+        reps += batch;
+        if total >= min_total_secs && reps >= min_reps as u64 {
+            return total / reps as f64;
+        }
+        // Grow batches geometrically so timer overhead stays negligible.
+        batch = batch.saturating_mul(2).min(1 << 20);
+    }
+}
+
+/// The paper's normalized performance metric for an `n`-point FFT:
+/// *pseudo-MFLOPS* = `5 n log2(n) / t_us` (Section V-B; the same metric
+/// FFTW reports).
+pub fn fft_mflops(n: usize, seconds: f64) -> f64 {
+    if n < 2 || seconds <= 0.0 {
+        return 0.0;
+    }
+    let ops = 5.0 * n as f64 * (n as f64).log2();
+    ops / (seconds * 1e6)
+}
+
+/// Time per point in nanoseconds — the metric of the paper's WHT plots
+/// (Fig. 15 reports time per point).
+pub fn time_per_point_ns(n: usize, seconds: f64) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    seconds * 1e9 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_per_call_is_positive_and_sane() {
+        let mut acc = 0u64;
+        let t = time_per_call(
+            || {
+                for i in 0..1000u64 {
+                    acc = acc.wrapping_add(i * i);
+                }
+                std::hint::black_box(acc);
+            },
+            0.001,
+            3,
+        );
+        assert!(t > 0.0);
+        assert!(t < 0.01, "1000 multiplies should not take 10ms: {t}");
+    }
+
+    #[test]
+    fn time_per_call_respects_min_reps() {
+        let mut count = 0u32;
+        let _ = time_per_call(|| count += 1, 0.0, 5);
+        assert!(count >= 5 + 1); // +1 warm-up
+    }
+
+    #[test]
+    fn mflops_formula() {
+        // 1024-point FFT in 10 us: 5*1024*10 ops / 10 us = 5120 MFLOPS
+        let m = fft_mflops(1024, 10e-6);
+        assert!((m - 5120.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mflops_degenerate_inputs() {
+        assert_eq!(fft_mflops(0, 1.0), 0.0);
+        assert_eq!(fft_mflops(1, 1.0), 0.0);
+        assert_eq!(fft_mflops(1024, 0.0), 0.0);
+    }
+
+    #[test]
+    fn per_point_scaling() {
+        assert!((time_per_point_ns(1000, 1e-3) - 1000.0).abs() < 1e-9);
+        assert_eq!(time_per_point_ns(0, 1.0), 0.0);
+    }
+}

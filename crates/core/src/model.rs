@@ -1,0 +1,348 @@
+//! The analytical cache cost model.
+//!
+//! Section III-B of the paper analyzes the cache behaviour of a leaf node
+//! `(n, s)` on a direct-mapped cache of `C` points with lines of `B`
+//! points:
+//!
+//! * **Case I / II** (`n·s <= C`): only compulsory misses; the batch of
+//!   `s` successive sub-DFTs covers a contiguous `n·s`-point region once,
+//!   so each point costs `1/B` of a miss, and successive DFTs get spatial
+//!   reuse.
+//! * **Case III** (`n·s > C`, power-of-two strides): the `n` points of one
+//!   DFT fold onto only `C / max(s, B)` line slots; when that is fewer
+//!   than `n`, accesses conflict within a single DFT and all spatial reuse
+//!   across successive DFTs is lost ("cache pollution") — effectively
+//!   every access misses.
+//!
+//! [`CacheModel`] turns this into a per-point cost estimate used by the
+//! analytical planner backend and by the "estimated execution time"
+//! column the paper validates in Table I. Two constants (arithmetic cost
+//! per butterfly-op, miss penalty) can be calibrated from measurements;
+//! defaults are order-of-magnitude values for a modern core.
+
+use serde::{Deserialize, Serialize};
+
+/// Analytical cost model for factorized-transform execution.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CacheModel {
+    /// Cache capacity in *points* (`C` in the paper).
+    pub capacity_points: usize,
+    /// Line size in *points* (`B` in the paper).
+    pub line_points: usize,
+    /// Cost of one cache miss, in nanoseconds.
+    pub miss_penalty_ns: f64,
+    /// Arithmetic + issue cost per point per butterfly level, in
+    /// nanoseconds (the `alpha * n * log2 n` term).
+    pub op_ns: f64,
+    /// Per-point cost of a twiddle multiplication pass, in nanoseconds.
+    pub twiddle_ns: f64,
+    /// Per-point bookkeeping cost of a reorganization pass (besides its
+    /// memory traffic), in nanoseconds.
+    pub reorg_ns: f64,
+}
+
+impl CacheModel {
+    /// The paper's simulated configuration: 512 KB direct-mapped, 64-byte
+    /// lines, 16-byte points — `C = 2^15`, `B = 4`.
+    pub fn paper_default() -> Self {
+        CacheModel {
+            capacity_points: 1 << 15,
+            line_points: 4,
+            miss_penalty_ns: 60.0,
+            op_ns: 1.0,
+            twiddle_ns: 1.5,
+            reorg_ns: 0.5,
+        }
+    }
+
+    /// A model scaled for `point_bytes`-sized elements on a cache of
+    /// `capacity_bytes` with `line_bytes` lines.
+    pub fn from_geometry(capacity_bytes: usize, line_bytes: usize, point_bytes: usize) -> Self {
+        CacheModel {
+            capacity_points: capacity_bytes / point_bytes,
+            line_points: (line_bytes / point_bytes).max(1),
+            ..CacheModel::paper_default()
+        }
+    }
+
+    /// Expected misses *per point* for a batch of sub-transforms of size
+    /// `n` at stride `s` (the paper's leaf model).
+    pub fn leaf_miss_per_point(&self, n: usize, s: usize) -> f64 {
+        let c = self.capacity_points;
+        let b = self.line_points;
+        if n.saturating_mul(s) <= c {
+            // Cases I and II: compulsory only, amortized over the line.
+            1.0 / b as f64
+        } else {
+            // Case III: line slots available to one sub-transform.
+            let slots = (c / s.max(b)).max(1);
+            if n > slots {
+                // conflicts within a DFT + pollution across DFTs: every
+                // access misses
+                1.0
+            } else {
+                // region exceeds the cache but a single DFT's points fit
+                // distinct slots: compulsory per pass, no reuse across
+                // successive DFTs when s >= B
+                if s >= b {
+                    1.0
+                } else {
+                    1.0 / (b / s.max(1)) as f64
+                }
+            }
+        }
+    }
+
+    /// Estimated cost in nanoseconds *per point* of executing a leaf of
+    /// size `n` with reads and writes both at stride `s` (the in-place
+    /// case): arithmetic + predicted miss traffic.
+    pub fn leaf_cost_per_point(&self, n: usize, s: usize) -> f64 {
+        self.leaf_cost_rw(n, s, s)
+    }
+
+    /// Leaf cost with distinct read and write strides — the out-of-place
+    /// case, where a stage-1 leaf reads the input at one stride and
+    /// writes the intermediate buffer at another.
+    pub fn leaf_cost_rw(&self, n: usize, read_stride: usize, write_stride: usize) -> f64 {
+        let levels = (n.max(2) as f64).log2();
+        let mem = (self.leaf_miss_per_point(n, read_stride)
+            + self.leaf_miss_per_point(n, write_stride))
+            * self.miss_penalty_ns;
+        self.op_ns * levels + mem
+    }
+
+    /// Per-point cost of the tiled inter-stage transpose a reorganized
+    /// split performs (`Dr` of Eq. (2)): each point moves once, with both
+    /// sides blocked so lines are touched `O(1)` times.
+    pub fn transpose_cost_per_point(&self) -> f64 {
+        self.reorg_ns + (2.0 / self.line_points as f64) * self.miss_penalty_ns
+    }
+
+    /// Estimated per-point cost of the twiddle pass of a node of size `n`
+    /// (contiguous read-modify-write).
+    pub fn twiddle_cost_per_point(&self, n: usize) -> f64 {
+        // the intermediate buffer was just written by stage 1; it is
+        // resident when n fits in cache, streamed otherwise
+        let miss = if n <= self.capacity_points {
+            0.0
+        } else {
+            1.0 / self.line_points as f64
+        };
+        self.twiddle_ns + 2.0 * miss * self.miss_penalty_ns
+    }
+
+    /// Estimated per-point cost of a reorganization `Dr(n, s -> 1)`:
+    /// one strided read + one contiguous write per point (the paper prices
+    /// `Dr` as `O(n/L)` line transfers; at pathological strides the reads
+    /// miss every time).
+    pub fn reorg_cost_per_point(&self, n: usize, s: usize) -> f64 {
+        let read_miss = self.leaf_miss_per_point(n, s);
+        let write_miss = 1.0 / self.line_points as f64;
+        self.reorg_ns + (read_miss + write_miss) * self.miss_penalty_ns
+    }
+
+    /// Estimated total cost (nanoseconds) of executing a whole DFT
+    /// factorization tree at root input stride `root_stride`, composed per
+    /// the paper's Eq. (2)/(3).
+    ///
+    /// Stride propagation matches the out-of-place executor in
+    /// [`crate::dft`]: the left child reads at `n2 * read_stride` and
+    /// writes the intermediate buffer at stride `n2` (or unit stride when
+    /// the node reorganizes, which then pays the tiled inter-stage
+    /// transpose instead); the right child reads at unit stride and
+    /// writes the node's output at `n1 * write_stride`.
+    pub fn tree_cost_ns(&self, tree: &crate::tree::Tree, root_stride: usize) -> f64 {
+        self.dft_node_cost(tree, root_stride, 1) * tree.size() as f64
+    }
+
+    /// Per-point cost of a DFT subtree reading at `rs` and writing its
+    /// outputs at `ws`.
+    fn dft_node_cost(&self, tree: &crate::tree::Tree, rs: usize, ws: usize) -> f64 {
+        use crate::tree::Tree;
+        let n = tree.size();
+        match tree {
+            Tree::Leaf { reorg, .. } => {
+                if *reorg && rs > 1 {
+                    // gather to unit stride, then the codelet runs on the
+                    // compacted copy
+                    self.reorg_cost_per_point(n, rs) + self.leaf_cost_rw(n, 1, ws)
+                } else {
+                    self.leaf_cost_rw(n, rs, ws)
+                }
+            }
+            Tree::Split { left, right, reorg } => {
+                let n1 = left.size();
+                let n2 = right.size();
+                let mut cost = self.twiddle_cost_per_point(n);
+                if *reorg {
+                    // stage-1 writes contiguous, then the tiled transpose
+                    cost += self.dft_node_cost(left, n2 * rs, 1);
+                    cost += self.transpose_cost_per_point();
+                } else {
+                    // stage-1 writes the intermediate buffer interleaved
+                    cost += self.dft_node_cost(left, n2 * rs, n2);
+                }
+                // stage 2 reads unit stride and writes the output view
+                cost += self.dft_node_cost(right, 1, n1 * ws);
+                cost
+            }
+        }
+    }
+
+    /// Estimated total cost (nanoseconds) of executing a WHT factorization
+    /// tree at root stride `root_stride`.
+    ///
+    /// The WHT executor is *in place*, so the right child inherits the
+    /// parent's stride (exactly the paper's Fig. 4 convention) and a
+    /// reorganization pays both a gather and a scatter-back.
+    pub fn wht_tree_cost_ns(&self, tree: &crate::tree::Tree, root_stride: usize) -> f64 {
+        self.wht_node_cost(tree, root_stride) * tree.size() as f64
+    }
+
+    fn wht_node_cost(&self, tree: &crate::tree::Tree, stride: usize) -> f64 {
+        use crate::tree::Tree;
+        let n = tree.size();
+        let mut cost = 0.0;
+        let mut stride = stride;
+        if tree.reorg() && stride > 1 {
+            // gather + scatter back
+            cost += 2.0 * self.reorg_cost_per_point(n, stride);
+            stride = 1;
+        }
+        match tree {
+            Tree::Leaf { .. } => cost + self.leaf_cost_per_point(n, stride),
+            Tree::Split { left, right, .. } => {
+                let n2 = right.size();
+                cost += self.wht_node_cost(right, stride);
+                cost += self.wht_node_cost(left, n2 * stride);
+                cost
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Tree;
+
+    #[test]
+    fn small_working_sets_cost_compulsory_only() {
+        let m = CacheModel::paper_default();
+        assert!((m.leaf_miss_per_point(64, 1) - 0.25).abs() < 1e-12);
+        assert!((m.leaf_miss_per_point(64, 4) - 0.25).abs() < 1e-12);
+        // n*s = 2^15 exactly at capacity: still case I/II
+        assert!((m.leaf_miss_per_point(64, 512) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pathological_stride_misses_every_access() {
+        let m = CacheModel::paper_default();
+        // n*s = 64 * 2^16 >> C, slots = C/s = 0.5 -> 1 < 64
+        assert_eq!(m.leaf_miss_per_point(64, 1 << 16), 1.0);
+    }
+
+    #[test]
+    fn miss_rate_monotone_in_stride_at_fixed_size() {
+        let m = CacheModel::paper_default();
+        let n = 64;
+        let mut prev = 0.0;
+        for log_s in 0..18 {
+            let r = m.leaf_miss_per_point(n, 1 << log_s);
+            assert!(r >= prev - 1e-12, "stride 2^{log_s}: {r} < {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn leaf_cost_grows_with_stride_beyond_cache() {
+        let m = CacheModel::paper_default();
+        let cheap = m.leaf_cost_per_point(64, 1);
+        let pricey = m.leaf_cost_per_point(64, 1 << 16);
+        assert!(pricey > 2.0 * cheap);
+    }
+
+    #[test]
+    fn reorg_is_cheaper_than_pathological_leaf_access() {
+        // The DDL premise: Dr + unit-stride leaf < strided leaf, once the
+        // stride is pathological.
+        let m = CacheModel::paper_default();
+        let s = 1 << 16;
+        let strided = m.leaf_cost_per_point(64, s);
+        let reorganized = m.reorg_cost_per_point(64, s) + m.leaf_cost_per_point(64, 1);
+        assert!(
+            reorganized < strided,
+            "reorg {reorganized} should beat strided {strided}"
+        );
+    }
+
+    #[test]
+    fn tree_cost_prefers_ddl_for_large_sizes() {
+        // Above the cache size, reorganizing the intermediate layout of a
+        // balanced split (stage-1 contiguous writes + tiled transpose)
+        // beats the interleaved strided writes of the static layout.
+        let m = CacheModel::paper_default();
+        let n = 1 << 20; // far above C = 2^15
+        let plain = Tree::balanced(n, 8);
+        let ddl = plain.clone().with_reorg(true);
+        assert!(
+            m.tree_cost_ns(&ddl, 1) < m.tree_cost_ns(&plain, 1),
+            "ddl {} !< plain {}",
+            m.tree_cost_ns(&ddl, 1),
+            m.tree_cost_ns(&plain, 1)
+        );
+    }
+
+    #[test]
+    fn leaf_gather_reorg_does_not_pay_by_itself() {
+        // A single strided leaf pass is compulsory traffic; gathering it
+        // first only adds work. The planner therefore reorganizes at
+        // split granularity, not leaf granularity.
+        let m = CacheModel::paper_default();
+        let sdl = Tree::rightmost(1 << 20, 8);
+        let ddl = match sdl.clone() {
+            Tree::Split { left, right, .. } => Tree::Split {
+                left: Box::new(left.with_reorg(true)),
+                right,
+                reorg: false,
+            },
+            t => t,
+        };
+        assert!(m.tree_cost_ns(&ddl, 1) >= m.tree_cost_ns(&sdl, 1));
+    }
+
+    #[test]
+    fn tree_cost_indifferent_below_cache() {
+        // Below the cache size a reorg only adds cost.
+        let m = CacheModel::paper_default();
+        let n = 1 << 10;
+        let sdl = Tree::rightmost(n, 8);
+        let ddl = match sdl.clone() {
+            Tree::Split { left, right, .. } => Tree::Split {
+                left: Box::new(left.with_reorg(true)),
+                right,
+                reorg: false,
+            },
+            t => t,
+        };
+        assert!(m.tree_cost_ns(&ddl, 1) >= m.tree_cost_ns(&sdl, 1));
+    }
+
+    #[test]
+    fn geometry_constructor_converts_units() {
+        let m = CacheModel::from_geometry(512 * 1024, 64, 16);
+        assert_eq!(m.capacity_points, 1 << 15);
+        assert_eq!(m.line_points, 4);
+        let w = CacheModel::from_geometry(512 * 1024, 64, 8);
+        assert_eq!(w.capacity_points, 1 << 16);
+        assert_eq!(w.line_points, 8);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = CacheModel::paper_default();
+        let s = serde_json::to_string(&m).unwrap();
+        let back: CacheModel = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,203 @@
+//! Parallel batch execution (extension beyond the paper).
+//!
+//! The paper's scope is uniprocessor performance; it notes its approach is
+//! "focused on optimizing the performance of signal transforms on a
+//! uniprocessor rather than on a vector or parallel processor" (Section
+//! II-B), leaving parallelism to the related work it cites (Bailey's
+//! six-step FFT etc.). The natural parallel extension — and a realistic
+//! workload, since large FFTs usually arrive in batches (rows of a 2-D
+//! transform, channels of a filter bank) — is executing many independent
+//! transforms concurrently, each with its own scratch. This module
+//! provides that with crossbeam's scoped threads; plans are immutable and
+//! shared by reference.
+
+use crate::dft::DftPlan;
+use crate::wht::WhtPlan;
+use ddl_cachesim::NullTracer;
+use ddl_num::Complex64;
+
+/// Executes a batch of independent DFTs: `inputs` and `outputs` are
+/// concatenations of `batch` signals of `plan.n()` points each.
+///
+/// Work is split across `threads` OS threads (clamped to the batch size);
+/// each thread reuses one scratch buffer across its share of the batch.
+/// `threads == 1` degenerates to a sequential loop with no thread spawn.
+pub fn execute_dft_batch(
+    plan: &DftPlan,
+    inputs: &[Complex64],
+    outputs: &mut [Complex64],
+    threads: usize,
+) {
+    let n = plan.n();
+    assert_eq!(inputs.len() % n, 0, "inputs not a whole number of signals");
+    assert_eq!(
+        inputs.len(),
+        outputs.len(),
+        "inputs/outputs length mismatch"
+    );
+    let batch = inputs.len() / n;
+    if batch == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, batch);
+
+    if threads == 1 {
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        for (src, dst) in inputs.chunks_exact(n).zip(outputs.chunks_exact_mut(n)) {
+            plan.execute_view(src, 0, 1, dst, 0, 1, &mut scratch, &mut NullTracer, [0; 4]);
+        }
+        return;
+    }
+
+    // Split the output into per-thread contiguous regions of whole
+    // signals; each worker pairs its region with the matching inputs.
+    let per_thread = batch.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = outputs;
+        let mut start_signal = 0usize;
+        while start_signal < batch {
+            let take = per_thread.min(batch - start_signal) * n;
+            let (mine, remaining) = rest.split_at_mut(take);
+            rest = remaining;
+            let in_slice = &inputs[start_signal * n..start_signal * n + take];
+            scope.spawn(move |_| {
+                let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+                for (src, dst) in in_slice.chunks_exact(n).zip(mine.chunks_exact_mut(n)) {
+                    plan.execute_view(
+                        src,
+                        0,
+                        1,
+                        dst,
+                        0,
+                        1,
+                        &mut scratch,
+                        &mut NullTracer,
+                        [0; 4],
+                    );
+                }
+            });
+            start_signal += per_thread;
+        }
+    })
+    .expect("batch DFT worker panicked");
+}
+
+/// Executes a batch of independent in-place WHTs over `data`, a
+/// concatenation of signals of `plan.n()` points each.
+pub fn execute_wht_batch(plan: &WhtPlan, data: &mut [f64], threads: usize) {
+    let n = plan.n();
+    assert_eq!(data.len() % n, 0, "data not a whole number of signals");
+    let batch = data.len() / n;
+    if batch == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, batch);
+
+    if threads == 1 {
+        let mut scratch = vec![0.0f64; plan.scratch_len()];
+        for chunk in data.chunks_exact_mut(n) {
+            plan.execute_view(chunk, 0, 1, &mut scratch, &mut NullTracer, [0; 2]);
+        }
+        return;
+    }
+
+    let per_thread = batch.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = data;
+        let mut remaining_signals = batch;
+        while remaining_signals > 0 {
+            let take = per_thread.min(remaining_signals) * n;
+            let (mine, after) = rest.split_at_mut(take);
+            rest = after;
+            remaining_signals -= take / n;
+            scope.spawn(move |_| {
+                let mut scratch = vec![0.0f64; plan.scratch_len()];
+                for chunk in mine.chunks_exact_mut(n) {
+                    plan.execute_view(chunk, 0, 1, &mut scratch, &mut NullTracer, [0; 2]);
+                }
+            });
+        }
+    })
+    .expect("batch WHT worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Tree;
+    use ddl_kernels::{naive_dft, naive_wht};
+    use ddl_num::{relative_rms_error, Direction};
+
+    fn signals(count: usize, n: usize) -> Vec<Complex64> {
+        (0..count * n)
+            .map(|i| Complex64::new((i as f64 * 0.11).sin(), (i as f64 * 0.07).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_dft() {
+        let plan = DftPlan::new(Tree::rightmost(256, 8), Direction::Forward).unwrap();
+        let batch = 13;
+        let inputs = signals(batch, 256);
+        let mut seq = vec![Complex64::ZERO; batch * 256];
+        let mut par = vec![Complex64::ZERO; batch * 256];
+        execute_dft_batch(&plan, &inputs, &mut seq, 1);
+        execute_dft_batch(&plan, &inputs, &mut par, 4);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn batch_results_match_naive_per_signal() {
+        let plan = DftPlan::new(Tree::balanced(64, 8), Direction::Forward).unwrap();
+        let inputs = signals(5, 64);
+        let mut out = vec![Complex64::ZERO; 5 * 64];
+        execute_dft_batch(&plan, &inputs, &mut out, 3);
+        for b in 0..5 {
+            let x = &inputs[b * 64..(b + 1) * 64];
+            let want = naive_dft(x, Direction::Forward);
+            assert!(relative_rms_error(&out[b * 64..(b + 1) * 64], &want) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_signals_is_fine() {
+        let plan = DftPlan::new(Tree::leaf(16), Direction::Forward).unwrap();
+        let inputs = signals(2, 16);
+        let mut out = vec![Complex64::ZERO; 2 * 16];
+        execute_dft_batch(&plan, &inputs, &mut out, 64);
+        let want = naive_dft(&inputs[..16], Direction::Forward);
+        assert!(relative_rms_error(&out[..16], &want) < 1e-10);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let plan = DftPlan::new(Tree::leaf(8), Direction::Forward).unwrap();
+        let inputs: Vec<Complex64> = vec![];
+        let mut out: Vec<Complex64> = vec![];
+        execute_dft_batch(&plan, &inputs, &mut out, 4);
+    }
+
+    #[test]
+    fn wht_batch_matches_naive() {
+        let plan = WhtPlan::new(Tree::rightmost(128, 8)).unwrap();
+        let batch = 7;
+        let orig: Vec<f64> = (0..batch * 128).map(|i| (i as f64 * 0.3).sin()).collect();
+        let mut data = orig.clone();
+        execute_wht_batch(&plan, &mut data, 3);
+        for b in 0..batch {
+            let want = naive_wht(&orig[b * 128..(b + 1) * 128]);
+            for j in 0..128 {
+                assert!((data[b * 128 + j] - want[j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of signals")]
+    fn ragged_batch_panics() {
+        let plan = DftPlan::new(Tree::leaf(8), Direction::Forward).unwrap();
+        let inputs = signals(1, 9);
+        let mut out = vec![Complex64::ZERO; 9];
+        execute_dft_batch(&plan, &inputs, &mut out, 2);
+    }
+}

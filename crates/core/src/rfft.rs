@@ -1,0 +1,194 @@
+//! Real-input FFT via the half-size complex trick (extension).
+//!
+//! Real signals are the common case in the signal-processing workloads
+//! the paper motivates with; packing a real signal of even length `n`
+//! into a complex signal of length `n/2` halves both the arithmetic and —
+//! more importantly here — the working set that must stream through the
+//! cache, so the DDL machinery applies to half-size plans.
+//!
+//! Convention: [`RfftPlan::forward`] returns the `n/2 + 1` nonredundant
+//! bins of the length-`n` real DFT; [`RfftPlan::inverse`] reconstructs
+//! the real signal (exactly inverse, including the `1/n` factor).
+
+use crate::dft::{DftPlan, PlanError};
+use crate::planner::{plan_dft, PlannerConfig};
+use crate::tree::Tree;
+use ddl_num::{root_of_unity, Complex64, Direction};
+
+/// A compiled real-input FFT of (even) size `n`.
+#[derive(Clone, Debug)]
+pub struct RfftPlan {
+    n: usize,
+    half_forward: DftPlan,
+    half_inverse: DftPlan,
+}
+
+impl RfftPlan {
+    /// Compiles from a factorization tree of size `n/2`.
+    pub fn new(n: usize, half_tree: Tree) -> Result<RfftPlan, PlanError> {
+        if n % 2 != 0 || n == 0 {
+            return Err(PlanError::InvalidTree(format!(
+                "real FFT size must be even and positive, got {n}"
+            )));
+        }
+        if half_tree.size() != n / 2 {
+            return Err(PlanError::InvalidTree(format!(
+                "half-size tree computes {} points, need {}",
+                half_tree.size(),
+                n / 2
+            )));
+        }
+        Ok(RfftPlan {
+            n,
+            half_forward: DftPlan::new(half_tree.clone(), Direction::Forward)?,
+            half_inverse: DftPlan::new(half_tree, Direction::Inverse)?,
+        })
+    }
+
+    /// Plans the half-size FFT with the given configuration.
+    pub fn plan(n: usize, cfg: &PlannerConfig) -> Result<RfftPlan, PlanError> {
+        if n % 2 != 0 || n == 0 {
+            return Err(PlanError::InvalidTree(format!(
+                "real FFT size must be even and positive, got {n}"
+            )));
+        }
+        RfftPlan::new(n, plan_dft(n / 2, cfg).tree)
+    }
+
+    /// Transform size (length of the real signal).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of output bins (`n/2 + 1`).
+    pub fn bins(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward transform: `spectrum[k] = Σ_i x[i] e^{-2πi ik/n}` for
+    /// `k = 0 ..= n/2`.
+    pub fn forward(&self, x: &[f64], spectrum: &mut [Complex64]) {
+        let n = self.n;
+        let h = n / 2;
+        assert!(x.len() >= n, "rfft: input too short");
+        assert!(spectrum.len() >= h + 1, "rfft: output too short");
+
+        // pack: z[i] = x[2i] + i x[2i+1]
+        let z: Vec<Complex64> = (0..h)
+            .map(|i| Complex64::new(x[2 * i], x[2 * i + 1]))
+            .collect();
+        let mut zf = vec![Complex64::ZERO; h];
+        self.half_forward.execute(&z, &mut zf);
+
+        // untangle: E[k] = (Z[k] + conj(Z[h-k]))/2 (FFT of evens),
+        //           O[k] = -i (Z[k] - conj(Z[h-k]))/2 (FFT of odds),
+        //           X[k] = E[k] + w_n^k O[k]
+        for k in 0..=h {
+            let zk = if k == h { zf[0] } else { zf[k] };
+            let zmk = zf[(h - k) % h].conj();
+            let e = (zk + zmk).scale(0.5);
+            let o = (zk - zmk).scale(0.5).mul_neg_i();
+            let w = root_of_unity(n, k, Direction::Forward);
+            spectrum[k] = e + w * o;
+        }
+    }
+
+    /// Inverse transform: reconstructs the real signal from `n/2 + 1`
+    /// bins (normalized — `inverse(forward(x)) == x`).
+    pub fn inverse(&self, spectrum: &[Complex64], x: &mut [f64]) {
+        let n = self.n;
+        let h = n / 2;
+        assert!(spectrum.len() >= h + 1, "irfft: input too short");
+        assert!(x.len() >= n, "irfft: output too short");
+
+        // retangle: Z[k] = E[k] + i O[k] with
+        // E[k] = (X[k] + conj(X[h-k]))/2, O[k] = w_n^{-k} (X[k] -
+        // conj(X[h-k]))/2 · i
+        let mut z = vec![Complex64::ZERO; h];
+        for (k, zk) in z.iter_mut().enumerate() {
+            let xk = spectrum[k];
+            let xmk = spectrum[h - k].conj();
+            let e = (xk + xmk).scale(0.5);
+            let o = (xk - xmk).scale(0.5) * root_of_unity(n, k, Direction::Inverse);
+            *zk = e + o.mul_i();
+        }
+        let mut zt = vec![Complex64::ZERO; h];
+        self.half_inverse.execute(&z, &mut zt);
+        let scale = 1.0 / h as f64;
+        for i in 0..h {
+            x[2 * i] = zt[i].re * scale;
+            x[2 * i + 1] = zt[i].im * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::PlannerConfig;
+    use ddl_kernels::naive_dft;
+
+    fn sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.61).sin() * 2.0 - 0.3).collect()
+    }
+
+    #[test]
+    fn forward_matches_complex_dft() {
+        for n in [4usize, 8, 64, 512] {
+            let plan = RfftPlan::plan(n, &PlannerConfig::sdl_analytical()).unwrap();
+            let x = sample(n);
+            let mut spec = vec![Complex64::ZERO; plan.bins()];
+            plan.forward(&x, &mut spec);
+            let cx: Vec<Complex64> = x.iter().map(|&v| Complex64::from_re(v)).collect();
+            let want = naive_dft(&cx, Direction::Forward);
+            for k in 0..=n / 2 {
+                assert!(
+                    (spec[k] - want[k]).abs() < 1e-9 * want[k].abs().max(1.0),
+                    "n={n} k={k}: {:?} vs {:?}",
+                    spec[k],
+                    want[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for n in [4usize, 16, 256, 4096] {
+            let plan = RfftPlan::plan(n, &PlannerConfig::ddl_analytical()).unwrap();
+            let x = sample(n);
+            let mut spec = vec![Complex64::ZERO; plan.bins()];
+            let mut back = vec![0.0; n];
+            plan.forward(&x, &mut spec);
+            plan.inverse(&spec, &mut back);
+            for i in 0..n {
+                assert!((back[i] - x[i]).abs() < 1e-9, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_bins_are_real() {
+        let n = 128;
+        let plan = RfftPlan::plan(n, &PlannerConfig::sdl_analytical()).unwrap();
+        let x = sample(n);
+        let mut spec = vec![Complex64::ZERO; plan.bins()];
+        plan.forward(&x, &mut spec);
+        assert!(spec[0].im.abs() < 1e-10);
+        assert!(spec[n / 2].im.abs() < 1e-10);
+        let sum: f64 = x.iter().sum();
+        assert!((spec[0].re - sum).abs() < 1e-9 * sum.abs().max(1.0));
+    }
+
+    #[test]
+    fn odd_sizes_are_rejected() {
+        assert!(RfftPlan::plan(9, &PlannerConfig::sdl_analytical()).is_err());
+        assert!(RfftPlan::plan(0, &PlannerConfig::sdl_analytical()).is_err());
+    }
+
+    #[test]
+    fn mismatched_half_tree_is_rejected() {
+        let tree = Tree::leaf(8);
+        assert!(RfftPlan::new(32, tree).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! Running plans through the cache simulator.
+//!
+//! These drivers reproduce the paper's simulation methodology (Section
+//! V-A): the executor runs the *real* transform code while emitting its
+//! memory-access stream into a `ddl-cachesim` cache. Input, output and
+//! scratch buffers are laid out at page-aligned disjoint addresses in one
+//! simulated address space, so conflicts between buffers are modelled.
+
+use crate::dft::DftPlan;
+use crate::wht::WhtPlan;
+use crate::{DFT_POINT_BYTES, WHT_POINT_BYTES};
+use ddl_cachesim::{AddressSpace, Cache, CacheConfig, CacheStats, MemoryTracer};
+use ddl_num::Complex64;
+
+/// Page alignment used for simulated buffer bases. Large allocations from
+/// real allocators are page-aligned, which is also the conservative
+/// (conflict-friendly) choice for power-of-two working sets.
+pub const SIM_PAGE_BYTES: u64 = 4096;
+
+/// Simulates one out-of-place execution of a DFT plan against a fresh
+/// cache of the given geometry and returns the cache counters.
+pub fn simulate_dft(plan: &DftPlan, config: CacheConfig) -> CacheStats {
+    let mut cache = Cache::new(config);
+    simulate_dft_into(plan, &mut cache);
+    cache.stats()
+}
+
+/// Simulates one execution of a DFT plan into an existing cache/tracer
+/// (e.g. a [`ddl_cachesim::TwoLevelCache`] or a warm cache).
+pub fn simulate_dft_into<T: MemoryTracer>(plan: &DftPlan, tracer: &mut T) {
+    let n = plan.n();
+    let mut space = AddressSpace::new(SIM_PAGE_BYTES);
+    let xa = space.alloc((n * DFT_POINT_BYTES) as u64);
+    let ya = space.alloc((n * DFT_POINT_BYTES) as u64);
+    let sa = space.alloc((plan.scratch_len().max(1) * DFT_POINT_BYTES) as u64);
+    let ta = space.alloc((plan.twiddle_points().max(1) * DFT_POINT_BYTES) as u64);
+
+    let x: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::new((i % 251) as f64, (i % 127) as f64))
+        .collect();
+    let mut y = vec![Complex64::ZERO; n];
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+    plan.execute_view(&x, 0, 1, &mut y, 0, 1, &mut scratch, tracer, [xa, ya, sa, ta]);
+    std::hint::black_box(&mut y);
+}
+
+/// Simulates one execution of a DFT plan whose input is read at the
+/// given stride — the subproblem the planner's `(size, stride)` states
+/// describe — against a fresh cache.
+pub fn simulate_dft_at_stride(plan: &DftPlan, stride: usize, config: CacheConfig) -> CacheStats {
+    let n = plan.n();
+    let span = (n - 1) * stride + 1;
+    let mut cache = Cache::new(config);
+    let mut space = AddressSpace::new(SIM_PAGE_BYTES);
+    let xa = space.alloc((span * DFT_POINT_BYTES) as u64);
+    let ya = space.alloc((n * DFT_POINT_BYTES) as u64);
+    let sa = space.alloc((plan.scratch_len().max(1) * DFT_POINT_BYTES) as u64);
+    let ta = space.alloc((plan.twiddle_points().max(1) * DFT_POINT_BYTES) as u64);
+
+    let x = vec![Complex64::new(1.0, -1.0); span];
+    let mut y = vec![Complex64::ZERO; n];
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+    plan.execute_view(
+        &x,
+        0,
+        stride,
+        &mut y,
+        0,
+        1,
+        &mut scratch,
+        &mut cache,
+        [xa, ya, sa, ta],
+    );
+    std::hint::black_box(&mut y);
+    cache.stats()
+}
+
+/// Simulates one in-place execution of a WHT plan on a view of the given
+/// stride against a fresh cache.
+pub fn simulate_wht_at_stride(plan: &WhtPlan, stride: usize, config: CacheConfig) -> CacheStats {
+    let n = plan.n();
+    let span = (n - 1) * stride + 1;
+    let mut cache = Cache::new(config);
+    let mut space = AddressSpace::new(SIM_PAGE_BYTES);
+    let da = space.alloc((span * WHT_POINT_BYTES) as u64);
+    let sa = space.alloc((plan.scratch_len().max(1) * WHT_POINT_BYTES) as u64);
+
+    let mut data = vec![1.5f64; span];
+    let mut scratch = vec![0.0f64; plan.scratch_len()];
+    plan.execute_view(&mut data, 0, stride, &mut scratch, &mut cache, [da, sa]);
+    std::hint::black_box(&mut data);
+    cache.stats()
+}
+
+/// Simulates one in-place execution of a WHT plan against a fresh cache.
+pub fn simulate_wht(plan: &WhtPlan, config: CacheConfig) -> CacheStats {
+    let mut cache = Cache::new(config);
+    simulate_wht_into(plan, &mut cache);
+    cache.stats()
+}
+
+/// Simulates one WHT execution into an existing cache/tracer.
+pub fn simulate_wht_into<T: MemoryTracer>(plan: &WhtPlan, tracer: &mut T) {
+    let n = plan.n();
+    let mut space = AddressSpace::new(SIM_PAGE_BYTES);
+    let da = space.alloc((n * WHT_POINT_BYTES) as u64);
+    let sa = space.alloc((plan.scratch_len().max(1) * WHT_POINT_BYTES) as u64);
+
+    let mut data: Vec<f64> = (0..n).map(|i| (i % 173) as f64 - 50.0).collect();
+    let mut scratch = vec![0.0f64; plan.scratch_len()];
+    plan.execute_view(&mut data, 0, 1, &mut scratch, tracer, [da, sa]);
+    std::hint::black_box(&mut data);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::parse;
+    use crate::tree::Tree;
+    use ddl_num::Direction;
+
+    fn paper_cache() -> CacheConfig {
+        CacheConfig::paper_default(64)
+    }
+
+    #[test]
+    fn simulation_counts_all_point_accesses() {
+        // ct(4,4): 16 points. Stage 1: 4 leaves * (4 reads + 4 writes);
+        // twiddle: 16 factor loads + 16 reads + 16 writes; stage 2: same
+        // as stage 1. Total accesses = 32 + 48 + 32 = 112.
+        let plan = DftPlan::from_expr("ct(4,4)", Direction::Forward).unwrap();
+        let stats = simulate_dft(&plan, paper_cache());
+        assert_eq!(stats.accesses, 112);
+    }
+
+    #[test]
+    fn ddl_adds_reorg_accesses() {
+        let sdl = DftPlan::from_expr("ct(4,4)", Direction::Forward).unwrap();
+        let ddl = DftPlan::from_expr("ct(ddl(4),4)", Direction::Forward).unwrap();
+        let a = simulate_dft(&sdl, paper_cache()).accesses;
+        let b = simulate_dft(&ddl, paper_cache()).accesses;
+        // each of the 4 stage-1 leaves gains 4 reads + 4 writes
+        assert_eq!(b, a + 4 * 8);
+    }
+
+    #[test]
+    fn large_sdl_fft_misses_more_than_ddl() {
+        // The headline simulation result (paper Fig. 9): above the cache
+        // size, the DDL tree has a lower miss rate.
+        let n = 1 << 18; // 2^18 points = 4 MB >> 512 KB cache
+        let sdl_tree = Tree::rightmost(n, 64);
+        let ddl_tree = match sdl_tree.clone() {
+            Tree::Split { left, right, .. } => Tree::Split {
+                left: Box::new(left.with_reorg(true)),
+                right,
+                reorg: false,
+            },
+            t => t,
+        };
+        let sdl = DftPlan::new(sdl_tree, Direction::Forward).unwrap();
+        let ddl = DftPlan::new(ddl_tree, Direction::Forward).unwrap();
+        let s = simulate_dft(&sdl, paper_cache());
+        let d = simulate_dft(&ddl, paper_cache());
+        assert!(
+            d.miss_rate() < s.miss_rate(),
+            "ddl {:.4} should be below sdl {:.4}",
+            d.miss_rate(),
+            s.miss_rate()
+        );
+    }
+
+    #[test]
+    fn wht_simulation_runs_and_counts() {
+        let plan = WhtPlan::from_expr("split(8, 8)").unwrap();
+        let stats = simulate_wht(&plan, paper_cache());
+        // two stages of 8 leaves x (8 reads + 8 writes) over 64 points
+        assert_eq!(stats.accesses, 2 * 8 * 16);
+        assert!(stats.misses > 0);
+    }
+
+    #[test]
+    fn wht_ddl_reduces_misses_above_cache() {
+        let n = 1 << 19; // 4 MB of f64 >> 512 KB
+        let sdl_tree = Tree::rightmost(n, 64);
+        let ddl_tree = match sdl_tree.clone() {
+            Tree::Split { left, right, .. } => Tree::Split {
+                left: Box::new(left.with_reorg(true)),
+                right,
+                reorg: false,
+            },
+            t => t,
+        };
+        let s = simulate_wht(&WhtPlan::new(sdl_tree).unwrap(), paper_cache());
+        let d = simulate_wht(&WhtPlan::new(ddl_tree).unwrap(), paper_cache());
+        assert!(d.miss_rate() < s.miss_rate());
+    }
+
+    #[test]
+    fn small_transforms_have_low_miss_rates() {
+        // Fits in cache: only compulsory misses, rate ~ 1/(2*B) plus
+        // scratch traffic.
+        let plan = DftPlan::new(Tree::rightmost(1 << 10, 8), Direction::Forward).unwrap();
+        let stats = simulate_dft(&plan, paper_cache());
+        assert!(
+            stats.miss_rate() < 0.10,
+            "in-cache miss rate too high: {:.4}",
+            stats.miss_rate()
+        );
+    }
+
+    #[test]
+    fn trees_with_reorg_trace_consistently() {
+        // Access counting should be deterministic and independent of the
+        // cache geometry.
+        let plan = DftPlan::new(parse("ctddl(ctddl(8,8), ct(8,8))").unwrap(), Direction::Forward)
+            .unwrap();
+        let a = simulate_dft(&plan, paper_cache()).accesses;
+        let b = simulate_dft(&plan, CacheConfig::paper_default(16)).accesses;
+        assert_eq!(a, b);
+    }
+}

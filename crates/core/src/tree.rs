@@ -1,0 +1,402 @@
+//! Factorization trees.
+//!
+//! A tree describes how a transform of size `n` is recursively factorized
+//! (paper Fig. 1/2): internal nodes split `n = n1 * n2` into a *left*
+//! child of size `n1` — the stage whose sub-transforms read at non-unit
+//! stride — and a *right* child of size `n2`. Leaves are unfactorized
+//! transforms executed as codelets.
+//!
+//! A node additionally carries the DDL decision: `reorg == true` means
+//! the node's input is reorganized to unit stride before the node executes
+//! (the `Dr` steps of the paper's Eq. (2)); this makes the tree a *DDL
+//! factorization tree* in the paper's terminology.
+//!
+//! Strides are not stored: they are derived, exactly as the paper's
+//! Property 1 states, from the position in the tree — the left child of a
+//! node with stride `s` and split `n1 * n2` has stride `n2 * s`, the right
+//! child reads the node's intermediate buffer at unit stride.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A factorization tree with DDL annotations.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tree {
+    /// An unfactorized leaf transform of the given size.
+    Leaf {
+        /// Transform size at this leaf.
+        n: usize,
+        /// Reorganize this leaf's input to unit stride before executing.
+        reorg: bool,
+    },
+    /// A Cooley–Tukey split: size is `left.size() * right.size()`.
+    Split {
+        /// First-stage child; its sub-transforms read at stride
+        /// `right.size() * parent_stride`.
+        left: Box<Tree>,
+        /// Second-stage child; reads the intermediate buffer at unit
+        /// stride.
+        right: Box<Tree>,
+        /// Reorganize this node's input to unit stride before executing.
+        reorg: bool,
+    },
+}
+
+impl Tree {
+    /// A plain leaf.
+    pub fn leaf(n: usize) -> Tree {
+        Tree::Leaf { n, reorg: false }
+    }
+
+    /// A leaf whose input is reorganized first.
+    pub fn leaf_ddl(n: usize) -> Tree {
+        Tree::Leaf { n, reorg: true }
+    }
+
+    /// A split without reorganization.
+    pub fn split(left: Tree, right: Tree) -> Tree {
+        Tree::Split {
+            left: Box::new(left),
+            right: Box::new(right),
+            reorg: false,
+        }
+    }
+
+    /// A split whose input is reorganized first (the paper's `ctddl`).
+    pub fn split_ddl(left: Tree, right: Tree) -> Tree {
+        Tree::Split {
+            left: Box::new(left),
+            right: Box::new(right),
+            reorg: true,
+        }
+    }
+
+    /// The transform size this tree computes (saturating on overflow;
+    /// [`Self::validate`] rejects trees whose true size exceeds `usize`).
+    pub fn size(&self) -> usize {
+        match self {
+            Tree::Leaf { n, .. } => *n,
+            Tree::Split { left, right, .. } => left.size().saturating_mul(right.size()),
+        }
+    }
+
+    /// The transform size, or `None` if it overflows `usize`.
+    pub fn checked_size(&self) -> Option<usize> {
+        match self {
+            Tree::Leaf { n, .. } => Some(*n),
+            Tree::Split { left, right, .. } => {
+                left.checked_size()?.checked_mul(right.checked_size()?)
+            }
+        }
+    }
+
+    /// True when this node carries a reorganization.
+    pub fn reorg(&self) -> bool {
+        match self {
+            Tree::Leaf { reorg, .. } | Tree::Split { reorg, .. } => *reorg,
+        }
+    }
+
+    /// Returns a copy with this node's reorg flag set.
+    pub fn with_reorg(mut self, flag: bool) -> Tree {
+        match &mut self {
+            Tree::Leaf { reorg, .. } | Tree::Split { reorg, .. } => *reorg = flag,
+        }
+        self
+    }
+
+    /// Height: 1 for a leaf.
+    pub fn depth(&self) -> usize {
+        match self {
+            Tree::Leaf { .. } => 1,
+            Tree::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            Tree::Leaf { .. } => 1,
+            Tree::Split { left, right, .. } => left.leaf_count() + right.leaf_count(),
+        }
+    }
+
+    /// Sizes of all leaves, left to right.
+    pub fn leaf_sizes(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            Tree::Leaf { n, .. } => out.push(*n),
+            Tree::Split { left, right, .. } => {
+                left.collect_leaves(out);
+                right.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Number of nodes (leaves or splits) flagged for reorganization.
+    pub fn reorg_count(&self) -> usize {
+        let own = usize::from(self.reorg());
+        match self {
+            Tree::Leaf { .. } => own,
+            Tree::Split { left, right, .. } => own + left.reorg_count() + right.reorg_count(),
+        }
+    }
+
+    /// Strips every reorg flag, producing the SDL version of the tree.
+    pub fn without_reorgs(&self) -> Tree {
+        match self {
+            Tree::Leaf { n, .. } => Tree::leaf(*n),
+            Tree::Split { left, right, .. } => {
+                Tree::split(left.without_reorgs(), right.without_reorgs())
+            }
+        }
+    }
+
+    /// Checks structural invariants: every leaf size >= 1, every split has
+    /// nontrivial children (size >= 2 on both sides keeps the recursion
+    /// well-founded; a size-1 factor would loop forever in a planner).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Tree::Leaf { n, .. } => {
+                if *n == 0 {
+                    Err("leaf of size 0".to_string())
+                } else {
+                    Ok(())
+                }
+            }
+            Tree::Split { left, right, .. } => {
+                if self.checked_size().is_none() {
+                    return Err("tree size overflows usize".to_string());
+                }
+                if left.size() < 2 || right.size() < 2 {
+                    return Err(format!(
+                        "split with trivial child: {} x {}",
+                        left.size(),
+                        right.size()
+                    ));
+                }
+                left.validate()?;
+                right.validate()
+            }
+        }
+    }
+
+    /// The right-most tree of the given size with leaves of `leaf` points:
+    /// `ct(leaf, ct(leaf, … ct(leaf, rem)))`. The paper observes optimal
+    /// SDL trees are close to this shape.
+    ///
+    /// `n` must be a multiple of a power of `leaf` times a final factor
+    /// `<= leaf * leaf`; for power-of-two `n` and `leaf` this always
+    /// holds.
+    pub fn rightmost(n: usize, leaf: usize) -> Tree {
+        assert!(n >= 1 && leaf >= 2);
+        if n <= leaf * leaf {
+            // small enough: either a single leaf or one split
+            if n <= leaf {
+                return Tree::leaf(n);
+            }
+            let l = leaf.min(n / 2);
+            if n % l == 0 && n / l >= 2 {
+                return Tree::split(Tree::leaf(l), Tree::leaf(n / l));
+            }
+            return Tree::leaf(n);
+        }
+        if n % leaf != 0 {
+            return Tree::leaf(n);
+        }
+        Tree::split(Tree::leaf(leaf), Tree::rightmost(n / leaf, leaf))
+    }
+
+    /// A balanced tree: splits as close to `sqrt(n)` as possible, down to
+    /// leaves of at most `leaf` points. The paper observes optimal DDL
+    /// trees are close to this shape.
+    pub fn balanced(n: usize, leaf: usize) -> Tree {
+        assert!(n >= 1 && leaf >= 2);
+        if n <= leaf {
+            return Tree::leaf(n);
+        }
+        // find the divisor pair closest to sqrt(n)
+        let mut best: Option<(usize, usize)> = None;
+        let mut d = 1;
+        while d * d <= n {
+            if n % d == 0 && d >= 2 && n / d >= 2 {
+                best = Some((d, n / d));
+            }
+            d += 1;
+        }
+        match best {
+            Some((a, b)) => Tree::split(Tree::balanced(a, leaf), Tree::balanced(b, leaf)),
+            None => Tree::leaf(n), // prime size
+        }
+    }
+
+    /// Iterates over `(subtree, stride)` pairs in execution order, where
+    /// `stride` is the input stride the subtree sees per the paper's
+    /// Property 1 (root at stride `root_stride`).
+    pub fn annotate_strides(&self, root_stride: usize) -> Vec<(&Tree, usize)> {
+        let mut out = Vec::new();
+        self.walk(root_stride, &mut out);
+        out
+    }
+
+    fn walk<'a>(&'a self, stride: usize, out: &mut Vec<(&'a Tree, usize)>) {
+        out.push((self, stride));
+        if let Tree::Split { left, right, .. } = self {
+            // A split's reorganization changes its *intermediate* layout
+            // (stage-1 writes + the inter-stage transpose), not the
+            // strides at which children *read*: the left child always
+            // reads the node's input at sibling-size x parent-stride
+            // (Property 1), the right child always reads the intermediate
+            // buffer at unit stride.
+            left.walk(right.size() * stride, out);
+            right.walk(1, out);
+        }
+    }
+
+    /// Largest leaf-read stride anywhere in the tree when the root input
+    /// is at `root_stride` — the quantity whose interaction with the cache
+    /// size drives the paper's Case III conflicts.
+    pub fn max_leaf_stride(&self, root_stride: usize) -> usize {
+        self.annotate_strides(root_stride)
+            .iter()
+            .filter(|(t, _)| matches!(t, Tree::Leaf { .. }))
+            .map(|&(t, s)| if t.reorg() { 1 } else { s })
+            .max()
+            .unwrap_or(root_stride)
+    }
+}
+
+impl fmt::Display for Tree {
+    /// Displays in DFT grammar form (`ct`/`ctddl`); see [`crate::grammar`].
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::grammar::print_dft(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_multiplies_through_splits() {
+        let t = Tree::split(Tree::leaf(4), Tree::split(Tree::leaf(8), Tree::leaf(2)));
+        assert_eq!(t.size(), 64);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.leaf_sizes(), vec![4, 8, 2]);
+    }
+
+    #[test]
+    fn reorg_counting_and_stripping() {
+        let t = Tree::split_ddl(Tree::leaf_ddl(4), Tree::leaf(4));
+        assert_eq!(t.reorg_count(), 2);
+        let sdl = t.without_reorgs();
+        assert_eq!(sdl.reorg_count(), 0);
+        assert_eq!(sdl.size(), 16);
+    }
+
+    #[test]
+    fn validate_accepts_good_trees() {
+        assert!(Tree::split(Tree::leaf(2), Tree::leaf(2)).validate().is_ok());
+        assert!(Tree::leaf(1).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_trivial_split() {
+        let t = Tree::split(Tree::leaf(1), Tree::leaf(8));
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rightmost_shape() {
+        let t = Tree::rightmost(1 << 12, 8);
+        assert_eq!(t.size(), 1 << 12);
+        assert!(t.validate().is_ok());
+        // left spine is all leaves of 8
+        let mut cur = &t;
+        while let Tree::Split { left, right, .. } = cur {
+            assert!(matches!(**left, Tree::Leaf { .. }));
+            cur = right;
+        }
+    }
+
+    #[test]
+    fn rightmost_handles_small_sizes() {
+        assert_eq!(Tree::rightmost(4, 8), Tree::leaf(4));
+        assert_eq!(Tree::rightmost(16, 8).size(), 16);
+        assert_eq!(Tree::rightmost(2, 8), Tree::leaf(2));
+    }
+
+    #[test]
+    fn balanced_shape() {
+        let t = Tree::balanced(1 << 10, 8);
+        assert_eq!(t.size(), 1 << 10);
+        assert!(t.validate().is_ok());
+        // root split of 1024 should be 32 x 32
+        if let Tree::Split { left, right, .. } = &t {
+            assert_eq!(left.size(), 32);
+            assert_eq!(right.size(), 32);
+        } else {
+            panic!("expected split");
+        }
+    }
+
+    #[test]
+    fn balanced_of_prime_is_leaf() {
+        assert_eq!(Tree::balanced(13, 8), Tree::leaf(13));
+    }
+
+    #[test]
+    fn property_one_strides() {
+        // ct(4, ct(8, 2)): root stride 1.
+        // left (4): stride = sibling size (16) * 1 = 16.
+        // right (16): stride 1; its left (8): stride 2; its right (2): 1.
+        let t = Tree::split(Tree::leaf(4), Tree::split(Tree::leaf(8), Tree::leaf(2)));
+        let ann = t.annotate_strides(1);
+        let strides: Vec<(usize, usize)> = ann.iter().map(|&(t, s)| (t.size(), s)).collect();
+        assert_eq!(strides, vec![(64, 1), (4, 16), (16, 1), (8, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn reorg_does_not_change_read_strides() {
+        // The left child carries a reorg, so its own children see strides
+        // computed from 1 rather than from 16.
+        let inner = Tree::split_ddl(Tree::leaf(4), Tree::leaf(4));
+        let t = Tree::split(inner, Tree::leaf(16));
+        let ann = t.annotate_strides(1);
+        let pairs: Vec<(usize, usize)> = ann.iter().map(|&(t, s)| (t.size(), s)).collect();
+        // root (256,1); left ddl node (16,16); the ddl node's
+        // reorganization changes its intermediate layout, not its
+        // children's read strides: left leaf (4, 4*16), right leaf (4,1)
+        assert_eq!(pairs, vec![(256, 1), (16, 16), (4, 64), (4, 1), (16, 1)]);
+    }
+
+    #[test]
+    fn max_leaf_stride_reflects_reorg() {
+        let n = 1 << 12;
+        let sdl = Tree::rightmost(n, 8);
+        assert!(sdl.max_leaf_stride(1) >= n / 8 / 8);
+        // Reorganizing the root's left leaf kills the big stride.
+        if let Tree::Split { left, right, reorg } = sdl.clone() {
+            let ddl = Tree::Split {
+                left: Box::new(left.with_reorg(true)),
+                right,
+                reorg,
+            };
+            assert!(ddl.max_leaf_stride(1) < n / 8);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tree::split_ddl(Tree::leaf(8), Tree::split(Tree::leaf_ddl(4), Tree::leaf(2)));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Tree = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,343 @@
+//! Compiled WHT plans and the in-place factorized executor.
+//!
+//! The WHT factorizes as `WHT_{n1·n2} = (WHT_{n1} ⊗ I_{n2}) ·
+//! (I_{n1} ⊗ WHT_{n2})` — no twiddles and no reordering — so the executor
+//! runs *in place* like the CMU WHT package the paper modifies:
+//!
+//! 1. **Stage A** (right child): `n1` sub-WHTs of size `n2` on contiguous
+//!    chunks of the node's view.
+//! 2. **Stage B** (left child): `n2` sub-WHTs of size `n1` at stride
+//!    `n2 · view_stride` — the strided stage, matching the paper's tree
+//!    convention where the left child carries the stride.
+//!
+//! A node flagged `reorg` gathers its strided view into contiguous
+//! scratch, executes there at unit stride, and scatters back — `2·2n`
+//! memory operations, the WHT version of the paper's `Dr` reorganization.
+//! Data points are `f64` (8 bytes), as in the paper's WHT experiments.
+
+use crate::tree::Tree;
+use crate::WHT_POINT_BYTES;
+use ddl_cachesim::{MemoryTracer, NullTracer};
+use ddl_kernels::wht_leaf_strided;
+
+pub use crate::dft::PlanError;
+
+/// A compiled, executable WHT.
+#[derive(Clone, Debug)]
+pub struct WhtPlan {
+    tree: Tree,
+    n: usize,
+    scratch_need: usize,
+}
+
+impl WhtPlan {
+    /// Compiles `tree`. Every node size must be a power of two.
+    pub fn new(tree: Tree) -> Result<WhtPlan, PlanError> {
+        tree.validate().map_err(PlanError::InvalidTree)?;
+        if !tree.size().is_power_of_two() {
+            return Err(PlanError::InvalidTree(format!(
+                "WHT size {} is not a power of two",
+                tree.size()
+            )));
+        }
+        for n in tree.leaf_sizes() {
+            if !n.is_power_of_two() {
+                return Err(PlanError::InvalidTree(format!(
+                    "WHT leaf size {n} is not a power of two"
+                )));
+            }
+        }
+        let scratch_need = scratch_need(&tree);
+        Ok(WhtPlan {
+            n: tree.size(),
+            tree,
+            scratch_need,
+        })
+    }
+
+    /// Convenience: compile from a grammar expression.
+    pub fn from_expr(expr: &str) -> Result<WhtPlan, PlanError> {
+        let tree =
+            crate::grammar::parse(expr).map_err(|e| PlanError::InvalidTree(e.to_string()))?;
+        WhtPlan::new(tree)
+    }
+
+    /// Transform size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The factorization tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Scratch requirement in points (zero for SDL trees).
+    pub fn scratch_len(&self) -> usize {
+        self.scratch_need
+    }
+
+    /// Executes in place on `data[..n]`.
+    pub fn execute(&self, data: &mut [f64]) {
+        let mut scratch = vec![0.0f64; self.scratch_need];
+        self.execute_view(data, 0, 1, &mut scratch, &mut NullTracer, [0; 2]);
+    }
+
+    /// Full-control entry: in-place on the strided view `(base, stride)`
+    /// of `data`, with explicit scratch, tracer and simulated base
+    /// addresses `[data, scratch]`.
+    pub fn execute_view<T: MemoryTracer>(
+        &self,
+        data: &mut [f64],
+        base: usize,
+        stride: usize,
+        scratch: &mut [f64],
+        tracer: &mut T,
+        addrs: [u64; 2],
+    ) {
+        assert!(
+            base + (self.n - 1) * stride < data.len(),
+            "data view out of bounds"
+        );
+        assert!(
+            scratch.len() >= self.scratch_need,
+            "scratch too small: need {}, got {}",
+            self.scratch_need,
+            scratch.len()
+        );
+        exec(
+            &self.tree, data, base, stride, addrs[0], scratch, addrs[1], tracer,
+        );
+    }
+}
+
+fn scratch_need(tree: &Tree) -> usize {
+    let own = if tree.reorg() { tree.size() } else { 0 };
+    match tree {
+        Tree::Leaf { .. } => own,
+        Tree::Split { left, right, .. } => own + scratch_need(left).max(scratch_need(right)),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec<T: MemoryTracer>(
+    node: &Tree,
+    data: &mut [f64],
+    base: usize,
+    stride: usize,
+    data_addr: u64,
+    scratch: &mut [f64],
+    scr_addr: u64,
+    tr: &mut T,
+) {
+    let n = node.size();
+    let pt = WHT_POINT_BYTES as u32;
+
+    if node.reorg() && stride > 1 {
+        // Dr: gather the strided view into contiguous scratch, transform
+        // there, scatter back.
+        let (r, rest) = scratch.split_at_mut(n);
+        for (i, ri) in r.iter_mut().enumerate() {
+            *ri = data[base + i * stride];
+        }
+        if T::ENABLED {
+            for i in 0..n {
+                tr.read(
+                    data_addr + ((base + i * stride) * WHT_POINT_BYTES) as u64,
+                    pt,
+                );
+                tr.write(scr_addr + (i * WHT_POINT_BYTES) as u64, pt);
+            }
+        }
+        exec_body(
+            node,
+            r,
+            0,
+            1,
+            scr_addr,
+            rest,
+            scr_addr + (n * WHT_POINT_BYTES) as u64,
+            tr,
+        );
+        for (i, &ri) in r.iter().enumerate() {
+            data[base + i * stride] = ri;
+        }
+        if T::ENABLED {
+            for i in 0..n {
+                tr.read(scr_addr + (i * WHT_POINT_BYTES) as u64, pt);
+                tr.write(
+                    data_addr + ((base + i * stride) * WHT_POINT_BYTES) as u64,
+                    pt,
+                );
+            }
+        }
+        return;
+    }
+
+    exec_body(node, data, base, stride, data_addr, scratch, scr_addr, tr);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_body<T: MemoryTracer>(
+    node: &Tree,
+    data: &mut [f64],
+    base: usize,
+    stride: usize,
+    data_addr: u64,
+    scratch: &mut [f64],
+    scr_addr: u64,
+    tr: &mut T,
+) {
+    let pt = WHT_POINT_BYTES as u32;
+    match node {
+        Tree::Leaf { n, .. } => {
+            wht_leaf_strided(*n, data, base, stride);
+            if T::ENABLED {
+                for i in 0..*n {
+                    let a = data_addr + ((base + i * stride) * WHT_POINT_BYTES) as u64;
+                    tr.read(a, pt);
+                }
+                for i in 0..*n {
+                    let a = data_addr + ((base + i * stride) * WHT_POINT_BYTES) as u64;
+                    tr.write(a, pt);
+                }
+            }
+        }
+        Tree::Split { left, right, .. } => {
+            let n1 = left.size();
+            let n2 = right.size();
+            // Stage A: right child on n1 contiguous chunks.
+            for i1 in 0..n1 {
+                exec(
+                    right,
+                    data,
+                    base + i1 * n2 * stride,
+                    stride,
+                    data_addr,
+                    scratch,
+                    scr_addr,
+                    tr,
+                );
+            }
+            // Stage B: left child at stride n2 * stride (paper Property 1).
+            for i2 in 0..n2 {
+                exec(
+                    left,
+                    data,
+                    base + i2 * stride,
+                    n2 * stride,
+                    data_addr,
+                    scratch,
+                    scr_addr,
+                    tr,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Tree;
+    use ddl_kernels::naive_wht;
+
+    fn sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.23).sin() * 4.0 - 1.0).collect()
+    }
+
+    fn check_tree(tree: Tree) {
+        let n = tree.size();
+        let plan = WhtPlan::new(tree.clone()).unwrap();
+        let x = sample(n);
+        let mut data = x.clone();
+        plan.execute(&mut data);
+        let want = naive_wht(&x);
+        for j in 0..n {
+            assert!(
+                (data[j] - want[j]).abs() < 1e-8 * want[j].abs().max(1.0),
+                "tree {tree} at {j}: {} vs {}",
+                data[j],
+                want[j]
+            );
+        }
+    }
+
+    #[test]
+    fn single_split() {
+        check_tree(Tree::split(Tree::leaf(4), Tree::leaf(8)));
+        check_tree(Tree::split(Tree::leaf(8), Tree::leaf(4)));
+    }
+
+    #[test]
+    fn deep_trees() {
+        check_tree(Tree::rightmost(1 << 12, 8));
+        check_tree(Tree::balanced(1 << 12, 8));
+    }
+
+    #[test]
+    fn ddl_flags_do_not_change_results() {
+        for expr in [
+            "splitddl(16, 16)",
+            "split(ddl(8), split(8, 4))",
+            "splitddl(splitddl(8, 8), split(4, 4))",
+        ] {
+            check_tree(crate::grammar::parse(expr).unwrap());
+        }
+    }
+
+    #[test]
+    fn leaf_only_plan() {
+        check_tree(Tree::leaf(64));
+        check_tree(Tree::leaf(256)); // strided fallback path at stride 1
+    }
+
+    #[test]
+    fn strided_view_execution() {
+        let plan = WhtPlan::from_expr("split(8, 8)").unwrap();
+        let n = 64;
+        let stride = 3;
+        let orig = sample(n * stride + 2);
+        let mut data = orig.clone();
+        let mut scratch = vec![0.0; plan.scratch_len()];
+        plan.execute_view(&mut data, 1, stride, &mut scratch, &mut NullTracer, [0; 2]);
+        let x: Vec<f64> = (0..n).map(|i| orig[1 + i * stride]).collect();
+        let want = naive_wht(&x);
+        for j in 0..n {
+            assert!((data[1 + j * stride] - want[j]).abs() < 1e-9);
+        }
+        // untouched positions preserved
+        assert_eq!(data[0], orig[0]);
+        assert_eq!(data[2], orig[2]);
+    }
+
+    #[test]
+    fn sdl_trees_need_no_scratch() {
+        let plan = WhtPlan::new(Tree::rightmost(1 << 10, 8)).unwrap();
+        assert_eq!(plan.scratch_len(), 0);
+    }
+
+    #[test]
+    fn ddl_trees_report_scratch() {
+        let plan = WhtPlan::from_expr("split(splitddl(8,8), 16)").unwrap();
+        assert_eq!(plan.scratch_len(), 64);
+    }
+
+    #[test]
+    fn rejects_non_pow2() {
+        assert!(WhtPlan::new(Tree::leaf(12)).is_err());
+        assert!(WhtPlan::new(Tree::split(Tree::leaf(3), Tree::leaf(4))).is_err());
+    }
+
+    #[test]
+    fn wht_is_involution_scaled() {
+        let plan = WhtPlan::new(Tree::balanced(256, 8)).unwrap();
+        let x = sample(256);
+        let mut data = x.clone();
+        plan.execute(&mut data);
+        plan.execute(&mut data);
+        for j in 0..256 {
+            assert!((data[j] / 256.0 - x[j]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Plan persistence ("wisdom", in FFTW's terminology).
+//!
+//! The paper's search runs offline ("note that this search algorithm is
+//! performed off line", Section I); its output — the optimal tree per
+//! (transform, size, strategy) — is what production code loads. A
+//! [`Wisdom`] store keeps those results as grammar expressions in a JSON
+//! file so benchmark binaries and applications can share one planning
+//! pass.
+
+use crate::grammar;
+use crate::planner::Strategy;
+use crate::tree::Tree;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// One stored planning result.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct WisdomEntry {
+    /// The optimal tree, as a grammar expression.
+    pub expr: String,
+    /// The cost the planner reported (seconds for measured backends,
+    /// nanoseconds for analytical ones).
+    pub cost: f64,
+    /// Free-form note about how the entry was produced (backend, host).
+    pub note: String,
+}
+
+/// A persistent map from `(transform, size, strategy)` to planned trees.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Wisdom {
+    entries: BTreeMap<String, WisdomEntry>,
+}
+
+fn key(transform: &str, n: usize, strategy: Strategy) -> String {
+    let strat = match strategy {
+        Strategy::Sdl => "sdl",
+        Strategy::Ddl => "ddl",
+    };
+    format!("{transform}:{n}:{strat}")
+}
+
+impl Wisdom {
+    /// An empty store.
+    pub fn new() -> Self {
+        Wisdom::default()
+    }
+
+    /// Loads from a JSON file; a missing file yields an empty store.
+    pub fn load(path: &Path) -> io::Result<Wisdom> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => serde_json::from_str(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Wisdom::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Saves to a JSON file (pretty-printed for diffability).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, text)
+    }
+
+    /// Records a planning result.
+    pub fn put(
+        &mut self,
+        transform: &str,
+        n: usize,
+        strategy: Strategy,
+        tree: &Tree,
+        cost: f64,
+        note: &str,
+    ) {
+        self.entries.insert(
+            key(transform, n, strategy),
+            WisdomEntry {
+                expr: grammar::print_dft(tree),
+                cost,
+                note: note.to_string(),
+            },
+        );
+    }
+
+    /// Looks up a stored tree.
+    pub fn get(&self, transform: &str, n: usize, strategy: Strategy) -> Option<(Tree, f64)> {
+        let entry = self.entries.get(&key(transform, n, strategy))?;
+        let tree = grammar::parse(&entry.expr).ok()?;
+        Some((tree, entry.cost))
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut w = Wisdom::new();
+        let tree = Tree::split_ddl(Tree::leaf(8), Tree::leaf(8));
+        w.put("dft", 64, Strategy::Ddl, &tree, 1.25e-6, "test");
+        let (back, cost) = w.get("dft", 64, Strategy::Ddl).unwrap();
+        assert_eq!(back, tree);
+        assert_eq!(cost, 1.25e-6);
+        // different strategy or transform misses
+        assert!(w.get("dft", 64, Strategy::Sdl).is_none());
+        assert!(w.get("wht", 64, Strategy::Ddl).is_none());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ddl-wisdom-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wisdom.json");
+
+        let mut w = Wisdom::new();
+        w.put(
+            "wht",
+            1 << 20,
+            Strategy::Sdl,
+            &Tree::rightmost(1 << 20, 8),
+            0.01,
+            "unit test",
+        );
+        w.save(&path).unwrap();
+        let loaded = Wisdom::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let (tree, _) = loaded.get("wht", 1 << 20, Strategy::Sdl).unwrap();
+        assert_eq!(tree.size(), 1 << 20);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let w = Wisdom::load(Path::new("/nonexistent/definitely/absent.json")).unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn corrupt_file_is_an_error() {
+        let dir = std::env::temp_dir().join(format!("ddl-wisdom-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(Wisdom::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overwriting_replaces() {
+        let mut w = Wisdom::new();
+        w.put("dft", 16, Strategy::Sdl, &Tree::leaf(16), 2.0, "a");
+        w.put(
+            "dft",
+            16,
+            Strategy::Sdl,
+            &Tree::split(Tree::leaf(4), Tree::leaf(4)),
+            1.0,
+            "b",
+        );
+        assert_eq!(w.len(), 1);
+        let (tree, cost) = w.get("dft", 16, Strategy::Sdl).unwrap();
+        assert_eq!(cost, 1.0);
+        assert!(matches!(tree, Tree::Split { .. }));
+    }
+}

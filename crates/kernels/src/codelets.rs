@@ -1,0 +1,201 @@
+//! Fully unrolled strided DFT codelets (sizes 1, 2, 4, 8).
+//!
+//! These mirror FFTW's codelets in structure: all inputs are loaded with
+//! explicit strided indexing into locals, the butterfly network runs on
+//! registers, and results are stored with strided indexing. The strided
+//! loads/stores are the only memory traffic, which is what makes leaf
+//! performance a function of `(size, stride)` — the effect the paper
+//! measures and the planner models.
+//!
+//! All codelets are out-of-place (`src` and `dst` are distinct slices);
+//! in-place use goes through a local copy in [`crate::leaf`].
+
+use ddl_num::{Complex64, Direction};
+
+/// `1/sqrt(2)`, the real/imaginary magnitude of `w_8^1`.
+const FRAC_1_SQRT_2: f64 = core::f64::consts::FRAC_1_SQRT_2;
+
+/// 1-point DFT: a copy.
+#[inline(always)]
+pub fn dft1(src: &[Complex64], sb: usize, dst: &mut [Complex64], db: usize) {
+    dst[db] = src[sb];
+}
+
+/// 2-point DFT (a butterfly): `X0 = x0 + x1`, `X1 = x0 - x1`.
+///
+/// Direction-independent since `w_2 = -1` either way.
+#[inline(always)]
+pub fn dft2(
+    src: &[Complex64],
+    sb: usize,
+    ss: usize,
+    dst: &mut [Complex64],
+    db: usize,
+    ds: usize,
+) {
+    let x0 = src[sb];
+    let x1 = src[sb + ss];
+    dst[db] = x0 + x1;
+    dst[db + ds] = x0 - x1;
+}
+
+/// 4-point DFT via two levels of radix-2 butterflies.
+#[inline(always)]
+pub fn dft4(
+    src: &[Complex64],
+    sb: usize,
+    ss: usize,
+    dst: &mut [Complex64],
+    db: usize,
+    ds: usize,
+    dir: Direction,
+) {
+    let x0 = src[sb];
+    let x1 = src[sb + ss];
+    let x2 = src[sb + 2 * ss];
+    let x3 = src[sb + 3 * ss];
+
+    let e0 = x0 + x2;
+    let e1 = x0 - x2;
+    let o0 = x1 + x3;
+    let o1 = x1 - x3;
+
+    // Forward: X1 = e1 - i*o1, X3 = e1 + i*o1 (w_4 = -i). Inverse flips i.
+    let t = match dir {
+        Direction::Forward => o1.mul_neg_i(),
+        Direction::Inverse => o1.mul_i(),
+    };
+
+    dst[db] = e0 + o0;
+    dst[db + ds] = e1 + t;
+    dst[db + 2 * ds] = e0 - o0;
+    dst[db + 3 * ds] = e1 - t;
+}
+
+/// 8-point DFT as radix-2 DIT over two 4-point DFTs.
+#[inline]
+pub fn dft8(
+    src: &[Complex64],
+    sb: usize,
+    ss: usize,
+    dst: &mut [Complex64],
+    db: usize,
+    ds: usize,
+    dir: Direction,
+) {
+    // Even and odd 4-point sub-DFTs, computed on locals.
+    let mut even = [Complex64::ZERO; 4];
+    let mut odd = [Complex64::ZERO; 4];
+    {
+        let e_in = [src[sb], src[sb + 2 * ss], src[sb + 4 * ss], src[sb + 6 * ss]];
+        let o_in = [src[sb + ss], src[sb + 3 * ss], src[sb + 5 * ss], src[sb + 7 * ss]];
+        dft4(&e_in, 0, 1, &mut even, 0, 1, dir);
+        dft4(&o_in, 0, 1, &mut odd, 0, 1, dir);
+    }
+
+    let s = dir.sign(); // -1 forward, +1 inverse
+    // w_8^k for k = 0..3: 1, (1 ± i)/sqrt(2) per direction, ∓i, rotated.
+    let w1 = Complex64::new(FRAC_1_SQRT_2, s * FRAC_1_SQRT_2);
+    let w2 = Complex64::new(0.0, s);
+    let w3 = Complex64::new(-FRAC_1_SQRT_2, s * FRAC_1_SQRT_2);
+
+    let t0 = odd[0];
+    let t1 = odd[1] * w1;
+    let t2 = odd[2] * w2;
+    let t3 = odd[3] * w3;
+
+    dst[db] = even[0] + t0;
+    dst[db + ds] = even[1] + t1;
+    dst[db + 2 * ds] = even[2] + t2;
+    dst[db + 3 * ds] = even[3] + t3;
+    dst[db + 4 * ds] = even[0] - t0;
+    dst[db + 5 * ds] = even[1] - t1;
+    dst[db + 6 * ds] = even[2] - t2;
+    dst[db + 7 * ds] = even[3] - t3;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_dft;
+    use ddl_num::linf_error;
+
+    fn sample(n: usize) -> Vec<Complex64> {
+        (0..n)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin() + 0.3, (i as f64 * 1.3).cos() - 0.1))
+            .collect()
+    }
+
+    fn check_codelet(n: usize, dir: Direction, ss: usize, ds: usize) {
+        let src_len = n * ss + 3;
+        let src: Vec<Complex64> = sample(src_len);
+        let mut dst = vec![Complex64::ZERO; n * ds + 2];
+
+        match n {
+            1 => dft1(&src, 1, &mut dst, 1),
+            2 => dft2(&src, 1, ss, &mut dst, 1, ds),
+            4 => dft4(&src, 1, ss, &mut dst, 1, ds, dir),
+            8 => dft8(&src, 1, ss, &mut dst, 1, ds, dir),
+            _ => unreachable!(),
+        }
+
+        // Gather the strided views and compare with the naive DFT.
+        let input: Vec<Complex64> = (0..n).map(|i| src[1 + i * ss]).collect();
+        let got: Vec<Complex64> = (0..n).map(|i| dst[1 + i * ds]).collect();
+        let want = naive_dft(&input, dir);
+        assert!(
+            linf_error(&got, &want) < 1e-12,
+            "n={n} dir={dir:?} ss={ss} ds={ds}"
+        );
+    }
+
+    #[test]
+    fn dft2_matches_naive_all_strides() {
+        for &(ss, ds) in &[(1, 1), (3, 1), (1, 5), (7, 2)] {
+            check_codelet(2, Direction::Forward, ss, ds);
+            check_codelet(2, Direction::Inverse, ss, ds);
+        }
+    }
+
+    #[test]
+    fn dft4_matches_naive_all_strides() {
+        for &(ss, ds) in &[(1, 1), (3, 1), (1, 5), (7, 2), (16, 16)] {
+            check_codelet(4, Direction::Forward, ss, ds);
+            check_codelet(4, Direction::Inverse, ss, ds);
+        }
+    }
+
+    #[test]
+    fn dft8_matches_naive_all_strides() {
+        for &(ss, ds) in &[(1, 1), (3, 1), (1, 5), (7, 2), (64, 8)] {
+            check_codelet(8, Direction::Forward, ss, ds);
+            check_codelet(8, Direction::Inverse, ss, ds);
+        }
+    }
+
+    #[test]
+    fn dft1_is_identity() {
+        check_codelet(1, Direction::Forward, 1, 1);
+    }
+
+    #[test]
+    fn dft2_on_impulse() {
+        let src = [Complex64::ONE, Complex64::ZERO];
+        let mut dst = [Complex64::ZERO; 2];
+        dft2(&src, 0, 1, &mut dst, 0, 1);
+        assert_eq!(dst[0], Complex64::ONE);
+        assert_eq!(dst[1], Complex64::ONE);
+    }
+
+    #[test]
+    fn dft4_forward_inverse_round_trip() {
+        let src = sample(4);
+        let mut freq = [Complex64::ZERO; 4];
+        let mut back = [Complex64::ZERO; 4];
+        dft4(&src, 0, 1, &mut freq, 0, 1, Direction::Forward);
+        dft4(&freq, 0, 1, &mut back, 0, 1, Direction::Inverse);
+        for i in 0..4 {
+            assert!((back[i].scale(0.25) - src[i]).abs() < 1e-12);
+        }
+    }
+}

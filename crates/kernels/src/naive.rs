@@ -1,0 +1,144 @@
+//! Reference `O(n^2)` DFT.
+//!
+//! Every fast path in the library is validated against this direct
+//! evaluation of `Y[j] = Σ_i x[i] w_n^{ij}`. It is also the leaf fallback
+//! for sizes that are neither unrolled nor composite powers of two, which
+//! keeps the planner correct (if slow) for arbitrary `n`, matching the
+//! paper's remark that the Cooley–Tukey approach applies to general sizes.
+
+use ddl_num::{root_of_unity, Complex64, Direction};
+
+/// Computes the length-`x.len()` DFT of `x` and returns it.
+pub fn naive_dft(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = x.len();
+    let mut y = vec![Complex64::ZERO; n];
+    if n == 0 {
+        return y;
+    }
+    for (j, yj) in y.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (i, &xi) in x.iter().enumerate() {
+            acc = acc.mul_add(xi, root_of_unity(n, i * j, dir));
+        }
+        *yj = acc;
+    }
+    y
+}
+
+/// Strided naive DFT: reads `n` points of `src` at `(sb, ss)` and writes
+/// `n` points of `dst` at `(db, ds)`. Out-of-place only.
+pub fn naive_dft_strided(
+    n: usize,
+    dir: Direction,
+    src: &[Complex64],
+    sb: usize,
+    ss: usize,
+    dst: &mut [Complex64],
+    db: usize,
+    ds: usize,
+) {
+    for j in 0..n {
+        let mut acc = Complex64::ZERO;
+        for i in 0..n {
+            acc = acc.mul_add(src[sb + i * ss], root_of_unity(n, i * j, dir));
+        }
+        dst[db + j * ds] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddl_num::linf_error;
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        let y = naive_dft(&x, Direction::Forward);
+        for v in y {
+            assert!((v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let x = vec![Complex64::ONE; 8];
+        let y = naive_dft(&x, Direction::Forward);
+        assert!((y[0] - Complex64::from_re(8.0)).abs() < 1e-12);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_single_bin() {
+        // x[i] = exp(-2πi * 3i/16) has forward DFT 16·δ[j=3]... careful with
+        // sign: forward kernel w^{ij} = exp(-2πi ij/n), so x[i] =
+        // exp(+2πi·3i/16) concentrates at bin 3.
+        let n = 16;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::cis(core::f64::consts::TAU * 3.0 * i as f64 / n as f64))
+            .collect();
+        let y = naive_dft(&x, Direction::Forward);
+        assert!((y[3] - Complex64::from_re(16.0)).abs() < 1e-9);
+        for (j, v) in y.iter().enumerate() {
+            if j != 3 {
+                assert!(v.abs() < 1e-9, "leakage at bin {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_recovers_scaled_input() {
+        let x: Vec<Complex64> = (0..12)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let y = naive_dft(&x, Direction::Forward);
+        let z = naive_dft(&y, Direction::Inverse);
+        let scaled: Vec<Complex64> = z.iter().map(|v| v.scale(1.0 / 12.0)).collect();
+        assert!(linf_error(&scaled, &x) < 1e-10);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex64> = (0..10)
+            .map(|i| Complex64::new((i as f64).sin(), (i as f64).cos()))
+            .collect();
+        let y = naive_dft(&x, Direction::Forward);
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum();
+        assert!((ey - 10.0 * ex).abs() < 1e-9 * ey.abs().max(1.0));
+    }
+
+    #[test]
+    fn strided_variant_matches_contiguous() {
+        let n = 6;
+        let src: Vec<Complex64> = (0..n * 3 + 2)
+            .map(|i| Complex64::new(i as f64, (i * i) as f64 * 0.01))
+            .collect();
+        let contiguous: Vec<Complex64> = (0..n).map(|i| src[2 + 3 * i]).collect();
+        let want = naive_dft(&contiguous, Direction::Forward);
+        let mut dst = vec![Complex64::ZERO; n * 2];
+        naive_dft_strided(n, Direction::Forward, &src, 2, 3, &mut dst, 1, 2);
+        let got: Vec<Complex64> = (0..n).map(|i| dst[1 + 2 * i]).collect();
+        assert!(linf_error(&got, &want) < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(naive_dft(&[], Direction::Forward).is_empty());
+    }
+
+    #[test]
+    fn dft_is_linear() {
+        let a: Vec<Complex64> = (0..9).map(|i| Complex64::new(i as f64, 1.0)).collect();
+        let b: Vec<Complex64> = (0..9).map(|i| Complex64::new(2.0, -(i as f64))).collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let ya = naive_dft(&a, Direction::Forward);
+        let yb = naive_dft(&b, Direction::Forward);
+        let ysum = naive_dft(&sum, Direction::Forward);
+        let want: Vec<Complex64> = ya.iter().zip(&yb).map(|(&x, &y)| x + y).collect();
+        assert!(linf_error(&ysum, &want) < 1e-9);
+    }
+}

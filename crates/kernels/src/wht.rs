@@ -1,0 +1,267 @@
+//! Walsh–Hadamard transform kernels.
+//!
+//! The WHT factorizes as `WHT_{2^n} = (WHT_{2^{n1}} ⊗ I)(I ⊗ WHT_{2^{n2}})`
+//! with *no* twiddle factors and no reordering, which is why the paper uses
+//! it as the second member of its "class of signal transforms": the DDL
+//! machinery applies unchanged while the arithmetic is plain `f64`
+//! (8-byte points, as in the paper's Section V-B experiments).
+//!
+//! Kernels here are in-place — the CMU WHT package the paper modifies
+//! computes in place, and the factorized stages of a WHT read and write
+//! the same strided locations.
+
+/// Largest WHT leaf the composite kernel and the planners use.
+pub const MAX_LEAF_WHT: usize = 64;
+
+/// Reference `O(n^2)` WHT: `y[j] = Σ_i x[i] · (-1)^{popcount(i & j)}`.
+///
+/// This is the Hadamard (natural) ordering produced by the iterated
+/// butterfly algorithm.
+pub fn naive_wht(x: &[f64]) -> Vec<f64> {
+    let n = x.len();
+    assert!(n.is_power_of_two() || n <= 1, "naive_wht: length must be a power of two");
+    let mut y = vec![0.0; n];
+    for (j, yj) in y.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for (i, &xi) in x.iter().enumerate() {
+            if (i & j).count_ones() % 2 == 0 {
+                acc += xi;
+            } else {
+                acc -= xi;
+            }
+        }
+        *yj = acc;
+    }
+    y
+}
+
+/// Unrolled in-place 2-point WHT at `(base, stride)`.
+#[inline(always)]
+pub fn wht2(data: &mut [f64], base: usize, stride: usize) {
+    let a = data[base];
+    let b = data[base + stride];
+    data[base] = a + b;
+    data[base + stride] = a - b;
+}
+
+/// Unrolled in-place 4-point WHT at `(base, stride)`.
+#[inline(always)]
+pub fn wht4(data: &mut [f64], base: usize, stride: usize) {
+    let x0 = data[base];
+    let x1 = data[base + stride];
+    let x2 = data[base + 2 * stride];
+    let x3 = data[base + 3 * stride];
+    let a0 = x0 + x1;
+    let a1 = x0 - x1;
+    let a2 = x2 + x3;
+    let a3 = x2 - x3;
+    data[base] = a0 + a2;
+    data[base + stride] = a1 + a3;
+    data[base + 2 * stride] = a0 - a2;
+    data[base + 3 * stride] = a1 - a3;
+}
+
+/// Unrolled in-place 8-point WHT at `(base, stride)`.
+#[inline]
+pub fn wht8(data: &mut [f64], base: usize, stride: usize) {
+    let mut v = [0.0f64; 8];
+    for (i, vi) in v.iter_mut().enumerate() {
+        *vi = data[base + i * stride];
+    }
+    // three butterfly stages on locals
+    for span in [1usize, 2, 4] {
+        let mut i = 0;
+        while i < 8 {
+            for k in 0..span {
+                let a = v[i + k];
+                let b = v[i + k + span];
+                v[i + k] = a + b;
+                v[i + k + span] = a - b;
+            }
+            i += span * 2;
+        }
+    }
+    for (i, &vi) in v.iter().enumerate() {
+        data[base + i * stride] = vi;
+    }
+}
+
+/// In-place fast WHT on a contiguous slice (any power-of-two length).
+///
+/// The no-twiddle butterfly cascade; needs no bit reversal because the
+/// Hadamard matrix is invariant under it.
+pub fn fwht_inplace(data: &mut [f64]) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "fwht_inplace: length must be a power of two");
+    let mut span = 1;
+    while span < n {
+        let step = span * 2;
+        for start in (0..n).step_by(step) {
+            for k in 0..span {
+                let a = data[start + k];
+                let b = data[start + k + span];
+                data[start + k] = a + b;
+                data[start + k + span] = a - b;
+            }
+        }
+        span = step;
+    }
+}
+
+/// In-place leaf WHT of `n` points at `(base, stride)`.
+///
+/// `n ∈ {1, 2, 4, 8}` run unrolled directly on the strided locations;
+/// `16..=64` load once into a stack buffer (strided loads), transform, and
+/// store back (strided stores) — the same codelet memory model as the DFT
+/// leaves; larger powers of two fall back to strided butterflies in place.
+pub fn wht_leaf_strided(n: usize, data: &mut [f64], base: usize, stride: usize) {
+    match n {
+        0 | 1 => {}
+        2 => wht2(data, base, stride),
+        4 => wht4(data, base, stride),
+        8 => wht8(data, base, stride),
+        16 | 32 | 64 => {
+            let mut buf = [0.0f64; MAX_LEAF_WHT];
+            let mut idx = base;
+            for b in buf[..n].iter_mut() {
+                *b = data[idx];
+                idx += stride;
+            }
+            fwht_inplace(&mut buf[..n]);
+            let mut idx = base;
+            for &b in buf[..n].iter() {
+                data[idx] = b;
+                idx += stride;
+            }
+        }
+        _ => {
+            assert!(n.is_power_of_two(), "wht_leaf_strided: size must be a power of two");
+            // strided butterfly cascade, no local buffer
+            let mut span = 1;
+            while span < n {
+                let step = span * 2;
+                let mut blk = 0;
+                while blk < n {
+                    for k in 0..span {
+                        let ia = base + (blk + k) * stride;
+                        let ib = base + (blk + k + span) * stride;
+                        let a = data[ia];
+                        let b = data[ib];
+                        data[ia] = a + b;
+                        data[ib] = a - b;
+                    }
+                    blk += step;
+                }
+                span = step;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.37).sin() * 3.0 + 0.5).collect()
+    }
+
+    fn check_leaf(n: usize, base: usize, stride: usize) {
+        let total = base + n * stride + 3;
+        let mut data = sample(total);
+        let orig = data.clone();
+        wht_leaf_strided(n, &mut data, base, stride);
+        let input: Vec<f64> = (0..n).map(|i| orig[base + i * stride]).collect();
+        let want = naive_wht(&input);
+        for j in 0..n {
+            let got = data[base + j * stride];
+            assert!(
+                (got - want[j]).abs() < 1e-9,
+                "n={n} stride={stride} j={j}: {got} vs {}",
+                want[j]
+            );
+        }
+        // off-view elements untouched (spot check around the view)
+        if stride > 1 {
+            assert_eq!(data[base + 1], orig[base + 1]);
+        }
+        assert_eq!(data[total - 1], orig[total - 1]);
+    }
+
+    #[test]
+    fn all_leaf_sizes_match_naive() {
+        for &n in &[1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+            for &stride in &[1usize, 3, 16] {
+                check_leaf(n, 2, stride);
+            }
+        }
+    }
+
+    #[test]
+    fn fwht_matches_naive() {
+        for log_n in 0..10u32 {
+            let n = 1usize << log_n;
+            let x = sample(n);
+            let mut data = x.clone();
+            fwht_inplace(&mut data);
+            let want = naive_wht(&x);
+            for j in 0..n {
+                assert!((data[j] - want[j]).abs() < 1e-9, "n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn wht_is_self_inverse_up_to_n() {
+        let n = 64;
+        let x = sample(n);
+        let mut data = x.clone();
+        fwht_inplace(&mut data);
+        fwht_inplace(&mut data);
+        for j in 0..n {
+            assert!((data[j] / n as f64 - x[j]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn wht_of_constant_concentrates_at_zero() {
+        let mut data = vec![2.5; 32];
+        fwht_inplace(&mut data);
+        assert!((data[0] - 80.0).abs() < 1e-12);
+        for v in &data[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_for_wht() {
+        let x = sample(128);
+        let y = naive_wht(&x);
+        let ex: f64 = x.iter().map(|v| v * v).sum();
+        let ey: f64 = y.iter().map(|v| v * v).sum();
+        assert!((ey - 128.0 * ex).abs() < 1e-8 * ey.abs());
+    }
+
+    #[test]
+    fn unrolled_kernels_match_fwht() {
+        for &n in &[2usize, 4, 8] {
+            let x = sample(n);
+            let mut a = x.clone();
+            let mut b = x.clone();
+            wht_leaf_strided(n, &mut a, 0, 1);
+            fwht_inplace(&mut b);
+            for j in 0..n {
+                assert!((a[j] - b[j]).abs() < 1e-12, "n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn naive_rejects_non_pow2() {
+        naive_wht(&[1.0, 2.0, 3.0]);
+    }
+}

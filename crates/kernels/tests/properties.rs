@@ -1,0 +1,128 @@
+//! Property-based tests for the kernels: leaf codelets must agree with the
+//! naive reference for every (size, stride) combination, and the DFT/WHT
+//! must satisfy their defining algebraic identities.
+
+use ddl_kernels::iterative::fft_radix2;
+use ddl_kernels::wht::{fwht_inplace, naive_wht};
+use ddl_kernels::{dft_leaf_strided, naive_dft};
+use ddl_num::{relative_rms_error, Complex64, Direction};
+use proptest::prelude::*;
+
+fn arb_signal(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec(
+        (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(r, i)| Complex64::new(r, i)),
+        n..=n,
+    )
+}
+
+fn leaf_sizes() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![1usize, 2, 4, 8, 16, 32, 64])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn leaf_matches_naive_for_random_signals(
+        n in leaf_sizes(),
+        ss in 1usize..9,
+        ds in 1usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let src: Vec<Complex64> = (0..n * ss + 1)
+            .map(|i| {
+                let t = (i as u64).wrapping_mul(seed.wrapping_add(1)) as f64;
+                Complex64::new((t * 1e-9).sin(), (t * 3e-9).cos())
+            })
+            .collect();
+        let mut dst = vec![Complex64::ZERO; n * ds + 1];
+        dft_leaf_strided(n, Direction::Forward, &src, 0, ss, &mut dst, 0, ds);
+        let input: Vec<Complex64> = (0..n).map(|i| src[i * ss]).collect();
+        let got: Vec<Complex64> = (0..n).map(|i| dst[i * ds]).collect();
+        let want = naive_dft(&input, Direction::Forward);
+        prop_assert!(relative_rms_error(&got, &want) < 1e-11);
+    }
+
+    #[test]
+    fn dft_time_shift_becomes_phase_ramp(x in arb_signal(32), shift in 1usize..32) {
+        // DFT(x shifted by s)[j] = w^{s j} DFT(x)[j]
+        let n = x.len();
+        let shifted: Vec<Complex64> = (0..n).map(|i| x[(i + shift) % n]).collect();
+        let fx = fft_radix2(&x, Direction::Forward);
+        let fs = fft_radix2(&shifted, Direction::Forward);
+        for j in 0..n {
+            let w = ddl_num::root_of_unity(n, (shift * j) % n, Direction::Inverse);
+            prop_assert!((fs[j] - fx[j] * w).abs() < 1e-8 * fx[j].abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn dft_of_conjugate_reverses_spectrum(x in arb_signal(16)) {
+        // DFT(conj(x))[j] = conj(DFT(x)[(n-j) mod n])
+        let n = x.len();
+        let cx: Vec<Complex64> = x.iter().map(|z| z.conj()).collect();
+        let fx = fft_radix2(&x, Direction::Forward);
+        let fc = fft_radix2(&cx, Direction::Forward);
+        for j in 0..n {
+            let want = fx[(n - j) % n].conj();
+            prop_assert!((fc[j] - want).abs() < 1e-8 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn iterative_fft_matches_naive(log_n in 0u32..9, x_seed in 0u64..10_000) {
+        let n = 1usize << log_n;
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| {
+                let t = (i as u64).wrapping_mul(x_seed.wrapping_add(7)) as f64;
+                Complex64::new((t * 1e-10).sin(), (t * 2e-10).cos())
+            })
+            .collect();
+        let got = fft_radix2(&x, Direction::Forward);
+        let want = naive_dft(&x, Direction::Forward);
+        prop_assert!(relative_rms_error(&got, &want) < 1e-10);
+    }
+
+    #[test]
+    fn wht_is_linear(a in prop::collection::vec(-50.0f64..50.0, 16),
+                     b in prop::collection::vec(-50.0f64..50.0, 16)) {
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let wa = naive_wht(&a);
+        let wb = naive_wht(&b);
+        let ws = naive_wht(&sum);
+        for j in 0..16 {
+            prop_assert!((ws[j] - (wa[j] + wb[j])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fwht_involution(log_n in 0u32..10, seed in 0u64..10_000) {
+        let n = 1usize << log_n;
+        let x: Vec<f64> = (0..n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 3) % 1000) as f64 / 17.0)
+            .collect();
+        let mut data = x.clone();
+        fwht_inplace(&mut data);
+        fwht_inplace(&mut data);
+        for j in 0..n {
+            prop_assert!((data[j] / n as f64 - x[j]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn leaf_inverse_of_forward_is_identity(n in leaf_sizes(), seed in 0u64..100_000) {
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| {
+                let t = (i as u64).wrapping_mul(seed | 1) as f64;
+                Complex64::new((t * 1e-9).sin(), (t * 1e-9).cos())
+            })
+            .collect();
+        let mut f = vec![Complex64::ZERO; n];
+        let mut b = vec![Complex64::ZERO; n];
+        dft_leaf_strided(n, Direction::Forward, &x, 0, 1, &mut f, 0, 1);
+        dft_leaf_strided(n, Direction::Inverse, &f, 0, 1, &mut b, 0, 1);
+        for i in 0..n {
+            prop_assert!((b[i].scale(1.0 / n as f64) - x[i]).abs() < 1e-10);
+        }
+    }
+}

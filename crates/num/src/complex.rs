@@ -1,0 +1,338 @@
+//! A minimal double-precision complex number.
+//!
+//! One `Complex64` is one data *point* of the paper: 16 bytes, matching the
+//! element size used in its cache simulations ("each data point is a
+//! double-precision complex number (16 Bytes)", Section V-A).
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// The layout is `#[repr(C)]` so that a slice of points has a predictable
+/// address map — the cache simulator converts point indices to byte
+/// addresses by multiplying with `size_of::<Complex64>()`.
+#[derive(Clone, Copy, Default, PartialEq)]
+#[repr(C)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from its rectangular parts.
+    #[inline(always)]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline(always)]
+    pub const fn from_re(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates `exp(i * theta) = cos(theta) + i sin(theta)`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Complex64 {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// The complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// The squared modulus `re^2 + im^2`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplication by the imaginary unit: `i * z = (-im, re)`.
+    ///
+    /// Used by radix-4 codelets to avoid a full complex multiply.
+    #[inline(always)]
+    pub fn mul_i(self) -> Self {
+        Complex64 {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+
+    /// Multiplication by `-i`: `-i * z = (im, -re)`.
+    #[inline(always)]
+    pub fn mul_neg_i(self) -> Self {
+        Complex64 {
+            re: self.im,
+            im: -self.re,
+        }
+    }
+
+    /// Scales both parts by a real factor.
+    #[inline(always)]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// Fused multiply-accumulate: `self + a * b`.
+    ///
+    /// Written out explicitly so the optimizer can keep everything in
+    /// registers inside codelets.
+    #[inline(always)]
+    pub fn mul_add(self, a: Complex64, b: Complex64) -> Self {
+        Complex64 {
+            re: self.re + a.re * b.re - a.im * b.im,
+            im: self.im + a.re * b.im + a.im * b.re,
+        }
+    }
+
+    /// The multiplicative inverse `1 / z`. Returns NaNs for zero input.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn div(self, rhs: f64) -> Complex64 {
+        self.scale(1.0 / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline(always)]
+    fn neg(self) -> Complex64 {
+        Complex64 {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline(always)]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::from_re(re)
+    }
+}
+
+impl From<(f64, f64)> for Complex64 {
+    #[inline]
+    fn from((re, im): (f64, f64)) -> Self {
+        Complex64::new(re, im)
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:+e}{:+e}i)", self.re, self.im)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im < 0.0 {
+            write!(f, "{}-{}i", self.re, -self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn layout_is_two_f64() {
+        assert_eq!(core::mem::size_of::<Complex64>(), 16);
+        assert_eq!(core::mem::align_of::<Complex64>(), 8);
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(1.5, -2.25);
+        let b = Complex64::new(-0.5, 3.0);
+        assert!(close(a * b / b, a));
+    }
+
+    #[test]
+    fn recip_of_unit() {
+        assert!(close(Complex64::ONE.recip(), Complex64::ONE));
+        assert!(close(Complex64::I.recip(), -Complex64::I));
+    }
+
+    #[test]
+    fn mul_i_matches_full_multiply() {
+        let z = Complex64::new(0.3, -0.7);
+        assert!(close(z.mul_i(), z * Complex64::I));
+        assert!(close(z.mul_neg_i(), z * -Complex64::I));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let z = Complex64::cis(k as f64 * 0.39269908169872414);
+            assert!((z.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let z = Complex64::new(2.0, -5.0);
+        assert_eq!(z.conj(), Complex64::new(2.0, 5.0));
+        assert!(close(z * z.conj(), Complex64::from_re(z.norm_sqr())));
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let acc = Complex64::new(1.0, 1.0);
+        let a = Complex64::new(2.0, 3.0);
+        let b = Complex64::new(-1.0, 4.0);
+        assert!(close(acc.mul_add(a, b), acc + a * b));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let v = vec![Complex64::new(1.0, 0.0); 8];
+        let s: Complex64 = v.iter().copied().sum();
+        assert_eq!(s, Complex64::new(8.0, 0.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

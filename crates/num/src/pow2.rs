@@ -1,0 +1,119 @@
+//! Power-of-two helpers.
+//!
+//! The paper assumes `N = 2^p` for illustration (its dynamic-programming
+//! search does not require it, and neither does ours, but the stride
+//! analysis of Section III-B is phrased for power-of-two strides, which are
+//! also the pathological case for direct-mapped caches). The planner uses
+//! these helpers to enumerate factorizations `2^p = 2^a * 2^(p-a)`.
+
+/// True when `n` is a power of two (zero is not).
+#[inline]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// `log2(n)` for exact powers of two; `None` otherwise.
+#[inline]
+pub fn log2_exact(n: usize) -> Option<u32> {
+    if is_pow2(n) {
+        Some(n.trailing_zeros())
+    } else {
+        None
+    }
+}
+
+/// Largest `k` with `2^k <= n`. Panics on `n == 0`.
+#[inline]
+pub fn floor_log2(n: usize) -> u32 {
+    assert!(n > 0, "floor_log2 of zero");
+    usize::BITS - 1 - n.leading_zeros()
+}
+
+/// Smallest `k` with `2^k >= n`. Panics on `n == 0`.
+#[inline]
+pub fn ceil_log2(n: usize) -> u32 {
+    assert!(n > 0, "ceil_log2 of zero");
+    if is_pow2(n) {
+        n.trailing_zeros()
+    } else {
+        floor_log2(n) + 1
+    }
+}
+
+/// All ordered two-way factorizations `n = a * b` with `a, b >= min_part`.
+///
+/// For power-of-two `n` these are exactly the splits the planner's search in
+/// Fig. 8 of the paper enumerates. Works for general `n` too (trial
+/// division), matching the paper's remark that Cooley–Tukey applies to any
+/// composite size.
+pub fn factor_pairs(n: usize, min_part: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut a = min_part.max(1);
+    while a <= n / min_part.max(1) {
+        if n % a == 0 {
+            let b = n / a;
+            if b >= min_part {
+                out.push((a, b));
+            }
+        }
+        a += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pow2_detection() {
+        assert!(!is_pow2(0));
+        assert!(is_pow2(1));
+        assert!(is_pow2(2));
+        assert!(!is_pow2(3));
+        assert!(is_pow2(1 << 20));
+        assert!(!is_pow2((1 << 20) + 1));
+    }
+
+    #[test]
+    fn log2_exact_only_on_powers() {
+        assert_eq!(log2_exact(1), Some(0));
+        assert_eq!(log2_exact(1024), Some(10));
+        assert_eq!(log2_exact(1000), None);
+        assert_eq!(log2_exact(0), None);
+    }
+
+    #[test]
+    fn floor_and_ceil_bracket() {
+        for n in 1..2000usize {
+            let f = floor_log2(n);
+            let c = ceil_log2(n);
+            assert!(1usize << f <= n);
+            assert!(n <= 1usize << c);
+            assert!(c - f <= 1);
+        }
+    }
+
+    #[test]
+    fn factor_pairs_of_16() {
+        let pairs = factor_pairs(16, 2);
+        assert_eq!(pairs, vec![(2, 8), (4, 4), (8, 2)]);
+    }
+
+    #[test]
+    fn factor_pairs_general_n() {
+        let pairs = factor_pairs(12, 2);
+        assert_eq!(pairs, vec![(2, 6), (3, 4), (4, 3), (6, 2)]);
+    }
+
+    #[test]
+    fn factor_pairs_min_part_one_includes_trivial() {
+        let pairs = factor_pairs(6, 1);
+        assert_eq!(pairs, vec![(1, 6), (2, 3), (3, 2), (6, 1)]);
+    }
+
+    #[test]
+    fn factor_pairs_prime_has_none_nontrivial() {
+        assert!(factor_pairs(13, 2).is_empty());
+    }
+}

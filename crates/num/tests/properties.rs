@@ -1,0 +1,107 @@
+//! Property-based tests for the numeric foundations.
+
+use ddl_num::{
+    is_pow2, linf_error, log2_exact, relative_rms_error, rms_error, root_of_unity, Complex64,
+    Direction, TwiddleTable,
+};
+use proptest::prelude::*;
+
+fn arb_complex() -> impl Strategy<Value = Complex64> {
+    (-1e6f64..1e6, -1e6f64..1e6).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in arb_complex(), b in arb_complex()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in arb_complex(), b in arb_complex()) {
+        let ab = a * b;
+        let ba = b * a;
+        prop_assert!((ab - ba).abs() <= 1e-6 * ab.abs().max(1.0));
+    }
+
+    #[test]
+    fn multiplication_distributes(a in arb_complex(), b in arb_complex(), c in arb_complex()) {
+        let lhs = a * (b + c);
+        let rhs = a * b + a * c;
+        prop_assert!((lhs - rhs).abs() <= 1e-4 * lhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn conjugation_is_involution(a in arb_complex()) {
+        prop_assert_eq!(a.conj().conj(), a);
+    }
+
+    #[test]
+    fn modulus_is_multiplicative(a in arb_complex(), b in arb_complex()) {
+        let lhs = (a * b).abs();
+        let rhs = a.abs() * b.abs();
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.max(1.0));
+    }
+
+    #[test]
+    fn roots_of_unity_have_unit_modulus(n in 1usize..512, k in 0usize..4096) {
+        let z = root_of_unity(n, k, Direction::Forward);
+        prop_assert!((z.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_times_conjugate_root_is_one(n in 1usize..256, k in 0usize..256) {
+        let f = root_of_unity(n, k, Direction::Forward);
+        let i = root_of_unity(n, k, Direction::Inverse);
+        prop_assert!((f * i - Complex64::ONE).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nth_power_of_primitive_root_is_one(n in 1usize..128) {
+        let w = root_of_unity(n, 1, Direction::Forward);
+        let mut acc = Complex64::ONE;
+        for _ in 0..n {
+            acc = acc * w;
+        }
+        prop_assert!((acc - Complex64::ONE).abs() < 1e-10);
+    }
+
+    #[test]
+    fn twiddle_table_agrees_with_direct_roots(n1 in 1usize..12, n2 in 1usize..12) {
+        let t = TwiddleTable::new(n1, n2, Direction::Forward);
+        for j1 in 0..n1 {
+            for i2 in 0..n2 {
+                let want = root_of_unity(n1 * n2, i2 * j1, Direction::Forward);
+                prop_assert!((t.get(j1, i2) - want).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn rms_error_is_symmetric(v in prop::collection::vec(arb_complex(), 0..64),
+                              w in prop::collection::vec(arb_complex(), 0..64)) {
+        let n = v.len().min(w.len());
+        let a = &v[..n];
+        let b = &w[..n];
+        prop_assert_eq!(rms_error(a, b), rms_error(b, a));
+        prop_assert!(rms_error(a, b) <= linf_error(a, b) + 1e-12);
+    }
+
+    #[test]
+    fn relative_error_is_scale_invariant(v in prop::collection::vec(arb_complex(), 1..64),
+                                         scale in 1e-3f64..1e3) {
+        let w: Vec<_> = v.iter().map(|&z| z.scale(1.0 + 1e-6)).collect();
+        let v2: Vec<_> = v.iter().map(|&z| z.scale(scale)).collect();
+        let w2: Vec<_> = w.iter().map(|&z| z.scale(scale)).collect();
+        let e1 = relative_rms_error(&w, &v);
+        let e2 = relative_rms_error(&w2, &v2);
+        prop_assert!((e1 - e2).abs() <= 1e-9 * e1.max(1e-12));
+    }
+
+    #[test]
+    fn log2_exact_consistent_with_is_pow2(n in 1usize..1_000_000) {
+        prop_assert_eq!(log2_exact(n).is_some(), is_pow2(n));
+        if let Some(k) = log2_exact(n) {
+            prop_assert_eq!(1usize << k, n);
+        }
+    }
+}

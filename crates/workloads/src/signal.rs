@@ -1,0 +1,157 @@
+//! Signal generators.
+
+use ddl_num::Complex64;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// One sinusoidal component of a test signal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Tone {
+    /// Frequency as a fraction of the sample rate, in `[0, 1)`; for an
+    /// `n`-point DFT, bin `k` corresponds to `freq = k / n`.
+    pub freq: f64,
+    /// Linear amplitude.
+    pub amplitude: f64,
+    /// Phase offset in radians.
+    pub phase: f64,
+}
+
+impl Tone {
+    /// A tone centered exactly on DFT bin `k` of an `n`-point transform.
+    pub fn at_bin(k: usize, n: usize, amplitude: f64) -> Tone {
+        Tone {
+            freq: k as f64 / n as f64,
+            amplitude,
+            phase: 0.0,
+        }
+    }
+}
+
+/// A mixture of complex exponentials: `x[i] = Σ_t a_t · exp(i·(2π f_t i +
+/// φ_t))`. A tone at `Tone::at_bin(k, n, a)` produces `n·a` in forward-DFT
+/// bin `k` exactly.
+pub fn tone_mixture(n: usize, tones: &[Tone]) -> Vec<Complex64> {
+    let mut x = vec![Complex64::ZERO; n];
+    for (i, xi) in x.iter_mut().enumerate() {
+        for t in tones {
+            let theta = core::f64::consts::TAU * t.freq * i as f64 + t.phase;
+            *xi += Complex64::cis(theta).scale(t.amplitude);
+        }
+    }
+    x
+}
+
+/// A linear chirp sweeping from `f0` to `f1` (fractions of the sample
+/// rate) over `n` samples.
+pub fn chirp(n: usize, f0: f64, f1: f64) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            let f = f0 + (f1 - f0) * t / n.max(1) as f64 / 2.0;
+            Complex64::cis(core::f64::consts::TAU * f * t)
+        })
+        .collect()
+}
+
+/// A unit impulse at `pos`.
+pub fn impulse(n: usize, pos: usize) -> Vec<Complex64> {
+    let mut x = vec![Complex64::ZERO; n];
+    if pos < n {
+        x[pos] = Complex64::ONE;
+    }
+    x
+}
+
+/// Complex white noise with components uniform in `[-amplitude,
+/// amplitude]`, deterministic per seed.
+pub fn noise_complex(n: usize, amplitude: f64, seed: u64) -> Vec<Complex64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Complex64::new(
+                rng.random_range(-amplitude..=amplitude),
+                rng.random_range(-amplitude..=amplitude),
+            )
+        })
+        .collect()
+}
+
+/// Real white noise uniform in `[-amplitude, amplitude]`, deterministic
+/// per seed.
+pub fn noise_real(n: usize, amplitude: f64, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| rng.random_range(-amplitude..=amplitude))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tone_at_bin_concentrates_energy() {
+        use ddl_kernels::naive_dft;
+        use ddl_num::Direction;
+        let n = 32;
+        let x = tone_mixture(n, &[Tone::at_bin(5, n, 2.0)]);
+        let y = naive_dft(&x, Direction::Forward);
+        assert!((y[5].abs() - 64.0).abs() < 1e-9);
+        for (j, v) in y.iter().enumerate() {
+            if j != 5 {
+                assert!(v.abs() < 1e-9, "leak at {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixture_is_sum_of_tones() {
+        let n = 16;
+        let t1 = [Tone::at_bin(1, n, 1.0)];
+        let t2 = [Tone::at_bin(3, n, 0.5)];
+        let both = [t1[0], t2[0]];
+        let a = tone_mixture(n, &t1);
+        let b = tone_mixture(n, &t2);
+        let ab = tone_mixture(n, &both);
+        for i in 0..n {
+            assert!((ab[i] - (a[i] + b[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn impulse_is_a_single_one() {
+        let x = impulse(8, 3);
+        assert_eq!(x[3], Complex64::ONE);
+        let total: f64 = x.iter().map(|v| v.abs()).sum();
+        assert_eq!(total, 1.0);
+    }
+
+    #[test]
+    fn impulse_out_of_range_is_zero_signal() {
+        let x = impulse(4, 10);
+        assert!(x.iter().all(|v| *v == Complex64::ZERO));
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let a = noise_complex(64, 1.0, 42);
+        let b = noise_complex(64, 1.0, 42);
+        let c = noise_complex(64, 1.0, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn noise_respects_amplitude() {
+        for v in noise_real(1000, 0.25, 7) {
+            assert!(v.abs() <= 0.25);
+        }
+    }
+
+    #[test]
+    fn chirp_has_unit_magnitude() {
+        for v in chirp(128, 0.01, 0.4) {
+            assert!((v.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+}

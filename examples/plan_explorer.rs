@@ -1,0 +1,67 @@
+//! Explore the planner: optimal trees, strides and simulated cache
+//! behaviour per size.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example plan_explorer [max_log_n]
+//! ```
+//!
+//! For each size the explorer prints the SDL- and DDL-optimal trees in
+//! the paper's grammar (compare the paper's Tables V/VI), the largest
+//! leaf stride of each (the quantity that drives Case III conflicts), and
+//! the simulated miss rate of both on the paper's 512 KB direct-mapped
+//! cache — a compact view of everything the optimization does.
+
+use dynamic_data_layout::prelude::*;
+
+fn main() {
+    let max_log: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let cache = CacheConfig::paper_default(64);
+
+    println!("cache: 512 KB direct-mapped, 64 B lines (paper simulation config)");
+    println!("DDL considered for working sets >= 2^15 complex points\n");
+    println!(
+        "{:>6} | {:>8} {:>8} | {:>9} {:>9} | {:>7} {:>7} | trees",
+        "n", "sdl-strd", "ddl-strd", "sdl-miss%", "ddl-miss%", "reorgs", "states"
+    );
+
+    for log_n in (10..=max_log).step_by(2) {
+        let n = 1usize << log_n;
+        let sdl = plan_dft(n, &PlannerConfig::sdl_analytical());
+        let ddl = plan_dft(n, &PlannerConfig::ddl_analytical());
+
+        let sdl_plan = DftPlan::new(sdl.tree.clone(), Direction::Forward).unwrap();
+        let ddl_plan = DftPlan::new(ddl.tree.clone(), Direction::Forward).unwrap();
+        let sdl_stats = simulate_dft(&sdl_plan, cache);
+        let ddl_stats = simulate_dft(&ddl_plan, cache);
+
+        println!(
+            "{:>6} | {:>8} {:>8} | {:>9.2} {:>9.2} | {:>7} {:>7} | sdl={} ddl={}",
+            format!("2^{log_n}"),
+            sdl.tree.max_leaf_stride(1),
+            ddl.tree.max_leaf_stride(1),
+            sdl_stats.miss_rate() * 100.0,
+            ddl_stats.miss_rate() * 100.0,
+            ddl.tree.reorg_count(),
+            ddl.states,
+            compress(&print_dft(&sdl.tree)),
+            compress(&print_dft(&ddl.tree)),
+        );
+    }
+
+    println!("\nreading the table:");
+    println!("- below 2^15 points the two searches agree (no reorganizations);");
+    println!("- above it, DDL trees cap the leaf stride and cut the simulated miss rate.");
+}
+
+/// Abbreviates long tree expressions for table display.
+fn compress(expr: &str) -> String {
+    if expr.len() <= 48 {
+        expr.to_string()
+    } else {
+        format!("{}…{}", &expr[..30], &expr[expr.len() - 14..])
+    }
+}

@@ -1,0 +1,60 @@
+//! # dynamic-data-layout
+//!
+//! A Rust reproduction of *"Dynamic Data Layouts for Cache-Conscious
+//! Factorization of DFT"* (N. Park, V. K. Prasanna, IPPS 2000; journal
+//! version IEEE TSP 52(7), 2004): cache-conscious FFT and
+//! Walsh–Hadamard transforms that **reorganize their data layout between
+//! computation stages** so that leaf transforms read at unit stride, plus
+//! the dynamic-programming search that decides *where* those
+//! reorganizations pay off.
+//!
+//! This crate re-exports the public API of the workspace:
+//!
+//! * [`num`] — complex arithmetic and twiddle factors.
+//! * [`layout`] — stride permutations and transposes (the reorganization
+//!   primitives).
+//! * [`kernels`] — leaf codelets and reference baselines.
+//! * [`cachesim`] — the trace-driven cache simulator used for the paper's
+//!   miss-rate experiments.
+//! * [`core`] — factorization trees, the `ct`/`ctddl` grammar, executors,
+//!   cost models, planners, wisdom and parallel batch execution.
+//! * [`workloads`] — signal generators for examples and benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dynamic_data_layout::prelude::*;
+//!
+//! // Plan a 4096-point FFT with the DDL search (analytical backend for
+//! // determinism; use PlannerConfig::ddl_measured() for real tuning).
+//! let outcome = plan_dft(4096, &PlannerConfig::ddl_analytical());
+//! let plan = DftPlan::new(outcome.tree, Direction::Forward).unwrap();
+//!
+//! let x = vec![Complex64::new(1.0, 0.0); 4096];
+//! let mut y = vec![Complex64::ZERO; 4096];
+//! plan.execute(&x, &mut y);
+//!
+//! // DFT of a constant concentrates in bin 0.
+//! assert!((y[0].re - 4096.0).abs() < 1e-6);
+//! ```
+
+pub use ddl_cachesim as cachesim;
+pub use ddl_core as core;
+pub use ddl_kernels as kernels;
+pub use ddl_layout as layout;
+pub use ddl_num as num;
+pub use ddl_workloads as workloads;
+
+/// The commonly needed names in one import.
+pub mod prelude {
+    pub use ddl_cachesim::{Cache, CacheConfig, CacheStats};
+    pub use ddl_core::grammar::{parse as parse_tree, print_dft, print_wht};
+    pub use ddl_core::measure::{fft_mflops, time_per_call, time_per_point_ns};
+    pub use ddl_core::parallel::{execute_dft_batch, execute_wht_batch};
+    pub use ddl_core::planner::{plan_dft, plan_wht, CostBackend, PlannerConfig, Strategy};
+    pub use ddl_core::traced::{simulate_dft, simulate_wht};
+    pub use ddl_core::tree::Tree;
+    pub use ddl_core::wisdom::Wisdom;
+    pub use ddl_core::{CacheModel, DctPlan, Dft2dPlan, DftPlan, RfftPlan, SixStepPlan, WhtPlan};
+    pub use ddl_num::{Complex64, Direction};
+}
