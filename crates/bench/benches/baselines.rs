@@ -62,8 +62,8 @@ fn bench_baselines(c: &mut Criterion) {
         }
 
         // fixed six-step schedule
-        let six = SixStepPlan::balanced(n, Direction::Forward, &PlannerConfig::sdl_analytical())
-            .unwrap();
+        let six =
+            SixStepPlan::balanced(n, Direction::Forward, &PlannerConfig::sdl_analytical()).unwrap();
         let mut out6 = vec![Complex64::ZERO; n];
         group.bench_with_input(BenchmarkId::new("six_step", log_n), &n, |b, _| {
             b.iter(|| {

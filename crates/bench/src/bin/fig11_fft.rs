@@ -40,12 +40,28 @@ fn main() {
     let path = wisdom_path();
     let mut wisdom = Wisdom::load(&path).unwrap_or_default();
     for (n, o) in sdl.iter() {
-        wisdom.put("dft", *n, Strategy::Sdl, &o.tree, o.cost, "fig11 measured sweep");
+        wisdom.put(
+            "dft",
+            *n,
+            Strategy::Sdl,
+            &o.tree,
+            o.cost,
+            "fig11 measured sweep",
+        );
     }
     for (n, o) in ddl.iter() {
-        wisdom.put("dft", *n, Strategy::Ddl, &o.tree, o.cost, "fig11 measured sweep");
+        wisdom.put(
+            "dft",
+            *n,
+            Strategy::Ddl,
+            &o.tree,
+            o.cost,
+            "fig11 measured sweep",
+        );
     }
-    if let Some(parent) = path.parent() { std::fs::create_dir_all(parent).ok(); }
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
     wisdom.save(&path).ok();
 
     println!("# Figs. 11-14: FFT pseudo-MFLOPS = 5 n log2(n) / t_us");

@@ -36,12 +36,28 @@ fn main() {
     let path = wisdom_path();
     let mut wisdom = Wisdom::load(&path).unwrap_or_default();
     for (n, o) in sdl.iter() {
-        wisdom.put("wht", *n, Strategy::Sdl, &o.tree, o.cost, "fig15 measured sweep");
+        wisdom.put(
+            "wht",
+            *n,
+            Strategy::Sdl,
+            &o.tree,
+            o.cost,
+            "fig15 measured sweep",
+        );
     }
     for (n, o) in ddl.iter() {
-        wisdom.put("wht", *n, Strategy::Ddl, &o.tree, o.cost, "fig15 measured sweep");
+        wisdom.put(
+            "wht",
+            *n,
+            Strategy::Ddl,
+            &o.tree,
+            o.cost,
+            "fig15 measured sweep",
+        );
     }
-    if let Some(parent) = path.parent() { std::fs::create_dir_all(parent).ok(); }
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
     wisdom.save(&path).ok();
 
     println!("# Fig. 15: WHT time per point (ns), f64 data");
@@ -66,8 +82,14 @@ fn main() {
     }
 
     println!("\n# chosen trees at the largest size:");
-    println!("#   SDL: {}", ddl_core::grammar::print_wht(&sdl.last().unwrap().1.tree));
-    println!("#   DDL: {}", ddl_core::grammar::print_wht(&ddl.last().unwrap().1.tree));
+    println!(
+        "#   SDL: {}",
+        ddl_core::grammar::print_wht(&sdl.last().unwrap().1.tree)
+    );
+    println!(
+        "#   DDL: {}",
+        ddl_core::grammar::print_wht(&ddl.last().unwrap().1.tree)
+    );
     println!("# paper shape: flat time/point below the cache, SDL blowing up above it,");
     println!("# DDL staying flat longer (paper: up to 3.52x on UltraSPARC III)");
 }

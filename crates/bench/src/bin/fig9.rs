@@ -22,7 +22,11 @@ use ddl_num::Direction;
 
 fn main() {
     let (max_log, quick) = parse_sweep_args();
-    let max_log = if quick { max_log.min(16) } else { max_log.min(20) };
+    let max_log = if quick {
+        max_log.min(16)
+    } else {
+        max_log.min(20)
+    };
     let cache = CacheConfig::paper_default(64);
 
     eprintln!("planning SDL sweep against the simulated cache ...");

@@ -19,11 +19,19 @@ fn main() {
         ("rm-rootddl", "ctddl(64,ct(64,64))".to_string()),
         ("balanced", "ct(ct(16,32),ct(16,32))".to_string()),
         ("bal-rootddl", "ctddl(ct(16,32),ct(16,32))".to_string()),
-        ("bal-all-ddl", "ctddl(ctddl(16,32),ctddl(16,32))".to_string()),
+        (
+            "bal-all-ddl",
+            "ctddl(ctddl(16,32),ctddl(16,32))".to_string(),
+        ),
     ] {
         let tree = parse(&expr).unwrap();
         let plan = DftPlan::new(tree, Direction::Forward).unwrap();
         let s = simulate_dft(&plan, cache);
-        println!("{label:>12}: miss {:6.2}%  misses {:>9}  accesses {:>9}", s.miss_rate()*100.0, s.misses, s.accesses);
+        println!(
+            "{label:>12}: miss {:6.2}%  misses {:>9}  accesses {:>9}",
+            s.miss_rate() * 100.0,
+            s.misses,
+            s.accesses
+        );
     }
 }

@@ -34,20 +34,44 @@ fn candidate_exprs(p: u32) -> Vec<String> {
     let ql_rest = half / quarter_l;
     vec![
         // right-most SDL and its root-DDL variant
-        format!("ct(64,ct(64,ct({},{})))", 1u64 << ((p - 12) / 2), n / 64 / 64 / (1u64 << ((p - 12) / 2))),
-        format!("ctddl(64,ct(64,ct({},{})))", 1u64 << ((p - 12) / 2), n / 64 / 64 / (1u64 << ((p - 12) / 2))),
+        format!(
+            "ct(64,ct(64,ct({},{})))",
+            1u64 << ((p - 12) / 2),
+            n / 64 / 64 / (1u64 << ((p - 12) / 2))
+        ),
+        format!(
+            "ctddl(64,ct(64,ct({},{})))",
+            1u64 << ((p - 12) / 2),
+            n / 64 / 64 / (1u64 << ((p - 12) / 2))
+        ),
         // balanced SDL and DDL variants
-        format!("ct(ct({quarter_l},{ql_rest}),ct({quarter_l},{}))", other / quarter_l),
-        format!("ctddl(ct({quarter_l},{ql_rest}),ct({quarter_l},{}))", other / quarter_l),
+        format!(
+            "ct(ct({quarter_l},{ql_rest}),ct({quarter_l},{}))",
+            other / quarter_l
+        ),
+        format!(
+            "ctddl(ct({quarter_l},{ql_rest}),ct({quarter_l},{}))",
+            other / quarter_l
+        ),
         // reorganization applied at two nodes (the paper's double-ctddl rows)
-        format!("ctddl(ctddl({quarter_l},{ql_rest}),ct({quarter_l},{}))", other / quarter_l),
-        format!("ctddl(ctddl({quarter_l},{ql_rest}),ctddl({quarter_l},{}))", other / quarter_l),
+        format!(
+            "ctddl(ctddl({quarter_l},{ql_rest}),ct({quarter_l},{}))",
+            other / quarter_l
+        ),
+        format!(
+            "ctddl(ctddl({quarter_l},{ql_rest}),ctddl({quarter_l},{}))",
+            other / quarter_l
+        ),
     ]
 }
 
 fn main() {
     let (max_log, quick) = parse_sweep_args();
-    let p = if quick { max_log.min(18) } else { max_log.min(20) };
+    let p = if quick {
+        max_log.min(18)
+    } else {
+        max_log.min(20)
+    };
     let n = 1usize << p;
     let model = CacheModel::paper_default();
     let floor = measure_floor(quick);
@@ -67,12 +91,13 @@ fn main() {
         rows.push((measured, estimated, tree));
     }
 
-    let best_measured = rows
-        .iter()
-        .map(|r| r.0)
-        .fold(f64::INFINITY, f64::min);
+    let best_measured = rows.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
     for (measured, estimated, tree) in &rows {
-        let marker = if *measured == best_measured { " <- best" } else { "" };
+        let marker = if *measured == best_measured {
+            " <- best"
+        } else {
+            ""
+        };
         println!(
             "{:>12.3} {:>12.3} {:>8} | {}{}",
             measured * 1e3,

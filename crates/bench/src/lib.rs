@@ -48,7 +48,28 @@ pub fn wisdom_path() -> PathBuf {
 /// config, backed by the wisdom file.
 pub fn plan_cached(transform: &str, n: usize, cfg: &PlannerConfig) -> Tree {
     let path = wisdom_path();
-    let mut wisdom = Wisdom::load(&path).unwrap_or_default();
+    // Degrade gracefully on a corrupt or unreadable wisdom file: warn and
+    // re-plan rather than abort the whole sweep.
+    let mut wisdom = match Wisdom::load(&path) {
+        Ok(w) => {
+            for q in w.quarantined() {
+                eprintln!(
+                    "warning: quarantined wisdom entry {:?} in {}: {}",
+                    q.key,
+                    path.display(),
+                    q.error
+                );
+            }
+            w
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: could not load wisdom from {}: {e}; re-planning",
+                path.display()
+            );
+            Wisdom::default()
+        }
+    };
     if let Some((tree, _)) = wisdom.get(transform, n, cfg.strategy) {
         return tree;
     }

@@ -12,7 +12,6 @@ use std::collections::HashSet;
 
 /// Geometry of a simulated cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheConfig {
     /// Total capacity in bytes. Must be a multiple of `line_bytes *
     /// associativity` and a power of two in practice.
@@ -48,10 +47,14 @@ impl CacheConfig {
     }
 
     fn validate(&self) {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(self.associativity >= 1, "associativity must be at least 1");
         assert!(
-            self.capacity_bytes % (self.line_bytes * self.associativity) == 0,
+            self.capacity_bytes
+                .is_multiple_of(self.line_bytes * self.associativity),
             "capacity must be a multiple of line_bytes * associativity"
         );
         assert!(self.sets() >= 1, "cache must have at least one set");
@@ -60,7 +63,6 @@ impl CacheConfig {
 
 /// Counters accumulated by a [`Cache`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CacheStats {
     /// Total accesses (one per read/write call; an access spanning
     /// multiple lines still counts once here).
@@ -207,9 +209,7 @@ impl Cache {
         let line = addr >> self.line_shift;
         let set = (line & self.set_mask) as usize;
         let ways = self.config.associativity;
-        self.tags[set * ways..(set + 1) * ways]
-            .iter()
-            .any(|&t| t == line)
+        self.tags[set * ways..(set + 1) * ways].contains(&line)
     }
 
     /// Splits this cache's non-compulsory misses into conflict and

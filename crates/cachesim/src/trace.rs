@@ -164,7 +164,7 @@ impl AddressSpace {
         };
         let base = self.next + jitter;
         let end = base + bytes;
-        self.next = (end + self.align - 1) / self.align * self.align;
+        self.next = end.div_ceil(self.align) * self.align;
         self.allocations.push((base, bytes));
         base
     }
@@ -204,10 +204,7 @@ mod tests {
         t.read(1, 16);
         t.write(2, 8);
         t.read(3, 4);
-        assert_eq!(
-            t.events,
-            vec![(false, 1, 16), (true, 2, 8), (false, 3, 4)]
-        );
+        assert_eq!(t.events, vec![(false, 1, 16), (true, 2, 8), (false, 3, 4)]);
     }
 
     #[test]

@@ -19,7 +19,11 @@ fn arb_config() -> impl Strategy<Value = CacheConfig> {
 
 fn arb_trace() -> impl Strategy<Value = Vec<(bool, u64, u32)>> {
     prop::collection::vec(
-        (any::<bool>(), 0u64..65536, prop::sample::select(vec![8u32, 16])),
+        (
+            any::<bool>(),
+            0u64..65536,
+            prop::sample::select(vec![8u32, 16]),
+        ),
         0..400,
     )
 }

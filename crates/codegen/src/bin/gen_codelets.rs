@@ -18,6 +18,14 @@ fn main() {
     match std::env::args().nth(1) {
         Some(path) => {
             std::fs::write(&path, &module).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            // Keep the checked-in file `cargo fmt --check`-clean.
+            match std::process::Command::new("rustfmt").arg(&path).status() {
+                Ok(s) if s.success() => {}
+                Ok(s) => eprintln!("warning: rustfmt exited with {s}; run `cargo fmt` manually"),
+                Err(e) => {
+                    eprintln!("warning: could not run rustfmt ({e}); run `cargo fmt` manually")
+                }
+            }
             eprintln!("wrote {} bytes to {path}", module.len());
         }
         None => print!("{module}"),

@@ -25,7 +25,7 @@ pub fn generate_dft(n: usize, dir: Direction) -> (Graph, Vec<CVal>) {
 fn smallest_factor(n: usize) -> usize {
     let mut p = 2;
     while p * p <= n {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return p;
         }
         p += 1;
@@ -42,7 +42,7 @@ fn dft_rec(g: &mut Graph, x: &[CVal], dir: Direction) -> Vec<CVal> {
     // multiplication-free and one level of radix-4 needs half the twiddle
     // stages of two levels of radix-2 (the reason FFTW's codelets are
     // radix-4/8 based).
-    let n1 = if n % 4 == 0 && n > 4 {
+    let n1 = if n.is_multiple_of(4) && n > 4 {
         4
     } else {
         smallest_factor(n)
@@ -120,10 +120,7 @@ mod tests {
                 let x = sample(n);
                 let got = evaluate(&g, &outs, &x);
                 let want = naive_dft(&x, dir);
-                assert!(
-                    relative_rms_error(&got, &want) < 1e-12,
-                    "n={n} dir={dir:?}"
-                );
+                assert!(relative_rms_error(&got, &want) < 1e-12, "n={n} dir={dir:?}");
             }
         }
     }

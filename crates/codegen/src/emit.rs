@@ -71,7 +71,13 @@ pub fn emit_module(sizes: &[usize]) -> String {
          //! ```sh\n//! cargo run -p ddl-codegen --bin gen_codelets -- crates/kernels/src/generated.rs\n//! ```\n\
          //!\n//! Produced by `ddl-codegen` (see that crate for the generator\n\
          //! pipeline); validated against the naive DFT by `ddl-kernels` tests.\n\
-         #![allow(clippy::excessive_precision)]\n\n\
+         //!\n//! Straight-line codelets index as `base + k * stride` for every\n\
+         //! `k` (including 0 and 1) and spell twiddle constants to full\n\
+         //! precision, so the corresponding style lints are off here.\n\
+         #![allow(clippy::excessive_precision)]\n\
+         #![allow(clippy::approx_constant)]\n\
+         #![allow(clippy::erasing_op)]\n\
+         #![allow(clippy::identity_op)]\n\n\
          use ddl_num::{{Complex64, Direction}};\n"
     );
 
@@ -113,10 +119,7 @@ pub fn emit_module(sizes: &[usize]) -> String {
              \x20       ({n}, Direction::Inverse) => dft{n}_i(src, sb, ss, dst, db, ds),"
         );
     }
-    let _ = writeln!(
-        out,
-        "        _ => return false,\n    }}\n    true\n}}"
-    );
+    let _ = writeln!(out, "        _ => return false,\n    }}\n    true\n}}");
     out
 }
 
@@ -131,7 +134,10 @@ mod tests {
         assert!(code.contains("src[sb + 3 * ss]"));
         assert!(code.contains("dst[db + 3 * ds]"));
         // radix-2 size-4 network: no multiplications at all
-        assert!(!code.contains("f64 *"), "dft4 should be multiplication-free:\n{code}");
+        assert!(
+            !code.contains("f64 *"),
+            "dft4 should be multiplication-free:\n{code}"
+        );
     }
 
     #[test]

@@ -108,8 +108,8 @@ impl Graph {
     pub fn add(&mut self, a: ExprId, b: ExprId) -> ExprId {
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => return self.constant(x + y),
-            (Some(x), None) if x == 0.0 => return b,
-            (None, Some(y)) if y == 0.0 => return a,
+            (Some(0.0), None) => return b,
+            (None, Some(0.0)) => return a,
             _ => {}
         }
         // a + (-b) = a - b; (-a) + b = b - a
@@ -130,8 +130,8 @@ impl Graph {
         }
         match (self.as_const(a), self.as_const(b)) {
             (Some(x), Some(y)) => return self.constant(x - y),
-            (None, Some(y)) if y == 0.0 => return a,
-            (Some(x), None) if x == 0.0 => return self.neg(b),
+            (None, Some(0.0)) => return a,
+            (Some(0.0), None) => return self.neg(b),
             _ => {}
         }
         // a - (-b) = a + b

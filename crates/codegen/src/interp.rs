@@ -13,7 +13,12 @@ pub fn evaluate(g: &Graph, outputs: &[CVal], inputs: &[Complex64]) -> Vec<Comple
     let mut memo: Vec<Option<f64>> = vec![None; g.len()];
     outputs
         .iter()
-        .map(|c| Complex64::new(eval(g, c.re, inputs, &mut memo), eval(g, c.im, inputs, &mut memo)))
+        .map(|c| {
+            Complex64::new(
+                eval(g, c.re, inputs, &mut memo),
+                eval(g, c.im, inputs, &mut memo),
+            )
+        })
         .collect()
 }
 

@@ -15,7 +15,7 @@
 use crate::dft::{DftPlan, PlanError};
 use crate::planner::{plan_dft, PlannerConfig};
 use crate::tree::Tree;
-use ddl_num::{root_of_unity, Complex64, Direction};
+use ddl_num::{root_of_unity, Complex64, DdlError, Direction};
 
 /// A compiled DCT of one size (types II and III share the plan).
 #[derive(Clone, Debug)]
@@ -48,8 +48,21 @@ impl DctPlan {
 
     /// DCT-II: `y[k] = 2 Σ_i x[i] cos(π k (2i+1) / 2n)`.
     pub fn dct2(&self, x: &[f64], y: &mut [f64]) {
+        if let Err(e) = self.try_dct2(x, y) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`DctPlan::dct2`].
+    pub fn try_dct2(&self, x: &[f64], y: &mut [f64]) -> Result<(), DdlError> {
         let n = self.n;
-        assert!(x.len() >= n && y.len() >= n, "dct2: buffers too short");
+        if x.len() < n || y.len() < n {
+            return Err(DdlError::shape(
+                "dct2: buffers too short",
+                n,
+                x.len().min(y.len()),
+            ));
+        }
         // Makhoul: v[i] = x[2i], v[n-1-i] = x[2i+1]
         let mut v = vec![Complex64::ZERO; n];
         for i in 0..n.div_ceil(2) {
@@ -65,6 +78,7 @@ impl DctPlan {
             let w = root_of_unity(4 * n, k, Direction::Forward);
             *out = 2.0 * (spectrum[k] * w).re;
         }
+        Ok(())
     }
 
     /// DCT-III (the inverse of [`Self::dct2`] up to a factor `2n`, with
@@ -72,8 +86,21 @@ impl DctPlan {
     /// `x[i] = (1/n) * ( y[0]/2 + Σ_{k>=1} y[k] cos(π k (2i+1) / 2n) )`
     /// recovers the original input of `dct2`.
     pub fn dct3(&self, y: &[f64], x: &mut [f64]) {
+        if let Err(e) = self.try_dct3(y, x) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`DctPlan::dct3`].
+    pub fn try_dct3(&self, y: &[f64], x: &mut [f64]) -> Result<(), DdlError> {
         let n = self.n;
-        assert!(y.len() >= n && x.len() >= n, "dct3: buffers too short");
+        if y.len() < n || x.len() < n {
+            return Err(DdlError::shape(
+                "dct3: buffers too short",
+                n,
+                y.len().min(x.len()),
+            ));
+        }
         // Invert the Makhoul reduction: V[k] = 0.5 * w_{4n}^{-k} *
         // (y[k] - i*y[n-k]) with y[n] := 0.
         let mut spectrum = vec![Complex64::ZERO; n];
@@ -94,6 +121,7 @@ impl DctPlan {
         for i in 0..n / 2 {
             x[2 * i + 1] = v[n - 1 - i].re * scale;
         }
+        Ok(())
     }
 }
 
@@ -107,8 +135,7 @@ pub fn naive_dct2(x: &[f64]) -> Vec<f64> {
                 .iter()
                 .enumerate()
                 .map(|(i, &xi)| {
-                    xi * (core::f64::consts::PI * k as f64 * (2 * i + 1) as f64
-                        / (2 * n) as f64)
+                    xi * (core::f64::consts::PI * k as f64 * (2 * i + 1) as f64 / (2 * n) as f64)
                         .cos()
                 })
                 .sum::<f64>()
@@ -122,7 +149,9 @@ mod tests {
     use crate::planner::PlannerConfig;
 
     fn sample(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.37).sin() * 3.0 + 0.2).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + 0.2)
+            .collect()
     }
 
     #[test]
@@ -172,8 +201,8 @@ mod tests {
         let mut y = vec![0.0; n];
         plan.dct2(&x, &mut y);
         assert!((y[0] - 2.0 * n as f64).abs() < 1e-9);
-        for k in 1..n {
-            assert!(y[k].abs() < 1e-9, "leak at {k}");
+        for (k, yk) in y.iter().enumerate().skip(1) {
+            assert!(yk.abs() < 1e-9, "leak at {k}");
         }
     }
 

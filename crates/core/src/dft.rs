@@ -61,24 +61,15 @@ use crate::tree::Tree;
 use crate::DFT_POINT_BYTES;
 use ddl_cachesim::{MemoryTracer, NullTracer};
 use ddl_kernels::{apply_twiddles, dft_leaf_strided};
-use ddl_num::{Complex64, Direction, TwiddleTable};
+use ddl_num::{Complex64, DdlError, Direction, TwiddleTable};
 
 /// Errors from plan construction.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum PlanError {
-    /// The tree failed structural validation.
-    InvalidTree(String),
-}
-
-impl std::fmt::Display for PlanError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PlanError::InvalidTree(msg) => write!(f, "invalid factorization tree: {msg}"),
-        }
-    }
-}
-
-impl std::error::Error for PlanError {}
+///
+/// Historically a plan-local enum; now an alias of the workspace-wide
+/// [`DdlError`] so plan construction, execution and persistence failures
+/// compose in one `Result` chain. The `InvalidTree` variant this module
+/// always produced still exists on [`DdlError`].
+pub type PlanError = DdlError;
 
 /// A compiled node: the tree shape plus per-split twiddle tables and
 /// scratch accounting.
@@ -204,9 +195,11 @@ impl DftPlan {
     }
 
     /// Convenience: compile the tree parsed from a grammar expression.
+    ///
+    /// Parse failures surface as [`DdlError::Parse`] with the byte
+    /// position of the error.
     pub fn from_expr(expr: &str, dir: Direction) -> Result<DftPlan, PlanError> {
-        let tree =
-            crate::grammar::parse(expr).map_err(|e| PlanError::InvalidTree(e.to_string()))?;
+        let tree = crate::grammar::parse(expr)?;
         DftPlan::new(tree, dir)
     }
 
@@ -230,12 +223,53 @@ impl DftPlan {
         self.root.scratch_need
     }
 
+    /// Fallible out-of-place execution, allocating scratch internally.
+    ///
+    /// Returns [`DdlError::ShapeMismatch`] when `input` or `output` is
+    /// shorter than `n`.
+    pub fn try_execute(
+        &self,
+        input: &[Complex64],
+        output: &mut [Complex64],
+    ) -> Result<(), DdlError> {
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        self.try_execute_view(
+            input,
+            0,
+            1,
+            output,
+            0,
+            1,
+            &mut scratch,
+            &mut NullTracer,
+            [0; 4],
+        )
+    }
+
     /// Executes out of place, allocating scratch internally.
     ///
     /// `input.len()` and `output.len()` must both be at least `n`.
+    /// Panicking wrapper over [`DftPlan::try_execute`].
     pub fn execute(&self, input: &[Complex64], output: &mut [Complex64]) {
-        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
-        self.execute_with_scratch(input, output, &mut scratch);
+        if let Err(e) = self.try_execute(input, output) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible in-place execution: `data[..n]` is replaced by its DFT.
+    pub fn try_execute_inplace(&self, data: &mut [Complex64]) -> Result<(), DdlError> {
+        let n = self.n();
+        if data.len() < n {
+            return Err(DdlError::shape(
+                "execute_inplace: buffer too short",
+                n,
+                data.len(),
+            ));
+        }
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len() + n];
+        let (copy, rest) = scratch.split_at_mut(n);
+        copy.copy_from_slice(&data[..n]);
+        self.try_execute_view(copy, 0, 1, data, 0, 1, rest, &mut NullTracer, [0; 4])
     }
 
     /// Executes in place: `data[..n]` is replaced by its DFT.
@@ -244,13 +278,12 @@ impl DftPlan {
     /// recursion reads and writes different locations), so this
     /// convenience copies the input into scratch first — one extra pass,
     /// the same trade FFTW's in-place interface makes.
+    ///
+    /// Panicking wrapper over [`DftPlan::try_execute_inplace`].
     pub fn execute_inplace(&self, data: &mut [Complex64]) {
-        let n = self.n();
-        assert!(data.len() >= n, "execute_inplace: buffer too short");
-        let mut scratch = vec![Complex64::ZERO; self.scratch_len() + n];
-        let (copy, rest) = scratch.split_at_mut(n);
-        copy.copy_from_slice(&data[..n]);
-        self.execute_view(copy, 0, 1, data, 0, 1, rest, &mut NullTracer, [0; 4]);
+        if let Err(e) = self.try_execute_inplace(data) {
+            panic!("{e}");
+        }
     }
 
     /// Executes out of place using caller-provided scratch (resized as
@@ -277,7 +310,7 @@ impl DftPlan {
     /// DFT at stride `s`", paper Section IV-B) and the cache simulation
     /// driver use.
     #[allow(clippy::too_many_arguments)]
-    pub fn execute_view<T: MemoryTracer>(
+    pub fn try_execute_view<T: MemoryTracer>(
         &self,
         input: &[Complex64],
         in_base: usize,
@@ -288,22 +321,56 @@ impl DftPlan {
         scratch: &mut [Complex64],
         tracer: &mut T,
         addrs: [u64; 4],
-    ) {
+    ) -> Result<(), DdlError> {
         let n = self.n();
-        assert!(
-            in_base + (n - 1) * in_stride < input.len(),
-            "input view out of bounds"
-        );
-        assert!(
-            out_base + (n - 1) * out_stride < output.len(),
-            "output view out of bounds"
-        );
-        assert!(
-            scratch.len() >= self.scratch_len(),
-            "scratch too small: need {}, got {}",
-            self.scratch_len(),
-            scratch.len()
-        );
+        // Overflow-checked view validation: a malicious (base, stride)
+        // pair must produce an error, not wrap around and index wild.
+        let view_end = |base: usize, stride: usize| -> Option<usize> {
+            (n - 1)
+                .checked_mul(stride)
+                .and_then(|s| s.checked_add(base))
+        };
+        if n > 1 && in_stride == 0 {
+            return Err(DdlError::InvalidStride {
+                detail: format!("input view out of bounds: stride 0 for {n}-point view"),
+            });
+        }
+        if n > 1 && out_stride == 0 {
+            return Err(DdlError::InvalidStride {
+                detail: format!("output view out of bounds: stride 0 for {n}-point view"),
+            });
+        }
+        match view_end(in_base, in_stride) {
+            Some(last) if last < input.len() => {}
+            _ => {
+                return Err(DdlError::InvalidStride {
+                    detail: format!(
+                        "input view out of bounds: base {in_base} stride {in_stride} \
+                         n {n} over {} elements",
+                        input.len()
+                    ),
+                })
+            }
+        }
+        match view_end(out_base, out_stride) {
+            Some(last) if last < output.len() => {}
+            _ => {
+                return Err(DdlError::InvalidStride {
+                    detail: format!(
+                        "output view out of bounds: base {out_base} stride {out_stride} \
+                         n {n} over {} elements",
+                        output.len()
+                    ),
+                })
+            }
+        }
+        if scratch.len() < self.scratch_len() {
+            return Err(DdlError::shape(
+                "scratch too small",
+                self.scratch_len(),
+                scratch.len(),
+            ));
+        }
         exec(
             &self.root,
             self.dir,
@@ -324,6 +391,30 @@ impl DftPlan {
             addrs[3],
             tracer,
         );
+        Ok(())
+    }
+
+    /// Panicking wrapper over [`DftPlan::try_execute_view`]; the hot-path
+    /// entry point used by the planner and the simulation driver, where
+    /// views are computed by the library itself and failures are bugs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_view<T: MemoryTracer>(
+        &self,
+        input: &[Complex64],
+        in_base: usize,
+        in_stride: usize,
+        output: &mut [Complex64],
+        out_base: usize,
+        out_stride: usize,
+        scratch: &mut [Complex64],
+        tracer: &mut T,
+        addrs: [u64; 4],
+    ) {
+        if let Err(e) = self.try_execute_view(
+            input, in_base, in_stride, output, out_base, out_stride, scratch, tracer, addrs,
+        ) {
+            panic!("{e}");
+        }
     }
 }
 
@@ -424,7 +515,12 @@ fn exec<T: MemoryTracer>(
                 // Twiddle pass over t2 (table laid out to match).
                 apply_twiddles(t2, 0, tw);
                 if T::ENABLED {
-                    trace_twiddle(n, t2_addr, tw_addr + (node.tw_offset * DFT_POINT_BYTES) as u64, tr);
+                    trace_twiddle(
+                        n,
+                        t2_addr,
+                        tw_addr + (node.tw_offset * DFT_POINT_BYTES) as u64,
+                        tr,
+                    );
                 }
 
                 // The reorganization Dr: tiled transpose of the n2 x n1
@@ -486,7 +582,12 @@ fn exec<T: MemoryTracer>(
 
                 apply_twiddles(t, 0, tw);
                 if T::ENABLED {
-                    trace_twiddle(n, t_addr, tw_addr + (node.tw_offset * DFT_POINT_BYTES) as u64, tr);
+                    trace_twiddle(
+                        n,
+                        t_addr,
+                        tw_addr + (node.tw_offset * DFT_POINT_BYTES) as u64,
+                        tr,
+                    );
                 }
 
                 for j1 in 0..n1 {
@@ -543,7 +644,10 @@ fn leaf<T: MemoryTracer>(
 fn trace_twiddle<T: MemoryTracer>(n: usize, addr: u64, table_addr: u64, tr: &mut T) {
     for i in 0..n {
         let a = addr + (i * DFT_POINT_BYTES) as u64;
-        tr.read(table_addr + (i * DFT_POINT_BYTES) as u64, DFT_POINT_BYTES as u32);
+        tr.read(
+            table_addr + (i * DFT_POINT_BYTES) as u64,
+            DFT_POINT_BYTES as u32,
+        );
         tr.read(a, DFT_POINT_BYTES as u32);
         tr.write(a, DFT_POINT_BYTES as u32);
     }
@@ -622,8 +726,14 @@ mod tests {
 
     #[test]
     fn single_split_matches_naive() {
-        check_tree(Tree::split(Tree::leaf(4), Tree::leaf(8)), Direction::Forward);
-        check_tree(Tree::split(Tree::leaf(8), Tree::leaf(4)), Direction::Inverse);
+        check_tree(
+            Tree::split(Tree::leaf(4), Tree::leaf(8)),
+            Direction::Forward,
+        );
+        check_tree(
+            Tree::split(Tree::leaf(8), Tree::leaf(4)),
+            Direction::Inverse,
+        );
     }
 
     #[test]
@@ -720,7 +830,17 @@ mod tests {
         let x = sample(n);
         let mut y = vec![Complex64::ZERO; n];
         let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
-        plan.execute_view(&x, 0, 1, &mut y, 0, 1, &mut scratch, &mut NullTracer, [0; 4]);
+        plan.execute_view(
+            &x,
+            0,
+            1,
+            &mut y,
+            0,
+            1,
+            &mut scratch,
+            &mut NullTracer,
+            [0; 4],
+        );
         let want = naive_dft(&x, Direction::Forward);
         assert!(relative_rms_error(&y, &want) < 1e-11);
     }

@@ -14,7 +14,7 @@
 use crate::dft::{DftPlan, PlanError};
 use crate::planner::{plan_dft, PlannerConfig};
 use ddl_layout::transpose_blocked;
-use ddl_num::{Complex64, Direction};
+use ddl_num::{Complex64, DdlError, Direction};
 
 /// A compiled 2-D DFT over `rows x cols` row-major data.
 #[derive(Clone, Debug)]
@@ -86,14 +86,30 @@ impl Dft2dPlan {
         self.row_plan.direction()
     }
 
-    /// Executes out of place: `output[r*cols + c] = Σ_{i,j} input[i*cols
-    /// + j] w_rows^{ri} w_cols^{cj}`. Both slices must hold `rows*cols`
-    /// points.
+    /// Executes out of place:
+    /// `output[r*cols + c] = Σ_{i,j} input[i*cols + j] w_rows^{ri} w_cols^{cj}`.
+    /// Both slices must hold `rows*cols` points.
     pub fn execute(&self, input: &[Complex64], output: &mut [Complex64]) {
+        if let Err(e) = self.try_execute(input, output) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`Dft2dPlan::execute`]: undersized buffers surface
+    /// as [`DdlError::ShapeMismatch`] instead of a panic.
+    pub fn try_execute(
+        &self,
+        input: &[Complex64],
+        output: &mut [Complex64],
+    ) -> Result<(), DdlError> {
         let (rows, cols) = (self.rows, self.cols);
         let n = rows * cols;
-        assert!(input.len() >= n, "2-D input too short");
-        assert!(output.len() >= n, "2-D output too short");
+        if input.len() < n {
+            return Err(DdlError::shape("2-D input too short", n, input.len()));
+        }
+        if output.len() < n {
+            return Err(DdlError::shape("2-D output too short", n, output.len()));
+        }
 
         let mut work = vec![Complex64::ZERO; n];
         let mut scratch = Vec::new();
@@ -117,6 +133,7 @@ impl Dft2dPlan {
 
         // 4. transpose back to row-major order
         transpose_blocked(&work, output, cols, rows, 32);
+        Ok(())
     }
 }
 
@@ -153,9 +170,13 @@ mod tests {
     #[test]
     fn matches_naive_2d_square() {
         let (rows, cols) = (16, 16);
-        let plan =
-            Dft2dPlan::new(rows, cols, Direction::Forward, &PlannerConfig::ddl_analytical())
-                .unwrap();
+        let plan = Dft2dPlan::new(
+            rows,
+            cols,
+            Direction::Forward,
+            &PlannerConfig::ddl_analytical(),
+        )
+        .unwrap();
         let x = sample(rows * cols);
         let mut y = vec![Complex64::ZERO; rows * cols];
         plan.execute(&x, &mut y);
@@ -166,9 +187,13 @@ mod tests {
     #[test]
     fn matches_naive_2d_rectangular() {
         let (rows, cols) = (8, 32);
-        let plan =
-            Dft2dPlan::new(rows, cols, Direction::Forward, &PlannerConfig::sdl_analytical())
-                .unwrap();
+        let plan = Dft2dPlan::new(
+            rows,
+            cols,
+            Direction::Forward,
+            &PlannerConfig::sdl_analytical(),
+        )
+        .unwrap();
         let x = sample(rows * cols);
         let mut y = vec![Complex64::ZERO; rows * cols];
         plan.execute(&x, &mut y);
@@ -195,9 +220,13 @@ mod tests {
     #[test]
     fn impulse_has_flat_2d_spectrum() {
         let (rows, cols) = (8, 8);
-        let plan =
-            Dft2dPlan::new(rows, cols, Direction::Forward, &PlannerConfig::sdl_analytical())
-                .unwrap();
+        let plan = Dft2dPlan::new(
+            rows,
+            cols,
+            Direction::Forward,
+            &PlannerConfig::sdl_analytical(),
+        )
+        .unwrap();
         let mut x = vec![Complex64::ZERO; 64];
         x[0] = Complex64::ONE;
         let mut y = vec![Complex64::ZERO; 64];

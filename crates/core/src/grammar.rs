@@ -73,6 +73,15 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+impl From<ParseError> for ddl_num::DdlError {
+    fn from(e: ParseError) -> Self {
+        ddl_num::DdlError::Parse {
+            pos: e.pos,
+            msg: e.msg,
+        }
+    }
+}
+
 /// Parses a tree expression in either spelling.
 pub fn parse(input: &str) -> Result<Tree, ParseError> {
     let mut p = Parser {
@@ -144,9 +153,7 @@ impl Parser<'_> {
             return Err(self.err("expected a number"));
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        let value: usize = text
-            .parse()
-            .map_err(|_| self.err("number out of range"))?;
+        let value: usize = text.parse().map_err(|_| self.err("number out of range"))?;
         // exponent notation 2^k
         if self.peek() == Some(b'^') {
             self.pos += 1;

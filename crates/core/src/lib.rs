@@ -20,10 +20,15 @@
 //!
 //! Supporting modules: [`grammar`] (the `ct`/`ctddl`/`split` tree
 //! expression language mirroring the CMU WHT package), [`measure`]
-//! (timing), [`wisdom`] (plan persistence), [`parallel`] (crossbeam-based
-//! stage parallelism, an extension beyond the paper's uniprocessor scope).
-//! Transforms built on top of the planned FFT: [`dft2d`], [`rfft`],
-//! [`dct`], [`sixstep`].
+//! (timing), [`wisdom`] (versioned plan persistence with corrupt-entry
+//! quarantine), [`json`] (the minimal JSON subset wisdom files use),
+//! [`parallel`] (panic-contained scoped-thread batch execution, an
+//! extension beyond the paper's uniprocessor scope). Transforms built on
+//! top of the planned FFT: [`dft2d`], [`rfft`], [`dct`], [`sixstep`].
+//!
+//! Every fallible public operation reports through the workspace-wide
+//! [`DdlError`]; the panicking entry points are thin wrappers over the
+//! `try_*` forms.
 //!
 //! ```
 //! use ddl_core::{plan_dft, DftPlan, PlannerConfig};
@@ -42,6 +47,7 @@ pub mod dct;
 pub mod dft;
 pub mod dft2d;
 pub mod grammar;
+pub mod json;
 pub mod measure;
 pub mod model;
 pub mod parallel;
@@ -54,14 +60,22 @@ pub mod wht;
 pub mod wisdom;
 
 pub use dct::DctPlan;
+pub use ddl_num::DdlError;
 pub use dft::DftPlan;
 pub use dft2d::Dft2dPlan;
+pub use model::CacheModel;
+pub use parallel::{
+    execute_batch_with, execute_dft_batch, execute_wht_batch, try_execute_dft_batch,
+    try_execute_wht_batch, BatchReport,
+};
+pub use planner::{
+    plan_dft, plan_wht, try_plan_dft, try_plan_wht, CostBackend, PlannerConfig, Strategy,
+};
 pub use rfft::RfftPlan;
 pub use sixstep::SixStepPlan;
-pub use model::CacheModel;
-pub use planner::{plan_dft, plan_wht, CostBackend, PlannerConfig, Strategy};
 pub use tree::Tree;
 pub use wht::WhtPlan;
+pub use wisdom::Wisdom;
 
 /// Size of one DFT data point in bytes (double-precision complex), as in
 /// the paper's experiments.

@@ -20,10 +20,8 @@
 //! per butterfly-op, miss penalty) can be calibrated from measurements;
 //! defaults are order-of-magnitude values for a modern core.
 
-use serde::{Deserialize, Serialize};
-
 /// Analytical cost model for factorized-transform execution.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CacheModel {
     /// Cache capacity in *points* (`C` in the paper).
     pub capacity_points: usize,
@@ -336,13 +334,5 @@ mod tests {
         let w = CacheModel::from_geometry(512 * 1024, 64, 8);
         assert_eq!(w.capacity_points, 1 << 16);
         assert_eq!(w.line_points, 8);
-    }
-
-    #[test]
-    fn serde_round_trip() {
-        let m = CacheModel::paper_default();
-        let s = serde_json::to_string(&m).unwrap();
-        let back: CacheModel = serde_json::from_str(&s).unwrap();
-        assert_eq!(back, m);
     }
 }

@@ -8,13 +8,290 @@
 //! workload, since large FFTs usually arrive in batches (rows of a 2-D
 //! transform, channels of a filter bank) — is executing many independent
 //! transforms concurrently, each with its own scratch. This module
-//! provides that with crossbeam's scoped threads; plans are immutable and
+//! provides that with `std::thread::scope`; plans are immutable and
 //! shared by reference.
+//!
+//! # Fault containment
+//!
+//! Batch execution is built for embedding in long-running services:
+//!
+//! * Every batch item runs under [`std::panic::catch_unwind`], so a
+//!   panicking item fails *only itself* — the remaining items complete
+//!   and the process survives. Per-item outcomes are reported through
+//!   [`BatchReport`].
+//! * When the OS refuses to spawn a worker thread, the affected share of
+//!   the batch runs sequentially on the calling thread instead of
+//!   aborting ([`BatchReport::degraded_to_sequential`]).
+//! * Shape errors (ragged batch, mismatched buffers) are reported as
+//!   [`DdlError::ShapeMismatch`] by the `try_*` entry points; the legacy
+//!   panicking wrappers are retained on top of them.
 
 use crate::dft::DftPlan;
 use crate::wht::WhtPlan;
 use ddl_cachesim::NullTracer;
-use ddl_num::Complex64;
+use ddl_num::{Complex64, DdlError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Per-item outcomes of one batch execution.
+#[derive(Debug)]
+pub struct BatchReport {
+    outcomes: Vec<Result<(), DdlError>>,
+    degraded_to_sequential: bool,
+}
+
+impl BatchReport {
+    /// Number of items in the batch.
+    pub fn items(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// True when every item completed without fault.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(Result::is_ok)
+    }
+
+    /// Per-item outcomes, indexed by batch position.
+    pub fn outcomes(&self) -> &[Result<(), DdlError>] {
+        &self.outcomes
+    }
+
+    /// The failed items, as `(index, error)` pairs.
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &DdlError)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// True when thread spawning failed and part of the batch fell back
+    /// to sequential execution on the calling thread.
+    pub fn degraded_to_sequential(&self) -> bool {
+        self.degraded_to_sequential
+    }
+}
+
+fn panic_payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one slice of the batch on the current thread, catching per-item
+/// panics. `base` is the global index of the first item in `chunk`.
+fn run_chunk<Item, S, FS, FI>(
+    base: usize,
+    chunk: Vec<Item>,
+    new_scratch: &FS,
+    run_item: &FI,
+) -> Vec<Result<(), DdlError>>
+where
+    FS: Fn() -> S,
+    FI: Fn(usize, Item, &mut S),
+{
+    let mut scratch = new_scratch();
+    chunk
+        .into_iter()
+        .enumerate()
+        .map(|(offset, item)| {
+            let index = base + offset;
+            catch_unwind(AssertUnwindSafe(|| run_item(index, item, &mut scratch))).map_err(
+                |payload| DdlError::WorkerPanic {
+                    item: index,
+                    payload: panic_payload_text(payload),
+                },
+            )
+        })
+        .collect()
+}
+
+/// Generic fault-contained batch engine: runs `run_item` once per item
+/// across up to `threads` worker threads, each with its own scratch from
+/// `new_scratch`.
+///
+/// A panicking item fails only itself ([`DdlError::WorkerPanic`] in its
+/// slot of the report); if the OS cannot spawn a worker, that share of
+/// the batch runs on the calling thread instead. The DFT/WHT batch entry
+/// points are built on this engine, and it is public so applications can
+/// get the same containment for their own per-item post-processing.
+pub fn execute_batch_with<Item, S, FS, FI>(
+    items: Vec<Item>,
+    threads: usize,
+    new_scratch: FS,
+    run_item: FI,
+) -> BatchReport
+where
+    Item: Send,
+    FS: Fn() -> S + Sync,
+    FI: Fn(usize, Item, &mut S) + Sync,
+{
+    let batch = items.len();
+    if batch == 0 {
+        return BatchReport {
+            outcomes: Vec::new(),
+            degraded_to_sequential: false,
+        };
+    }
+    let threads = threads.clamp(1, batch);
+
+    if threads == 1 {
+        return BatchReport {
+            outcomes: run_chunk(0, items, &new_scratch, &run_item),
+            degraded_to_sequential: false,
+        };
+    }
+
+    // Partition into contiguous per-thread chunks. Each chunk lives in a
+    // mutex slot so that when thread spawn fails the chunk is still here
+    // and can run on the calling thread instead (workers that do start
+    // take their chunk out of the slot).
+    type ChunkSlot<Item> = std::sync::Mutex<Option<(usize, Vec<Item>)>>;
+    let per_thread = batch.div_ceil(threads);
+    let mut items = items;
+    let mut slots: Vec<ChunkSlot<Item>> = Vec::new();
+    let mut base = 0usize;
+    while !items.is_empty() {
+        let take = per_thread.min(items.len());
+        let rest = items.split_off(take);
+        let chunk = std::mem::replace(&mut items, rest);
+        slots.push(std::sync::Mutex::new(Some((base, chunk))));
+        base += take;
+    }
+
+    let mut outcomes: Vec<Result<(), DdlError>> = Vec::with_capacity(batch);
+    let mut degraded = false;
+
+    std::thread::scope(|scope| {
+        let new_scratch = &new_scratch;
+        let run_item = &run_item;
+        let mut handles = Vec::new();
+        let mut unspawned = Vec::new();
+        for slot in &slots {
+            let spawned = std::thread::Builder::new()
+                .name("ddl-batch-worker".to_string())
+                .spawn_scoped(scope, move || {
+                    let (chunk_base, chunk) = slot
+                        .lock()
+                        .expect("batch chunk slot poisoned")
+                        .take()
+                        .expect("batch chunk taken twice");
+                    (
+                        chunk_base,
+                        run_chunk(chunk_base, chunk, new_scratch, run_item),
+                    )
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                // Spawn failure (thread/fd exhaustion): the closure is
+                // dropped without running, so the chunk is still in its
+                // slot — degrade it to the calling thread.
+                Err(_) => {
+                    degraded = true;
+                    unspawned.push(slot);
+                }
+            }
+        }
+
+        let mut collected: Vec<(usize, Vec<Result<(), DdlError>>)> = unspawned
+            .into_iter()
+            .map(|slot| {
+                let (chunk_base, chunk) = slot
+                    .lock()
+                    .expect("batch chunk slot poisoned")
+                    .take()
+                    .expect("batch chunk taken twice");
+                (
+                    chunk_base,
+                    run_chunk(chunk_base, chunk, new_scratch, run_item),
+                )
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(chunk_results) => collected.push(chunk_results),
+                // Unreachable in practice (panics are caught per item),
+                // but a join failure must not take down the caller; the
+                // affected items simply never report Ok.
+                Err(payload) => {
+                    let text = panic_payload_text(payload);
+                    eprintln!("ddl-batch worker failed outside item execution: {text}");
+                }
+            }
+        }
+        collected.sort_by_key(|(chunk_base, _)| *chunk_base);
+        let mut next = 0usize;
+        for (chunk_base, mut chunk_results) in collected {
+            // Pad any gap left by a lost worker with WorkerPanic errors
+            // so outcome indices always align with batch positions.
+            while next < chunk_base {
+                outcomes.push(Err(DdlError::WorkerPanic {
+                    item: next,
+                    payload: "worker thread lost".to_string(),
+                }));
+                next += 1;
+            }
+            next += chunk_results.len();
+            outcomes.append(&mut chunk_results);
+        }
+        while next < batch {
+            outcomes.push(Err(DdlError::WorkerPanic {
+                item: next,
+                payload: "worker thread lost".to_string(),
+            }));
+            next += 1;
+        }
+    });
+
+    BatchReport {
+        outcomes,
+        degraded_to_sequential: degraded,
+    }
+}
+
+/// Fallible batch DFT: `inputs` and `outputs` are concatenations of
+/// `batch` signals of `plan.n()` points each.
+///
+/// Shape problems return [`DdlError::ShapeMismatch`]. Execution faults
+/// never propagate: each item's outcome lands in the returned
+/// [`BatchReport`].
+pub fn try_execute_dft_batch(
+    plan: &DftPlan,
+    inputs: &[Complex64],
+    outputs: &mut [Complex64],
+    threads: usize,
+) -> Result<BatchReport, DdlError> {
+    let n = plan.n();
+    if !inputs.len().is_multiple_of(n) {
+        return Err(DdlError::shape(
+            "execute_dft_batch: inputs not a whole number of signals",
+            n,
+            inputs.len(),
+        ));
+    }
+    if inputs.len() != outputs.len() {
+        return Err(DdlError::shape(
+            "execute_dft_batch: inputs/outputs length mismatch",
+            inputs.len(),
+            outputs.len(),
+        ));
+    }
+
+    let items: Vec<(&[Complex64], &mut [Complex64])> = inputs
+        .chunks_exact(n)
+        .zip(outputs.chunks_exact_mut(n))
+        .collect();
+    Ok(execute_batch_with(
+        items,
+        threads,
+        || vec![Complex64::ZERO; plan.scratch_len()],
+        |_idx, (src, dst), scratch| {
+            plan.execute_view(src, 0, 1, dst, 0, 1, scratch, &mut NullTracer, [0; 4]);
+        },
+    ))
+}
 
 /// Executes a batch of independent DFTs: `inputs` and `outputs` are
 /// concatenations of `batch` signals of `plan.n()` points each.
@@ -22,103 +299,65 @@ use ddl_num::Complex64;
 /// Work is split across `threads` OS threads (clamped to the batch size);
 /// each thread reuses one scratch buffer across its share of the batch.
 /// `threads == 1` degenerates to a sequential loop with no thread spawn.
+///
+/// Panicking wrapper over [`try_execute_dft_batch`]: panics on shape
+/// errors and on the first failed batch item.
 pub fn execute_dft_batch(
     plan: &DftPlan,
     inputs: &[Complex64],
     outputs: &mut [Complex64],
     threads: usize,
 ) {
+    match try_execute_dft_batch(plan, inputs, outputs, threads) {
+        Ok(report) => {
+            if let Some((_, e)) = report.failures().next() {
+                panic!("{e}");
+            }
+        }
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible batch WHT over `data`, a concatenation of signals of
+/// `plan.n()` points each, transformed in place.
+pub fn try_execute_wht_batch(
+    plan: &WhtPlan,
+    data: &mut [f64],
+    threads: usize,
+) -> Result<BatchReport, DdlError> {
     let n = plan.n();
-    assert_eq!(inputs.len() % n, 0, "inputs not a whole number of signals");
-    assert_eq!(
-        inputs.len(),
-        outputs.len(),
-        "inputs/outputs length mismatch"
-    );
-    let batch = inputs.len() / n;
-    if batch == 0 {
-        return;
-    }
-    let threads = threads.clamp(1, batch);
-
-    if threads == 1 {
-        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
-        for (src, dst) in inputs.chunks_exact(n).zip(outputs.chunks_exact_mut(n)) {
-            plan.execute_view(src, 0, 1, dst, 0, 1, &mut scratch, &mut NullTracer, [0; 4]);
-        }
-        return;
+    if !data.len().is_multiple_of(n) {
+        return Err(DdlError::shape(
+            "execute_wht_batch: data not a whole number of signals",
+            n,
+            data.len(),
+        ));
     }
 
-    // Split the output into per-thread contiguous regions of whole
-    // signals; each worker pairs its region with the matching inputs.
-    let per_thread = batch.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        let mut rest = outputs;
-        let mut start_signal = 0usize;
-        while start_signal < batch {
-            let take = per_thread.min(batch - start_signal) * n;
-            let (mine, remaining) = rest.split_at_mut(take);
-            rest = remaining;
-            let in_slice = &inputs[start_signal * n..start_signal * n + take];
-            scope.spawn(move |_| {
-                let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
-                for (src, dst) in in_slice.chunks_exact(n).zip(mine.chunks_exact_mut(n)) {
-                    plan.execute_view(
-                        src,
-                        0,
-                        1,
-                        dst,
-                        0,
-                        1,
-                        &mut scratch,
-                        &mut NullTracer,
-                        [0; 4],
-                    );
-                }
-            });
-            start_signal += per_thread;
-        }
-    })
-    .expect("batch DFT worker panicked");
+    let items: Vec<&mut [f64]> = data.chunks_exact_mut(n).collect();
+    Ok(execute_batch_with(
+        items,
+        threads,
+        || vec![0.0f64; plan.scratch_len()],
+        |_idx, chunk, scratch| {
+            plan.execute_view(chunk, 0, 1, scratch, &mut NullTracer, [0; 2]);
+        },
+    ))
 }
 
 /// Executes a batch of independent in-place WHTs over `data`, a
 /// concatenation of signals of `plan.n()` points each.
+///
+/// Panicking wrapper over [`try_execute_wht_batch`].
 pub fn execute_wht_batch(plan: &WhtPlan, data: &mut [f64], threads: usize) {
-    let n = plan.n();
-    assert_eq!(data.len() % n, 0, "data not a whole number of signals");
-    let batch = data.len() / n;
-    if batch == 0 {
-        return;
-    }
-    let threads = threads.clamp(1, batch);
-
-    if threads == 1 {
-        let mut scratch = vec![0.0f64; plan.scratch_len()];
-        for chunk in data.chunks_exact_mut(n) {
-            plan.execute_view(chunk, 0, 1, &mut scratch, &mut NullTracer, [0; 2]);
+    match try_execute_wht_batch(plan, data, threads) {
+        Ok(report) => {
+            if let Some((_, e)) = report.failures().next() {
+                panic!("{e}");
+            }
         }
-        return;
+        Err(e) => panic!("{e}"),
     }
-
-    let per_thread = batch.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        let mut rest = data;
-        let mut remaining_signals = batch;
-        while remaining_signals > 0 {
-            let take = per_thread.min(remaining_signals) * n;
-            let (mine, after) = rest.split_at_mut(take);
-            rest = after;
-            remaining_signals -= take / n;
-            scope.spawn(move |_| {
-                let mut scratch = vec![0.0f64; plan.scratch_len()];
-                for chunk in mine.chunks_exact_mut(n) {
-                    plan.execute_view(chunk, 0, 1, &mut scratch, &mut NullTracer, [0; 2]);
-                }
-            });
-        }
-    })
-    .expect("batch WHT worker panicked");
 }
 
 #[cfg(test)]
@@ -199,5 +438,63 @@ mod tests {
         let inputs = signals(1, 9);
         let mut out = vec![Complex64::ZERO; 9];
         execute_dft_batch(&plan, &inputs, &mut out, 2);
+    }
+
+    #[test]
+    fn ragged_batch_is_a_shape_error_not_a_panic() {
+        let plan = DftPlan::new(Tree::leaf(8), Direction::Forward).unwrap();
+        let inputs = signals(1, 9);
+        let mut out = vec![Complex64::ZERO; 9];
+        let err = try_execute_dft_batch(&plan, &inputs, &mut out, 2).unwrap_err();
+        assert!(matches!(err, DdlError::ShapeMismatch { .. }), "{err}");
+        let mut data = vec![0.0f64; 9];
+        let wplan = WhtPlan::new(Tree::leaf(8)).unwrap();
+        assert!(try_execute_wht_batch(&wplan, &mut data, 2).is_err());
+    }
+
+    #[test]
+    fn panicking_item_fails_only_itself() {
+        let items: Vec<usize> = (0..16).collect();
+        let touched = std::sync::Mutex::new(vec![false; 16]);
+        let report = execute_batch_with(
+            items,
+            4,
+            || (),
+            |idx, item, _scratch| {
+                if item == 5 || item == 11 {
+                    panic!("injected fault on item {item}");
+                }
+                touched.lock().unwrap()[idx] = true;
+            },
+        );
+        assert_eq!(report.items(), 16);
+        assert!(!report.all_ok());
+        let failed: Vec<usize> = report.failures().map(|(i, _)| i).collect();
+        assert_eq!(failed, vec![5, 11]);
+        for (i, e) in report.failures() {
+            match e {
+                DdlError::WorkerPanic { item, payload } => {
+                    assert_eq!(*item, i);
+                    assert!(payload.contains("injected fault"), "{payload}");
+                }
+                other => panic!("unexpected error kind: {other}"),
+            }
+        }
+        // Every non-faulting item still ran to completion.
+        let touched = touched.lock().unwrap();
+        for (i, &done) in touched.iter().enumerate() {
+            assert_eq!(done, !failed.contains(&i), "item {i}");
+        }
+    }
+
+    #[test]
+    fn batch_report_outcomes_align_with_items() {
+        let plan = DftPlan::new(Tree::leaf(8), Direction::Forward).unwrap();
+        let inputs = signals(6, 8);
+        let mut out = vec![Complex64::ZERO; 6 * 8];
+        let report = try_execute_dft_batch(&plan, &inputs, &mut out, 3).unwrap();
+        assert_eq!(report.items(), 6);
+        assert!(report.all_ok());
+        assert!(!report.degraded_to_sequential());
     }
 }

@@ -32,7 +32,7 @@ use crate::tree::Tree;
 use crate::wht::WhtPlan;
 use ddl_cachesim::NullTracer;
 use ddl_kernels::{MAX_LEAF_DFT, MAX_LEAF_WHT};
-use ddl_num::{factor_pairs, Complex64, Direction};
+use ddl_num::{factor_pairs, Complex64, DdlError, Direction};
 use std::collections::HashMap;
 
 /// Which search to run.
@@ -174,9 +174,17 @@ pub struct PlanOutcome {
     pub candidates: usize,
 }
 
-/// Searches for an optimal DFT factorization tree of size `n`.
-pub fn plan_dft(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
-    assert!(n >= 1, "cannot plan a 0-point transform");
+/// Fallible search for an optimal DFT factorization tree of size `n`.
+///
+/// Returns [`DdlError::InvalidSize`] for a 0-point transform.
+pub fn try_plan_dft(n: usize, cfg: &PlannerConfig) -> Result<PlanOutcome, DdlError> {
+    if n < 1 {
+        return Err(DdlError::invalid_size(
+            "plan_dft",
+            n,
+            "cannot plan a 0-point transform",
+        ));
+    }
     let mut search = Search {
         cfg: *cfg,
         kind: Kind::Dft,
@@ -184,21 +192,35 @@ pub fn plan_dft(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
         candidates: 0,
     };
     let (cost, tree) = search.best(n, 1);
-    PlanOutcome {
+    Ok(PlanOutcome {
         tree,
         cost,
         states: search.memo.len(),
         candidates: search.candidates,
+    })
+}
+
+/// Searches for an optimal DFT factorization tree of size `n`.
+///
+/// Panicking wrapper over [`try_plan_dft`].
+pub fn plan_dft(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
+    match try_plan_dft(n, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
 }
 
-/// Searches for an optimal WHT factorization tree of size `n` (a power of
-/// two).
-pub fn plan_wht(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
-    assert!(
-        n.is_power_of_two(),
-        "WHT sizes must be powers of two, got {n}"
-    );
+/// Fallible search for an optimal WHT factorization tree of size `n`.
+///
+/// Returns [`DdlError::InvalidSize`] unless `n` is a power of two.
+pub fn try_plan_wht(n: usize, cfg: &PlannerConfig) -> Result<PlanOutcome, DdlError> {
+    if !n.is_power_of_two() {
+        return Err(DdlError::invalid_size(
+            "plan_wht",
+            n,
+            format!("WHT sizes must be powers of two, got {n}"),
+        ));
+    }
     let mut search = Search {
         cfg: *cfg,
         kind: Kind::Wht,
@@ -206,11 +228,22 @@ pub fn plan_wht(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
         candidates: 0,
     };
     let (cost, tree) = search.best(n, 1);
-    PlanOutcome {
+    Ok(PlanOutcome {
         tree,
         cost,
         states: search.memo.len(),
         candidates: search.candidates,
+    })
+}
+
+/// Searches for an optimal WHT factorization tree of size `n` (a power of
+/// two).
+///
+/// Panicking wrapper over [`try_plan_wht`].
+pub fn plan_wht(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
+    match try_plan_wht(n, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
     }
 }
 
@@ -223,19 +256,48 @@ pub fn plan_wht(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
 /// With the measured backend this amortizes the planning cost of a whole
 /// size sweep into a single search.
 pub fn plan_dft_sweep(max_n: usize, cfg: &PlannerConfig) -> Vec<(usize, PlanOutcome)> {
+    match try_plan_dft_sweep(max_n, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible version of [`plan_dft_sweep`].
+pub fn try_plan_dft_sweep(
+    max_n: usize,
+    cfg: &PlannerConfig,
+) -> Result<Vec<(usize, PlanOutcome)>, DdlError> {
     plan_sweep(max_n, cfg, Kind::Dft)
 }
 
 /// WHT version of [`plan_dft_sweep`].
 pub fn plan_wht_sweep(max_n: usize, cfg: &PlannerConfig) -> Vec<(usize, PlanOutcome)> {
+    match try_plan_wht_sweep(max_n, cfg) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible version of [`plan_wht_sweep`].
+pub fn try_plan_wht_sweep(
+    max_n: usize,
+    cfg: &PlannerConfig,
+) -> Result<Vec<(usize, PlanOutcome)>, DdlError> {
     plan_sweep(max_n, cfg, Kind::Wht)
 }
 
-fn plan_sweep(max_n: usize, cfg: &PlannerConfig, kind: Kind) -> Vec<(usize, PlanOutcome)> {
-    assert!(
-        max_n.is_power_of_two(),
-        "sweep planning requires a power-of-two max size"
-    );
+fn plan_sweep(
+    max_n: usize,
+    cfg: &PlannerConfig,
+    kind: Kind,
+) -> Result<Vec<(usize, PlanOutcome)>, DdlError> {
+    if !max_n.is_power_of_two() {
+        return Err(DdlError::invalid_size(
+            "plan_sweep",
+            max_n,
+            "sweep planning requires a power-of-two max size",
+        ));
+    }
     let mut search = Search {
         cfg: *cfg,
         kind,
@@ -260,7 +322,7 @@ fn plan_sweep(max_n: usize, cfg: &PlannerConfig, kind: Kind) -> Vec<(usize, Plan
         ));
         n *= 2;
     }
-    out
+    Ok(out)
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -388,7 +450,10 @@ impl Search {
                 Kind::Dft => time_dft_tree(tree, n, stride, min_secs, min_reps),
                 Kind::Wht => time_wht_tree(tree, n, stride, min_secs, min_reps),
             },
-            CostBackend::Simulated { cache, miss_penalty } => {
+            CostBackend::Simulated {
+                cache,
+                miss_penalty,
+            } => {
                 let stats = match self.kind {
                     Kind::Dft => {
                         let plan = DftPlan::new(tree.clone(), Direction::Forward)
@@ -396,8 +461,8 @@ impl Search {
                         crate::traced::simulate_dft_at_stride(&plan, stride, cache)
                     }
                     Kind::Wht => {
-                        let plan = WhtPlan::new(tree.clone())
-                            .expect("planner generated an invalid tree");
+                        let plan =
+                            WhtPlan::new(tree.clone()).expect("planner generated an invalid tree");
                         crate::traced::simulate_wht_at_stride(&plan, stride, cache)
                     }
                 };
@@ -410,8 +475,8 @@ impl Search {
 /// Wall-clock cost of one execution of `tree` as an `n`-point DFT whose
 /// input is read at `stride` (the paper's `Get_time`).
 pub fn time_dft_tree(tree: &Tree, n: usize, stride: usize, min_secs: f64, min_reps: u32) -> f64 {
-    let plan = DftPlan::new(tree.clone(), Direction::Forward)
-        .expect("planner generated an invalid tree");
+    let plan =
+        DftPlan::new(tree.clone(), Direction::Forward).expect("planner generated an invalid tree");
     let span = (n - 1) * stride + 1;
     let src: Vec<Complex64> = (0..span)
         .map(|i| Complex64::new((i % 83) as f64 * 0.25, (i % 57) as f64 * -0.125))
@@ -503,7 +568,10 @@ mod tests {
     fn planned_trees_execute_correctly() {
         use ddl_kernels::naive_dft;
         use ddl_num::relative_rms_error;
-        for cfg in [PlannerConfig::sdl_analytical(), PlannerConfig::ddl_analytical()] {
+        for cfg in [
+            PlannerConfig::sdl_analytical(),
+            PlannerConfig::ddl_analytical(),
+        ] {
             let out = plan_dft(1 << 10, &cfg);
             let plan = DftPlan::new(out.tree, Direction::Forward).unwrap();
             let x: Vec<Complex64> = (0..1 << 10)
@@ -519,7 +587,10 @@ mod tests {
     #[test]
     fn wht_plans_are_valid_and_correct() {
         use ddl_kernels::naive_wht;
-        for cfg in [PlannerConfig::sdl_analytical(), PlannerConfig::ddl_analytical()] {
+        for cfg in [
+            PlannerConfig::sdl_analytical(),
+            PlannerConfig::ddl_analytical(),
+        ] {
             let out = plan_wht(1 << 10, &cfg);
             assert_eq!(out.tree.size(), 1 << 10);
             let plan = WhtPlan::new(out.tree).unwrap();

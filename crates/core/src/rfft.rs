@@ -13,7 +13,7 @@
 use crate::dft::{DftPlan, PlanError};
 use crate::planner::{plan_dft, PlannerConfig};
 use crate::tree::Tree;
-use ddl_num::{root_of_unity, Complex64, Direction};
+use ddl_num::{root_of_unity, Complex64, DdlError, Direction};
 
 /// A compiled real-input FFT of (even) size `n`.
 #[derive(Clone, Debug)]
@@ -26,7 +26,7 @@ pub struct RfftPlan {
 impl RfftPlan {
     /// Compiles from a factorization tree of size `n/2`.
     pub fn new(n: usize, half_tree: Tree) -> Result<RfftPlan, PlanError> {
-        if n % 2 != 0 || n == 0 {
+        if !n.is_multiple_of(2) || n == 0 {
             return Err(PlanError::InvalidTree(format!(
                 "real FFT size must be even and positive, got {n}"
             )));
@@ -47,7 +47,7 @@ impl RfftPlan {
 
     /// Plans the half-size FFT with the given configuration.
     pub fn plan(n: usize, cfg: &PlannerConfig) -> Result<RfftPlan, PlanError> {
-        if n % 2 != 0 || n == 0 {
+        if !n.is_multiple_of(2) || n == 0 {
             return Err(PlanError::InvalidTree(format!(
                 "real FFT size must be even and positive, got {n}"
             )));
@@ -68,10 +68,25 @@ impl RfftPlan {
     /// Forward transform: `spectrum[k] = Σ_i x[i] e^{-2πi ik/n}` for
     /// `k = 0 ..= n/2`.
     pub fn forward(&self, x: &[f64], spectrum: &mut [Complex64]) {
+        if let Err(e) = self.try_forward(x, spectrum) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`RfftPlan::forward`].
+    pub fn try_forward(&self, x: &[f64], spectrum: &mut [Complex64]) -> Result<(), DdlError> {
         let n = self.n;
         let h = n / 2;
-        assert!(x.len() >= n, "rfft: input too short");
-        assert!(spectrum.len() >= h + 1, "rfft: output too short");
+        if x.len() < n {
+            return Err(DdlError::shape("rfft: input too short", n, x.len()));
+        }
+        if spectrum.len() < h + 1 {
+            return Err(DdlError::shape(
+                "rfft: output too short",
+                h + 1,
+                spectrum.len(),
+            ));
+        }
 
         // pack: z[i] = x[2i] + i x[2i+1]
         let z: Vec<Complex64> = (0..h)
@@ -91,15 +106,31 @@ impl RfftPlan {
             let w = root_of_unity(n, k, Direction::Forward);
             spectrum[k] = e + w * o;
         }
+        Ok(())
     }
 
     /// Inverse transform: reconstructs the real signal from `n/2 + 1`
     /// bins (normalized — `inverse(forward(x)) == x`).
     pub fn inverse(&self, spectrum: &[Complex64], x: &mut [f64]) {
+        if let Err(e) = self.try_inverse(spectrum, x) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`RfftPlan::inverse`].
+    pub fn try_inverse(&self, spectrum: &[Complex64], x: &mut [f64]) -> Result<(), DdlError> {
         let n = self.n;
         let h = n / 2;
-        assert!(spectrum.len() >= h + 1, "irfft: input too short");
-        assert!(x.len() >= n, "irfft: output too short");
+        if spectrum.len() < h + 1 {
+            return Err(DdlError::shape(
+                "irfft: input too short",
+                h + 1,
+                spectrum.len(),
+            ));
+        }
+        if x.len() < n {
+            return Err(DdlError::shape("irfft: output too short", n, x.len()));
+        }
 
         // retangle: Z[k] = E[k] + i O[k] with
         // E[k] = (X[k] + conj(X[h-k]))/2, O[k] = w_n^{-k} (X[k] -
@@ -119,6 +150,7 @@ impl RfftPlan {
             x[2 * i] = zt[i].re * scale;
             x[2 * i + 1] = zt[i].im * scale;
         }
+        Ok(())
     }
 }
 
@@ -129,7 +161,9 @@ mod tests {
     use ddl_kernels::naive_dft;
 
     fn sample(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.61).sin() * 2.0 - 0.3).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.61).sin() * 2.0 - 0.3)
+            .collect()
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use crate::dft::{DftPlan, PlanError};
 use crate::planner::{plan_dft, PlannerConfig};
 use ddl_layout::transpose_blocked;
-use ddl_num::{root_of_unity, Complex64, Direction};
+use ddl_num::{root_of_unity, Complex64, DdlError, Direction};
 
 /// A compiled six-step FFT of size `n1 * n2`.
 #[derive(Clone, Debug)]
@@ -65,7 +65,11 @@ impl SixStepPlan {
     }
 
     /// Builds a near-square plan for a power-of-two `n`.
-    pub fn balanced(n: usize, dir: Direction, cfg: &PlannerConfig) -> Result<SixStepPlan, PlanError> {
+    pub fn balanced(
+        n: usize,
+        dir: Direction,
+        cfg: &PlannerConfig,
+    ) -> Result<SixStepPlan, PlanError> {
         if !n.is_power_of_two() || n < 4 {
             return Err(PlanError::InvalidTree(format!(
                 "six-step balanced split needs a power of two >= 4, got {n}"
@@ -88,10 +92,29 @@ impl SixStepPlan {
 
     /// Executes out of place.
     pub fn execute(&self, input: &[Complex64], output: &mut [Complex64]) {
+        if let Err(e) = self.try_execute(input, output) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`SixStepPlan::execute`].
+    pub fn try_execute(
+        &self,
+        input: &[Complex64],
+        output: &mut [Complex64],
+    ) -> Result<(), DdlError> {
         let (n1, n2) = (self.n1, self.n2);
         let n = n1 * n2;
-        assert!(input.len() >= n, "six-step input too short");
-        assert!(output.len() >= n, "six-step output too short");
+        if input.len() < n {
+            return Err(DdlError::shape("six-step input too short", n, input.len()));
+        }
+        if output.len() < n {
+            return Err(DdlError::shape(
+                "six-step output too short",
+                n,
+                output.len(),
+            ));
+        }
         let mut work = vec![Complex64::ZERO; n];
         let mut scratch = Vec::new();
 
@@ -123,6 +146,7 @@ impl SixStepPlan {
 
         // 6. final transpose n1 x n2 -> n2 x n1 gives natural order
         transpose_blocked(&work, &mut output[..n], n1, n2, 32);
+        Ok(())
     }
 }
 
@@ -163,8 +187,7 @@ mod tests {
     fn matches_iterative_for_large_sizes() {
         let n = 1 << 14;
         let plan =
-            SixStepPlan::balanced(n, Direction::Forward, &PlannerConfig::ddl_analytical())
-                .unwrap();
+            SixStepPlan::balanced(n, Direction::Forward, &PlannerConfig::ddl_analytical()).unwrap();
         let x = sample(n);
         let mut y = vec![Complex64::ZERO; n];
         plan.execute(&x, &mut y);

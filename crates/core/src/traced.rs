@@ -40,7 +40,17 @@ pub fn simulate_dft_into<T: MemoryTracer>(plan: &DftPlan, tracer: &mut T) {
         .collect();
     let mut y = vec![Complex64::ZERO; n];
     let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
-    plan.execute_view(&x, 0, 1, &mut y, 0, 1, &mut scratch, tracer, [xa, ya, sa, ta]);
+    plan.execute_view(
+        &x,
+        0,
+        1,
+        &mut y,
+        0,
+        1,
+        &mut scratch,
+        tracer,
+        [xa, ya, sa, ta],
+    );
     std::hint::black_box(&mut y);
 }
 
@@ -212,8 +222,11 @@ mod tests {
     fn trees_with_reorg_trace_consistently() {
         // Access counting should be deterministic and independent of the
         // cache geometry.
-        let plan = DftPlan::new(parse("ctddl(ctddl(8,8), ct(8,8))").unwrap(), Direction::Forward)
-            .unwrap();
+        let plan = DftPlan::new(
+            parse("ctddl(ctddl(8,8), ct(8,8))").unwrap(),
+            Direction::Forward,
+        )
+        .unwrap();
         let a = simulate_dft(&plan, paper_cache()).accesses;
         let b = simulate_dft(&plan, CacheConfig::paper_default(16)).accesses;
         assert_eq!(a, b);

@@ -16,11 +16,10 @@
 //! node with stride `s` and split `n1 * n2` has stride `n2 * s`, the right
 //! child reads the node's intermediate buffer at unit stride.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A factorization tree with DDL annotations.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Tree {
     /// An unfactorized leaf transform of the given size.
     Leaf {
@@ -201,12 +200,12 @@ impl Tree {
                 return Tree::leaf(n);
             }
             let l = leaf.min(n / 2);
-            if n % l == 0 && n / l >= 2 {
+            if n.is_multiple_of(l) && n / l >= 2 {
                 return Tree::split(Tree::leaf(l), Tree::leaf(n / l));
             }
             return Tree::leaf(n);
         }
-        if n % leaf != 0 {
+        if !n.is_multiple_of(leaf) {
             return Tree::leaf(n);
         }
         Tree::split(Tree::leaf(leaf), Tree::rightmost(n / leaf, leaf))
@@ -224,7 +223,7 @@ impl Tree {
         let mut best: Option<(usize, usize)> = None;
         let mut d = 1;
         while d * d <= n {
-            if n % d == 0 && d >= 2 && n / d >= 2 {
+            if n.is_multiple_of(d) && d >= 2 && n / d >= 2 {
                 best = Some((d, n / d));
             }
             d += 1;
@@ -393,10 +392,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn grammar_round_trip() {
         let t = Tree::split_ddl(Tree::leaf(8), Tree::split(Tree::leaf_ddl(4), Tree::leaf(2)));
-        let json = serde_json::to_string(&t).unwrap();
-        let back: Tree = serde_json::from_str(&json).unwrap();
+        let expr = crate::grammar::print_dft(&t);
+        let back = crate::grammar::parse(&expr).unwrap();
         assert_eq!(back, t);
     }
 }

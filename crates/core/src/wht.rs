@@ -19,6 +19,7 @@ use crate::tree::Tree;
 use crate::WHT_POINT_BYTES;
 use ddl_cachesim::{MemoryTracer, NullTracer};
 use ddl_kernels::wht_leaf_strided;
+use ddl_num::DdlError;
 
 pub use crate::dft::PlanError;
 
@@ -57,8 +58,7 @@ impl WhtPlan {
 
     /// Convenience: compile from a grammar expression.
     pub fn from_expr(expr: &str) -> Result<WhtPlan, PlanError> {
-        let tree =
-            crate::grammar::parse(expr).map_err(|e| PlanError::InvalidTree(e.to_string()))?;
+        let tree = crate::grammar::parse(expr)?;
         WhtPlan::new(tree)
     }
 
@@ -78,14 +78,27 @@ impl WhtPlan {
     }
 
     /// Executes in place on `data[..n]`.
+    ///
+    /// Panics if `data` is shorter than the transform; see
+    /// [`WhtPlan::try_execute`] for the fallible form.
     pub fn execute(&self, data: &mut [f64]) {
+        if let Err(e) = self.try_execute(data) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`WhtPlan::execute`].
+    pub fn try_execute(&self, data: &mut [f64]) -> Result<(), DdlError> {
         let mut scratch = vec![0.0f64; self.scratch_need];
-        self.execute_view(data, 0, 1, &mut scratch, &mut NullTracer, [0; 2]);
+        self.try_execute_view(data, 0, 1, &mut scratch, &mut NullTracer, [0; 2])
     }
 
     /// Full-control entry: in-place on the strided view `(base, stride)`
     /// of `data`, with explicit scratch, tracer and simulated base
     /// addresses `[data, scratch]`.
+    ///
+    /// Panics on an out-of-bounds view or undersized scratch; see
+    /// [`WhtPlan::try_execute_view`] for the fallible form.
     pub fn execute_view<T: MemoryTracer>(
         &self,
         data: &mut [f64],
@@ -95,19 +108,57 @@ impl WhtPlan {
         tracer: &mut T,
         addrs: [u64; 2],
     ) {
-        assert!(
-            base + (self.n - 1) * stride < data.len(),
-            "data view out of bounds"
-        );
-        assert!(
-            scratch.len() >= self.scratch_need,
-            "scratch too small: need {}, got {}",
-            self.scratch_need,
-            scratch.len()
-        );
+        if let Err(e) = self.try_execute_view(data, base, stride, scratch, tracer, addrs) {
+            panic!("{e}");
+        }
+    }
+
+    /// Fallible form of [`WhtPlan::execute_view`]: validates the view and
+    /// scratch instead of asserting, so malformed shapes surface as
+    /// [`DdlError`] values rather than panics.
+    pub fn try_execute_view<T: MemoryTracer>(
+        &self,
+        data: &mut [f64],
+        base: usize,
+        stride: usize,
+        scratch: &mut [f64],
+        tracer: &mut T,
+        addrs: [u64; 2],
+    ) -> Result<(), DdlError> {
+        if self.n > 1 && stride == 0 {
+            return Err(DdlError::InvalidStride {
+                detail: format!(
+                    "data view out of bounds: stride 0 on a {}-point WHT aliases every point",
+                    self.n
+                ),
+            });
+        }
+        let view_end = (self.n - 1)
+            .checked_mul(stride)
+            .and_then(|off| off.checked_add(base));
+        match view_end {
+            Some(end) if end < data.len() => {}
+            _ => {
+                return Err(DdlError::InvalidStride {
+                    detail: format!(
+                        "data view out of bounds: base {base} stride {stride} needs {:?} points, got {}",
+                        view_end.map(|e| e + 1),
+                        data.len()
+                    ),
+                });
+            }
+        }
+        if scratch.len() < self.scratch_need {
+            return Err(DdlError::shape(
+                "scratch too small",
+                self.scratch_need,
+                scratch.len(),
+            ));
+        }
         exec(
             &self.tree, data, base, stride, addrs[0], scratch, addrs[1], tracer,
         );
+        Ok(())
     }
 }
 
@@ -243,7 +294,9 @@ mod tests {
     use ddl_kernels::naive_wht;
 
     fn sample(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.23).sin() * 4.0 - 1.0).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.23).sin() * 4.0 - 1.0)
+            .collect()
     }
 
     fn check_tree(tree: Tree) {

@@ -25,14 +25,7 @@ pub fn dft1(src: &[Complex64], sb: usize, dst: &mut [Complex64], db: usize) {
 ///
 /// Direction-independent since `w_2 = -1` either way.
 #[inline(always)]
-pub fn dft2(
-    src: &[Complex64],
-    sb: usize,
-    ss: usize,
-    dst: &mut [Complex64],
-    db: usize,
-    ds: usize,
-) {
+pub fn dft2(src: &[Complex64], sb: usize, ss: usize, dst: &mut [Complex64], db: usize, ds: usize) {
     let x0 = src[sb];
     let x1 = src[sb + ss];
     dst[db] = x0 + x1;
@@ -87,14 +80,24 @@ pub fn dft8(
     let mut even = [Complex64::ZERO; 4];
     let mut odd = [Complex64::ZERO; 4];
     {
-        let e_in = [src[sb], src[sb + 2 * ss], src[sb + 4 * ss], src[sb + 6 * ss]];
-        let o_in = [src[sb + ss], src[sb + 3 * ss], src[sb + 5 * ss], src[sb + 7 * ss]];
+        let e_in = [
+            src[sb],
+            src[sb + 2 * ss],
+            src[sb + 4 * ss],
+            src[sb + 6 * ss],
+        ];
+        let o_in = [
+            src[sb + ss],
+            src[sb + 3 * ss],
+            src[sb + 5 * ss],
+            src[sb + 7 * ss],
+        ];
         dft4(&e_in, 0, 1, &mut even, 0, 1, dir);
         dft4(&o_in, 0, 1, &mut odd, 0, 1, dir);
     }
 
     let s = dir.sign(); // -1 forward, +1 inverse
-    // w_8^k for k = 0..3: 1, (1 ± i)/sqrt(2) per direction, ∓i, rotated.
+                        // w_8^k for k = 0..3: 1, (1 ± i)/sqrt(2) per direction, ∓i, rotated.
     let w1 = Complex64::new(FRAC_1_SQRT_2, s * FRAC_1_SQRT_2);
     let w2 = Complex64::new(0.0, s);
     let w3 = Complex64::new(-FRAC_1_SQRT_2, s * FRAC_1_SQRT_2);

@@ -12,24 +12,35 @@
 //!    pattern whose cache behaviour motivates both FFTW-style recursion
 //!    and the paper's DDL.
 
-use ddl_layout::bit_reverse_permute;
-use ddl_num::{root_of_unity, Complex64, Direction};
+use ddl_layout::try_bit_reverse_permute;
+use ddl_num::{root_of_unity, Complex64, DdlError, Direction};
 
 /// In-place radix-2 FFT. `data.len()` must be a power of two.
 ///
 /// Forward/inverse per `dir`; the inverse is unnormalized (scale by `1/n`
-/// to invert a forward transform).
+/// to invert a forward transform). Panics on a non-power-of-two length;
+/// see [`try_fft_radix2_inplace`] for the fallible form.
 pub fn fft_radix2_inplace(data: &mut [Complex64], dir: Direction) {
+    if let Err(e) = try_fft_radix2_inplace(data, dir) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`fft_radix2_inplace`].
+pub fn try_fft_radix2_inplace(data: &mut [Complex64], dir: Direction) -> Result<(), DdlError> {
     let n = data.len();
     if n <= 1 {
-        return;
+        return Ok(());
     }
-    assert!(
-        n.is_power_of_two(),
-        "fft_radix2_inplace: length {n} is not a power of two"
-    );
+    if !n.is_power_of_two() {
+        return Err(DdlError::invalid_size(
+            "fft_radix2_inplace",
+            n,
+            format!("length {n} is not a power of two"),
+        ));
+    }
 
-    bit_reverse_permute(data);
+    try_bit_reverse_permute(data)?;
 
     let mut span = 1;
     while span < n {
@@ -44,11 +55,12 @@ pub fn fft_radix2_inplace(data: &mut [Complex64], dir: Direction) {
                 let b = data[start + k + span] * w;
                 data[start + k] = a + b;
                 data[start + k + span] = a - b;
-                w = w * w_base;
+                w *= w_base;
             }
         }
         span = step;
     }
+    Ok(())
 }
 
 /// Convenience wrapper: returns the FFT of `x` without modifying it.
@@ -56,6 +68,13 @@ pub fn fft_radix2(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
     let mut data = x.to_vec();
     fft_radix2_inplace(&mut data, dir);
     data
+}
+
+/// Fallible form of [`fft_radix2`].
+pub fn try_fft_radix2(x: &[Complex64], dir: Direction) -> Result<Vec<Complex64>, DdlError> {
+    let mut data = x.to_vec();
+    try_fft_radix2_inplace(&mut data, dir)?;
+    Ok(data)
 }
 
 #[cfg(test)]

@@ -30,6 +30,7 @@ pub const MAX_LEAF_DFT: usize = 64;
 /// `src` and `dst` must be distinct buffers (out-of-place). Panics if the
 /// strided ranges fall outside the slices.
 #[inline]
+#[allow(clippy::too_many_arguments)] // the codelet calling convention
 pub fn dft_leaf_strided(
     n: usize,
     dir: Direction,
@@ -58,6 +59,7 @@ pub fn dft_leaf_strided(
 
 /// Composite codelet for `n ∈ {16, 32, 64}`: strided load → stack DFT →
 /// strided store.
+#[allow(clippy::too_many_arguments)] // the codelet calling convention
 fn composite_leaf(
     n: usize,
     dir: Direction,
@@ -102,7 +104,7 @@ fn dft_stack(buf: &mut [Complex64; MAX_LEAF_DFT], n: usize, dir: Direction) {
     }
     // Twiddle: t[i2*n1 + j1] *= w^{i2*j1}.
     for (ti, &wi) in t[..n].iter_mut().zip(tw.iter()) {
-        *ti = *ti * wi;
+        *ti *= wi;
     }
     // Stage 2: n1 DFTs of size n2, input stride n1, output stride n1.
     for j1 in 0..n1 {
@@ -110,6 +112,7 @@ fn dft_stack(buf: &mut [Complex64; MAX_LEAF_DFT], n: usize, dir: Direction) {
     }
 
     #[inline(always)]
+    #[allow(clippy::too_many_arguments)] // the codelet calling convention
     fn small(
         n: usize,
         dir: Direction,

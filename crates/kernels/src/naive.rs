@@ -27,6 +27,7 @@ pub fn naive_dft(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
 
 /// Strided naive DFT: reads `n` points of `src` at `(sb, ss)` and writes
 /// `n` points of `dst` at `(db, ds)`. Out-of-place only.
+#[allow(clippy::too_many_arguments)] // the codelet calling convention
 pub fn naive_dft_strided(
     n: usize,
     dir: Direction,

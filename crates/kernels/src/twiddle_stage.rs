@@ -17,7 +17,7 @@ pub fn apply_twiddles(buf: &mut [Complex64], base: usize, table: &TwiddleTable) 
     let factors = table.as_slice();
     let dst = &mut buf[base..base + n];
     for (d, &w) in dst.iter_mut().zip(factors.iter()) {
-        *d = *d * w;
+        *d *= w;
     }
 }
 
@@ -39,7 +39,7 @@ pub fn apply_twiddles_strided(
     let factors = table.as_slice();
     let mut idx = base;
     for &w in factors.iter() {
-        buf[idx] = buf[idx] * w;
+        buf[idx] *= w;
         idx += stride;
     }
 }
@@ -73,8 +73,8 @@ mod tests {
         let table = TwiddleTable::new(8, 4, Direction::Forward);
         let mut buf = vec![Complex64::new(3.0, 4.0); 32];
         apply_twiddles(&mut buf, 0, &table);
-        for i in 0..8 {
-            assert_eq!(buf[i], Complex64::new(3.0, 4.0));
+        for b in &buf[..8] {
+            assert_eq!(*b, Complex64::new(3.0, 4.0));
         }
     }
 

@@ -10,16 +10,33 @@
 //! computes in place, and the factorized stages of a WHT read and write
 //! the same strided locations.
 
+use ddl_num::DdlError;
+
 /// Largest WHT leaf the composite kernel and the planners use.
 pub const MAX_LEAF_WHT: usize = 64;
 
 /// Reference `O(n^2)` WHT: `y[j] = Σ_i x[i] · (-1)^{popcount(i & j)}`.
 ///
 /// This is the Hadamard (natural) ordering produced by the iterated
-/// butterfly algorithm.
+/// butterfly algorithm. Panics on a non-power-of-two length; see
+/// [`try_naive_wht`] for the fallible form.
 pub fn naive_wht(x: &[f64]) -> Vec<f64> {
+    match try_naive_wht(x) {
+        Ok(y) => y,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`naive_wht`].
+pub fn try_naive_wht(x: &[f64]) -> Result<Vec<f64>, DdlError> {
     let n = x.len();
-    assert!(n.is_power_of_two() || n <= 1, "naive_wht: length must be a power of two");
+    if !(n.is_power_of_two() || n <= 1) {
+        return Err(DdlError::invalid_size(
+            "naive_wht",
+            n,
+            "length must be a power of two",
+        ));
+    }
     let mut y = vec![0.0; n];
     for (j, yj) in y.iter_mut().enumerate() {
         let mut acc = 0.0;
@@ -32,7 +49,7 @@ pub fn naive_wht(x: &[f64]) -> Vec<f64> {
         }
         *yj = acc;
     }
-    y
+    Ok(y)
 }
 
 /// Unrolled in-place 2-point WHT at `(base, stride)`.
@@ -89,13 +106,27 @@ pub fn wht8(data: &mut [f64], base: usize, stride: usize) {
 /// In-place fast WHT on a contiguous slice (any power-of-two length).
 ///
 /// The no-twiddle butterfly cascade; needs no bit reversal because the
-/// Hadamard matrix is invariant under it.
+/// Hadamard matrix is invariant under it. Panics on a non-power-of-two
+/// length; see [`try_fwht_inplace`] for the fallible form.
 pub fn fwht_inplace(data: &mut [f64]) {
+    if let Err(e) = try_fwht_inplace(data) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`fwht_inplace`].
+pub fn try_fwht_inplace(data: &mut [f64]) -> Result<(), DdlError> {
     let n = data.len();
     if n <= 1 {
-        return;
+        return Ok(());
     }
-    assert!(n.is_power_of_two(), "fwht_inplace: length must be a power of two");
+    if !n.is_power_of_two() {
+        return Err(DdlError::invalid_size(
+            "fwht_inplace",
+            n,
+            "length must be a power of two",
+        ));
+    }
     let mut span = 1;
     while span < n {
         let step = span * 2;
@@ -109,6 +140,7 @@ pub fn fwht_inplace(data: &mut [f64]) {
         }
         span = step;
     }
+    Ok(())
 }
 
 /// In-place leaf WHT of `n` points at `(base, stride)`.
@@ -117,7 +149,22 @@ pub fn fwht_inplace(data: &mut [f64]) {
 /// `16..=64` load once into a stack buffer (strided loads), transform, and
 /// store back (strided stores) — the same codelet memory model as the DFT
 /// leaves; larger powers of two fall back to strided butterflies in place.
+///
+/// Panics on a non-power-of-two size; see [`try_wht_leaf_strided`] for
+/// the fallible form.
 pub fn wht_leaf_strided(n: usize, data: &mut [f64], base: usize, stride: usize) {
+    if let Err(e) = try_wht_leaf_strided(n, data, base, stride) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`wht_leaf_strided`].
+pub fn try_wht_leaf_strided(
+    n: usize,
+    data: &mut [f64],
+    base: usize,
+    stride: usize,
+) -> Result<(), DdlError> {
     match n {
         0 | 1 => {}
         2 => wht2(data, base, stride),
@@ -138,7 +185,13 @@ pub fn wht_leaf_strided(n: usize, data: &mut [f64], base: usize, stride: usize) 
             }
         }
         _ => {
-            assert!(n.is_power_of_two(), "wht_leaf_strided: size must be a power of two");
+            if !n.is_power_of_two() {
+                return Err(DdlError::invalid_size(
+                    "wht_leaf_strided",
+                    n,
+                    "size must be a power of two",
+                ));
+            }
             // strided butterfly cascade, no local buffer
             let mut span = 1;
             while span < n {
@@ -159,6 +212,7 @@ pub fn wht_leaf_strided(n: usize, data: &mut [f64], base: usize, stride: usize) 
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -166,7 +220,9 @@ mod tests {
     use super::*;
 
     fn sample(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.37).sin() * 3.0 + 0.5).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.37).sin() * 3.0 + 0.5)
+            .collect()
     }
 
     fn check_leaf(n: usize, base: usize, stride: usize) {

@@ -79,10 +79,31 @@ fn generated_forward_inverse_round_trip() {
         let x = sample(n);
         let mut f = vec![Complex64::ZERO; n];
         let mut b = vec![Complex64::ZERO; n];
-        assert!(generated_dft_leaf(n, Direction::Forward, &x, 0, 1, &mut f, 0, 1));
-        assert!(generated_dft_leaf(n, Direction::Inverse, &f, 0, 1, &mut b, 0, 1));
+        assert!(generated_dft_leaf(
+            n,
+            Direction::Forward,
+            &x,
+            0,
+            1,
+            &mut f,
+            0,
+            1
+        ));
+        assert!(generated_dft_leaf(
+            n,
+            Direction::Inverse,
+            &f,
+            0,
+            1,
+            &mut b,
+            0,
+            1
+        ));
         for i in 0..n {
-            assert!((b[i].scale(1.0 / n as f64) - x[i]).abs() < 1e-12, "n={n} i={i}");
+            assert!(
+                (b[i].scale(1.0 / n as f64) - x[i]).abs() < 1e-12,
+                "n={n} i={i}"
+            );
         }
     }
 }

@@ -4,6 +4,8 @@
 //! in time, which leaves its butterflies expecting input in bit-reversed
 //! order. This module provides the index map and an in-place permutation.
 
+use ddl_num::DdlError;
+
 /// Reverses the low `bits` bits of `i`.
 #[inline]
 pub fn bit_reverse_index(i: usize, bits: u32) -> usize {
@@ -15,12 +17,28 @@ pub fn bit_reverse_index(i: usize, bits: u32) -> usize {
 
 /// Permutes `data` (whose length must be a power of two) into bit-reversed
 /// order in place. Involution: applying it twice restores the input.
+///
+/// Panics on a non-power-of-two length; see [`try_bit_reverse_permute`]
+/// for the fallible form.
 pub fn bit_reverse_permute<T>(data: &mut [T]) {
+    if let Err(e) = try_bit_reverse_permute(data) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`bit_reverse_permute`].
+pub fn try_bit_reverse_permute<T>(data: &mut [T]) -> Result<(), DdlError> {
     let n = data.len();
     if n <= 2 {
-        return;
+        return Ok(());
     }
-    assert!(n.is_power_of_two(), "bit_reverse_permute: length must be a power of two");
+    if !n.is_power_of_two() {
+        return Err(DdlError::invalid_size(
+            "bit_reverse_permute",
+            n,
+            "length must be a power of two",
+        ));
+    }
     let bits = n.trailing_zeros();
     for i in 0..n {
         let j = bit_reverse_index(i, bits);
@@ -28,6 +46,7 @@ pub fn bit_reverse_permute<T>(data: &mut [T]) {
             data.swap(i, j);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]

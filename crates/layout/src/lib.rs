@@ -39,11 +39,22 @@ pub mod permute;
 pub mod stride;
 pub mod transpose;
 
-pub use bitrev::{bit_reverse_index, bit_reverse_permute};
-pub use padding::{conflict_free_stride, pad_rows, unpad_rows};
-pub use permute::{apply_permutation, apply_permutation_in_place, invert_permutation};
-pub use stride::{gather_stride, scatter_stride, StridedView};
+pub use bitrev::{bit_reverse_index, bit_reverse_permute, try_bit_reverse_permute};
+pub use ddl_num::DdlError;
+pub use padding::{
+    conflict_free_stride, pad_rows, try_conflict_free_stride, try_pad_rows, try_unpad_rows,
+    unpad_rows,
+};
+pub use permute::{
+    apply_permutation, apply_permutation_in_place, invert_permutation, try_apply_permutation,
+    try_apply_permutation_in_place, try_invert_permutation,
+};
+pub use stride::{
+    gather_stride, scatter_stride, try_gather_stride, try_scatter_stride, StridedView,
+};
 pub use transpose::{
     stride_permutation, stride_permutation_in_place_square, transpose, transpose_blocked,
-    transpose_in_place_square, transpose_recursive,
+    transpose_in_place_square, transpose_recursive, try_stride_permutation,
+    try_stride_permutation_in_place_square, try_transpose, try_transpose_blocked,
+    try_transpose_in_place_square, try_transpose_recursive,
 };

@@ -10,6 +10,8 @@
 //! comparison concrete — the `padding` tests and the cache-simulator
 //! ablations can measure both sides of the trade.
 
+use ddl_num::DdlError;
+
 /// Chooses a padded stride `>= stride` such that walking `count` elements
 /// at the padded stride touches `min(count, sets)` distinct cache sets of
 /// a direct-mapped cache with `sets` sets of `line` bytes each (element
@@ -18,22 +20,47 @@
 /// The classic recipe: make the stride in lines coprime with the set
 /// count by adding one line when the power-of-two stride would alias.
 pub fn conflict_free_stride(stride: usize, elem: usize, line: usize, sets: usize) -> usize {
-    assert!(line.is_power_of_two() && sets.is_power_of_two());
-    assert!(elem > 0 && stride > 0);
+    match try_conflict_free_stride(stride, elem, line, sets) {
+        Ok(s) => s,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`conflict_free_stride`].
+pub fn try_conflict_free_stride(
+    stride: usize,
+    elem: usize,
+    line: usize,
+    sets: usize,
+) -> Result<usize, DdlError> {
+    if !line.is_power_of_two() || !sets.is_power_of_two() {
+        return Err(DdlError::InvalidLayout {
+            detail: format!(
+                "conflict_free_stride: line ({line}) and sets ({sets}) must be powers of two"
+            ),
+        });
+    }
+    if elem == 0 || stride == 0 {
+        return Err(DdlError::InvalidLayout {
+            detail: format!(
+                "conflict_free_stride: elem ({elem}) and stride ({stride}) must be positive"
+            ),
+        });
+    }
     let stride_bytes = stride * elem;
     if stride_bytes < line {
         // sub-line strides share lines; no set conflicts to fix
-        return stride;
+        return Ok(stride);
     }
     let stride_lines = stride_bytes / line;
     // gcd with the set count is a power of two; odd line-strides are
     // coprime with any power-of-two set count
-    if stride_lines % 2 == 1 && stride_bytes % line == 0 {
-        return stride;
+    if stride_lines % 2 == 1 && stride_bytes.is_multiple_of(line) {
+        return Ok(stride);
     }
     // round the stride up to a whole number of lines, plus one line
-    let padded_bytes = (stride_bytes + line - 1) / line * line + line;
-    padded_bytes / elem + usize::from(padded_bytes % elem != 0)
+    let padded_bytes = stride_bytes.div_ceil(line) * line + line;
+    Ok(padded_bytes / elem + usize::from(!padded_bytes.is_multiple_of(elem)))
 }
 
 /// Copies `count` rows of `row_len` elements from a compact layout into a
@@ -45,14 +72,46 @@ pub fn pad_rows<T: Copy + Default>(
     count: usize,
     padded_stride: usize,
 ) -> Vec<T> {
-    assert!(padded_stride >= row_len, "padding cannot shrink rows");
-    assert!(src.len() >= row_len * count, "pad_rows: source too short");
+    match try_pad_rows(src, row_len, count, padded_stride) {
+        Ok(dst) => dst,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`pad_rows`].
+pub fn try_pad_rows<T: Copy + Default>(
+    src: &[T],
+    row_len: usize,
+    count: usize,
+    padded_stride: usize,
+) -> Result<Vec<T>, DdlError> {
+    if padded_stride < row_len {
+        return Err(DdlError::InvalidLayout {
+            detail: format!(
+                "padding cannot shrink rows: stride {padded_stride} < row length {row_len}"
+            ),
+        });
+    }
+    let need = row_len.checked_mul(count).ok_or_else(|| {
+        DdlError::invalid_size(
+            "pad_rows",
+            row_len,
+            format!("row_len*count overflows (count={count})"),
+        )
+    })?;
+    if src.len() < need {
+        return Err(DdlError::shape(
+            "pad_rows: source too short",
+            need,
+            src.len(),
+        ));
+    }
     let mut dst = vec![T::default(); padded_stride * count];
     for r in 0..count {
         dst[r * padded_stride..r * padded_stride + row_len]
             .copy_from_slice(&src[r * row_len..(r + 1) * row_len]);
     }
-    dst
+    Ok(dst)
 }
 
 /// Inverse of [`pad_rows`].
@@ -62,14 +121,46 @@ pub fn unpad_rows<T: Copy + Default>(
     count: usize,
     padded_stride: usize,
 ) -> Vec<T> {
-    assert!(padded_stride >= row_len);
-    assert!(src.len() >= padded_stride * count, "unpad_rows: source too short");
+    match try_unpad_rows(src, row_len, count, padded_stride) {
+        Ok(dst) => dst,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`unpad_rows`].
+pub fn try_unpad_rows<T: Copy + Default>(
+    src: &[T],
+    row_len: usize,
+    count: usize,
+    padded_stride: usize,
+) -> Result<Vec<T>, DdlError> {
+    if padded_stride < row_len {
+        return Err(DdlError::InvalidLayout {
+            detail: format!(
+                "padding cannot shrink rows: stride {padded_stride} < row length {row_len}"
+            ),
+        });
+    }
+    let need = padded_stride.checked_mul(count).ok_or_else(|| {
+        DdlError::invalid_size(
+            "unpad_rows",
+            padded_stride,
+            format!("padded_stride*count overflows (count={count})"),
+        )
+    })?;
+    if src.len() < need {
+        return Err(DdlError::shape(
+            "unpad_rows: source too short",
+            need,
+            src.len(),
+        ));
+    }
     let mut dst = vec![T::default(); row_len * count];
     for r in 0..count {
         dst[r * row_len..(r + 1) * row_len]
             .copy_from_slice(&src[r * padded_stride..r * padded_stride + row_len]);
     }
-    dst
+    Ok(dst)
 }
 
 #[cfg(test)]

@@ -7,25 +7,79 @@
 //! allocation trade-off the paper mentions for `Dr` (one scratch buffer vs.
 //! one bitmap).
 
+use ddl_num::DdlError;
+
 /// Applies `perm` out of place: `dst[i] = src[perm[i]]`.
 ///
 /// `perm` must be a permutation of `0..n`; this is checked in debug builds
 /// only (callers in hot paths pass planner-generated permutations).
 pub fn apply_permutation<T: Copy>(src: &[T], dst: &mut [T], perm: &[usize]) {
-    assert_eq!(src.len(), perm.len(), "apply_permutation: perm length mismatch");
-    assert_eq!(dst.len(), perm.len(), "apply_permutation: dst length mismatch");
+    if let Err(e) = try_apply_permutation(src, dst, perm) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`apply_permutation`].
+pub fn try_apply_permutation<T: Copy>(
+    src: &[T],
+    dst: &mut [T],
+    perm: &[usize],
+) -> Result<(), DdlError> {
+    if src.len() != perm.len() {
+        return Err(DdlError::shape(
+            "apply_permutation: perm length mismatch",
+            perm.len(),
+            src.len(),
+        ));
+    }
+    if dst.len() != perm.len() {
+        return Err(DdlError::shape(
+            "apply_permutation: dst length mismatch",
+            perm.len(),
+            dst.len(),
+        ));
+    }
     debug_assert!(is_permutation(perm));
     for (d, &p) in dst.iter_mut().zip(perm.iter()) {
-        *d = src[p];
+        *d = *src.get(p).ok_or_else(|| DdlError::InvalidLayout {
+            detail: format!(
+                "apply_permutation: index {p} out of range for length {}",
+                perm.len()
+            ),
+        })?;
     }
+    Ok(())
 }
 
 /// Applies `perm` in place by following cycles, using a visited bitmap
 /// instead of a full scratch buffer: `data` becomes
 /// `[data[perm[0]], data[perm[1]], …]`.
 pub fn apply_permutation_in_place<T: Copy>(data: &mut [T], perm: &[usize]) {
-    assert_eq!(data.len(), perm.len(), "apply_permutation_in_place: length mismatch");
-    debug_assert!(is_permutation(perm));
+    if let Err(e) = try_apply_permutation_in_place(data, perm) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`apply_permutation_in_place`]: a length mismatch or
+/// a non-permutation is reported as an error instead of a panic (the
+/// permutation check here is unconditional, since cycle-following on a
+/// non-permutation would loop or corrupt data).
+pub fn try_apply_permutation_in_place<T: Copy>(
+    data: &mut [T],
+    perm: &[usize],
+) -> Result<(), DdlError> {
+    if data.len() != perm.len() {
+        return Err(DdlError::shape(
+            "apply_permutation_in_place: length mismatch",
+            perm.len(),
+            data.len(),
+        ));
+    }
+    if !is_permutation(perm) {
+        return Err(DdlError::InvalidLayout {
+            detail: "apply_permutation_in_place: not a permutation".into(),
+        });
+    }
     let n = data.len();
     let mut visited = vec![false; n];
     for start in 0..n {
@@ -50,16 +104,32 @@ pub fn apply_permutation_in_place<T: Copy>(data: &mut [T], perm: &[usize]) {
             i = next;
         }
     }
+    Ok(())
 }
 
 /// Returns the inverse permutation: `inv[perm[i]] == i`.
+///
+/// Panics when `perm` is not a permutation; see
+/// [`try_invert_permutation`] for the fallible form.
 pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
-    assert!(is_permutation(perm), "invert_permutation: not a permutation");
+    match try_invert_permutation(perm) {
+        Ok(inv) => inv,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`invert_permutation`].
+pub fn try_invert_permutation(perm: &[usize]) -> Result<Vec<usize>, DdlError> {
+    if !is_permutation(perm) {
+        return Err(DdlError::InvalidLayout {
+            detail: "invert_permutation: not a permutation".into(),
+        });
+    }
     let mut inv = vec![0usize; perm.len()];
     for (i, &p) in perm.iter().enumerate() {
         inv[p] = i;
     }
-    inv
+    Ok(inv)
 }
 
 /// True when `perm` contains each of `0..perm.len()` exactly once.

@@ -6,6 +6,8 @@
 //! paper's Eq. (2) charges as `O(n/L)` cache-line transfers), and the
 //! reverse reorganization `Dr(n, 1→s)` writes results back.
 
+use ddl_num::DdlError;
+
 /// A read-only strided view over a slice: elements `base, base+stride, …`.
 ///
 /// This is the addressing scheme of a factorized-transform leaf: the
@@ -24,13 +26,34 @@ pub struct StridedView {
 impl StridedView {
     /// Creates a view and checks that it stays in bounds of a buffer of
     /// `buf_len` points.
+    ///
+    /// Panics when the view does not fit; see [`StridedView::try_new`]
+    /// for the fallible form.
     pub fn new(base: usize, stride: usize, len: usize, buf_len: usize) -> Self {
+        match StridedView::try_new(base, stride, len, buf_len) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`StridedView::new`]: an out-of-bounds view is
+    /// reported as [`DdlError::InvalidStride`] instead of a panic.
+    pub fn try_new(
+        base: usize,
+        stride: usize,
+        len: usize,
+        buf_len: usize,
+    ) -> Result<Self, DdlError> {
         let v = StridedView { base, stride, len };
-        assert!(
-            v.fits(buf_len),
-            "StridedView out of bounds: base={base} stride={stride} len={len} buf={buf_len}"
-        );
-        v
+        if v.fits(buf_len) {
+            Ok(v)
+        } else {
+            Err(DdlError::InvalidStride {
+                detail: format!(
+                    "StridedView out of bounds: base={base} stride={stride} len={len} buf={buf_len}"
+                ),
+            })
+        }
     }
 
     /// True when every element index is `< buf_len`.
@@ -60,37 +83,73 @@ impl StridedView {
 /// stride into the contiguous `dst`. This is the forward reorganization
 /// `Dr(n, s→1)`.
 ///
-/// Panics if the strided range does not fit in `src`.
+/// Panics if the strided range does not fit in `src`; see
+/// [`try_gather_stride`] for the fallible form.
 #[inline]
 pub fn gather_stride<T: Copy>(src: &[T], base: usize, stride: usize, dst: &mut [T]) {
-    let view = StridedView::new(base, stride, dst.len(), src.len());
+    if let Err(e) = try_gather_stride(src, base, stride, dst) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`gather_stride`].
+#[inline]
+pub fn try_gather_stride<T: Copy>(
+    src: &[T],
+    base: usize,
+    stride: usize,
+    dst: &mut [T],
+) -> Result<(), DdlError> {
+    let view = StridedView::try_new(base, stride, dst.len(), src.len())?;
+    if dst.is_empty() {
+        return Ok(());
+    }
     if stride == 1 {
         dst.copy_from_slice(&src[base..base + dst.len()]);
-        return;
+        return Ok(());
     }
     let mut idx = view.base;
     for d in dst.iter_mut() {
         *d = src[idx];
         idx += stride;
     }
+    Ok(())
 }
 
 /// Scatters the contiguous `src` into `dst` starting at `base` with the
 /// given stride. This is the reverse reorganization `Dr(n, 1→s)`.
 ///
-/// Panics if the strided range does not fit in `dst`.
+/// Panics if the strided range does not fit in `dst`; see
+/// [`try_scatter_stride`] for the fallible form.
 #[inline]
 pub fn scatter_stride<T: Copy>(src: &[T], dst: &mut [T], base: usize, stride: usize) {
-    let view = StridedView::new(base, stride, src.len(), dst.len());
+    if let Err(e) = try_scatter_stride(src, dst, base, stride) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`scatter_stride`].
+#[inline]
+pub fn try_scatter_stride<T: Copy>(
+    src: &[T],
+    dst: &mut [T],
+    base: usize,
+    stride: usize,
+) -> Result<(), DdlError> {
+    let view = StridedView::try_new(base, stride, src.len(), dst.len())?;
+    if src.is_empty() {
+        return Ok(());
+    }
     if stride == 1 {
         dst[base..base + src.len()].copy_from_slice(src);
-        return;
+        return Ok(());
     }
     let mut idx = view.base;
     for &s in src.iter() {
         dst[idx] = s;
         idx += stride;
     }
+    Ok(())
 }
 
 #[cfg(test)]

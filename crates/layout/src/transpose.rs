@@ -19,17 +19,55 @@
 //! plus an in-place square transpose used when the factorization is
 //! balanced (`n1 == n2`), which avoids the scratch buffer entirely.
 
+use ddl_num::DdlError;
+
+fn check_matrix<T>(
+    op: &'static str,
+    src: &[T],
+    dst: &[T],
+    rows: usize,
+    cols: usize,
+) -> Result<(), DdlError> {
+    let n = rows.checked_mul(cols).ok_or_else(|| {
+        DdlError::invalid_size(op, rows, format!("rows*cols overflows usize (cols={cols})"))
+    })?;
+    if src.len() != n {
+        return Err(DdlError::InvalidLayout {
+            detail: format!("{op}: src size mismatch: need {n}, got {}", src.len()),
+        });
+    }
+    if dst.len() != n {
+        return Err(DdlError::InvalidLayout {
+            detail: format!("{op}: dst size mismatch: need {n}, got {}", dst.len()),
+        });
+    }
+    Ok(())
+}
+
 /// Naive out-of-place transpose of a `rows × cols` row-major matrix.
 ///
-/// `dst` receives the `cols × rows` transpose. Panics on size mismatch.
+/// `dst` receives the `cols × rows` transpose. Panics on size mismatch;
+/// see [`try_transpose`] for the fallible form.
 pub fn transpose<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: usize) {
-    assert_eq!(src.len(), rows * cols, "transpose: src size mismatch");
-    assert_eq!(dst.len(), rows * cols, "transpose: dst size mismatch");
+    if let Err(e) = try_transpose(src, dst, rows, cols) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`transpose`].
+pub fn try_transpose<T: Copy>(
+    src: &[T],
+    dst: &mut [T],
+    rows: usize,
+    cols: usize,
+) -> Result<(), DdlError> {
+    check_matrix("transpose", src, dst, rows, cols)?;
     for r in 0..rows {
         for c in 0..cols {
             dst[c * rows + r] = src[r * cols + c];
         }
     }
+    Ok(())
 }
 
 /// Tiled out-of-place transpose with `tile × tile` blocks.
@@ -38,9 +76,25 @@ pub fn transpose<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: usize) {
 /// the default tile of 32 keeps a working set of a few KiB regardless of
 /// the matrix size.
 pub fn transpose_blocked<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: usize, tile: usize) {
-    assert_eq!(src.len(), rows * cols, "transpose_blocked: src size mismatch");
-    assert_eq!(dst.len(), rows * cols, "transpose_blocked: dst size mismatch");
-    assert!(tile > 0, "transpose_blocked: tile must be positive");
+    if let Err(e) = try_transpose_blocked(src, dst, rows, cols, tile) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`transpose_blocked`].
+pub fn try_transpose_blocked<T: Copy>(
+    src: &[T],
+    dst: &mut [T],
+    rows: usize,
+    cols: usize,
+    tile: usize,
+) -> Result<(), DdlError> {
+    check_matrix("transpose_blocked", src, dst, rows, cols)?;
+    if tile == 0 {
+        return Err(DdlError::InvalidLayout {
+            detail: "transpose_blocked: tile must be positive".into(),
+        });
+    }
     let mut r0 = 0;
     while r0 < rows {
         let r1 = (r0 + tile).min(rows);
@@ -56,6 +110,7 @@ pub fn transpose_blocked<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: u
         }
         r0 = r1;
     }
+    Ok(())
 }
 
 /// Cache-oblivious recursive transpose.
@@ -65,10 +120,27 @@ pub fn transpose_blocked<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: u
 /// `B` — the cache-oblivious counterpoint (FFTW's design point, per the
 /// paper's Section I) to the explicitly blocked version.
 pub fn transpose_recursive<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: usize) {
-    assert_eq!(src.len(), rows * cols, "transpose_recursive: src size mismatch");
-    assert_eq!(dst.len(), rows * cols, "transpose_recursive: dst size mismatch");
+    if let Err(e) = try_transpose_recursive(src, dst, rows, cols) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`transpose_recursive`].
+pub fn try_transpose_recursive<T: Copy>(
+    src: &[T],
+    dst: &mut [T],
+    rows: usize,
+    cols: usize,
+) -> Result<(), DdlError> {
+    check_matrix("transpose_recursive", src, dst, rows, cols)?;
+    run_recursive(src, dst, rows, cols);
+    Ok(())
+}
+
+fn run_recursive<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: usize) {
     rec(src, dst, rows, cols, 0, rows, 0, cols);
 
+    #[allow(clippy::too_many_arguments)] // private recursion carrying the tile bounds
     fn rec<T: Copy>(
         src: &[T],
         dst: &mut [T],
@@ -102,12 +174,30 @@ pub fn transpose_recursive<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols:
 
 /// In-place transpose of a square `n × n` row-major matrix.
 pub fn transpose_in_place_square<T: Copy>(data: &mut [T], n: usize) {
-    assert_eq!(data.len(), n * n, "transpose_in_place_square: size mismatch");
+    if let Err(e) = try_transpose_in_place_square(data, n) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`transpose_in_place_square`].
+pub fn try_transpose_in_place_square<T: Copy>(data: &mut [T], n: usize) -> Result<(), DdlError> {
+    let want = n.checked_mul(n).ok_or_else(|| {
+        DdlError::invalid_size("transpose_in_place_square", n, "n*n overflows usize")
+    })?;
+    if data.len() != want {
+        return Err(DdlError::InvalidLayout {
+            detail: format!(
+                "transpose_in_place_square: size mismatch: need {want}, got {}",
+                data.len()
+            ),
+        });
+    }
     for r in 0..n {
         for c in (r + 1)..n {
             data.swap(r * n + c, c * n + r);
         }
     }
+    Ok(())
 }
 
 /// Applies the stride permutation `L^N_s` out of place: the output at index
@@ -118,22 +208,65 @@ pub fn transpose_in_place_square<T: Copy>(data: &mut [T], n: usize) {
 /// form used in Eq. (1); `stride_permutation(x, y, N, s)` makes elements
 /// previously at stride `s` contiguous in `y`.
 pub fn stride_permutation<T: Copy>(src: &[T], dst: &mut [T], n: usize, s: usize) {
-    assert!(s > 0 && n % s == 0, "stride_permutation: s must divide n");
-    assert_eq!(src.len(), n, "stride_permutation: src size mismatch");
-    assert_eq!(dst.len(), n, "stride_permutation: dst size mismatch");
+    if let Err(e) = try_stride_permutation(src, dst, n, s) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`stride_permutation`].
+pub fn try_stride_permutation<T: Copy>(
+    src: &[T],
+    dst: &mut [T],
+    n: usize,
+    s: usize,
+) -> Result<(), DdlError> {
+    if s == 0 || !n.is_multiple_of(s) {
+        return Err(DdlError::InvalidStride {
+            detail: format!("stride_permutation: s must divide n (n={n}, s={s})"),
+        });
+    }
+    if src.len() != n {
+        return Err(DdlError::shape(
+            "stride_permutation: src size mismatch",
+            n,
+            src.len(),
+        ));
+    }
+    if dst.len() != n {
+        return Err(DdlError::shape(
+            "stride_permutation: dst size mismatch",
+            n,
+            dst.len(),
+        ));
+    }
     // rows = n/s, cols = s; transpose with blocking for large arrays.
     let rows = n / s;
     if n >= 4096 {
-        transpose_blocked(src, dst, rows, s, 32);
+        try_transpose_blocked(src, dst, rows, s, 32)
     } else {
-        transpose(src, dst, rows, s);
+        try_transpose(src, dst, rows, s)
     }
 }
 
 /// In-place `L^N_s` for the balanced case `s == sqrt(N)`.
 pub fn stride_permutation_in_place_square<T: Copy>(data: &mut [T], n: usize, s: usize) {
-    assert!(s * s == n, "in-place stride permutation requires s^2 == n");
-    transpose_in_place_square(data, s);
+    if let Err(e) = try_stride_permutation_in_place_square(data, n, s) {
+        panic!("{e}");
+    }
+}
+
+/// Fallible form of [`stride_permutation_in_place_square`].
+pub fn try_stride_permutation_in_place_square<T: Copy>(
+    data: &mut [T],
+    n: usize,
+    s: usize,
+) -> Result<(), DdlError> {
+    if s.checked_mul(s) != Some(n) {
+        return Err(DdlError::InvalidStride {
+            detail: format!("in-place stride permutation requires s^2 == n (n={n}, s={s})"),
+        });
+    }
+    try_transpose_in_place_square(data, s)
 }
 
 #[cfg(test)]
@@ -164,7 +297,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_reference_nonsquare() {
-        for (r, c, t) in [(8, 8, 4), (33, 17, 8), (1, 64, 16), (64, 1, 16), (40, 24, 7)] {
+        for (r, c, t) in [
+            (8, 8, 4),
+            (33, 17, 8),
+            (1, 64, 16),
+            (64, 1, 16),
+            (40, 24, 7),
+        ] {
             let src = sample(r, c);
             let mut dst = vec![0; r * c];
             transpose_blocked(&src, &mut dst, r, c, t);

@@ -15,7 +15,6 @@ use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 /// addresses by multiplying with `size_of::<Complex64>()`.
 #[derive(Clone, Copy, Default, PartialEq)]
 #[repr(C)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Complex64 {
     /// Real part.
     pub re: f64,
@@ -175,6 +174,7 @@ impl Mul<f64> for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z * w^-1
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()
     }
@@ -303,7 +303,7 @@ mod tests {
     #[test]
     fn cis_lies_on_unit_circle() {
         for k in 0..16 {
-            let z = Complex64::cis(k as f64 * 0.39269908169872414);
+            let z = Complex64::cis(k as f64 * std::f64::consts::FRAC_PI_8);
             assert!((z.abs() - 1.0).abs() < 1e-12);
         }
     }
@@ -325,7 +325,7 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let v = vec![Complex64::new(1.0, 0.0); 8];
+        let v = [Complex64::new(1.0, 0.0); 8];
         let s: Complex64 = v.iter().copied().sum();
         assert_eq!(s, Complex64::new(8.0, 0.0));
     }

@@ -6,21 +6,41 @@
 //! error, which for a well-implemented FFT grows like `O(sqrt(log n))·eps`.
 
 use crate::complex::Complex64;
+use crate::ddl_error::DdlError;
 
-/// Root-mean-square error between two equal-length complex sequences.
+/// Fallible root-mean-square error between two complex sequences.
 ///
-/// Panics if the lengths differ.
-pub fn rms_error(a: &[Complex64], b: &[Complex64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "rms_error: length mismatch");
+/// Returns [`DdlError::ShapeMismatch`] when the lengths differ; library
+/// code comparing buffers whose lengths it does not control should use
+/// this rather than the panicking [`rms_error`].
+pub fn try_rms_error(a: &[Complex64], b: &[Complex64]) -> Result<f64, DdlError> {
+    if a.len() != b.len() {
+        return Err(DdlError::shape(
+            "rms_error: length mismatch",
+            a.len(),
+            b.len(),
+        ));
+    }
     if a.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     let sum: f64 = a
         .iter()
         .zip(b.iter())
         .map(|(&x, &y)| (x - y).norm_sqr())
         .sum();
-    (sum / a.len() as f64).sqrt()
+    Ok((sum / a.len() as f64).sqrt())
+}
+
+/// Root-mean-square error between two equal-length complex sequences.
+///
+/// Panics if the lengths differ; see [`try_rms_error`] for the fallible
+/// form.
+pub fn rms_error(a: &[Complex64], b: &[Complex64]) -> f64 {
+    match try_rms_error(a, b) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// RMS error normalized by the RMS magnitude of the reference `b`.
@@ -40,13 +60,32 @@ pub fn relative_rms_error(a: &[Complex64], b: &[Complex64]) -> f64 {
     }
 }
 
-/// Largest pointwise absolute difference `max_i |a_i - b_i|`.
-pub fn linf_error(a: &[Complex64], b: &[Complex64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "linf_error: length mismatch");
-    a.iter()
+/// Fallible largest pointwise absolute difference `max_i |a_i - b_i|`.
+///
+/// Returns [`DdlError::ShapeMismatch`] when the lengths differ.
+pub fn try_linf_error(a: &[Complex64], b: &[Complex64]) -> Result<f64, DdlError> {
+    if a.len() != b.len() {
+        return Err(DdlError::shape(
+            "linf_error: length mismatch",
+            a.len(),
+            b.len(),
+        ));
+    }
+    Ok(a.iter()
         .zip(b.iter())
         .map(|(&x, &y)| (x - y).abs())
-        .fold(0.0, f64::max)
+        .fold(0.0, f64::max))
+}
+
+/// Largest pointwise absolute difference `max_i |a_i - b_i|`.
+///
+/// Panics if the lengths differ; see [`try_linf_error`] for the fallible
+/// form.
+pub fn linf_error(a: &[Complex64], b: &[Complex64]) -> f64 {
+    match try_linf_error(a, b) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Largest modulus in a sequence.
@@ -112,5 +151,29 @@ mod tests {
         let a = vec![Complex64::ZERO; 2];
         let b = vec![Complex64::ZERO; 3];
         let _ = rms_error(&a, &b);
+    }
+
+    #[test]
+    fn try_variants_report_mismatch_as_error() {
+        let a = vec![Complex64::ZERO; 2];
+        let b = vec![Complex64::ZERO; 3];
+        assert!(matches!(
+            try_rms_error(&a, &b),
+            Err(DdlError::ShapeMismatch {
+                want: 2,
+                got: 3,
+                ..
+            })
+        ));
+        assert!(matches!(
+            try_linf_error(&a, &b),
+            Err(DdlError::ShapeMismatch {
+                want: 2,
+                got: 3,
+                ..
+            })
+        ));
+        assert_eq!(try_rms_error(&a, &a), Ok(0.0));
+        assert_eq!(try_linf_error(&b, &b), Ok(0.0));
     }
 }

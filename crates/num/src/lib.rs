@@ -15,13 +15,19 @@
 //! * [`pow2`] — power-of-two helpers used throughout the planner.
 //! * [`error`] — error metrics used by tests and examples to compare
 //!   transform outputs against references.
+//! * [`ddl_error`] — the unified [`DdlError`] type every fallible public
+//!   operation in the workspace reports through.
 
 pub mod complex;
+pub mod ddl_error;
 pub mod error;
 pub mod pow2;
 pub mod twiddle;
 
 pub use complex::Complex64;
-pub use error::{linf_error, max_abs, relative_rms_error, rms_error};
+pub use ddl_error::{DdlError, WISDOM_FORMAT_VERSION};
+pub use error::{
+    linf_error, max_abs, relative_rms_error, rms_error, try_linf_error, try_rms_error,
+};
 pub use pow2::{ceil_log2, factor_pairs, floor_log2, is_pow2, log2_exact};
 pub use twiddle::{root_of_unity, Direction, TwiddleTable};

@@ -50,7 +50,7 @@ pub fn factor_pairs(n: usize, min_part: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut a = min_part.max(1);
     while a <= n / min_part.max(1) {
-        if n % a == 0 {
+        if n.is_multiple_of(a) {
             let b = n / a;
             if b >= min_part {
                 out.push((a, b));

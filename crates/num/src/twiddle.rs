@@ -16,7 +16,6 @@ use crate::complex::Complex64;
 /// is the caller's choice (the executors expose it separately) so that
 /// `forward ∘ inverse = N · identity` matches the usual FFT convention.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Direction {
     /// `w = exp(-2πi/N)` — the DFT.
     Forward,
@@ -52,7 +51,7 @@ pub fn root_of_unity(n: usize, k: usize, dir: Direction) -> Complex64 {
     assert!(n > 0, "root_of_unity: n must be positive");
     let k = k % n;
     // Handle the four exact quadrant cases.
-    if 4 * k % n == 0 {
+    if (4 * k).is_multiple_of(n) {
         let quarter = 4 * k / n; // 0..4
         let z = match quarter {
             0 => Complex64::ONE,

@@ -60,7 +60,7 @@ proptest! {
         let w = root_of_unity(n, 1, Direction::Forward);
         let mut acc = Complex64::ONE;
         for _ in 0..n {
-            acc = acc * w;
+            acc *= w;
         }
         prop_assert!((acc - Complex64::ONE).abs() < 1e-10);
     }

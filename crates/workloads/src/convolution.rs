@@ -5,11 +5,31 @@
 //! `O(n^2)` reference the fast path is verified against in the
 //! `fast_convolution` example and the integration tests.
 
-use ddl_num::Complex64;
+use ddl_num::{Complex64, DdlError};
 
 /// Direct circular convolution: `y[k] = Σ_i x[i] · h[(k - i) mod n]`.
+///
+/// Panics on mismatched lengths; see [`try_circular_convolution_direct`]
+/// for the fallible form.
 pub fn circular_convolution_direct(x: &[Complex64], h: &[Complex64]) -> Vec<Complex64> {
-    assert_eq!(x.len(), h.len(), "circular convolution: length mismatch");
+    match try_circular_convolution_direct(x, h) {
+        Ok(y) => y,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`circular_convolution_direct`].
+pub fn try_circular_convolution_direct(
+    x: &[Complex64],
+    h: &[Complex64],
+) -> Result<Vec<Complex64>, DdlError> {
+    if x.len() != h.len() {
+        return Err(DdlError::shape(
+            "circular convolution: length mismatch",
+            x.len(),
+            h.len(),
+        ));
+    }
     let n = x.len();
     let mut y = vec![Complex64::ZERO; n];
     for (k, yk) in y.iter_mut().enumerate() {
@@ -20,14 +40,31 @@ pub fn circular_convolution_direct(x: &[Complex64], h: &[Complex64]) -> Vec<Comp
         }
         *yk = acc;
     }
-    y
+    Ok(y)
 }
 
 /// Elementwise product of two spectra (the frequency-domain half of fast
 /// convolution).
+///
+/// Panics on mismatched lengths; see [`try_pointwise_product`] for the
+/// fallible form.
 pub fn pointwise_product(a: &[Complex64], b: &[Complex64]) -> Vec<Complex64> {
-    assert_eq!(a.len(), b.len(), "pointwise product: length mismatch");
-    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).collect()
+    match try_pointwise_product(a, b) {
+        Ok(y) => y,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`pointwise_product`].
+pub fn try_pointwise_product(a: &[Complex64], b: &[Complex64]) -> Result<Vec<Complex64>, DdlError> {
+    if a.len() != b.len() {
+        return Err(DdlError::shape(
+            "pointwise product: length mismatch",
+            a.len(),
+            b.len(),
+        ));
+    }
+    Ok(a.iter().zip(b.iter()).map(|(&x, &y)| x * y).collect())
 }
 
 #[cfg(test)]
@@ -76,7 +113,9 @@ mod tests {
         use ddl_kernels::naive_dft;
         use ddl_num::Direction;
         let n = 16;
-        let x: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64 * 0.1, 0.3)).collect();
+        let x: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(i as f64 * 0.1, 0.3))
+            .collect();
         let h: Vec<Complex64> = (0..n)
             .map(|i| Complex64::new(0.2, -(i as f64) * 0.05))
             .collect();

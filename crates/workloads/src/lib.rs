@@ -9,29 +9,52 @@
 pub mod convolution;
 pub mod signal;
 
-pub use convolution::{circular_convolution_direct, pointwise_product};
+pub use convolution::{
+    circular_convolution_direct, pointwise_product, try_circular_convolution_direct,
+    try_pointwise_product,
+};
+pub use ddl_num::DdlError;
 pub use signal::{chirp, impulse, noise_complex, noise_real, tone_mixture, Tone};
 
 /// Peak signal-to-noise ratio in dB between a reference and a
 /// reconstruction, with the given peak value.
+///
+/// Panics on mismatched or empty inputs; see [`try_psnr_db`] for the
+/// fallible form.
 pub fn psnr_db(reference: &[f64], reconstruction: &[f64], peak: f64) -> f64 {
-    assert_eq!(
-        reference.len(),
-        reconstruction.len(),
-        "psnr_db: length mismatch"
-    );
-    assert!(!reference.is_empty(), "psnr_db: empty input");
+    match try_psnr_db(reference, reconstruction, peak) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`psnr_db`].
+pub fn try_psnr_db(reference: &[f64], reconstruction: &[f64], peak: f64) -> Result<f64, DdlError> {
+    if reference.len() != reconstruction.len() {
+        return Err(DdlError::shape(
+            "psnr_db: length mismatch",
+            reference.len(),
+            reconstruction.len(),
+        ));
+    }
+    if reference.is_empty() {
+        return Err(DdlError::invalid_size(
+            "psnr_db",
+            0,
+            "empty input has no PSNR",
+        ));
+    }
     let mse: f64 = reference
         .iter()
         .zip(reconstruction.iter())
         .map(|(a, b)| (a - b) * (a - b))
         .sum::<f64>()
         / reference.len() as f64;
-    if mse == 0.0 {
+    Ok(if mse == 0.0 {
         f64::INFINITY
     } else {
         10.0 * (peak * peak / mse).log10()
-    }
+    })
 }
 
 /// Energy (sum of squared magnitudes) of a real signal.

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Processes a filter-bank-style batch (many independent FFTs of one
-//! size) sequentially and with the crossbeam-scoped parallel executor,
+//! size) sequentially and with the scoped-thread parallel executor,
 //! verifying identical results and reporting throughput. On a
 //! single-core host the parallel path demonstrates correctness rather
 //! than speedup; on multicore hosts it scales with the thread count.
@@ -35,11 +35,7 @@ fn main() {
     let mut seq = vec![Complex64::ZERO; batch * n];
     let mut par = vec![Complex64::ZERO; batch * n];
 
-    let t_seq = time_per_call(
-        || execute_dft_batch(&plan, &inputs, &mut seq, 1),
-        0.3,
-        2,
-    );
+    let t_seq = time_per_call(|| execute_dft_batch(&plan, &inputs, &mut seq, 1), 0.3, 2);
     let t_par = time_per_call(
         || execute_dft_batch(&plan, &inputs, &mut par, threads),
         0.3,

@@ -101,5 +101,8 @@ fn main() {
         after < before / 100.0,
         "notch filter failed: {after} vs {before}"
     );
-    println!("\ninterference suppressed by {:.0}x; gradient preserved.", before / after);
+    println!(
+        "\ninterference suppressed by {:.0}x; gradient preserved.",
+        before / after
+    );
 }

@@ -67,11 +67,23 @@ fn main() {
         let p = DftPlan::new(tree.clone(), Direction::Forward).unwrap();
         let mut out = vec![Complex64::ZERO; n];
         let mut scratch = Vec::new();
-        time_per_call(|| p.execute_with_scratch(&x, &mut out, &mut scratch), 0.2, 3)
+        time_per_call(
+            || p.execute_with_scratch(&x, &mut out, &mut scratch),
+            0.2,
+            3,
+        )
     };
     let t_sdl = time_tree(&sdl.tree);
     let t_ddl = time_tree(&ddl.tree);
-    println!("\nSDL: {:8.3} ms  ({:7.1} pseudo-MFLOPS)", t_sdl * 1e3, fft_mflops(n, t_sdl));
-    println!("DDL: {:8.3} ms  ({:7.1} pseudo-MFLOPS)", t_ddl * 1e3, fft_mflops(n, t_ddl));
+    println!(
+        "\nSDL: {:8.3} ms  ({:7.1} pseudo-MFLOPS)",
+        t_sdl * 1e3,
+        fft_mflops(n, t_sdl)
+    );
+    println!(
+        "DDL: {:8.3} ms  ({:7.1} pseudo-MFLOPS)",
+        t_ddl * 1e3,
+        fft_mflops(n, t_ddl)
+    );
     println!("speedup: {:.2}x", t_sdl / t_ddl);
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full CI gate, runnable locally and offline (the workspace has no
+# registry dependencies — rand/proptest/criterion are vendored path
+# crates). This is the same sequence .github/workflows/ci.yml runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all -- --check
+run cargo clippy --workspace --all-targets -- -D warnings
+run cargo build --release
+run cargo test -q
+
+echo
+echo "CI gate passed."

@@ -20,6 +20,11 @@
 //!   cost models, planners, wisdom and parallel batch execution.
 //! * [`workloads`] — signal generators for examples and benchmarks.
 //!
+//! Every fallible operation is available in a `try_*` form returning
+//! `Result<_, DdlError>` (re-exported in the [`prelude`]); the
+//! panicking entry points are thin wrappers kept for ergonomic use in
+//! examples and tests.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -50,11 +55,16 @@ pub mod prelude {
     pub use ddl_cachesim::{Cache, CacheConfig, CacheStats};
     pub use ddl_core::grammar::{parse as parse_tree, print_dft, print_wht};
     pub use ddl_core::measure::{fft_mflops, time_per_call, time_per_point_ns};
-    pub use ddl_core::parallel::{execute_dft_batch, execute_wht_batch};
-    pub use ddl_core::planner::{plan_dft, plan_wht, CostBackend, PlannerConfig, Strategy};
+    pub use ddl_core::parallel::{
+        execute_dft_batch, execute_wht_batch, try_execute_dft_batch, try_execute_wht_batch,
+        BatchReport,
+    };
+    pub use ddl_core::planner::{
+        plan_dft, plan_wht, try_plan_dft, try_plan_wht, CostBackend, PlannerConfig, Strategy,
+    };
     pub use ddl_core::traced::{simulate_dft, simulate_wht};
     pub use ddl_core::tree::Tree;
     pub use ddl_core::wisdom::Wisdom;
     pub use ddl_core::{CacheModel, DctPlan, Dft2dPlan, DftPlan, RfftPlan, SixStepPlan, WhtPlan};
-    pub use ddl_num::{Complex64, Direction};
+    pub use ddl_num::{Complex64, DdlError, Direction};
 }

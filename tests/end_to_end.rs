@@ -24,7 +24,10 @@ fn check_dft_tree(tree: &Tree) {
 
 #[test]
 fn planned_dfts_match_references_across_sizes() {
-    for cfg in [PlannerConfig::sdl_analytical(), PlannerConfig::ddl_analytical()] {
+    for cfg in [
+        PlannerConfig::sdl_analytical(),
+        PlannerConfig::ddl_analytical(),
+    ] {
         for log_n in [4u32, 7, 10, 13, 16, 18] {
             let out = plan_dft(1 << log_n, &cfg);
             check_dft_tree(&out.tree);
@@ -130,7 +133,10 @@ fn wisdom_persists_plans_between_sessions() {
 
 #[test]
 fn grammar_round_trips_planner_output() {
-    for cfg in [PlannerConfig::sdl_analytical(), PlannerConfig::ddl_analytical()] {
+    for cfg in [
+        PlannerConfig::sdl_analytical(),
+        PlannerConfig::ddl_analytical(),
+    ] {
         let out = plan_dft(1 << 18, &cfg);
         let expr = print_dft(&out.tree);
         let back = parse_tree(&expr).unwrap();

@@ -1,0 +1,255 @@
+//! Fault-injection and no-panic fuzzing for the public planning,
+//! execution, and persistence entry points.
+//!
+//! The paper's system is an offline planner + online executor: plans are
+//! persisted and reloaded, sizes and strides arrive from callers, and a
+//! long-running service must route around bad inputs instead of
+//! aborting. These tests pin that contract: every `try_*` entry point
+//! returns `Err` (never panics) on malformed input, and the wisdom store
+//! quarantines corrupt entries instead of refusing the whole file.
+
+use dynamic_data_layout::cachesim::NullTracer;
+use dynamic_data_layout::core::dft::DftPlan;
+use dynamic_data_layout::core::grammar;
+use dynamic_data_layout::core::planner::{try_plan_dft, try_plan_wht, PlannerConfig, Strategy};
+use dynamic_data_layout::core::wisdom::Wisdom;
+use dynamic_data_layout::num::{Complex64, DdlError, Direction};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn temp_wisdom_file(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ddl-robustness-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.json"))
+}
+
+// ---------------------------------------------------------------------------
+// Grammar fuzzing: parse never panics, and round-trips what it accepts.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn grammar_parse_never_panics(expr in ".{0,80}") {
+        // Either outcome is fine; what is being tested is "no panic".
+        match grammar::parse(&expr) {
+            Ok(tree) => {
+                // Anything the parser accepts must be a valid tree that
+                // survives a print/parse round trip.
+                prop_assert!(tree.validate().is_ok(), "accepted invalid tree from {expr:?}");
+                let printed = grammar::print_dft(&tree);
+                prop_assert_eq!(grammar::parse(&printed).unwrap(), tree);
+            }
+            Err(e) => {
+                // Errors must carry a position inside (or just past) the
+                // input so callers can report diagnostics.
+                prop_assert!(e.pos <= expr.len());
+            }
+        }
+    }
+
+    #[test]
+    fn planner_never_panics_on_any_size(n in 0usize..=4096) {
+        let cfg = PlannerConfig::ddl_analytical();
+        match try_plan_dft(n, &cfg) {
+            Ok(out) => prop_assert_eq!(out.tree.size(), n),
+            Err(e) => prop_assert!(matches!(e, DdlError::InvalidSize { .. })),
+        }
+        match try_plan_wht(n, &cfg) {
+            Ok(out) => {
+                prop_assert!(n.is_power_of_two());
+                prop_assert_eq!(out.tree.size(), n);
+            }
+            Err(e) => {
+                prop_assert!(!n.is_power_of_two() || n == 0);
+                prop_assert!(matches!(e, DdlError::InvalidSize { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn execute_view_never_panics_on_any_view(
+        base in 0usize..200,
+        stride in 0usize..200,
+        buf_len in 0usize..300,
+        scratch_len in 0usize..40,
+    ) {
+        let plan = DftPlan::from_expr("ct(4,4)", Direction::Forward).unwrap();
+        let input = vec![Complex64::ONE; buf_len];
+        let mut output = vec![Complex64::ZERO; buf_len];
+        let mut scratch = vec![Complex64::ZERO; scratch_len];
+        let res = plan.try_execute_view(
+            &input, base, stride, &mut output, base, stride,
+            &mut scratch, &mut NullTracer, [0; 4],
+        );
+        // A view that fits with adequate scratch must succeed; anything
+        // else must be a structured error, not a panic.
+        let n = plan.n();
+        let fits = stride > 0
+            && (n - 1) * stride + base < buf_len
+            && scratch.len() >= plan.scratch_len();
+        prop_assert_eq!(res.is_ok(), fits, "base={} stride={} buf={}", base, stride, buf_len);
+    }
+
+    #[test]
+    fn overflowing_views_are_errors(
+        base in prop::sample::select(vec![0usize, 1, usize::MAX - 1, usize::MAX]),
+        stride in prop::sample::select(vec![usize::MAX / 2, usize::MAX / 15, usize::MAX]),
+    ) {
+        let plan = DftPlan::from_expr("ct(4,4)", Direction::Forward).unwrap();
+        let input = vec![Complex64::ONE; 16];
+        let mut output = vec![Complex64::ZERO; 16];
+        let mut scratch = Vec::new();
+        let res = plan.try_execute_view(
+            &input, base, stride, &mut output, 0, 1,
+            &mut scratch, &mut NullTracer, [0; 4],
+        );
+        prop_assert!(res.is_err());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wisdom-store fault injection.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn missing_wisdom_file_loads_empty() {
+    let path = temp_wisdom_file("does-not-exist");
+    std::fs::remove_file(&path).ok();
+    let w = Wisdom::load(&path).unwrap();
+    assert!(w.is_empty());
+    assert!(w.quarantined().is_empty());
+}
+
+#[test]
+fn truncated_json_is_a_format_error() {
+    let path = temp_wisdom_file("truncated");
+    // Write a valid store, then truncate it mid-document.
+    let mut w = Wisdom::default();
+    let tree = grammar::parse("ct(2^5, 2^5)").unwrap();
+    w.put("dft", 1 << 10, Strategy::Ddl, &tree, 1.0, "test");
+    w.save(&path).unwrap();
+    let full = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+    let err = Wisdom::load(&path).unwrap_err();
+    match &err {
+        DdlError::WisdomFormat { path: p, .. } => assert!(p.contains("truncated")),
+        other => panic!("expected WisdomFormat, got {other}"),
+    }
+}
+
+#[test]
+fn future_format_version_is_refused() {
+    let path = temp_wisdom_file("future-version");
+    std::fs::write(&path, r#"{"version": 99, "entries": {}}"#).unwrap();
+    match Wisdom::load(&path).unwrap_err() {
+        DdlError::WisdomVersion { found, supported } => {
+            assert_eq!(found, 99);
+            assert!(supported < 99);
+        }
+        other => panic!("expected WisdomVersion, got {other}"),
+    }
+}
+
+#[test]
+fn bad_expressions_are_quarantined_and_replanned() {
+    let path = temp_wisdom_file("bad-expr");
+    std::fs::write(
+        &path,
+        r#"{
+  "version": 2,
+  "entries": {
+    "dft:16:sdl": {"expr": "ct(4,4)", "cost": 1.0, "note": "good"},
+    "dft:64:ddl": {"expr": "frob(8,8)", "cost": 1.0, "note": "unparseable"},
+    "dft:32:sdl": {"expr": "ct(4,4)", "cost": 1.0, "note": "size disagrees with key"}
+  }
+}"#,
+    )
+    .unwrap();
+
+    let mut w = Wisdom::load(&path).unwrap();
+    // The good entry loads; the two bad ones are quarantined with
+    // diagnostics rather than poisoning the file.
+    assert_eq!(w.len(), 1);
+    assert_eq!(w.quarantined().len(), 2);
+    for q in w.quarantined() {
+        assert!(
+            matches!(q.error, DdlError::CorruptWisdomEntry { .. }),
+            "{}",
+            q.error
+        );
+    }
+
+    // Graceful degradation: asking for the corrupt size re-plans.
+    let cfg = PlannerConfig::ddl_analytical();
+    let (tree, _cost) = w.get_or_plan_dft(64, &cfg).unwrap();
+    assert_eq!(tree.size(), 64);
+}
+
+#[test]
+fn corrupt_round_trip_fuzz() {
+    // Deterministic corruption sweep: flip the store through a series of
+    // mutations and require load() to return Err or quarantine — never
+    // panic, never silently accept garbage as a plan.
+    let path = temp_wisdom_file("mutations");
+    let mut w = Wisdom::default();
+    let tree = grammar::parse("ctddl(2^5, 2^5)").unwrap();
+    w.put("dft", 1 << 10, Strategy::Ddl, &tree, 1.5, "seed");
+    w.save(&path).unwrap();
+    let good = std::fs::read_to_string(&path).unwrap();
+    assert!(
+        good.contains("\"cost\": 1.5") && good.contains("ctddl"),
+        "{good}"
+    );
+
+    let mutations: Vec<String> = vec![
+        String::new(),                                    // empty file
+        "{".into(),                                       // unterminated object
+        "null".into(),                                    // wrong top-level type
+        "[1,2,3]".into(),                                 // wrong top-level type
+        good.replace("ctddl", "qqddl"),                   // unparseable expr
+        good.replace("\"cost\": 1.5", "\"cost\": -1"),    // negative cost
+        good.replace("\"cost\": 1.5", "\"cost\": 1e999"), // non-finite cost
+        good.replace("dft:1024:ddl", "dft:999:ddl"),      // key/size mismatch
+        format!("{good}garbage"),                         // trailing garbage
+    ];
+    for (i, text) in mutations.iter().enumerate() {
+        std::fs::write(&path, text).unwrap();
+        match Wisdom::load(&path) {
+            Ok(w) => {
+                // Accepted documents must have quarantined the bad entry.
+                assert!(
+                    w.get("dft", 1 << 10, Strategy::Ddl).is_none(),
+                    "mutation {i} silently accepted a corrupt plan"
+                );
+            }
+            Err(e) => {
+                assert!(
+                    matches!(
+                        e,
+                        DdlError::WisdomFormat { .. } | DdlError::WisdomVersion { .. }
+                    ),
+                    "mutation {i}: unexpected error kind {e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn save_then_load_preserves_entries_and_version() {
+    let path = temp_wisdom_file("round-trip");
+    let mut w = Wisdom::default();
+    let tree = grammar::parse("ct(2^6, 2^6)").unwrap();
+    w.put("dft", 1 << 12, Strategy::Sdl, &tree, 3.25, "round trip");
+    w.save(&path).unwrap();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"version\""), "{text}");
+
+    let loaded = Wisdom::load(&path).unwrap();
+    assert_eq!(loaded.len(), 1);
+    let (back, cost) = loaded.get("dft", 1 << 12, Strategy::Sdl).unwrap();
+    assert_eq!(back, tree);
+    assert_eq!(cost, 3.25);
+}

@@ -73,7 +73,10 @@ fn dct_pipeline_on_planned_trees() {
     plan.dct2(&x, &mut y);
     let want = naive_dct2(&x);
     for k in 0..n {
-        assert!((y[k] - want[k]).abs() < 1e-8 * want[k].abs().max(1.0), "k={k}");
+        assert!(
+            (y[k] - want[k]).abs() < 1e-8 * want[k].abs().max(1.0),
+            "k={k}"
+        );
     }
     let mut back = vec![0.0; n];
     plan.dct3(&y, &mut back);
@@ -98,8 +101,11 @@ fn trace_profile_distinguishes_sdl_from_ddl_intermediates() {
     // leaf outputs (leaves have no internal scratch writes).
     let n = 1 << 14;
     let sdl = DftPlan::new(parse_tree("ct(64,ct(16,16))").unwrap(), Direction::Forward).unwrap();
-    let ddl =
-        DftPlan::new(parse_tree("ctddl(64,ct(16,16))").unwrap(), Direction::Forward).unwrap();
+    let ddl = DftPlan::new(
+        parse_tree("ctddl(64,ct(16,16))").unwrap(),
+        Direction::Forward,
+    )
+    .unwrap();
     assert_eq!(sdl.n(), n);
 
     let stage1_writes = |plan: &DftPlan| -> Vec<u64> {

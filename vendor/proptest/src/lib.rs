@@ -1,0 +1,618 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access, so this crate provides the
+//! subset of proptest's API that the workspace's property tests use:
+//! the [`Strategy`] trait with `prop_map` / `prop_flat_map` / `boxed`,
+//! range and tuple strategies, `prop::collection::vec`,
+//! `prop::sample::select`, a loose string-pattern strategy, `any::<T>()`,
+//! and the `proptest!` / `prop_assert!` / `prop_oneof!` macros.
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case reports the generated inputs and the
+//!   case index; inputs are reproducible because generation is seeded
+//!   deterministically per case.
+//! - Regex string strategies support only the `<class>{lo,hi}` shape the
+//!   workspace uses (e.g. `".{0,80}"`), generating length-bounded strings
+//!   over a fuzz-friendly character pool.
+//!
+//! Case count defaults to 256 and can be overridden per block with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` or globally with
+//! the `PROPTEST_CASES` environment variable.
+
+use rand::prelude::*;
+
+/// Runner configuration; only `cases` is meaningful in this stand-in.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// Cases after applying the `PROPTEST_CASES` environment override.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// RNG used for generation; deterministic per (property, case) pair.
+pub type TestRng = StdRng;
+
+/// Builds the RNG for one test case. Seeded from the property name and
+/// case index so runs are reproducible while cases stay independent.
+pub fn test_rng(property: &str, case: u64) -> TestRng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in property.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E3779B97F4A7C15))
+}
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree / shrinking: a strategy
+    /// simply draws a value from the RNG.
+    pub trait Strategy {
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates an intermediate value, then a strategy from it.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                inner: std::rc::Rc::new(move |rng: &mut TestRng| self.generate(rng)),
+            }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            let mid = self.inner.generate(rng);
+            (self.f)(mid).generate(rng)
+        }
+    }
+
+    /// Type-erased strategy, as returned by [`Strategy::boxed`].
+    #[derive(Clone)]
+    pub struct BoxedStrategy<T> {
+        pub(crate) inner: std::rc::Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.inner)(rng)
+        }
+    }
+
+    /// Uniform choice between already-boxed alternatives; what
+    /// [`prop_oneof!`](crate::prop_oneof) builds.
+    pub struct Union<T> {
+        pub arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::Rng as _;
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.random_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+}
+
+pub use strategy::{BoxedStrategy, Strategy};
+
+use strategy::Union;
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: ranges, any::<T>(), string patterns
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64, isize, f64);
+
+/// Marker for types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Arbitrary for u8 {
+    fn arbitrary(rng: &mut TestRng) -> u8 {
+        rng.next_u64() as u8
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.random()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.random()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite values across a wide dynamic range (no NaN/inf: those make
+    /// nearly every numeric property vacuously false).
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        let mag = rng.random_range(-300.0f64..300.0);
+        let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+/// Strategy generating any value of `T` (via [`Arbitrary`]).
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — the canonical whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// String-pattern strategy for `&'static str` literals used as strategies
+/// (e.g. `".{0,80}"`). Supports `<class>{lo,hi}`, where `.` as the class
+/// draws from a fuzz pool of ASCII printables, grammar-ish tokens, control
+/// bytes, and non-ASCII scalars; any other class prefix is treated as a
+/// literal character set.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, lo, hi) = parse_simple_pattern(self);
+        let len = rng.random_range(lo..=hi);
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(match &class {
+                CharClass::Dot => fuzz_char(rng),
+                CharClass::Literal(chars) => chars[rng.random_range(0..chars.len())],
+            });
+        }
+        out
+    }
+}
+
+enum CharClass {
+    Dot,
+    Literal(Vec<char>),
+}
+
+fn parse_simple_pattern(pat: &str) -> (CharClass, usize, usize) {
+    // "<class>{lo,hi}" — fall back to the whole literal with length 0..=32.
+    if let Some(open) = pat.rfind('{') {
+        if let Some(rest) = pat[open..].strip_prefix('{') {
+            if let Some(body) = rest.strip_suffix('}') {
+                if let Some((lo, hi)) = body.split_once(',') {
+                    if let (Ok(lo), Ok(hi)) = (lo.trim().parse(), hi.trim().parse()) {
+                        let class = match &pat[..open] {
+                            "." => CharClass::Dot,
+                            lit if !lit.is_empty() => CharClass::Literal(lit.chars().collect()),
+                            _ => CharClass::Dot,
+                        };
+                        return (class, lo, hi);
+                    }
+                }
+            }
+        }
+    }
+    let chars: Vec<char> = pat.chars().collect();
+    if chars.is_empty() {
+        (CharClass::Dot, 0, 32)
+    } else {
+        (CharClass::Literal(chars), 0, 32)
+    }
+}
+
+fn fuzz_char(rng: &mut TestRng) -> char {
+    match rng.random_range(0u32..10) {
+        // Printable ASCII: the bulk of interesting parser inputs.
+        0..=5 => char::from(rng.random_range(0x20u8..0x7f)),
+        // Characters the DFT grammar actually uses, to reach deeper states.
+        6..=7 => {
+            const POOL: &[char] = &[
+                '(', ')', ',', ' ', '^', '0', '1', '2', '3', '4', '5', '6', '7', '8', '9', 'c',
+                't', 'd', 'l', 's', 'p', 'i', 'w', 'h',
+            ];
+            POOL[rng.random_range(0..POOL.len())]
+        }
+        // Control bytes.
+        8 => char::from(rng.random_range(0u8..0x20)),
+        // Non-ASCII scalar values.
+        _ => loop {
+            if let Some(c) = char::from_u32(rng.random_range(0x80u32..0x2_0000)) {
+                break c;
+            }
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// Collections and sampling
+// ---------------------------------------------------------------------------
+
+/// Size specification for collection strategies (`0..24`, `n..=n`, `16`).
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "vec strategy: empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Strategy drawing uniformly from a fixed set of values.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// `prop::sample::select(vec![...])`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty option list");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` / `prop::sample::select`
+/// resolve as they do with real proptest.
+pub mod prop {
+    pub use crate::{collection, sample};
+}
+
+/// The usual import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::{any, prop, Arbitrary, ProptestConfig};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub fn __boxed_union<T>(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+    Union { arms }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Defines property tests. Supports the forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..100, v in prop::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let cases = config.resolved_cases();
+            for case in 0..cases as u64 {
+                let mut __rng = $crate::test_rng(stringify!($name), case);
+                #[allow(unused_mut)]
+                let mut __inputs = ::std::string::String::new();
+                // Generate into a temporary first so the value can be
+                // Debug-printed even when the binder is a pattern like
+                // `(rows, cols)`.
+                $(let $arg = {
+                    let __val = $crate::Strategy::generate(&($strat), &mut __rng);
+                    __inputs.push_str(&::std::format!(
+                        "{} = {:?}; ", stringify!($arg), &__val
+                    ));
+                    __val
+                };)*
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let Err(payload) = __outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed with inputs: {}",
+                        stringify!($name), case, cases, __inputs
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::__boxed_union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Assertion macro; in this stand-in it panics like `assert!` (the runner
+/// catches the panic and reports the generated inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in -2.0f64..2.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn select_draws_from_pool(x in prop::sample::select(vec![1usize, 2, 4, 8])) {
+            prop_assert!([1usize, 2, 4, 8].contains(&x));
+        }
+
+        #[test]
+        fn oneof_and_combinators(
+            t in prop_oneof![
+                (0u32..4).prop_map(|n| (n, false)),
+                (10u32..14).prop_map(|n| (n, true)),
+            ],
+            s in ".{0,12}",
+        ) {
+            let (n, hi) = t;
+            prop_assert!(if hi { (10..14).contains(&n) } else { n < 4 });
+            prop_assert!(s.chars().count() <= 12);
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (2usize..6).prop_flat_map(|n| {
+            use crate::collection::vec;
+            vec(0u32..10, n..=n).prop_map(move |v| (n, v))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let mut rng = crate::test_rng("exact", 0);
+        let s = crate::collection::vec(0u32..3, 7);
+        assert_eq!(s.generate(&mut rng).len(), 7);
+    }
+}
