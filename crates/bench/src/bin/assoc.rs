@@ -13,7 +13,7 @@
 //! cargo run --release -p ddl-bench --bin assoc [--max-log-n 18] [--quick]
 //! ```
 
-use ddl_bench::parse_sweep_args;
+use ddl_bench::{parse_sweep_args, SweepArgs};
 use ddl_cachesim::CacheConfig;
 use ddl_core::planner::{plan_dft, PlannerConfig};
 use ddl_core::traced::simulate_dft;
@@ -21,7 +21,7 @@ use ddl_core::DftPlan;
 use ddl_num::Direction;
 
 fn main() {
-    let (max_log, quick) = parse_sweep_args();
+    let SweepArgs { max_log, quick, .. } = parse_sweep_args();
     let log_n = if quick { 16 } else { max_log.min(18) };
     let n = 1usize << log_n;
 

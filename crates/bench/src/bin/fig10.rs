@@ -11,7 +11,7 @@
 //! cargo run --release -p ddl-bench --bin fig10 [--quick]
 //! ```
 
-use ddl_bench::parse_sweep_args;
+use ddl_bench::{parse_sweep_args, SweepArgs};
 use ddl_cachesim::CacheConfig;
 use ddl_core::planner::{plan_dft, PlannerConfig};
 use ddl_core::traced::simulate_dft;
@@ -19,7 +19,7 @@ use ddl_core::DftPlan;
 use ddl_num::Direction;
 
 fn main() {
-    let (_, quick) = parse_sweep_args();
+    let SweepArgs { quick, .. } = parse_sweep_args();
     let log_n = if quick { 16 } else { 20 };
     let n = 1usize << log_n;
 

@@ -16,25 +16,58 @@
 //! whole figure costs two searches plus the final measurements.
 //!
 //! ```sh
-//! cargo run --release -p ddl-bench --bin fig11_fft [--max-log-n 22] [--quick]
+//! cargo run --release -p ddl-bench --bin fig11_fft [--max-log-n 22] [--quick] [--metrics-out <path>]
 //! ```
 
-use ddl_bench::{measure_floor, measured_cfg, parse_sweep_args, wisdom_path};
+use ddl_bench::{measure_floor, measured_cfg, parse_sweep_args, wisdom_path, SweepArgs};
 use ddl_core::measure::fft_mflops;
-use ddl_core::planner::{plan_dft_sweep, time_dft_tree, Strategy};
+use ddl_core::obs::{merge_counters, Counter, PlannerRunMetrics};
+use ddl_core::planner::{time_dft_tree, try_plan_dft_sweep_with, Strategy};
 use ddl_core::tree::Tree;
 use ddl_core::wisdom::Wisdom;
+use ddl_core::{DftPlan, MetricsReport, Recorder};
+use ddl_num::{Complex64, Direction};
 
 fn main() {
-    let (max_log, quick) = parse_sweep_args();
+    let SweepArgs {
+        max_log,
+        quick,
+        metrics_out,
+    } = parse_sweep_args();
     let max_log = if quick { max_log.min(16) } else { max_log };
     let max_n = 1usize << max_log;
     let floor = measure_floor(quick);
+    let mut report = MetricsReport::new();
+
+    // One recorder per planning sweep: its counters become a planner-run
+    // entry in the metrics report.
+    let mut observed_sweep = |label: Strategy| {
+        let cfg = measured_cfg(label, quick);
+        let mut rec = Recorder::new();
+        let t0 = std::time::Instant::now();
+        let out = try_plan_dft_sweep_with(max_n, &cfg, &mut rec).unwrap_or_else(|e| panic!("{e}"));
+        let plan_seconds = t0.elapsed().as_secs_f64();
+        let best = &out.last().expect("non-empty sweep").1;
+        report.planner.push(PlannerRunMetrics {
+            transform: "dft".into(),
+            n: max_n,
+            strategy: label.label().into(),
+            backend: cfg.backend.label().into(),
+            states: rec.counter_value(Counter::PlannerStates),
+            candidates: rec.counter_value(Counter::PlannerCandidates),
+            memo_hits: rec.counter_value(Counter::PlannerMemoHits),
+            cost: best.cost,
+            plan_seconds,
+            tree: best.tree.to_string(),
+        });
+        merge_counters(&mut report.counters, &rec);
+        out
+    };
 
     eprintln!("planning SDL sweep (measured DP, one pass) ...");
-    let sdl = plan_dft_sweep(max_n, &measured_cfg(Strategy::Sdl, quick));
+    let sdl = observed_sweep(Strategy::Sdl);
     eprintln!("planning DDL sweep (measured DP, one pass) ...");
-    let ddl = plan_dft_sweep(max_n, &measured_cfg(Strategy::Ddl, quick));
+    let ddl = observed_sweep(Strategy::Ddl);
 
     // share the planning results with the other binaries (table6)
     let path = wisdom_path();
@@ -80,6 +113,21 @@ fn main() {
         let t_ddl = time_dft_tree(ddl_tree, n, 1, floor, 3);
         let t_proxy = time_dft_tree(&proxy_tree, n, 1, floor, 3);
 
+        if metrics_out.is_some() {
+            // One instrumented execution per tree: the per-stage
+            // (leaf/twiddle/reorg) breakdown of Eq. (2)/(3).
+            for tree in [sdl_tree, ddl_tree] {
+                let plan = DftPlan::new(tree.clone(), Direction::Forward)
+                    .expect("planner generated an invalid tree");
+                let input = vec![Complex64::ONE; n];
+                let mut output = vec![Complex64::ZERO; n];
+                match plan.try_profile(&input, &mut output) {
+                    Ok(m) => report.executions.push(m),
+                    Err(e) => eprintln!("warning: could not profile n={n}: {e}"),
+                }
+            }
+        }
+
         println!(
             "{:>8} {:>10.1} {:>10.1} {:>10.1} {:>9.2} {:>9.2}",
             log_n,
@@ -96,4 +144,8 @@ fn main() {
     println!("#   DDL: {}", ddl.last().unwrap().1.tree);
     println!("# paper shape: DDL tracks SDL below the cache crossover and wins above");
     println!("# it (paper: up to 2.2x over FFT SDL, up to ~2x over FFTW)");
+
+    if let Some(path) = metrics_out {
+        ddl_bench::write_metrics_report(&report, &path);
+    }
 }

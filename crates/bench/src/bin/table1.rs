@@ -17,7 +17,7 @@
 //! cargo run --release -p ddl-bench --bin table1 [--max-log-n 20] [--quick]
 //! ```
 
-use ddl_bench::{measure_floor, parse_sweep_args};
+use ddl_bench::{measure_floor, parse_sweep_args, SweepArgs};
 use ddl_core::grammar::{parse, print_dft};
 use ddl_core::planner::time_dft_tree;
 use ddl_core::{CacheModel, Tree};
@@ -66,7 +66,7 @@ fn candidate_exprs(p: u32) -> Vec<String> {
 }
 
 fn main() {
-    let (max_log, quick) = parse_sweep_args();
+    let SweepArgs { max_log, quick, .. } = parse_sweep_args();
     let p = if quick {
         max_log.min(18)
     } else {

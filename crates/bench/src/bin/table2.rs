@@ -9,7 +9,7 @@
 //! cargo run --release -p ddl-bench --bin table2 [--max-log-n 22] [--quick]
 //! ```
 
-use ddl_bench::parse_sweep_args;
+use ddl_bench::{parse_sweep_args, SweepArgs};
 use ddl_cachesim::CacheConfig;
 use ddl_core::planner::{plan_dft_sweep, PlannerConfig};
 use ddl_core::traced::simulate_dft;
@@ -17,7 +17,7 @@ use ddl_core::DftPlan;
 use ddl_num::Direction;
 
 fn main() {
-    let (max_log, quick) = parse_sweep_args();
+    let SweepArgs { max_log, quick, .. } = parse_sweep_args();
     let max_log = if quick {
         max_log.min(16)
     } else {

@@ -14,12 +14,12 @@
 //! ```
 
 use ddl_bench::host;
-use ddl_bench::{measured_cfg, parse_sweep_args, plan_cached};
+use ddl_bench::{measured_cfg, parse_sweep_args, plan_cached, SweepArgs};
 use ddl_core::grammar::print_wht;
 use ddl_core::planner::{PlannerConfig, Strategy};
 
 fn main() {
-    let (max_log, quick) = parse_sweep_args();
+    let SweepArgs { max_log, quick, .. } = parse_sweep_args();
     let max_log = if quick { max_log.min(16) } else { max_log };
 
     let cfg = |s: Strategy| PlannerConfig {

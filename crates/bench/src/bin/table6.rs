@@ -9,12 +9,12 @@
 //! cargo run --release -p ddl-bench --bin table6 [--max-log-n 22] [--quick]
 //! ```
 
-use ddl_bench::{measured_cfg, parse_sweep_args, plan_cached};
+use ddl_bench::{measured_cfg, parse_sweep_args, plan_cached, SweepArgs};
 use ddl_core::grammar::print_dft;
 use ddl_core::planner::Strategy;
 
 fn main() {
-    let (max_log, quick) = parse_sweep_args();
+    let SweepArgs { max_log, quick, .. } = parse_sweep_args();
     let max_log = if quick { max_log.min(16) } else { max_log };
 
     // plan_cached reuses the wisdom file written by fig11_fft when

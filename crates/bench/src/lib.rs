@@ -95,26 +95,62 @@ pub fn plan_cached(transform: &str, n: usize, cfg: &PlannerConfig) -> Tree {
     outcome.tree
 }
 
+/// Arguments shared by the sweep binaries.
+#[derive(Clone, Debug)]
+pub struct SweepArgs {
+    /// Largest transform size as a power of two (`--max-log-n <k>`).
+    pub max_log: u32,
+    /// `--quick` shrinks measurement floors for a fast smoke run.
+    pub quick: bool,
+    /// `--metrics-out <path>`: where to write a `ddl-metrics` JSON report
+    /// (defaults to the `DDL_METRICS_OUT` environment variable; `None`
+    /// disables export).
+    pub metrics_out: Option<PathBuf>,
+}
+
 /// Parses `--max-log-n <k>`-style arguments shared by the sweep binaries.
-/// Returns (max_log_n, quick): `--quick` shrinks measurement floors for a
-/// fast smoke run.
-pub fn parse_sweep_args() -> (u32, bool) {
-    let mut max_log = 22u32;
-    let mut quick = false;
+pub fn parse_sweep_args() -> SweepArgs {
+    let mut parsed = SweepArgs {
+        max_log: 22,
+        quick: false,
+        metrics_out: ddl_core::obs::env_metrics_out(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--max-log-n" => {
-                max_log = args
+                parsed.max_log = args
                     .next()
                     .and_then(|v| v.parse().ok())
                     .expect("--max-log-n needs an integer");
             }
-            "--quick" => quick = true,
-            other => panic!("unknown argument {other} (expected --max-log-n <k> | --quick)"),
+            "--quick" => parsed.quick = true,
+            "--metrics-out" => {
+                parsed.metrics_out =
+                    Some(PathBuf::from(args.next().expect("--metrics-out needs a path")));
+            }
+            other => panic!(
+                "unknown argument {other} (expected --max-log-n <k> | --quick | --metrics-out <path>)"
+            ),
         }
     }
-    (max_log, quick)
+    parsed
+}
+
+/// Writes a metrics report, creating parent directories and reporting
+/// failure as a warning rather than aborting the benchmark that produced
+/// the data.
+pub fn write_metrics_report(report: &ddl_core::MetricsReport, path: &std::path::Path) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    match report.write(path) {
+        Ok(()) => eprintln!("metrics report written to {}", path.display()),
+        Err(e) => eprintln!(
+            "warning: could not write metrics report to {}: {e}",
+            path.display()
+        ),
+    }
 }
 
 /// Measurement floor in seconds for the sweep binaries.

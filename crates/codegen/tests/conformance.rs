@@ -1,0 +1,111 @@
+//! Codelet conformance: the checked-in generated codelets dispatched by
+//! `ddl_kernels::generated` must agree with this crate's symbolic DAG
+//! interpreter — the oracle the generator validates against *before*
+//! emission — on random inputs, at every generated size, in both
+//! directions, and at arbitrary strides. A mismatch means the checked-in
+//! `generated.rs` has drifted from the generator that claims to produce
+//! it.
+
+use ddl_codegen::{evaluate, generate_dft};
+use ddl_kernels::generated::{generated_dft_leaf, GENERATED_SIZES};
+use ddl_kernels::naive_dft;
+use ddl_num::{relative_rms_error, Complex64, Direction};
+use proptest::prelude::*;
+
+/// Largest generated size; random input vectors are sized for it.
+const MAX_GEN: usize = 32;
+
+fn signal(vals: &[f64], n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new(vals[2 * i], vals[2 * i + 1]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn codelets_match_the_interpreter_and_the_naive_dft(
+        vals in prop::collection::vec(-1.0f64..1.0, 2 * MAX_GEN),
+        forward in any::<bool>(),
+    ) {
+        let dir = if forward { Direction::Forward } else { Direction::Inverse };
+        for &n in GENERATED_SIZES {
+            let input = signal(&vals, n);
+
+            // The symbolic network, evaluated by the interpreter.
+            let (graph, outputs) = generate_dft(n, dir);
+            let want = evaluate(&graph, &outputs, &input);
+
+            // The checked-in straight-line codelet.
+            let mut got = vec![Complex64::ZERO; n];
+            prop_assert!(
+                generated_dft_leaf(n, dir, &input, 0, 1, &mut got, 0, 1),
+                "no generated codelet for size {n}"
+            );
+
+            // Codelet vs interpreter: same arithmetic modulo scheduling,
+            // so only rounding-order noise separates them.
+            let err = relative_rms_error(&got, &want);
+            prop_assert!(err < 1e-12, "size {n} {dir:?}: codelet vs interpreter err {err:e}");
+
+            // Both vs the O(n^2) reference.
+            let naive = naive_dft(&input, dir);
+            let err = relative_rms_error(&got, &naive);
+            prop_assert!(err < 1e-9, "size {n} {dir:?}: codelet vs naive err {err:e}");
+        }
+    }
+
+    #[test]
+    fn codelets_honor_arbitrary_bases_and_strides(
+        vals in prop::collection::vec(-1.0f64..1.0, 2 * MAX_GEN),
+        sb in 0usize..4,
+        ss in 1usize..5,
+        db in 0usize..4,
+        ds in 1usize..5,
+        forward in any::<bool>(),
+    ) {
+        let dir = if forward { Direction::Forward } else { Direction::Inverse };
+        for &n in GENERATED_SIZES {
+            let input = signal(&vals, n);
+
+            // Contiguous reference run of the same codelet.
+            let mut want = vec![Complex64::ZERO; n];
+            prop_assert!(generated_dft_leaf(n, dir, &input, 0, 1, &mut want, 0, 1));
+
+            // Strided run: the same points scattered through larger
+            // buffers must produce the exact same values (bitwise — the
+            // arithmetic is identical, only addressing differs).
+            let mut src = vec![Complex64::new(f64::NAN, f64::NAN); sb + (n - 1) * ss + 1];
+            for (i, v) in input.iter().enumerate() {
+                src[sb + i * ss] = *v;
+            }
+            let mut dst = vec![Complex64::ZERO; db + (n - 1) * ds + 1];
+            prop_assert!(generated_dft_leaf(n, dir, &src, sb, ss, &mut dst, db, ds));
+            for i in 0..n {
+                let got = dst[db + i * ds];
+                prop_assert!(
+                    got.re == want[i].re && got.im == want[i].im,
+                    "size {n} {dir:?} out[{i}]: strided {got:?} != contiguous {:?}",
+                    want[i]
+                );
+            }
+        }
+    }
+}
+
+/// Every size the dispatcher claims must actually be generated, and no
+/// other size may dispatch.
+#[test]
+fn dispatcher_covers_exactly_the_generated_sizes() {
+    for n in 1..=64usize {
+        let input = vec![Complex64::ONE; n];
+        let mut out = vec![Complex64::ZERO; n];
+        let handled = generated_dft_leaf(n, Direction::Forward, &input, 0, 1, &mut out, 0, 1);
+        assert_eq!(
+            handled,
+            GENERATED_SIZES.contains(&n),
+            "dispatcher disagrees with GENERATED_SIZES at n={n}"
+        );
+    }
+}

@@ -57,6 +57,7 @@
 //! codelet; the touched line set per leaf is identical, which is the
 //! granularity the cache model observes.
 
+use crate::obs::{stage_end, stage_start, ExecutionMetrics, NullSink, Recorder, Sink, Stage};
 use crate::tree::Tree;
 use crate::DFT_POINT_BYTES;
 use ddl_cachesim::{MemoryTracer, NullTracer};
@@ -322,6 +323,39 @@ impl DftPlan {
         tracer: &mut T,
         addrs: [u64; 4],
     ) -> Result<(), DdlError> {
+        self.try_execute_view_observed(
+            input,
+            in_base,
+            in_stride,
+            output,
+            out_base,
+            out_stride,
+            scratch,
+            tracer,
+            addrs,
+            &mut NullSink,
+        )
+    }
+
+    /// [`DftPlan::try_execute_view`] with an observability sink: every
+    /// stage span (leaf codelets, twiddle passes, reorganizations) is
+    /// timed into `sink`, giving the measurable form of the paper's
+    /// Eq. (2)/(3) decomposition. With [`NullSink`] this *is*
+    /// `try_execute_view` — the stage timers compile away.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_execute_view_observed<T: MemoryTracer, S: Sink>(
+        &self,
+        input: &[Complex64],
+        in_base: usize,
+        in_stride: usize,
+        output: &mut [Complex64],
+        out_base: usize,
+        out_stride: usize,
+        scratch: &mut [Complex64],
+        tracer: &mut T,
+        addrs: [u64; 4],
+        sink: &mut S,
+    ) -> Result<(), DdlError> {
         let n = self.n();
         // Overflow-checked view validation: a malicious (base, stride)
         // pair must produce an error, not wrap around and index wild.
@@ -390,8 +424,44 @@ impl DftPlan {
             addrs[2],
             addrs[3],
             tracer,
+            sink,
         );
         Ok(())
+    }
+
+    /// Executes once with a fresh [`Recorder`] attached and returns the
+    /// per-stage breakdown: wall-clock total plus the leaf/twiddle/reorg
+    /// split of the paper's Eq. (2)/(3), stage call/point counts and a
+    /// leaf flop estimate. Scratch is allocated internally.
+    pub fn try_profile(
+        &self,
+        input: &[Complex64],
+        output: &mut [Complex64],
+    ) -> Result<ExecutionMetrics, DdlError> {
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        let mut recorder = Recorder::new();
+        let t0 = std::time::Instant::now();
+        self.try_execute_view_observed(
+            input,
+            0,
+            1,
+            output,
+            0,
+            1,
+            &mut scratch,
+            &mut NullTracer,
+            [0; 4],
+            &mut recorder,
+        )?;
+        let total_ns = t0.elapsed().as_nanos() as u64;
+        Ok(ExecutionMetrics::from_recorder(
+            "dft",
+            self.n(),
+            self.tree.to_string(),
+            total_ns,
+            &recorder,
+            crate::obs::tree_leaf_flops(&self.tree, true),
+        ))
     }
 
     /// Panicking wrapper over [`DftPlan::try_execute_view`]; the hot-path
@@ -421,7 +491,7 @@ impl DftPlan {
 /// Recursive executor. `sv`/`dv` describe the input/output views into
 /// `x`/`y`; `scr_addr` is the simulated byte address of `scratch[0]`.
 #[allow(clippy::too_many_arguments)]
-fn exec<T: MemoryTracer>(
+fn exec<T: MemoryTracer, S: Sink>(
     node: &Compiled,
     dir: Direction,
     x: &[Complex64],
@@ -432,6 +502,7 @@ fn exec<T: MemoryTracer>(
     scr_addr: u64,
     tw_addr: u64,
     tr: &mut T,
+    sink: &mut S,
 ) {
     let n = node.n;
     match &node.kind {
@@ -439,10 +510,12 @@ fn exec<T: MemoryTracer>(
             if node.reorg && sv.stride > 1 {
                 // Leaf reorganization: compact the strided input into
                 // contiguous scratch, then run the codelet at unit stride.
+                let t0 = stage_start::<S>();
                 let (r, _) = scratch.split_at_mut(n);
                 for (i, ri) in r.iter_mut().enumerate() {
                     *ri = x[sv.base + i * sv.stride];
                 }
+                stage_end(sink, Stage::Reorg, t0, n as u64);
                 if T::ENABLED {
                     for i in 0..n {
                         tr.read(sv.elem_addr(i), DFT_POINT_BYTES as u32);
@@ -464,9 +537,10 @@ fn exec<T: MemoryTracer>(
                     y,
                     dv,
                     tr,
+                    sink,
                 );
             } else {
-                leaf(n, dir, x, sv, y, dv, tr);
+                leaf(n, dir, x, sv, y, dv, tr, sink);
             }
         }
         CompiledKind::Split {
@@ -509,11 +583,14 @@ fn exec<T: MemoryTracer>(
                         rest_addr,
                         tw_addr,
                         tr,
+                        sink,
                     );
                 }
 
                 // Twiddle pass over t2 (table laid out to match).
+                let t0 = stage_start::<S>();
                 apply_twiddles(t2, 0, tw);
+                stage_end(sink, Stage::Twiddle, t0, n as u64);
                 if T::ENABLED {
                     trace_twiddle(
                         n,
@@ -525,7 +602,9 @@ fn exec<T: MemoryTracer>(
 
                 // The reorganization Dr: tiled transpose of the n2 x n1
                 // row-major t2 into t[j1*n2 + i2].
+                let t0 = stage_start::<S>();
                 transpose_traced(t2, t, n2, n1, t2_addr, t_addr, tr);
+                stage_end(sink, Stage::Reorg, t0, n as u64);
 
                 // Stage 2: right child reads t at unit stride.
                 for j1 in 0..n1 {
@@ -548,6 +627,7 @@ fn exec<T: MemoryTracer>(
                         rest_addr,
                         tw_addr,
                         tr,
+                        sink,
                     );
                 }
             } else {
@@ -577,10 +657,13 @@ fn exec<T: MemoryTracer>(
                         rest_addr,
                         tw_addr,
                         tr,
+                        sink,
                     );
                 }
 
+                let t0 = stage_start::<S>();
                 apply_twiddles(t, 0, tw);
+                stage_end(sink, Stage::Twiddle, t0, n as u64);
                 if T::ENABLED {
                     trace_twiddle(
                         n,
@@ -610,6 +693,7 @@ fn exec<T: MemoryTracer>(
                         rest_addr,
                         tw_addr,
                         tr,
+                        sink,
                     );
                 }
             }
@@ -618,7 +702,8 @@ fn exec<T: MemoryTracer>(
 }
 
 /// Executes one leaf codelet and emits its trace.
-fn leaf<T: MemoryTracer>(
+#[allow(clippy::too_many_arguments)]
+fn leaf<T: MemoryTracer, S: Sink>(
     n: usize,
     dir: Direction,
     x: &[Complex64],
@@ -626,8 +711,11 @@ fn leaf<T: MemoryTracer>(
     y: &mut [Complex64],
     dv: View,
     tr: &mut T,
+    sink: &mut S,
 ) {
+    let t0 = stage_start::<S>();
     dft_leaf_strided(n, dir, x, sv.base, sv.stride, y, dv.base, dv.stride);
+    stage_end(sink, Stage::Leaf, t0, n as u64);
     if T::ENABLED {
         for i in 0..n {
             tr.read(sv.elem_addr(i), DFT_POINT_BYTES as u32);

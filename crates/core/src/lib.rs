@@ -50,6 +50,7 @@ pub mod grammar;
 pub mod json;
 pub mod measure;
 pub mod model;
+pub mod obs;
 pub mod parallel;
 pub mod planner;
 pub mod rfft;
@@ -64,12 +65,17 @@ pub use ddl_num::DdlError;
 pub use dft::DftPlan;
 pub use dft2d::Dft2dPlan;
 pub use model::CacheModel;
+pub use obs::{
+    BatchMetrics, Counter, ExecutionMetrics, MetricsReport, NullSink, PlannerRunMetrics, Recorder,
+    Sink, Stage, StageBreakdown,
+};
 pub use parallel::{
     execute_batch_with, execute_dft_batch, execute_wht_batch, try_execute_dft_batch,
-    try_execute_wht_batch, BatchReport,
+    try_execute_wht_batch, BatchReport, ItemTiming,
 };
 pub use planner::{
-    plan_dft, plan_wht, try_plan_dft, try_plan_wht, CostBackend, PlannerConfig, Strategy,
+    plan_dft, plan_wht, try_plan_dft, try_plan_dft_with, try_plan_wht, try_plan_wht_with,
+    CostBackend, PlannerConfig, Strategy,
 };
 pub use rfft::RfftPlan;
 pub use sixstep::SixStepPlan;

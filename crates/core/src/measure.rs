@@ -10,12 +10,23 @@
 
 use std::time::Instant;
 
+/// Batch-size ceiling of the geometric growth in [`time_per_call`].
+const MAX_BATCH: u64 = 1 << 20;
+
 /// Repeats `f` until the accumulated time exceeds `min_total_secs` (at
-/// least `min_reps` times) and returns the mean seconds per call.
+/// least `min_reps` times, with a floor of one timed repetition) and
+/// returns the mean seconds per call.
+///
+/// On a clock too coarse to resolve even [`MAX_BATCH`] calls, the measured
+/// clock granularity spread over one full batch is returned as an upper
+/// bound instead of growing the batch forever.
 pub fn time_per_call<F: FnMut()>(mut f: F, min_total_secs: f64, min_reps: u32) -> f64 {
     // One untimed warm-up call: touches the buffers, faults pages and
     // populates twiddle caches.
     f();
+    // The mean is total/reps, so at least one call must be timed even
+    // when the caller asks for zero repetitions.
+    let min_reps = u64::from(min_reps).max(1);
     let mut reps: u64 = 0;
     let mut total = 0.0f64;
     let mut batch: u64 = 1;
@@ -24,14 +35,35 @@ pub fn time_per_call<F: FnMut()>(mut f: F, min_total_secs: f64, min_reps: u32) -
         for _ in 0..batch {
             f();
         }
-        total += start.elapsed().as_secs_f64();
+        let elapsed = start.elapsed().as_secs_f64();
+        total += elapsed;
         reps += batch;
-        if total >= min_total_secs && reps >= min_reps as u64 {
+        if total >= min_total_secs && reps >= min_reps {
             return total / reps as f64;
         }
+        if batch >= MAX_BATCH && elapsed == 0.0 {
+            // A full-size batch fit under one clock tick: `f` is faster
+            // than this clock can ever resolve. Report one tick spread
+            // over the batch — an upper bound — rather than spinning.
+            return clock_tick_secs() / batch as f64;
+        }
         // Grow batches geometrically so timer overhead stays negligible.
-        batch = batch.saturating_mul(2).min(1 << 20);
+        batch = batch.saturating_mul(2).min(MAX_BATCH);
     }
+}
+
+/// Measured granularity of the monotonic clock: the first non-zero delta
+/// observable from one read point (bounded spin; assumes 1 ns resolution
+/// if the clock never advances).
+fn clock_tick_secs() -> f64 {
+    let start = Instant::now();
+    for _ in 0..1_000_000 {
+        let dt = start.elapsed();
+        if !dt.is_zero() {
+            return dt.as_secs_f64();
+        }
+    }
+    1e-9
 }
 
 /// The paper's normalized performance metric for an `n`-point FFT:
@@ -80,6 +112,32 @@ mod tests {
         let mut count = 0u32;
         let _ = time_per_call(|| count += 1, 0.0, 5);
         assert!(count > 5); // +1 warm-up
+    }
+
+    #[test]
+    fn zero_min_reps_still_times_one_call() {
+        // min_reps == 0 with a zero time floor must not divide by zero;
+        // exactly one timed rep (plus the warm-up) runs.
+        let mut count = 0u32;
+        let t = time_per_call(|| count += 1, 0.0, 0);
+        assert_eq!(count, 2, "warm-up + one timed rep");
+        assert!(t.is_finite() && t >= 0.0);
+    }
+
+    #[test]
+    fn clock_tick_is_positive_and_small() {
+        let tick = clock_tick_secs();
+        assert!(tick > 0.0);
+        assert!(tick < 0.1, "monotonic clock tick of {tick}s is absurd");
+    }
+
+    #[test]
+    fn fast_functions_terminate_with_nonzero_estimate() {
+        // An empty closure is far below any clock tick per call; the
+        // estimator must terminate (no unbounded batch growth) and return
+        // a finite non-negative mean quickly.
+        let t = time_per_call(|| {}, 0.0, 1);
+        assert!(t.is_finite() && t >= 0.0);
     }
 
     #[test]

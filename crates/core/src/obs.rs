@@ -1,0 +1,891 @@
+//! Observability: structured tracing of planning and execution.
+//!
+//! The paper's central claim is a cost *decomposition* — Eq. (2)/(3)
+//! price a factorization node as `T(N) = T_left + T_right + T_tw + Dr`
+//! (child stages, twiddle pass, reorganization) — but a wall clock over a
+//! whole plan cannot check the per-term predictions, and a planner that
+//! only returns its winning tree cannot explain *why* it won. This module
+//! is the instrumentation layer the rest of the workspace reports into:
+//!
+//! * [`Sink`] — the zero-cost-when-disabled observer trait. Like
+//!   [`ddl_cachesim::MemoryTracer`], it carries a `const ENABLED` flag;
+//!   every instrumentation site is guarded by `S::ENABLED`, so with the
+//!   default [`NullSink`] the executor and planner compile to exactly the
+//!   uninstrumented code.
+//! * [`Recorder`] — the standard in-memory sink: monotonic [`Counter`]s,
+//!   per-[`Stage`] span accumulation (the Eq. (2)/(3) split), and a
+//!   bounded log of planner candidates.
+//! * [`MetricsReport`] — the serializable aggregate: planner search
+//!   stats, per-execution stage breakdowns, batch reports and raw
+//!   counters, round-tripping through [`crate::json`] under the stable
+//!   `ddl-metrics` schema (see DESIGN.md's "Observability" section).
+//!
+//! Instrumented entry points are additive: `try_plan_dft_with`,
+//! `DftPlan::try_profile`, `Wisdom::load_with`, … sit next to their
+//! uninstrumented originals, which delegate with [`NullSink`].
+//!
+//! Benchmark binaries write reports behind a `--metrics-out <path>` flag;
+//! library users can export the same JSON by setting the
+//! [`METRICS_OUT_ENV`] environment variable (see [`env_metrics_out`]).
+
+use crate::json::{self, Json};
+use crate::tree::Tree;
+use ddl_num::DdlError;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+/// Name of the environment variable library users set to a file path to
+/// request a metrics report without touching any API: code that already
+/// writes reports (the bench binaries) treats it as a default for
+/// `--metrics-out`.
+pub const METRICS_OUT_ENV: &str = "DDL_METRICS_OUT";
+
+/// Schema identifier carried by every report.
+pub const METRICS_SCHEMA: &str = "ddl-metrics";
+
+/// Current schema version; readers refuse anything newer.
+pub const METRICS_VERSION: u32 = 1;
+
+/// Execution stage classification, mirroring the terms of the paper's
+/// Eq. (2)/(3): leaf computation (`T_left`/`T_right` bottom out in leaf
+/// codelets), the twiddle pass (`T_tw`), and data reorganization (`Dr`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Leaf codelet execution (the recursion's computational payload).
+    Leaf,
+    /// The diagonal twiddle multiplication between DFT stages.
+    Twiddle,
+    /// Data reorganization: leaf gathers, WHT gather/scatter passes and
+    /// the DFT inter-stage tiled transpose.
+    Reorg,
+}
+
+impl Stage {
+    /// Every stage, in serialization order.
+    pub const ALL: [Stage; 3] = [Stage::Leaf, Stage::Twiddle, Stage::Reorg];
+
+    /// Stable lowercase name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Leaf => "leaf",
+            Stage::Twiddle => "twiddle",
+            Stage::Reorg => "reorg",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Monotonic event counters. Values only ever increase; deltas are
+/// non-negative by construction (`u64`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Distinct `(size, stride)` states memoized by the planner DP.
+    PlannerStates,
+    /// Planner lookups answered from the DP memo table.
+    PlannerMemoHits,
+    /// Candidate trees priced by the planner.
+    PlannerCandidates,
+    /// Wisdom lookups answered from the store.
+    WisdomHits,
+    /// Wisdom lookups that missed (or hit a corrupt entry) and re-planned.
+    WisdomMisses,
+    /// Valid entries accepted during wisdom loads.
+    WisdomLoadedEntries,
+    /// Entries quarantined during wisdom loads.
+    WisdomQuarantinedEntries,
+    /// Entries written by wisdom saves.
+    WisdomSavedEntries,
+}
+
+impl Counter {
+    /// Every counter, in serialization order.
+    pub const ALL: [Counter; 8] = [
+        Counter::PlannerStates,
+        Counter::PlannerMemoHits,
+        Counter::PlannerCandidates,
+        Counter::WisdomHits,
+        Counter::WisdomMisses,
+        Counter::WisdomLoadedEntries,
+        Counter::WisdomQuarantinedEntries,
+        Counter::WisdomSavedEntries,
+    ];
+
+    /// Stable dotted name used in reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Counter::PlannerStates => "planner.states",
+            Counter::PlannerMemoHits => "planner.memo_hits",
+            Counter::PlannerCandidates => "planner.candidates",
+            Counter::WisdomHits => "wisdom.hits",
+            Counter::WisdomMisses => "wisdom.misses",
+            Counter::WisdomLoadedEntries => "wisdom.loaded_entries",
+            Counter::WisdomQuarantinedEntries => "wisdom.quarantined_entries",
+            Counter::WisdomSavedEntries => "wisdom.saved_entries",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// One planner candidate observation: the `(size, stride, reorg?)` state
+/// the paper's DP explores, with the cost the backend assigned.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Candidate {
+    /// Transform size of the candidate subtree.
+    pub size: usize,
+    /// Input stride of the DP state being priced.
+    pub stride: usize,
+    /// Whether the candidate's root carries a reorganization.
+    pub reorg: bool,
+    /// Backend cost (seconds, model ns, or simulated cycles).
+    pub cost: f64,
+}
+
+/// Observer for planner and executor instrumentation.
+///
+/// Implementations with `ENABLED == false` (the [`NullSink`]) make every
+/// instrumentation site statically dead: the executors gate their timer
+/// reads on `S::ENABLED`, so the disabled configuration is bit-identical
+/// to uninstrumented code on the hot path.
+pub trait Sink {
+    /// Whether this sink observes anything at all.
+    const ENABLED: bool;
+
+    /// Adds `delta` to a monotonic counter.
+    fn counter(&mut self, counter: Counter, delta: u64);
+
+    /// Records one completed stage span of `nanos` covering `points`
+    /// data points.
+    fn stage(&mut self, stage: Stage, nanos: u64, points: u64);
+
+    /// Records one planner candidate.
+    fn candidate(&mut self, candidate: Candidate);
+}
+
+/// The disabled sink: observes nothing, costs nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn counter(&mut self, _counter: Counter, _delta: u64) {}
+
+    #[inline(always)]
+    fn stage(&mut self, _stage: Stage, _nanos: u64, _points: u64) {}
+
+    #[inline(always)]
+    fn candidate(&mut self, _candidate: Candidate) {}
+}
+
+/// Starts a stage timer only when the sink is enabled; with the
+/// [`NullSink`] the `None` arm lets the optimizer delete both the clock
+/// read and the report, keeping instrumented executors bit-identical to
+/// uninstrumented ones.
+#[inline(always)]
+pub fn stage_start<S: Sink>() -> Option<std::time::Instant> {
+    if S::ENABLED {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Closes a stage timer opened by [`stage_start`], reporting the span
+/// into `sink`.
+#[inline(always)]
+pub fn stage_end<S: Sink>(sink: &mut S, stage: Stage, t0: Option<std::time::Instant>, points: u64) {
+    if let Some(t0) = t0 {
+        sink.stage(stage, t0.elapsed().as_nanos() as u64, points);
+    }
+}
+
+/// Cap on retained planner candidates; beyond it only the drop count
+/// grows, so a huge search cannot balloon the recorder.
+pub const MAX_RECORDED_CANDIDATES: usize = 4096;
+
+/// The standard in-memory sink: accumulates counters, per-stage spans
+/// and a bounded candidate log, and converts into report sections.
+#[derive(Clone, Debug, Default)]
+pub struct Recorder {
+    counters: [u64; Counter::ALL.len()],
+    stage_ns: [u64; Stage::ALL.len()],
+    stage_calls: [u64; Stage::ALL.len()],
+    stage_points: [u64; Stage::ALL.len()],
+    candidates: Vec<Candidate>,
+    candidates_dropped: u64,
+}
+
+impl Recorder {
+    /// A fresh recorder with every counter at zero.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Current value of one counter.
+    pub fn counter_value(&self, counter: Counter) -> u64 {
+        self.counters[counter.index()]
+    }
+
+    /// Accumulated nanoseconds in one stage.
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.stage_ns[stage.index()]
+    }
+
+    /// Number of recorded spans in one stage.
+    pub fn stage_calls(&self, stage: Stage) -> u64 {
+        self.stage_calls[stage.index()]
+    }
+
+    /// Accumulated data points across one stage's spans.
+    pub fn stage_points(&self, stage: Stage) -> u64 {
+        self.stage_points[stage.index()]
+    }
+
+    /// The per-stage time split accumulated so far.
+    pub fn breakdown(&self) -> StageBreakdown {
+        StageBreakdown {
+            leaf_ns: self.stage_ns(Stage::Leaf),
+            twiddle_ns: self.stage_ns(Stage::Twiddle),
+            reorg_ns: self.stage_ns(Stage::Reorg),
+        }
+    }
+
+    /// Retained planner candidates (at most
+    /// [`MAX_RECORDED_CANDIDATES`]; see [`Recorder::candidates_dropped`]).
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// Candidates observed beyond the retention cap.
+    pub fn candidates_dropped(&self) -> u64 {
+        self.candidates_dropped
+    }
+
+    /// All non-zero counters as a name → value map (report form).
+    pub fn counters_map(&self) -> BTreeMap<String, u64> {
+        let mut map = BTreeMap::new();
+        merge_counters(&mut map, self);
+        map
+    }
+}
+
+/// Adds `recorder`'s non-zero counters into `into` (summing on key
+/// collision), so several recorders can fold into one report.
+pub fn merge_counters(into: &mut BTreeMap<String, u64>, recorder: &Recorder) {
+    for c in Counter::ALL {
+        let v = recorder.counter_value(c);
+        if v > 0 {
+            *into.entry(c.as_str().to_string()).or_insert(0) += v;
+        }
+    }
+}
+
+impl Sink for Recorder {
+    const ENABLED: bool = true;
+
+    fn counter(&mut self, counter: Counter, delta: u64) {
+        self.counters[counter.index()] += delta;
+    }
+
+    fn stage(&mut self, stage: Stage, nanos: u64, points: u64) {
+        let i = stage.index();
+        self.stage_ns[i] += nanos;
+        self.stage_calls[i] += 1;
+        self.stage_points[i] += points;
+    }
+
+    fn candidate(&mut self, candidate: Candidate) {
+        if self.candidates.len() < MAX_RECORDED_CANDIDATES {
+            self.candidates.push(candidate);
+        } else {
+            self.candidates_dropped += 1;
+        }
+    }
+}
+
+/// Per-stage execution time split — the measurable form of Eq. (2)/(3):
+/// `leaf_ns` covers the recursive `T_left`/`T_right` payload, `twiddle_ns`
+/// the `T_tw` passes, `reorg_ns` the `Dr` reorganizations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Nanoseconds spent in leaf codelets.
+    pub leaf_ns: u64,
+    /// Nanoseconds spent in twiddle passes.
+    pub twiddle_ns: u64,
+    /// Nanoseconds spent reorganizing data.
+    pub reorg_ns: u64,
+}
+
+impl StageBreakdown {
+    /// Sum of the three stage terms. Always at most the wall-clock total
+    /// of the same execution (the spans are disjoint sub-intervals).
+    pub fn stage_sum_ns(&self) -> u64 {
+        self.leaf_ns + self.twiddle_ns + self.reorg_ns
+    }
+}
+
+/// Planner search statistics for one planning run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlannerRunMetrics {
+    /// `"dft"` or `"wht"`.
+    pub transform: String,
+    /// Transform size planned.
+    pub n: usize,
+    /// `"sdl"` or `"ddl"`.
+    pub strategy: String,
+    /// Cost backend description (e.g. `"analytical"`, `"measured"`).
+    pub backend: String,
+    /// Distinct `(size, stride)` DP states explored.
+    pub states: u64,
+    /// Candidate trees priced.
+    pub candidates: u64,
+    /// DP lookups answered from the memo table.
+    pub memo_hits: u64,
+    /// Cost of the winning tree (backend units).
+    pub cost: f64,
+    /// Wall-clock seconds the search took.
+    pub plan_seconds: f64,
+    /// Winning tree, as a grammar expression.
+    pub tree: String,
+}
+
+/// One profiled plan execution with its stage breakdown.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionMetrics {
+    /// `"dft"` or `"wht"`.
+    pub transform: String,
+    /// Transform size executed.
+    pub n: usize,
+    /// The executed tree, as a grammar expression.
+    pub tree: String,
+    /// Wall-clock nanoseconds for the whole execution.
+    pub total_ns: u64,
+    /// Per-stage split of `total_ns` (plus untimed recursion glue).
+    pub stages: StageBreakdown,
+    /// Number of leaf codelet invocations.
+    pub leaf_calls: u64,
+    /// Data points passed through twiddle passes.
+    pub twiddle_points: u64,
+    /// Data points moved by reorganizations.
+    pub reorg_points: u64,
+    /// Estimated floating-point operations in the leaf stage (from the
+    /// kernel crate's per-leaf estimates; 0 when not computed).
+    pub leaf_flops_est: u64,
+}
+
+impl ExecutionMetrics {
+    /// Builds the section from a profiled run's recorder.
+    pub fn from_recorder(
+        transform: &str,
+        n: usize,
+        tree: String,
+        total_ns: u64,
+        recorder: &Recorder,
+        leaf_flops_est: u64,
+    ) -> ExecutionMetrics {
+        ExecutionMetrics {
+            transform: transform.to_string(),
+            n,
+            tree,
+            total_ns,
+            stages: recorder.breakdown(),
+            leaf_calls: recorder.stage_calls(Stage::Leaf),
+            twiddle_points: recorder.stage_points(Stage::Twiddle),
+            reorg_points: recorder.stage_points(Stage::Reorg),
+            leaf_flops_est,
+        }
+    }
+}
+
+/// One batch execution summary (see [`crate::parallel::BatchReport`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchMetrics {
+    /// Caller-chosen label (e.g. `"dft:1024"`).
+    pub label: String,
+    /// Items in the batch.
+    pub items: u64,
+    /// Items that completed without fault.
+    pub ok: u64,
+    /// Items that failed by worker panic.
+    pub panicked: u64,
+    /// Whether part of the batch degraded to the calling thread.
+    pub degraded_to_sequential: bool,
+    /// Wall-clock nanoseconds for the whole batch.
+    pub wall_ns: u64,
+    /// Longest time any item waited before starting.
+    pub queue_ns_max: u64,
+    /// Sum of per-item run times (exceeds `wall_ns` under parallelism).
+    pub run_ns_total: u64,
+    /// Longest single item run time.
+    pub run_ns_max: u64,
+}
+
+/// Estimated leaf-stage floating-point operations of a tree: the sum of
+/// the kernel crate's per-leaf estimates over all leaves, for the DFT
+/// (`dft == true`) or WHT interpretation.
+pub fn tree_leaf_flops(tree: &Tree, dft: bool) -> u64 {
+    match tree {
+        Tree::Leaf { n, .. } => {
+            if dft {
+                ddl_kernels::dft_leaf_flops_est(*n)
+            } else {
+                ddl_kernels::wht_leaf_ops_est(*n)
+            }
+        }
+        Tree::Split { left, right, .. } => {
+            let l = tree_leaf_flops(left, dft);
+            let r = tree_leaf_flops(right, dft);
+            // each child stage runs sibling-size times
+            l.saturating_mul(right.size() as u64)
+                .saturating_add(r.saturating_mul(left.size() as u64))
+        }
+    }
+}
+
+/// The serializable aggregate: everything one instrumented run learned.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    /// One entry per planning run.
+    pub planner: Vec<PlannerRunMetrics>,
+    /// One entry per profiled execution.
+    pub executions: Vec<ExecutionMetrics>,
+    /// One entry per batch execution.
+    pub batches: Vec<BatchMetrics>,
+    /// Raw monotonic counters by dotted name.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl MetricsReport {
+    /// An empty report.
+    pub fn new() -> MetricsReport {
+        MetricsReport::default()
+    }
+
+    /// Serializes to the versioned `ddl-metrics` JSON document.
+    pub fn to_json(&self) -> Json {
+        let mut top = BTreeMap::new();
+        top.insert("schema".into(), Json::Str(METRICS_SCHEMA.into()));
+        top.insert("version".into(), Json::Num(METRICS_VERSION as f64));
+        top.insert(
+            "planner".into(),
+            Json::Arr(self.planner.iter().map(planner_to_json).collect()),
+        );
+        top.insert(
+            "executions".into(),
+            Json::Arr(self.executions.iter().map(execution_to_json).collect()),
+        );
+        top.insert(
+            "batches".into(),
+            Json::Arr(self.batches.iter().map(batch_to_json).collect()),
+        );
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+            .collect();
+        top.insert("counters".into(), Json::Obj(counters));
+        Json::Obj(top)
+    }
+
+    /// Serializes to pretty-printed JSON text.
+    pub fn to_pretty_json(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Parses and validates a `ddl-metrics` document.
+    pub fn parse(text: &str) -> Result<MetricsReport, DdlError> {
+        let doc = json::parse(text).map_err(|e| metrics_err(format!("not JSON: {e}")))?;
+        MetricsReport::from_json(&doc)
+    }
+
+    /// Decodes from a parsed JSON value, validating the schema.
+    pub fn from_json(doc: &Json) -> Result<MetricsReport, DdlError> {
+        let top = doc
+            .as_obj()
+            .ok_or_else(|| metrics_err("top level is not a JSON object".into()))?;
+        match top.get("schema").and_then(Json::as_str) {
+            Some(METRICS_SCHEMA) => {}
+            Some(other) => return Err(metrics_err(format!("unknown schema {other:?}"))),
+            None => return Err(metrics_err("missing \"schema\" field".into())),
+        }
+        let version = top
+            .get("version")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| metrics_err("missing or non-integer \"version\"".into()))?;
+        if version > METRICS_VERSION as u64 {
+            return Err(metrics_err(format!(
+                "report version {version} is newer than supported version {METRICS_VERSION}"
+            )));
+        }
+        let arr = |key: &str| -> Result<&[Json], DdlError> {
+            match top.get(key) {
+                None => Ok(&[]),
+                Some(Json::Arr(items)) => Ok(items),
+                Some(_) => Err(metrics_err(format!("\"{key}\" is not an array"))),
+            }
+        };
+        let planner = arr("planner")?
+            .iter()
+            .map(planner_from_json)
+            .collect::<Result<_, _>>()?;
+        let executions = arr("executions")?
+            .iter()
+            .map(execution_from_json)
+            .collect::<Result<_, _>>()?;
+        let batches = arr("batches")?
+            .iter()
+            .map(batch_from_json)
+            .collect::<Result<_, _>>()?;
+        let mut counters = BTreeMap::new();
+        if let Some(v) = top.get("counters") {
+            let obj = v
+                .as_obj()
+                .ok_or_else(|| metrics_err("\"counters\" is not an object".into()))?;
+            for (k, v) in obj {
+                let v = v.as_u64().ok_or_else(|| {
+                    metrics_err(format!("counter {k:?} is not a non-negative integer"))
+                })?;
+                counters.insert(k.clone(), v);
+            }
+        }
+        Ok(MetricsReport {
+            planner,
+            executions,
+            batches,
+            counters,
+        })
+    }
+
+    /// Writes the pretty-printed report to `path`.
+    pub fn write(&self, path: &std::path::Path) -> Result<(), DdlError> {
+        std::fs::write(path, self.to_pretty_json())
+            .map_err(|e| metrics_err(format!("cannot write {}: {e}", path.display())))
+    }
+}
+
+/// The metrics output path requested through the environment, if any
+/// (the [`METRICS_OUT_ENV`] variable, ignored when empty).
+pub fn env_metrics_out() -> Option<PathBuf> {
+    match std::env::var_os(METRICS_OUT_ENV) {
+        Some(v) if !v.is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+fn metrics_err(detail: String) -> DdlError {
+    DdlError::Metrics { detail }
+}
+
+fn obj<'j>(v: &'j Json, what: &str) -> Result<&'j BTreeMap<String, Json>, DdlError> {
+    v.as_obj()
+        .ok_or_else(|| metrics_err(format!("{what} entry is not an object")))
+}
+
+fn get_str(map: &BTreeMap<String, Json>, key: &str) -> Result<String, DdlError> {
+    map.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| metrics_err(format!("missing or non-string \"{key}\"")))
+}
+
+fn get_u64(map: &BTreeMap<String, Json>, key: &str) -> Result<u64, DdlError> {
+    map.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| metrics_err(format!("missing or non-integer \"{key}\"")))
+}
+
+fn get_f64(map: &BTreeMap<String, Json>, key: &str) -> Result<f64, DdlError> {
+    map.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| metrics_err(format!("missing or non-numeric \"{key}\"")))
+}
+
+fn get_bool(map: &BTreeMap<String, Json>, key: &str) -> Result<bool, DdlError> {
+    match map.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(metrics_err(format!("missing or non-boolean \"{key}\""))),
+    }
+}
+
+fn planner_to_json(p: &PlannerRunMetrics) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("transform".into(), Json::Str(p.transform.clone()));
+    m.insert("n".into(), Json::Num(p.n as f64));
+    m.insert("strategy".into(), Json::Str(p.strategy.clone()));
+    m.insert("backend".into(), Json::Str(p.backend.clone()));
+    m.insert("states".into(), Json::Num(p.states as f64));
+    m.insert("candidates".into(), Json::Num(p.candidates as f64));
+    m.insert("memo_hits".into(), Json::Num(p.memo_hits as f64));
+    m.insert("cost".into(), Json::Num(p.cost));
+    m.insert("plan_seconds".into(), Json::Num(p.plan_seconds));
+    m.insert("tree".into(), Json::Str(p.tree.clone()));
+    Json::Obj(m)
+}
+
+fn planner_from_json(v: &Json) -> Result<PlannerRunMetrics, DdlError> {
+    let m = obj(v, "planner")?;
+    Ok(PlannerRunMetrics {
+        transform: get_str(m, "transform")?,
+        n: get_u64(m, "n")? as usize,
+        strategy: get_str(m, "strategy")?,
+        backend: get_str(m, "backend")?,
+        states: get_u64(m, "states")?,
+        candidates: get_u64(m, "candidates")?,
+        memo_hits: get_u64(m, "memo_hits")?,
+        cost: get_f64(m, "cost")?,
+        plan_seconds: get_f64(m, "plan_seconds")?,
+        tree: get_str(m, "tree")?,
+    })
+}
+
+fn execution_to_json(e: &ExecutionMetrics) -> Json {
+    let mut stages = BTreeMap::new();
+    stages.insert("leaf_ns".into(), Json::Num(e.stages.leaf_ns as f64));
+    stages.insert("twiddle_ns".into(), Json::Num(e.stages.twiddle_ns as f64));
+    stages.insert("reorg_ns".into(), Json::Num(e.stages.reorg_ns as f64));
+    let mut m = BTreeMap::new();
+    m.insert("transform".into(), Json::Str(e.transform.clone()));
+    m.insert("n".into(), Json::Num(e.n as f64));
+    m.insert("tree".into(), Json::Str(e.tree.clone()));
+    m.insert("total_ns".into(), Json::Num(e.total_ns as f64));
+    m.insert("stages".into(), Json::Obj(stages));
+    m.insert("leaf_calls".into(), Json::Num(e.leaf_calls as f64));
+    m.insert("twiddle_points".into(), Json::Num(e.twiddle_points as f64));
+    m.insert("reorg_points".into(), Json::Num(e.reorg_points as f64));
+    m.insert("leaf_flops_est".into(), Json::Num(e.leaf_flops_est as f64));
+    Json::Obj(m)
+}
+
+fn execution_from_json(v: &Json) -> Result<ExecutionMetrics, DdlError> {
+    let m = obj(v, "executions")?;
+    let stages = m
+        .get("stages")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| metrics_err("missing or non-object \"stages\"".into()))?;
+    Ok(ExecutionMetrics {
+        transform: get_str(m, "transform")?,
+        n: get_u64(m, "n")? as usize,
+        tree: get_str(m, "tree")?,
+        total_ns: get_u64(m, "total_ns")?,
+        stages: StageBreakdown {
+            leaf_ns: get_u64(stages, "leaf_ns")?,
+            twiddle_ns: get_u64(stages, "twiddle_ns")?,
+            reorg_ns: get_u64(stages, "reorg_ns")?,
+        },
+        leaf_calls: get_u64(m, "leaf_calls")?,
+        twiddle_points: get_u64(m, "twiddle_points")?,
+        reorg_points: get_u64(m, "reorg_points")?,
+        leaf_flops_est: get_u64(m, "leaf_flops_est")?,
+    })
+}
+
+fn batch_to_json(b: &BatchMetrics) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("label".into(), Json::Str(b.label.clone()));
+    m.insert("items".into(), Json::Num(b.items as f64));
+    m.insert("ok".into(), Json::Num(b.ok as f64));
+    m.insert("panicked".into(), Json::Num(b.panicked as f64));
+    m.insert(
+        "degraded_to_sequential".into(),
+        Json::Bool(b.degraded_to_sequential),
+    );
+    m.insert("wall_ns".into(), Json::Num(b.wall_ns as f64));
+    m.insert("queue_ns_max".into(), Json::Num(b.queue_ns_max as f64));
+    m.insert("run_ns_total".into(), Json::Num(b.run_ns_total as f64));
+    m.insert("run_ns_max".into(), Json::Num(b.run_ns_max as f64));
+    Json::Obj(m)
+}
+
+fn batch_from_json(v: &Json) -> Result<BatchMetrics, DdlError> {
+    let m = obj(v, "batches")?;
+    Ok(BatchMetrics {
+        label: get_str(m, "label")?,
+        items: get_u64(m, "items")?,
+        ok: get_u64(m, "ok")?,
+        panicked: get_u64(m, "panicked")?,
+        degraded_to_sequential: get_bool(m, "degraded_to_sequential")?,
+        wall_ns: get_u64(m, "wall_ns")?,
+        queue_ns_max: get_u64(m, "queue_ns_max")?,
+        run_ns_total: get_u64(m, "run_ns_total")?,
+        run_ns_max: get_u64(m, "run_ns_max")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> MetricsReport {
+        let mut counters = BTreeMap::new();
+        counters.insert("planner.states".to_string(), 42u64);
+        counters.insert("wisdom.hits".to_string(), 3u64);
+        MetricsReport {
+            planner: vec![PlannerRunMetrics {
+                transform: "dft".into(),
+                n: 1024,
+                strategy: "ddl".into(),
+                backend: "analytical".into(),
+                states: 42,
+                candidates: 130,
+                memo_hits: 88,
+                cost: 1234.5,
+                plan_seconds: 0.002,
+                tree: "ct(32, 32)".into(),
+            }],
+            executions: vec![ExecutionMetrics {
+                transform: "wht".into(),
+                n: 4096,
+                tree: "split(64, 64)".into(),
+                total_ns: 100_000,
+                stages: StageBreakdown {
+                    leaf_ns: 70_000,
+                    twiddle_ns: 0,
+                    reorg_ns: 20_000,
+                },
+                leaf_calls: 128,
+                twiddle_points: 0,
+                reorg_points: 4096,
+                leaf_flops_est: 49_152,
+            }],
+            batches: vec![BatchMetrics {
+                label: "dft:1024".into(),
+                items: 8,
+                ok: 7,
+                panicked: 1,
+                degraded_to_sequential: false,
+                wall_ns: 500_000,
+                queue_ns_max: 1_000,
+                run_ns_total: 1_800_000,
+                run_ns_max: 260_000,
+            }],
+            counters,
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let text = report.to_pretty_json();
+        let back = MetricsReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+        // serialize → parse → serialize is a fixed point
+        assert_eq!(back.to_pretty_json(), text);
+    }
+
+    #[test]
+    fn schema_violations_are_rejected() {
+        for (doc, why) in [
+            ("{}", "missing schema"),
+            (r#"{"schema": "other", "version": 1}"#, "wrong schema"),
+            (r#"{"schema": "ddl-metrics"}"#, "missing version"),
+            (r#"{"schema": "ddl-metrics", "version": 99}"#, "future"),
+            (
+                r#"{"schema": "ddl-metrics", "version": 1, "planner": 7}"#,
+                "planner not array",
+            ),
+            (
+                r#"{"schema": "ddl-metrics", "version": 1, "counters": {"x": -1}}"#,
+                "negative counter",
+            ),
+        ] {
+            let got = MetricsReport::parse(doc);
+            assert!(
+                matches!(got, Err(DdlError::Metrics { .. })),
+                "{why}: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid() {
+        let text = MetricsReport::new().to_pretty_json();
+        let back = MetricsReport::parse(&text).unwrap();
+        assert_eq!(back, MetricsReport::new());
+    }
+
+    #[test]
+    fn recorder_accumulates_monotonically() {
+        let mut r = Recorder::new();
+        let mut last = 0;
+        for delta in [3u64, 0, 5, 1] {
+            r.counter(Counter::PlannerStates, delta);
+            let now = r.counter_value(Counter::PlannerStates);
+            assert!(now >= last, "counter decreased: {now} < {last}");
+            last = now;
+        }
+        assert_eq!(last, 9);
+        assert_eq!(r.counter_value(Counter::WisdomHits), 0);
+    }
+
+    #[test]
+    fn recorder_stage_accounting() {
+        let mut r = Recorder::new();
+        r.stage(Stage::Leaf, 100, 8);
+        r.stage(Stage::Leaf, 50, 8);
+        r.stage(Stage::Reorg, 30, 16);
+        let b = r.breakdown();
+        assert_eq!(b.leaf_ns, 150);
+        assert_eq!(b.reorg_ns, 30);
+        assert_eq!(b.twiddle_ns, 0);
+        assert_eq!(b.stage_sum_ns(), 180);
+        assert_eq!(r.stage_calls(Stage::Leaf), 2);
+        assert_eq!(r.stage_points(Stage::Leaf), 16);
+        assert_eq!(r.stage_points(Stage::Reorg), 16);
+    }
+
+    #[test]
+    fn candidate_log_is_bounded() {
+        let mut r = Recorder::new();
+        for i in 0..(MAX_RECORDED_CANDIDATES + 10) {
+            r.candidate(Candidate {
+                size: i,
+                stride: 1,
+                reorg: false,
+                cost: 1.0,
+            });
+        }
+        assert_eq!(r.candidates().len(), MAX_RECORDED_CANDIDATES);
+        assert_eq!(r.candidates_dropped(), 10);
+    }
+
+    #[test]
+    fn counters_map_skips_zeros_and_merges() {
+        let mut a = Recorder::new();
+        a.counter(Counter::WisdomHits, 2);
+        let mut b = Recorder::new();
+        b.counter(Counter::WisdomHits, 3);
+        b.counter(Counter::PlannerStates, 1);
+        let mut map = a.counters_map();
+        merge_counters(&mut map, &b);
+        assert_eq!(map.get("wisdom.hits"), Some(&5));
+        assert_eq!(map.get("planner.states"), Some(&1));
+        assert!(!map.contains_key("wisdom.misses"));
+    }
+
+    #[test]
+    fn stage_and_counter_names_are_stable() {
+        assert_eq!(Stage::Leaf.as_str(), "leaf");
+        assert_eq!(Stage::Twiddle.as_str(), "twiddle");
+        assert_eq!(Stage::Reorg.as_str(), "reorg");
+        // every counter has a distinct dotted name
+        let names: std::collections::BTreeSet<_> =
+            Counter::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(names.len(), Counter::ALL.len());
+    }
+
+    #[test]
+    fn tree_leaf_flops_scales_with_repetition() {
+        // split(4, 8): the 4-leaf runs 8 times, the 8-leaf 4 times.
+        let t = Tree::split(Tree::leaf(4), Tree::leaf(8));
+        let want = 8 * ddl_kernels::dft_leaf_flops_est(4) + 4 * ddl_kernels::dft_leaf_flops_est(8);
+        assert_eq!(tree_leaf_flops(&t, true), want);
+        assert!(tree_leaf_flops(&t, false) < tree_leaf_flops(&t, true));
+    }
+}

@@ -27,15 +27,30 @@
 //!   panicking wrappers are retained on top of them.
 
 use crate::dft::DftPlan;
+use crate::obs::BatchMetrics;
 use crate::wht::WhtPlan;
 use ddl_cachesim::NullTracer;
 use ddl_num::{Complex64, DdlError};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// Timing of one batch item: how long it waited and how long it ran.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ItemTiming {
+    /// Nanoseconds from batch start until this item began executing
+    /// (queueing behind earlier items on its worker).
+    pub queue_ns: u64,
+    /// Nanoseconds the item's execution took (including a caught panic's
+    /// unwinding). Zero for items lost to a dead worker.
+    pub run_ns: u64,
+}
 
 /// Per-item outcomes of one batch execution.
 #[derive(Debug)]
 pub struct BatchReport {
     outcomes: Vec<Result<(), DdlError>>,
+    timings: Vec<ItemTiming>,
+    wall_ns: u64,
     degraded_to_sequential: bool,
 }
 
@@ -55,6 +70,16 @@ impl BatchReport {
         &self.outcomes
     }
 
+    /// Per-item queue/run timings, indexed by batch position.
+    pub fn timings(&self) -> &[ItemTiming] {
+        &self.timings
+    }
+
+    /// Wall-clock nanoseconds for the whole batch call.
+    pub fn wall_ns(&self) -> u64 {
+        self.wall_ns
+    }
+
     /// The failed items, as `(index, error)` pairs.
     pub fn failures(&self) -> impl Iterator<Item = (usize, &DdlError)> {
         self.outcomes
@@ -67,6 +92,27 @@ impl BatchReport {
     /// to sequential execution on the calling thread.
     pub fn degraded_to_sequential(&self) -> bool {
         self.degraded_to_sequential
+    }
+
+    /// Summarizes this report as a metrics-report section under the
+    /// caller-chosen `label`.
+    pub fn metrics(&self, label: &str) -> BatchMetrics {
+        let panicked = self
+            .outcomes
+            .iter()
+            .filter(|r| matches!(r, Err(DdlError::WorkerPanic { .. })))
+            .count() as u64;
+        BatchMetrics {
+            label: label.to_string(),
+            items: self.outcomes.len() as u64,
+            ok: self.outcomes.iter().filter(|r| r.is_ok()).count() as u64,
+            panicked,
+            degraded_to_sequential: self.degraded_to_sequential,
+            wall_ns: self.wall_ns,
+            queue_ns_max: self.timings.iter().map(|t| t.queue_ns).max().unwrap_or(0),
+            run_ns_total: self.timings.iter().map(|t| t.run_ns).sum(),
+            run_ns_max: self.timings.iter().map(|t| t.run_ns).max().unwrap_or(0),
+        }
     }
 }
 
@@ -81,13 +127,15 @@ fn panic_payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 /// Runs one slice of the batch on the current thread, catching per-item
-/// panics. `base` is the global index of the first item in `chunk`.
+/// panics. `base` is the global index of the first item in `chunk`;
+/// `epoch` is the batch start used to date each item's queueing delay.
 fn run_chunk<Item, S, FS, FI>(
     base: usize,
     chunk: Vec<Item>,
+    epoch: Instant,
     new_scratch: &FS,
     run_item: &FI,
-) -> Vec<Result<(), DdlError>>
+) -> Vec<(Result<(), DdlError>, ItemTiming)>
 where
     FS: Fn() -> S,
     FI: Fn(usize, Item, &mut S),
@@ -98,12 +146,18 @@ where
         .enumerate()
         .map(|(offset, item)| {
             let index = base + offset;
-            catch_unwind(AssertUnwindSafe(|| run_item(index, item, &mut scratch))).map_err(
-                |payload| DdlError::WorkerPanic {
+            let queue_ns = epoch.elapsed().as_nanos() as u64;
+            let start = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_item(index, item, &mut scratch)))
+                .map_err(|payload| DdlError::WorkerPanic {
                     item: index,
                     payload: panic_payload_text(payload),
-                },
-            )
+                });
+            let timing = ItemTiming {
+                queue_ns,
+                run_ns: start.elapsed().as_nanos() as u64,
+            };
+            (outcome, timing)
         })
         .collect()
 }
@@ -128,18 +182,26 @@ where
     FS: Fn() -> S + Sync,
     FI: Fn(usize, Item, &mut S) + Sync,
 {
+    let epoch = Instant::now();
     let batch = items.len();
     if batch == 0 {
         return BatchReport {
             outcomes: Vec::new(),
+            timings: Vec::new(),
+            wall_ns: epoch.elapsed().as_nanos() as u64,
             degraded_to_sequential: false,
         };
     }
     let threads = threads.clamp(1, batch);
 
     if threads == 1 {
+        let (outcomes, timings) = run_chunk(0, items, epoch, &new_scratch, &run_item)
+            .into_iter()
+            .unzip();
         return BatchReport {
-            outcomes: run_chunk(0, items, &new_scratch, &run_item),
+            outcomes,
+            timings,
+            wall_ns: epoch.elapsed().as_nanos() as u64,
             degraded_to_sequential: false,
         };
     }
@@ -162,6 +224,7 @@ where
     }
 
     let mut outcomes: Vec<Result<(), DdlError>> = Vec::with_capacity(batch);
+    let mut timings: Vec<ItemTiming> = Vec::with_capacity(batch);
     let mut degraded = false;
 
     std::thread::scope(|scope| {
@@ -180,7 +243,7 @@ where
                         .expect("batch chunk taken twice");
                     (
                         chunk_base,
-                        run_chunk(chunk_base, chunk, new_scratch, run_item),
+                        run_chunk(chunk_base, chunk, epoch, new_scratch, run_item),
                     )
                 });
             match spawned {
@@ -195,7 +258,8 @@ where
             }
         }
 
-        let mut collected: Vec<(usize, Vec<Result<(), DdlError>>)> = unspawned
+        type ChunkResults = Vec<(Result<(), DdlError>, ItemTiming)>;
+        let mut collected: Vec<(usize, ChunkResults)> = unspawned
             .into_iter()
             .map(|slot| {
                 let (chunk_base, chunk) = slot
@@ -205,7 +269,7 @@ where
                     .expect("batch chunk taken twice");
                 (
                     chunk_base,
-                    run_chunk(chunk_base, chunk, new_scratch, run_item),
+                    run_chunk(chunk_base, chunk, epoch, new_scratch, run_item),
                 )
             })
             .collect();
@@ -223,7 +287,7 @@ where
         }
         collected.sort_by_key(|(chunk_base, _)| *chunk_base);
         let mut next = 0usize;
-        for (chunk_base, mut chunk_results) in collected {
+        for (chunk_base, chunk_results) in collected {
             // Pad any gap left by a lost worker with WorkerPanic errors
             // so outcome indices always align with batch positions.
             while next < chunk_base {
@@ -231,22 +295,29 @@ where
                     item: next,
                     payload: "worker thread lost".to_string(),
                 }));
+                timings.push(ItemTiming::default());
                 next += 1;
             }
             next += chunk_results.len();
-            outcomes.append(&mut chunk_results);
+            for (outcome, timing) in chunk_results {
+                outcomes.push(outcome);
+                timings.push(timing);
+            }
         }
         while next < batch {
             outcomes.push(Err(DdlError::WorkerPanic {
                 item: next,
                 payload: "worker thread lost".to_string(),
             }));
+            timings.push(ItemTiming::default());
             next += 1;
         }
     });
 
     BatchReport {
         outcomes,
+        timings,
+        wall_ns: epoch.elapsed().as_nanos() as u64,
         degraded_to_sequential: degraded,
     }
 }

@@ -28,6 +28,7 @@
 use crate::dft::DftPlan;
 use crate::measure::time_per_call;
 use crate::model::CacheModel;
+use crate::obs::{Candidate, Counter, NullSink, Sink};
 use crate::tree::Tree;
 use crate::wht::WhtPlan;
 use ddl_cachesim::NullTracer;
@@ -44,6 +45,16 @@ pub enum Strategy {
     /// Dynamic data layout: (size, stride) DP with reorganization
     /// candidates (the paper's contribution).
     Ddl,
+}
+
+impl Strategy {
+    /// Stable lowercase name used in metrics reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Strategy::Sdl => "sdl",
+            Strategy::Ddl => "ddl",
+        }
+    }
 }
 
 /// How candidate trees are priced.
@@ -78,6 +89,15 @@ impl CostBackend {
         CostBackend::Measured {
             min_secs: 2e-3,
             min_reps: 2,
+        }
+    }
+
+    /// Stable lowercase name used in metrics reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostBackend::Measured { .. } => "measured",
+            CostBackend::Analytical(_) => "analytical",
+            CostBackend::Simulated { .. } => "simulated",
         }
     }
 }
@@ -178,6 +198,17 @@ pub struct PlanOutcome {
 ///
 /// Returns [`DdlError::InvalidSize`] for a 0-point transform.
 pub fn try_plan_dft(n: usize, cfg: &PlannerConfig) -> Result<PlanOutcome, DdlError> {
+    try_plan_dft_with(n, cfg, &mut NullSink)
+}
+
+/// [`try_plan_dft`] with an observability sink: the search reports DP
+/// states, memo hits and every priced `(size, stride, reorg?)` candidate
+/// into `sink` as it runs.
+pub fn try_plan_dft_with<S: Sink>(
+    n: usize,
+    cfg: &PlannerConfig,
+    sink: &mut S,
+) -> Result<PlanOutcome, DdlError> {
     if n < 1 {
         return Err(DdlError::invalid_size(
             "plan_dft",
@@ -190,6 +221,7 @@ pub fn try_plan_dft(n: usize, cfg: &PlannerConfig) -> Result<PlanOutcome, DdlErr
         kind: Kind::Dft,
         memo: HashMap::new(),
         candidates: 0,
+        sink,
     };
     let (cost, tree) = search.best(n, 1);
     Ok(PlanOutcome {
@@ -214,6 +246,16 @@ pub fn plan_dft(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
 ///
 /// Returns [`DdlError::InvalidSize`] unless `n` is a power of two.
 pub fn try_plan_wht(n: usize, cfg: &PlannerConfig) -> Result<PlanOutcome, DdlError> {
+    try_plan_wht_with(n, cfg, &mut NullSink)
+}
+
+/// [`try_plan_wht`] with an observability sink (see
+/// [`try_plan_dft_with`]).
+pub fn try_plan_wht_with<S: Sink>(
+    n: usize,
+    cfg: &PlannerConfig,
+    sink: &mut S,
+) -> Result<PlanOutcome, DdlError> {
     if !n.is_power_of_two() {
         return Err(DdlError::invalid_size(
             "plan_wht",
@@ -226,6 +268,7 @@ pub fn try_plan_wht(n: usize, cfg: &PlannerConfig) -> Result<PlanOutcome, DdlErr
         kind: Kind::Wht,
         memo: HashMap::new(),
         candidates: 0,
+        sink,
     };
     let (cost, tree) = search.best(n, 1);
     Ok(PlanOutcome {
@@ -267,7 +310,17 @@ pub fn try_plan_dft_sweep(
     max_n: usize,
     cfg: &PlannerConfig,
 ) -> Result<Vec<(usize, PlanOutcome)>, DdlError> {
-    plan_sweep(max_n, cfg, Kind::Dft)
+    plan_sweep(max_n, cfg, Kind::Dft, &mut NullSink)
+}
+
+/// [`try_plan_dft_sweep`] with an observability sink (see
+/// [`try_plan_dft_with`]).
+pub fn try_plan_dft_sweep_with<S: Sink>(
+    max_n: usize,
+    cfg: &PlannerConfig,
+    sink: &mut S,
+) -> Result<Vec<(usize, PlanOutcome)>, DdlError> {
+    plan_sweep(max_n, cfg, Kind::Dft, sink)
 }
 
 /// WHT version of [`plan_dft_sweep`].
@@ -283,13 +336,24 @@ pub fn try_plan_wht_sweep(
     max_n: usize,
     cfg: &PlannerConfig,
 ) -> Result<Vec<(usize, PlanOutcome)>, DdlError> {
-    plan_sweep(max_n, cfg, Kind::Wht)
+    plan_sweep(max_n, cfg, Kind::Wht, &mut NullSink)
 }
 
-fn plan_sweep(
+/// [`try_plan_wht_sweep`] with an observability sink (see
+/// [`try_plan_dft_with`]).
+pub fn try_plan_wht_sweep_with<S: Sink>(
+    max_n: usize,
+    cfg: &PlannerConfig,
+    sink: &mut S,
+) -> Result<Vec<(usize, PlanOutcome)>, DdlError> {
+    plan_sweep(max_n, cfg, Kind::Wht, sink)
+}
+
+fn plan_sweep<S: Sink>(
     max_n: usize,
     cfg: &PlannerConfig,
     kind: Kind,
+    sink: &mut S,
 ) -> Result<Vec<(usize, PlanOutcome)>, DdlError> {
     if !max_n.is_power_of_two() {
         return Err(DdlError::invalid_size(
@@ -303,6 +367,7 @@ fn plan_sweep(
         kind,
         memo: HashMap::new(),
         candidates: 0,
+        sink,
     };
     search.best(max_n, 1);
     let mut out = Vec::new();
@@ -331,14 +396,15 @@ enum Kind {
     Wht,
 }
 
-struct Search {
+struct Search<'s, S: Sink> {
     cfg: PlannerConfig,
     kind: Kind,
     memo: HashMap<(usize, usize), (f64, Tree)>,
     candidates: usize,
+    sink: &'s mut S,
 }
 
-impl Search {
+impl<S: Sink> Search<'_, S> {
     /// Optimal (cost, tree) for an `n`-point transform read at `stride`.
     ///
     /// Under `Strategy::Sdl` the stride is forced to 1 before memoization,
@@ -349,6 +415,9 @@ impl Search {
             Strategy::Ddl => stride,
         };
         if let Some(hit) = self.memo.get(&(n, stride)) {
+            if S::ENABLED {
+                self.sink.counter(Counter::PlannerMemoHits, 1);
+            }
             return hit.clone();
         }
 
@@ -356,6 +425,15 @@ impl Search {
         let mut consider = |this: &mut Self, tree: Tree| {
             let cost = this.price(&tree, n, stride);
             this.candidates += 1;
+            if S::ENABLED {
+                this.sink.counter(Counter::PlannerCandidates, 1);
+                this.sink.candidate(Candidate {
+                    size: n,
+                    stride,
+                    reorg: tree.reorg(),
+                    cost,
+                });
+            }
             if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
                 best = Some((cost, tree));
             }
@@ -412,8 +490,22 @@ impl Search {
             // No factorization and too big for a codelet (e.g. a large
             // prime): fall back to a naive leaf.
             let tree = Tree::leaf(n);
-            (self.price(&tree, n, stride), tree)
+            let cost = self.price(&tree, n, stride);
+            self.candidates += 1;
+            if S::ENABLED {
+                self.sink.counter(Counter::PlannerCandidates, 1);
+                self.sink.candidate(Candidate {
+                    size: n,
+                    stride,
+                    reorg: false,
+                    cost,
+                });
+            }
+            (cost, tree)
         });
+        if S::ENABLED {
+            self.sink.counter(Counter::PlannerStates, 1);
+        }
         self.memo.insert((n, stride), result.clone());
         result
     }

@@ -15,6 +15,7 @@
 //! memory operations, the WHT version of the paper's `Dr` reorganization.
 //! Data points are `f64` (8 bytes), as in the paper's WHT experiments.
 
+use crate::obs::{stage_end, stage_start, ExecutionMetrics, NullSink, Recorder, Sink, Stage};
 use crate::tree::Tree;
 use crate::WHT_POINT_BYTES;
 use ddl_cachesim::{MemoryTracer, NullTracer};
@@ -125,6 +126,25 @@ impl WhtPlan {
         tracer: &mut T,
         addrs: [u64; 2],
     ) -> Result<(), DdlError> {
+        self.try_execute_view_observed(data, base, stride, scratch, tracer, addrs, &mut NullSink)
+    }
+
+    /// [`WhtPlan::try_execute_view`] with an observability sink: leaf and
+    /// reorganization spans are timed into `sink` (the WHT form of the
+    /// paper's Eq. (2) breakdown — there is no twiddle term). With
+    /// [`NullSink`] this *is* `try_execute_view` — the stage timers
+    /// compile away.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_execute_view_observed<T: MemoryTracer, S: Sink>(
+        &self,
+        data: &mut [f64],
+        base: usize,
+        stride: usize,
+        scratch: &mut [f64],
+        tracer: &mut T,
+        addrs: [u64; 2],
+        sink: &mut S,
+    ) -> Result<(), DdlError> {
         if self.n > 1 && stride == 0 {
             return Err(DdlError::InvalidStride {
                 detail: format!(
@@ -156,9 +176,38 @@ impl WhtPlan {
             ));
         }
         exec(
-            &self.tree, data, base, stride, addrs[0], scratch, addrs[1], tracer,
+            &self.tree, data, base, stride, addrs[0], scratch, addrs[1], tracer, sink,
         );
         Ok(())
+    }
+
+    /// Executes once with a fresh [`Recorder`] attached and returns the
+    /// per-stage breakdown: wall-clock total plus the leaf/reorg split of
+    /// the paper's Eq. (2) (the WHT has no twiddle term), stage
+    /// call/point counts and a leaf op estimate. Scratch is allocated
+    /// internally.
+    pub fn try_profile(&self, data: &mut [f64]) -> Result<ExecutionMetrics, DdlError> {
+        let mut scratch = vec![0.0f64; self.scratch_need];
+        let mut recorder = Recorder::new();
+        let t0 = std::time::Instant::now();
+        self.try_execute_view_observed(
+            data,
+            0,
+            1,
+            &mut scratch,
+            &mut NullTracer,
+            [0; 2],
+            &mut recorder,
+        )?;
+        let total_ns = t0.elapsed().as_nanos() as u64;
+        Ok(ExecutionMetrics::from_recorder(
+            "wht",
+            self.n,
+            crate::grammar::print_wht(&self.tree),
+            total_ns,
+            &recorder,
+            crate::obs::tree_leaf_flops(&self.tree, false),
+        ))
     }
 }
 
@@ -171,7 +220,7 @@ fn scratch_need(tree: &Tree) -> usize {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn exec<T: MemoryTracer>(
+fn exec<T: MemoryTracer, S: Sink>(
     node: &Tree,
     data: &mut [f64],
     base: usize,
@@ -180,6 +229,7 @@ fn exec<T: MemoryTracer>(
     scratch: &mut [f64],
     scr_addr: u64,
     tr: &mut T,
+    sink: &mut S,
 ) {
     let n = node.size();
     let pt = WHT_POINT_BYTES as u32;
@@ -187,10 +237,12 @@ fn exec<T: MemoryTracer>(
     if node.reorg() && stride > 1 {
         // Dr: gather the strided view into contiguous scratch, transform
         // there, scatter back.
+        let t0 = stage_start::<S>();
         let (r, rest) = scratch.split_at_mut(n);
         for (i, ri) in r.iter_mut().enumerate() {
             *ri = data[base + i * stride];
         }
+        stage_end(sink, Stage::Reorg, t0, n as u64);
         if T::ENABLED {
             for i in 0..n {
                 tr.read(
@@ -209,10 +261,13 @@ fn exec<T: MemoryTracer>(
             rest,
             scr_addr + (n * WHT_POINT_BYTES) as u64,
             tr,
+            sink,
         );
+        let t0 = stage_start::<S>();
         for (i, &ri) in r.iter().enumerate() {
             data[base + i * stride] = ri;
         }
+        stage_end(sink, Stage::Reorg, t0, n as u64);
         if T::ENABLED {
             for i in 0..n {
                 tr.read(scr_addr + (i * WHT_POINT_BYTES) as u64, pt);
@@ -225,11 +280,13 @@ fn exec<T: MemoryTracer>(
         return;
     }
 
-    exec_body(node, data, base, stride, data_addr, scratch, scr_addr, tr);
+    exec_body(
+        node, data, base, stride, data_addr, scratch, scr_addr, tr, sink,
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
-fn exec_body<T: MemoryTracer>(
+fn exec_body<T: MemoryTracer, S: Sink>(
     node: &Tree,
     data: &mut [f64],
     base: usize,
@@ -238,11 +295,14 @@ fn exec_body<T: MemoryTracer>(
     scratch: &mut [f64],
     scr_addr: u64,
     tr: &mut T,
+    sink: &mut S,
 ) {
     let pt = WHT_POINT_BYTES as u32;
     match node {
         Tree::Leaf { n, .. } => {
+            let t0 = stage_start::<S>();
             wht_leaf_strided(*n, data, base, stride);
+            stage_end(sink, Stage::Leaf, t0, *n as u64);
             if T::ENABLED {
                 for i in 0..*n {
                     let a = data_addr + ((base + i * stride) * WHT_POINT_BYTES) as u64;
@@ -268,6 +328,7 @@ fn exec_body<T: MemoryTracer>(
                     scratch,
                     scr_addr,
                     tr,
+                    sink,
                 );
             }
             // Stage B: left child at stride n2 * stride (paper Property 1).
@@ -281,6 +342,7 @@ fn exec_body<T: MemoryTracer>(
                     scratch,
                     scr_addr,
                     tr,
+                    sink,
                 );
             }
         }

@@ -31,6 +31,7 @@
 
 use crate::grammar;
 use crate::json::{self, Json};
+use crate::obs::{Counter, NullSink, Sink};
 use crate::planner::{self, PlannerConfig, Strategy};
 use crate::tree::Tree;
 use ddl_num::{DdlError, WISDOM_FORMAT_VERSION};
@@ -134,6 +135,12 @@ impl Wisdom {
     /// quarantine that entry — see [`Wisdom::quarantined`] — and leave
     /// the rest of the store usable.
     pub fn load(path: &Path) -> Result<Wisdom, DdlError> {
+        Wisdom::load_with(path, &mut NullSink)
+    }
+
+    /// [`Wisdom::load`] with an observability sink: reports the number of
+    /// accepted and quarantined entries as `wisdom.*` counters.
+    pub fn load_with<S: Sink>(path: &Path, sink: &mut S) -> Result<Wisdom, DdlError> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -146,14 +153,22 @@ impl Wisdom {
                 })
             }
         };
-        Wisdom::parse_document(&text).map_err(|e| match e {
+        let wisdom = Wisdom::parse_document(&text).map_err(|e| match e {
             // Attach the path to format errors detected in-memory.
             DdlError::WisdomFormat { detail, .. } => DdlError::WisdomFormat {
                 path: path.display().to_string(),
                 detail,
             },
             other => other,
-        })
+        })?;
+        if S::ENABLED {
+            sink.counter(Counter::WisdomLoadedEntries, wisdom.entries.len() as u64);
+            sink.counter(
+                Counter::WisdomQuarantinedEntries,
+                wisdom.quarantined.len() as u64,
+            );
+        }
+        Ok(wisdom)
     }
 
     /// Parses a wisdom document from memory; see [`Wisdom::load`].
@@ -263,6 +278,12 @@ impl Wisdom {
     /// Saves atomically: writes a temp file in the same directory, then
     /// renames it over `path`, so readers never observe a torn file.
     pub fn save(&self, path: &Path) -> Result<(), DdlError> {
+        self.save_with(path, &mut NullSink)
+    }
+
+    /// [`Wisdom::save`] with an observability sink: reports the number of
+    /// entries written as a `wisdom.saved_entries` counter.
+    pub fn save_with<S: Sink>(&self, path: &Path, sink: &mut S) -> Result<(), DdlError> {
         let io_err = |detail: String| DdlError::WisdomIo {
             path: path.display().to_string(),
             detail,
@@ -279,7 +300,11 @@ impl Wisdom {
         std::fs::rename(&tmp, path).map_err(|e| {
             let _ = std::fs::remove_file(&tmp);
             io_err(e.to_string())
-        })
+        })?;
+        if S::ENABLED {
+            sink.counter(Counter::WisdomSavedEntries, self.entries.len() as u64);
+        }
+        Ok(())
     }
 
     /// Records a planning result.
@@ -346,10 +371,29 @@ impl Wisdom {
         n: usize,
         cfg: &PlannerConfig,
     ) -> Result<(Tree, f64), DdlError> {
+        self.get_or_plan_dft_with(n, cfg, &mut NullSink)
+    }
+
+    /// [`Wisdom::get_or_plan_dft`] with an observability sink: the lookup
+    /// outcome lands in the `wisdom.hits`/`wisdom.misses` counters (a
+    /// corrupt entry counts as a miss), and a re-plan reports its search
+    /// into the sink too.
+    pub fn get_or_plan_dft_with<S: Sink>(
+        &mut self,
+        n: usize,
+        cfg: &PlannerConfig,
+        sink: &mut S,
+    ) -> Result<(Tree, f64), DdlError> {
         if let Ok(Some(hit)) = self.try_get("dft", n, cfg.strategy) {
+            if S::ENABLED {
+                sink.counter(Counter::WisdomHits, 1);
+            }
             return Ok(hit);
         }
-        let outcome = planner::try_plan_dft(n, cfg)?;
+        if S::ENABLED {
+            sink.counter(Counter::WisdomMisses, 1);
+        }
+        let outcome = planner::try_plan_dft_with(n, cfg, sink)?;
         self.put(
             "dft",
             n,
@@ -367,10 +411,26 @@ impl Wisdom {
         n: usize,
         cfg: &PlannerConfig,
     ) -> Result<(Tree, f64), DdlError> {
+        self.get_or_plan_wht_with(n, cfg, &mut NullSink)
+    }
+
+    /// WHT counterpart of [`Wisdom::get_or_plan_dft_with`].
+    pub fn get_or_plan_wht_with<S: Sink>(
+        &mut self,
+        n: usize,
+        cfg: &PlannerConfig,
+        sink: &mut S,
+    ) -> Result<(Tree, f64), DdlError> {
         if let Ok(Some(hit)) = self.try_get("wht", n, cfg.strategy) {
+            if S::ENABLED {
+                sink.counter(Counter::WisdomHits, 1);
+            }
             return Ok(hit);
         }
-        let outcome = planner::try_plan_wht(n, cfg)?;
+        if S::ENABLED {
+            sink.counter(Counter::WisdomMisses, 1);
+        }
+        let outcome = planner::try_plan_wht_with(n, cfg, sink)?;
         self.put(
             "wht",
             n,

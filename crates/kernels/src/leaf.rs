@@ -166,6 +166,23 @@ fn cached_twiddles(n: usize, dir: Direction) -> &'static [Complex64] {
         .as_ref()
 }
 
+/// Estimated floating-point operations of one `n`-point DFT leaf: the
+/// standard `5 n log2 n` FFT count for power-of-two sizes (the basis of
+/// the pseudo-MFLOPS metric), `8 n^2` for the naive fallback used at
+/// other sizes. An accounting estimate for observability reports, not an
+/// instruction count.
+pub fn dft_leaf_flops_est(n: usize) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    let nf = n as u64;
+    if n.is_power_of_two() {
+        5 * nf * nf.ilog2() as u64
+    } else {
+        8 * nf * nf
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,12 @@ pub fn apply_twiddles_strided(
     }
 }
 
+/// Estimated floating-point operations of a twiddle pass over `points`
+/// complex points: one complex multiply (6 flops) per point.
+pub fn twiddle_flops_est(points: usize) -> u64 {
+    6 * points as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -215,6 +215,17 @@ pub fn try_wht_leaf_strided(
     Ok(())
 }
 
+/// Estimated arithmetic operations of one `n`-point WHT leaf: the fast
+/// transform's `n log2 n` additions/subtractions. An accounting estimate
+/// for observability reports, not an instruction count.
+pub fn wht_leaf_ops_est(n: usize) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    let nf = n as u64;
+    nf * nf.ilog2() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

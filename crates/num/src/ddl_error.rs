@@ -103,6 +103,12 @@ pub enum DdlError {
     },
     /// An OS-level resource was unavailable (e.g. thread spawn failed).
     Resource(String),
+    /// A metrics report could not be written, read, or did not conform
+    /// to the documented `ddl-metrics` JSON schema.
+    Metrics {
+        /// What was wrong (I/O error text or schema diagnostic).
+        detail: String,
+    },
 }
 
 impl DdlError {
@@ -155,6 +161,7 @@ impl fmt::Display for DdlError {
                 write!(f, "batch worker panicked on item {item}: {payload}")
             }
             DdlError::Resource(msg) => write!(f, "resource unavailable: {msg}"),
+            DdlError::Metrics { detail } => write!(f, "metrics error: {detail}"),
         }
     }
 }

@@ -16,5 +16,10 @@ run cargo clippy --workspace --all-targets -- -D warnings
 run cargo build --release
 run cargo test -q
 
+# Observability smoke: emit a metrics report from an instrumented run,
+# then validate the ddl-metrics schema and its structural invariants.
+run cargo run --release -q -p ddl-bench --bin obs_smoke -- --metrics-out target/metrics-smoke.json
+run cargo run --release -q -p ddl-bench --bin obs_smoke -- --check target/metrics-smoke.json
+
 echo
 echo "CI gate passed."

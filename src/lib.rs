@@ -55,6 +55,10 @@ pub mod prelude {
     pub use ddl_cachesim::{Cache, CacheConfig, CacheStats};
     pub use ddl_core::grammar::{parse as parse_tree, print_dft, print_wht};
     pub use ddl_core::measure::{fft_mflops, time_per_call, time_per_point_ns};
+    pub use ddl_core::obs::{
+        BatchMetrics, Counter, ExecutionMetrics, MetricsReport, NullSink, PlannerRunMetrics,
+        Recorder, Sink, Stage, StageBreakdown,
+    };
     pub use ddl_core::parallel::{
         execute_dft_batch, execute_wht_batch, try_execute_dft_batch, try_execute_wht_batch,
         BatchReport,

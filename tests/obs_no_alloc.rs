@@ -1,0 +1,106 @@
+//! The disabled-sink guarantee: executing a plan through the default
+//! [`NullSink`]/`NullTracer` path performs **zero heap allocations** once
+//! buffers exist. This is the "zero-cost when disabled" half of the
+//! observability layer's contract, checked with a counting global
+//! allocator. The test lives in its own integration-test binary so no
+//! concurrently running test can contribute allocations.
+
+use dynamic_data_layout::cachesim::NullTracer;
+use dynamic_data_layout::prelude::*;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+// Per-thread count: the test harness (and sibling tests) allocate from
+// other threads concurrently, and those must not pollute this thread's
+// measurement window. Const-initialized so the TLS access itself never
+// allocates.
+thread_local! {
+    static ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with`: the allocator can be called during TLS teardown, when
+    // the counter is already destroyed.
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn local_allocations() -> u64 {
+    ALLOCATIONS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn null_sink_execution_allocates_nothing() {
+    // A tree exercising every instrumented code path: a reorganizing
+    // split (transpose), twiddle passes and strided leaves.
+    let tree = Tree::split_ddl(Tree::leaf(64), Tree::leaf(64));
+    let plan = DftPlan::new(tree, Direction::Forward).unwrap();
+    let n = plan.n();
+    let input = vec![Complex64::ONE; n];
+    let mut output = vec![Complex64::ZERO; n];
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+
+    let run = |output: &mut [Complex64], scratch: &mut [Complex64]| {
+        plan.try_execute_view(&input, 0, 1, output, 0, 1, scratch, &mut NullTracer, [0; 4])
+            .unwrap();
+    };
+
+    // Warm-up: fault pages, fill any lazily initialized state.
+    run(&mut output, &mut scratch);
+
+    let before = local_allocations();
+    for _ in 0..8 {
+        run(&mut output, &mut scratch);
+    }
+    let after = local_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "uninstrumented execution must not allocate"
+    );
+}
+
+#[test]
+fn null_sink_wht_execution_allocates_nothing() {
+    // Reorg on the left (strided) child so the gather/scatter path runs.
+    let tree = Tree::split(Tree::leaf_ddl(32), Tree::leaf(32));
+    let plan = WhtPlan::new(tree).unwrap();
+    let n = plan.n();
+    let mut data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut scratch = vec![0.0f64; plan.scratch_len()];
+
+    plan.try_execute_view(&mut data, 0, 1, &mut scratch, &mut NullTracer, [0; 2])
+        .unwrap();
+
+    let before = local_allocations();
+    for _ in 0..8 {
+        plan.try_execute_view(&mut data, 0, 1, &mut scratch, &mut NullTracer, [0; 2])
+            .unwrap();
+    }
+    let after = local_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "uninstrumented WHT execution must not allocate"
+    );
+}
