@@ -1,0 +1,84 @@
+//! Workspace source lint gate (xtask-style).
+//!
+//! Runs the repo-invariant lints from `ddl_analyze::lint` over the
+//! workspace and exits non-zero on any `error`-severity finding:
+//!
+//! * `lint/no-panics` — no `unwrap`/`expect`/`panic!` family calls in
+//!   non-test library code (try-first rule);
+//! * `lint/no-std-time` — no clock reads in pure planning code;
+//! * `lint/forbid-unsafe` — `#![forbid(unsafe_code)]` in every crate
+//!   root, vendored stand-ins included.
+//!
+//! ```sh
+//! cargo run --release -p ddl-analyze --bin ddl_lint
+//! cargo run --release -p ddl-analyze --bin ddl_lint -- --root . --out target/lint-report.json
+//! ```
+
+use ddl_analyze::{AnalysisReport, Severity};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a path"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage("--out needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other}")),
+        }
+    }
+    // Accept being launched from the workspace root or a crate dir.
+    if !root.join("crates").is_dir() && root.join("../../crates").is_dir() {
+        root = root.join("../..");
+    }
+
+    let mut report = AnalysisReport::new();
+    if let Err(e) = ddl_analyze::lint_workspace(&root, &mut report) {
+        eprintln!("ddl_lint: walking {} failed: {e}", root.display());
+        return ExitCode::from(2);
+    }
+
+    if let Some(path) = out {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        if let Err(e) = std::fs::write(&path, report.to_json().pretty()) {
+            eprintln!("ddl_lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &report.findings {
+        eprintln!(
+            "{}: {} [{}] {}",
+            f.severity.label(),
+            f.subject,
+            f.rule,
+            f.message
+        );
+    }
+    eprintln!(
+        "ddl-lint: {} files scanned, {} checks, {} errors",
+        report.subjects,
+        report.checks,
+        report.count(Severity::Error)
+    );
+    if report.passes() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("ddl_lint: {msg}\nusage: ddl_lint [--root <path>] [--out <path>]");
+    ExitCode::from(2)
+}

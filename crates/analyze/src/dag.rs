@@ -1,0 +1,399 @@
+//! Static verification of generated codelet DAGs.
+//!
+//! `ddl-codegen` unrolls small DFTs into straight-line expression DAGs
+//! and emits them as the leaf codelets `ddl-kernels` dispatches to. A
+//! bug there corrupts every transform that touches the affected leaf, so
+//! this module proves the structural invariants a correct codelet must
+//! satisfy — without evaluating it:
+//!
+//! * every output slot `0..n` is written exactly once (no dropped or
+//!   duplicated stores);
+//! * every load reads an input index `< n`, and every input actually
+//!   feeds some output (the DFT matrix has no zero entries, so an unused
+//!   input is always a dropped dependency);
+//! * no node is dead and no load is unreachable after simplification;
+//! * constants are finite (a NaN/Inf twiddle silently poisons every
+//!   downstream value);
+//! * the op count stays within the radix-2 flop budget `5·n·log2(n)`
+//!   (power-of-two sizes) or the direct-definition bound `8·n²` — a
+//!   regression in the simplifier shows up here before it shows up in
+//!   benchmarks.
+//!
+//! The verifier operates on a [`CodeletDag`], a thin ownership wrapper
+//! around the generator's graph plus an explicit store list. Tests
+//! seed mutations (dropped write, duplicated store, NaN constant)
+//! through the same wrapper and assert each is caught.
+
+use crate::findings::{AnalysisReport, Severity};
+use ddl_codegen::expr::Node;
+use ddl_codegen::simplify::compact;
+use ddl_codegen::{generate_dft, ExprId, Graph};
+use ddl_num::Direction;
+
+/// One output store: `dst[slot] = Complex64::new(re, im)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Store {
+    /// Destination slot in `0..n`.
+    pub slot: usize,
+    /// Real-part expression.
+    pub re: ExprId,
+    /// Imaginary-part expression.
+    pub im: ExprId,
+}
+
+/// A codelet as the verifier sees it: the expression graph plus the
+/// store list the emitter would lower to `dst[...] = ...` lines.
+#[must_use]
+pub struct CodeletDag {
+    /// Codelet name, e.g. `dft16_f`.
+    pub name: String,
+    /// Transform size.
+    pub n: usize,
+    /// The (simplified) expression graph.
+    pub graph: Graph,
+    /// Output stores in emission order.
+    pub stores: Vec<Store>,
+}
+
+impl CodeletDag {
+    /// Generates and simplifies the `n`-point codelet for `dir` — the
+    /// exact pipeline `emit_codelet` runs before printing source.
+    pub fn generate(n: usize, dir: Direction) -> CodeletDag {
+        let suffix = match dir {
+            Direction::Forward => "f",
+            Direction::Inverse => "i",
+        };
+        let (g, outputs) = generate_dft(n, dir);
+        let (graph, outputs) = compact(&g, &outputs);
+        CodeletDag {
+            name: format!("dft{n}_{suffix}"),
+            n,
+            graph,
+            stores: outputs
+                .iter()
+                .enumerate()
+                .map(|(slot, v)| Store {
+                    slot,
+                    re: v.re,
+                    im: v.im,
+                })
+                .collect(),
+        }
+    }
+
+    /// Mutation for tests: drops the store to `slot`, leaving the slot
+    /// unwritten.
+    pub fn drop_store(&mut self, slot: usize) {
+        self.stores.retain(|s| s.slot != slot);
+    }
+
+    /// Mutation for tests: stores to `slot` a second time.
+    pub fn duplicate_store(&mut self, slot: usize) {
+        if let Some(&s) = self.stores.iter().find(|s| s.slot == slot) {
+            self.stores.push(s);
+        }
+    }
+
+    /// Mutation for tests: replaces the real part of `slot`'s store with
+    /// a poisoned constant.
+    pub fn poison_constant(&mut self, slot: usize, value: f64) {
+        let id = self.graph.constant(value);
+        for s in &mut self.stores {
+            if s.slot == slot {
+                s.re = id;
+            }
+        }
+    }
+
+    fn roots(&self) -> Vec<ExprId> {
+        self.stores.iter().flat_map(|s| [s.re, s.im]).collect()
+    }
+}
+
+/// Radix-2 flop budget for an `n`-point DFT: `5·n·log2(n)` real ops for
+/// power-of-two sizes (the classic radix-2 operation count, which our
+/// mixed-radix generator must beat), `8·n²` (the direct definition) for
+/// everything else.
+#[must_use]
+pub fn op_budget(n: usize) -> usize {
+    if n.is_power_of_two() {
+        5 * n * n.trailing_zeros() as usize
+    } else {
+        8 * n * n
+    }
+}
+
+/// Verifies one codelet DAG, pushing findings into `report` under the
+/// codelet's `dag:<name>` subject. Returns `true` when no error-level
+/// finding was produced for this codelet.
+pub fn verify_codelet(dag: &CodeletDag, report: &mut AnalysisReport) -> bool {
+    let subject = format!("dag:{}", dag.name);
+    report.subject();
+    let errors_before = report.error_count();
+
+    // Store references must point inside the graph before anything else
+    // dereferences them.
+    report.check();
+    let len = dag.graph.len() as u32;
+    for s in &dag.stores {
+        if s.re.0 >= len || s.im.0 >= len {
+            report.push(
+                "dag/invalid-ref",
+                Severity::Error,
+                &subject,
+                format!(
+                    "store to slot {} references node {} outside the {}-node graph",
+                    s.slot,
+                    s.re.0.max(s.im.0),
+                    len
+                ),
+            );
+            return false;
+        }
+    }
+
+    // Every output slot written exactly once.
+    report.check();
+    let mut writes = vec![0usize; dag.n];
+    for s in &dag.stores {
+        if s.slot >= dag.n {
+            report.push(
+                "dag/store-out-of-range",
+                Severity::Error,
+                &subject,
+                format!("store to slot {} of an {}-point codelet", s.slot, dag.n),
+            );
+        } else {
+            writes[s.slot] += 1;
+        }
+    }
+    for (slot, &count) in writes.iter().enumerate() {
+        if count == 0 {
+            report.push(
+                "dag/missing-store",
+                Severity::Error,
+                &subject,
+                format!("output slot {slot} is never written"),
+            );
+        } else if count > 1 {
+            report.push(
+                "dag/duplicate-store",
+                Severity::Error,
+                &subject,
+                format!("output slot {slot} is written {count} times"),
+            );
+        }
+    }
+
+    let roots = dag.roots();
+    let live = dag.graph.live_set(&roots);
+
+    // Load sanity: in-range indices, no unreachable loads, and every
+    // input feeding some output.
+    report.check();
+    let mut input_used = vec![false; dag.n];
+    for (i, &is_live) in live.iter().enumerate() {
+        let id = ExprId(i as u32);
+        if let Node::LoadRe(k) | Node::LoadIm(k) = dag.graph.node(id) {
+            if k as usize >= dag.n {
+                report.push(
+                    "dag/load-out-of-range",
+                    Severity::Error,
+                    &subject,
+                    format!("load of input {k} in an {}-point codelet", dag.n),
+                );
+                continue;
+            }
+            if is_live {
+                input_used[k as usize] = true;
+            } else {
+                report.push(
+                    "dag/unreachable-load",
+                    Severity::Error,
+                    &subject,
+                    format!("load of input {k} (node {i}) is unreachable from every output"),
+                );
+            }
+        }
+    }
+    for (k, &used) in input_used.iter().enumerate() {
+        if !used {
+            report.push(
+                "dag/unused-input",
+                Severity::Error,
+                &subject,
+                format!(
+                    "input {k} never reaches an output (the DFT matrix has no zero entries, so \
+                     a dependency was dropped)"
+                ),
+            );
+        }
+    }
+
+    // Dead non-load nodes: harmless to correctness, but the simplifier
+    // is supposed to have removed them.
+    report.check();
+    for (i, &is_live) in live.iter().enumerate() {
+        let id = ExprId(i as u32);
+        if !is_live && !matches!(dag.graph.node(id), Node::LoadRe(_) | Node::LoadIm(_)) {
+            report.push(
+                "dag/dead-node",
+                Severity::Warning,
+                &subject,
+                format!(
+                    "node {i} ({:?}) is dead after simplification",
+                    dag.graph.node(id)
+                ),
+            );
+        }
+    }
+
+    // Constant sanity: every live constant (as literal or multiplier)
+    // must be finite.
+    report.check();
+    for (i, &is_live) in live.iter().enumerate() {
+        if !is_live {
+            continue;
+        }
+        let bits = match dag.graph.node(ExprId(i as u32)) {
+            Node::Const(b) | Node::MulC(b, _) => b,
+            _ => continue,
+        };
+        let v = f64::from_bits(bits);
+        if !v.is_finite() {
+            report.push(
+                "dag/bad-constant",
+                Severity::Error,
+                &subject,
+                format!("node {i} holds non-finite constant {v}"),
+            );
+        }
+    }
+
+    // Op budget.
+    report.check();
+    let (adds, muls) = dag.graph.op_count(&roots);
+    let budget = op_budget(dag.n);
+    if adds + muls > budget {
+        report.push(
+            "dag/op-budget",
+            Severity::Error,
+            &subject,
+            format!(
+                "{} real ops ({adds} adds + {muls} muls) exceed the radix-2 budget of {budget}",
+                adds + muls
+            ),
+        );
+    }
+
+    report.error_count() == errors_before
+}
+
+/// Verifies the codelets for every size in `sizes`, both directions —
+/// the exact set `emit_module(sizes)` would print. Returns `true` when
+/// all pass.
+pub fn verify_generated(sizes: &[usize], report: &mut AnalysisReport) -> bool {
+    let mut ok = true;
+    for &n in sizes {
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let dag = CodeletDag::generate(n, dir);
+            ok &= verify_codelet(&dag, report);
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_codelet_sizes_verify_clean() {
+        let mut report = AnalysisReport::new();
+        assert!(verify_generated(
+            ddl_kernels::generated::GENERATED_SIZES,
+            &mut report
+        ));
+        assert!(report.passes(), "{:?}", report.findings);
+        assert_eq!(
+            report.subjects,
+            2 * ddl_kernels::generated::GENERATED_SIZES.len() as u64
+        );
+    }
+
+    #[test]
+    fn broader_size_sweep_verifies_clean() {
+        let mut report = AnalysisReport::new();
+        assert!(verify_generated(
+            &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 16, 20, 32, 64],
+            &mut report
+        ));
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn dropped_write_is_caught() {
+        let mut dag = CodeletDag::generate(8, Direction::Forward);
+        dag.drop_store(3);
+        let mut report = AnalysisReport::new();
+        assert!(!verify_codelet(&dag, &mut report));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "dag/missing-store" && f.severity == Severity::Error));
+    }
+
+    #[test]
+    fn duplicated_store_is_caught() {
+        let mut dag = CodeletDag::generate(8, Direction::Forward);
+        dag.duplicate_store(5);
+        let mut report = AnalysisReport::new();
+        assert!(!verify_codelet(&dag, &mut report));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "dag/duplicate-store" && f.severity == Severity::Error));
+    }
+
+    #[test]
+    fn nan_constant_is_caught() {
+        let mut dag = CodeletDag::generate(4, Direction::Forward);
+        dag.poison_constant(0, f64::NAN);
+        let mut report = AnalysisReport::new();
+        assert!(!verify_codelet(&dag, &mut report));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "dag/bad-constant" && f.severity == Severity::Error));
+        // Infinity is just as poisonous.
+        let mut dag = CodeletDag::generate(4, Direction::Inverse);
+        dag.poison_constant(1, f64::INFINITY);
+        let mut report = AnalysisReport::new();
+        assert!(!verify_codelet(&dag, &mut report));
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn out_of_range_store_is_caught() {
+        let mut dag = CodeletDag::generate(4, Direction::Forward);
+        dag.stores[2].slot = 9;
+        let mut report = AnalysisReport::new();
+        assert!(!verify_codelet(&dag, &mut report));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "dag/store-out-of-range"));
+        // ...and the vacated slot is reported as missing too.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "dag/missing-store"));
+    }
+
+    #[test]
+    fn budgets_are_sane() {
+        assert_eq!(op_budget(2), 10);
+        assert_eq!(op_budget(16), 320);
+        assert_eq!(op_budget(3), 72);
+    }
+}

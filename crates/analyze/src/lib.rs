@@ -1,0 +1,45 @@
+//! Static analysis for the dynamic-data-layout system.
+//!
+//! The paper's argument is itself a static analysis: from a plan's
+//! `(size, stride)` decomposition alone it predicts which leaf accesses
+//! conflict in a set-associative cache and when a dynamic layout
+//! reorganization pays off. This crate turns that style of reasoning
+//! into correctness tooling with three independent passes:
+//!
+//! * [`access`] — walks any planner-emitted tree symbolically and proves
+//!   every strided view in-bounds, every primitive step alias-free, and
+//!   the scratch/twiddle accounting consistent with the compiled plan;
+//!   it also derives the exact access count, cross-checked against
+//!   `ddl-cachesim` traces.
+//! * [`conflict`] — closed-form cache-set conflict degrees per access
+//!   family (the static counterpart to simulated conflict misses).
+//! * [`dag`] — structural verification of `ddl-codegen` codelet DAGs:
+//!   store coverage, load reachability, constant sanity, op budgets.
+//! * [`lint`] — workspace source lints (`ddl-lint`): no panics in
+//!   library code, no clocks in pure planning code,
+//!   `#![forbid(unsafe_code)]` everywhere.
+//!
+//! All passes report through [`findings::AnalysisReport`], which
+//! serializes to the versioned `ddl-analyze` JSON schema; CI gates on
+//! `error`-severity findings via the `ddl_analyze` and `ddl_lint`
+//! binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod conflict;
+pub mod dag;
+pub mod findings;
+pub mod lint;
+
+pub use access::{
+    analyze_dft_plan, analyze_dft_tree, analyze_wht_plan, analyze_wht_tree, AccessSet, LeafFamily,
+    Region, StaticAnalysis,
+};
+pub use conflict::{
+    conflict_degree, conflict_summary, CacheGeometry, ConflictInfo, ConflictSummary,
+};
+pub use dag::{op_budget, verify_codelet, verify_generated, CodeletDag};
+pub use findings::{AnalysisReport, Finding, Severity, ANALYZE_SCHEMA, ANALYZE_VERSION};
+pub use lint::{lint_source, lint_workspace, RuleSet};

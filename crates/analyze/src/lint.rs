@@ -1,0 +1,559 @@
+//! Workspace source lints (`ddl-lint`).
+//!
+//! Three repo invariants, enforced mechanically so they survive future
+//! PRs:
+//!
+//! * **`lint/no-panics`** — library code must not call
+//!   `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+//!   outside `#[cfg(test)]` modules: fallible operations route through
+//!   `DdlError` (the try-first rule). Documented panicking wrappers over
+//!   `try_*` functions carry an explicit allow marker (below).
+//! * **`lint/no-std-time`** — pure planning code (the planner, cost
+//!   model, tree/grammar, wisdom, JSON, and all of `ddl-num`,
+//!   `ddl-layout`, `ddl-cachesim`) must not read clocks: planning is a
+//!   deterministic function of its inputs. Measurement lives in
+//!   `measure.rs`/`parallel.rs`/`obs.rs`, which are exempt by design.
+//! * **`lint/forbid-unsafe`** — every workspace crate root must carry
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! A finding is suppressed by a marker on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // ddl-lint: allow(no-panics): documented panicking wrapper over try_execute
+//! ```
+//!
+//! The scanner is deliberately token-based — but it scrubs string/char
+//! literals and comments with a tiny lexer first, so tokens inside
+//! strings or docs never fire and `#[cfg(test)]` modules are excluded by
+//! an accurate brace count. The point is an `O(source)` gate with zero
+//! dependencies, not a parser.
+
+use crate::findings::{AnalysisReport, Severity};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Which rule families to apply to one source file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Apply `lint/no-panics`.
+    pub no_panics: bool,
+    /// Apply `lint/no-std-time`.
+    pub no_std_time: bool,
+}
+
+/// Banned panic-family tokens, stored in halves so this file does not
+/// flag itself when scanned.
+fn panic_tokens() -> Vec<String> {
+    [
+        (".unw", "rap()"),
+        (".exp", "ect(\""),
+        ("pan", "ic!("),
+        ("unreach", "able!"),
+        ("to", "do!("),
+        ("unimple", "mented!("),
+    ]
+    .iter()
+    .map(|(a, b)| format!("{a}{b}"))
+    .collect()
+}
+
+fn std_time_token() -> String {
+    ["std::", "time"].concat()
+}
+
+fn allow_marker(rule: &str) -> String {
+    // rule is "lint/<name>"; the marker spells just the short name.
+    let short = rule.rsplit('/').next().unwrap_or(rule);
+    format!("ddl-lint: allow({short})")
+}
+
+/// Lexer state carried across lines while scrubbing.
+enum ScrubState {
+    Normal,
+    Str,
+    RawStr(usize),
+    BlockComment(usize),
+}
+
+/// Returns the source line by line with string/char-literal contents and
+/// comments blanked out: what remains is pure code text, safe for token
+/// matching and brace counting.
+fn scrub(source: &str) -> Vec<String> {
+    let mut state = ScrubState::Normal;
+    let mut out = Vec::new();
+    for line in source.lines() {
+        let b = line.as_bytes();
+        let mut res = String::with_capacity(b.len());
+        let mut i = 0;
+        while i < b.len() {
+            match state {
+                ScrubState::Normal => {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'/') {
+                        break; // line comment: rest of line is prose
+                    }
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        state = ScrubState::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    // Raw string start: r"..." / r#"..."# (optionally
+                    // after a b). The r must not continue an identifier.
+                    if b[i] == b'r'
+                        && !res
+                            .chars()
+                            .last()
+                            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        let mut j = i + 1;
+                        let mut hashes = 0;
+                        while b.get(j) == Some(&b'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if b.get(j) == Some(&b'"') {
+                            state = ScrubState::RawStr(hashes);
+                            res.push('"');
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    if b[i] == b'"' {
+                        state = ScrubState::Str;
+                        res.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if b[i] == b'\'' {
+                        // Char literal or lifetime.
+                        if b.get(i + 1) == Some(&b'\\') {
+                            // Escaped char: skip to the closing quote.
+                            let mut j = i + 2;
+                            while j < b.len() && b[j] != b'\'' {
+                                j += 1;
+                            }
+                            i = j + 1;
+                            continue;
+                        }
+                        if b.get(i + 2) == Some(&b'\'') {
+                            i += 3; // plain 'x'
+                            continue;
+                        }
+                        res.push('\''); // lifetime
+                        i += 1;
+                        continue;
+                    }
+                    res.push(b[i] as char);
+                    i += 1;
+                }
+                ScrubState::Str => {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        state = ScrubState::Normal;
+                        res.push('"');
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                ScrubState::RawStr(hashes) => {
+                    if b[i] == b'"'
+                        && b[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&c| c == b'#')
+                            .count()
+                            == hashes
+                    {
+                        state = ScrubState::Normal;
+                        res.push('"');
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+                ScrubState::BlockComment(depth) => {
+                    if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        state = if depth == 1 {
+                            ScrubState::Normal
+                        } else {
+                            ScrubState::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        state = ScrubState::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(res);
+    }
+    out
+}
+
+/// Which lines belong to `#[cfg(test)]` items, determined by brace
+/// counting over scrubbed code.
+fn test_module_lines(scrubbed: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; scrubbed.len()];
+    let mut i = 0;
+    while i < scrubbed.len() {
+        if scrubbed[i].trim_start().starts_with("#[cfg(test)]") {
+            let mut depth = 0i64;
+            let mut started = false;
+            let mut j = i;
+            while j < scrubbed.len() {
+                in_test[j] = true;
+                for c in scrubbed[j].bytes() {
+                    match c {
+                        b'{' => {
+                            depth += 1;
+                            started = true;
+                        }
+                        b'}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if started && depth <= 0 {
+                    break;
+                }
+                // An attribute on a braceless item (`#[cfg(test)] use x;`)
+                // ends at the semicolon.
+                if !started && scrubbed[j].contains(';') {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+/// Lints one source file's content. `label` is the path reported in
+/// findings; pure so tests can feed strings.
+pub fn lint_source(label: &str, source: &str, rules: RuleSet, report: &mut AnalysisReport) {
+    report.subject();
+    let scrubbed = scrub(source);
+    let in_test = test_module_lines(&scrubbed);
+    let panic_toks = panic_tokens();
+    let time_tok = std_time_token();
+    let raw: Vec<&str> = source.lines().collect();
+    for (idx, code) in scrubbed.iter().enumerate() {
+        report.check();
+        if in_test[idx] {
+            continue;
+        }
+        // Allow markers live in comments, so they are matched against
+        // the raw line (same line or the one directly above).
+        let allowed = |rule: &str| {
+            let marker = allow_marker(rule);
+            raw[idx].contains(&marker) || (idx > 0 && raw[idx - 1].contains(&marker))
+        };
+        if rules.no_panics {
+            for tok in &panic_toks {
+                if code.contains(tok.as_str()) && !allowed("lint/no-panics") {
+                    report.push(
+                        "lint/no-panics",
+                        Severity::Error,
+                        &format!("{label}:{}", idx + 1),
+                        format!(
+                            "banned token `{tok}` in library code: route errors through \
+                             DdlError (try-first rule), or add `// {}: <reason>`",
+                            allow_marker("lint/no-panics")
+                        ),
+                    );
+                }
+            }
+        }
+        if rules.no_std_time && code.contains(time_tok.as_str()) && !allowed("lint/no-std-time") {
+            report.push(
+                "lint/no-std-time",
+                Severity::Error,
+                &format!("{label}:{}", idx + 1),
+                format!(
+                    "`{time_tok}` in pure planning code: plans must be a deterministic \
+                     function of their inputs"
+                ),
+            );
+        }
+    }
+}
+
+/// Checks one crate root for `#![forbid(unsafe_code)]`.
+pub fn lint_crate_root(label: &str, source: &str, report: &mut AnalysisReport) {
+    report.subject();
+    report.check();
+    if !source.contains("#![forbid(unsafe_code)]") {
+        report.push(
+            "lint/forbid-unsafe",
+            Severity::Error,
+            label,
+            "crate root is missing #![forbid(unsafe_code)]".to_string(),
+        );
+    }
+}
+
+/// Path suffixes (relative to the workspace root, `/`-separated) of the
+/// pure-planning files subject to `lint/no-std-time`.
+const PURE_PLANNING: &[&str] = &[
+    "crates/core/src/planner.rs",
+    "crates/core/src/model.rs",
+    "crates/core/src/tree.rs",
+    "crates/core/src/grammar.rs",
+    "crates/core/src/wisdom.rs",
+    "crates/core/src/json.rs",
+];
+
+/// Crates whose entire source tree is subject to `lint/no-std-time`.
+const PURE_PLANNING_CRATES: &[&str] = &["crates/num", "crates/layout", "crates/cachesim"];
+
+fn is_pure_planning(rel: &str) -> bool {
+    PURE_PLANNING.contains(&rel)
+        || PURE_PLANNING_CRATES
+            .iter()
+            .any(|c| rel.starts_with(&format!("{c}/")))
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+    Ok(())
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lints the whole workspace rooted at `root`:
+///
+/// * `lint/no-panics` over every library source under `crates/*/src`
+///   and `src/` (binaries under `bin/`, the machine-generated
+///   `generated.rs`, and the vendored stand-ins are out of scope);
+/// * `lint/no-std-time` over the pure-planning subset;
+/// * `lint/forbid-unsafe` over every workspace crate root, vendored
+///   stand-ins included.
+pub fn lint_workspace(root: &Path, report: &mut AnalysisReport) -> std::io::Result<()> {
+    // Library sources.
+    let mut lib_dirs: Vec<PathBuf> = vec![root.join("src")];
+    for entry in fs::read_dir(root.join("crates"))? {
+        let src = entry?.path().join("src");
+        if src.is_dir() {
+            lib_dirs.push(src);
+        }
+    }
+    lib_dirs.sort();
+    for dir in &lib_dirs {
+        let mut files = Vec::new();
+        collect_rs_files(dir, &mut files)?;
+        for path in files {
+            let rel = rel_label(root, &path);
+            if rel.contains("/bin/") || rel.ends_with("generated.rs") {
+                continue;
+            }
+            let source = fs::read_to_string(&path)?;
+            let rules = RuleSet {
+                no_panics: true,
+                no_std_time: is_pure_planning(&rel),
+            };
+            lint_source(&rel, &source, rules, report);
+        }
+    }
+
+    // Crate roots (including vendor: they are workspace members).
+    let mut roots: Vec<PathBuf> = vec![root.join("src/lib.rs")];
+    for base in ["crates", "vendor"] {
+        for entry in fs::read_dir(root.join(base))? {
+            let lib = entry?.path().join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    roots.sort();
+    for path in roots {
+        let rel = rel_label(root, &path);
+        let source = fs::read_to_string(&path)?;
+        lint_crate_root(&rel, &source, report);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: RuleSet = RuleSet {
+        no_panics: true,
+        no_std_time: true,
+    };
+
+    #[test]
+    fn flags_panic_family_tokens() {
+        let src = "fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let mut report = AnalysisReport::new();
+        lint_source("a.rs", src, ALL, &mut report);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.findings[0].rule, "lint/no-panics");
+        assert_eq!(report.findings[0].subject, "a.rs:2");
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   #[test]\n\
+                   \x20   fn t() { Some(1).unwrap(); panic!(\"x\"); }\n\
+                   }\n";
+        let mut report = AnalysisReport::new();
+        lint_source("a.rs", src, ALL, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn code_after_test_module_is_still_linted() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   fn t() { Some(1).unwrap(); }\n\
+                   }\n\
+                   fn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let mut report = AnalysisReport::new();
+        lint_source("a.rs", src, ALL, &mut report);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.findings[0].subject, "a.rs:5");
+    }
+
+    #[test]
+    fn unbalanced_braces_in_test_strings_do_not_confuse_the_scanner() {
+        // A test module full of unbalanced braces inside string and char
+        // literals (as in the JSON parser's tests) must still end where
+        // its real braces end.
+        let src = "fn ok() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   fn t() { parse(\"{\\\"a\\\":\"); p(b'{'); q(r#\"}}}\"#); x.unwrap(); }\n\
+                   }\n\
+                   fn g(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let mut report = AnalysisReport::new();
+        lint_source("a.rs", src, ALL, &mut report);
+        assert_eq!(report.error_count(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].subject, "a.rs:6");
+    }
+
+    #[test]
+    fn allow_marker_suppresses_on_same_or_previous_line() {
+        let marker = allow_marker("lint/no-panics");
+        let src = format!(
+            "fn f() {{\n\
+             \x20   // {marker}: documented wrapper\n\
+             \x20   Some(1).unwrap();\n\
+             \x20   panic!(\"boom\"); // {marker}: also fine\n\
+             }}\n"
+        );
+        let mut report = AnalysisReport::new();
+        lint_source("a.rs", &src, ALL, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn comments_strings_and_docs_are_exempt() {
+        let src = "//! Call .unwrap() at your peril; std::time is evil.\n\
+                   /// let x = foo().unwrap();\n\
+                   fn f() {} // panic!(\"not code\")\n\
+                   fn g() -> &'static str { \".unwrap() and std::time inside a string\" }\n\
+                   /* block comment: panic!(\"nope\") */\n";
+        let mut report = AnalysisReport::new();
+        lint_source("a.rs", src, ALL, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn std_time_flagged_only_when_rule_enabled() {
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }\n";
+        let mut report = AnalysisReport::new();
+        lint_source(
+            "crates/core/src/measure.rs",
+            src,
+            RuleSet {
+                no_panics: true,
+                no_std_time: false,
+            },
+            &mut report,
+        );
+        assert!(report.passes());
+        let mut report = AnalysisReport::new();
+        lint_source("crates/core/src/planner.rs", src, ALL, &mut report);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.findings[0].rule, "lint/no-std-time");
+    }
+
+    #[test]
+    fn parser_expect_method_is_not_flagged() {
+        // json.rs has a parser method literally named `expect`; the
+        // token requires a string-literal argument so it stays exempt.
+        let src = "fn f(p: &mut P) -> R {\n    p.expect(b'{')\n}\n";
+        let mut report = AnalysisReport::new();
+        lint_source("a.rs", src, ALL, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn crate_root_lint_requires_forbid_unsafe() {
+        let mut report = AnalysisReport::new();
+        lint_crate_root(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\n",
+            &mut report,
+        );
+        assert!(report.passes());
+        lint_crate_root("crates/y/src/lib.rs", "pub mod a;\n", &mut report);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.findings[0].rule, "lint/forbid-unsafe");
+    }
+
+    #[test]
+    fn pure_planning_scope_is_exact() {
+        assert!(is_pure_planning("crates/core/src/planner.rs"));
+        assert!(is_pure_planning("crates/num/src/twiddle.rs"));
+        assert!(is_pure_planning("crates/cachesim/src/cache.rs"));
+        assert!(!is_pure_planning("crates/core/src/measure.rs"));
+        assert!(!is_pure_planning("crates/core/src/parallel.rs"));
+        assert!(!is_pure_planning("crates/core/src/obs.rs"));
+    }
+
+    #[test]
+    fn whole_workspace_is_lint_clean() {
+        // The real gate: the repository's own sources must pass. Walk up
+        // from this crate's manifest dir to the workspace root.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let mut report = AnalysisReport::new();
+        lint_workspace(root, &mut report).expect("lint walk");
+        let errors: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "lint errors: {errors:#?}");
+        assert!(report.subjects > 40, "suspiciously few files scanned");
+    }
+}

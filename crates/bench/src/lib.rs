@@ -19,6 +19,8 @@
 //! wisdom cache (so one planning pass serves every binary), timing
 //! wrappers, and host introspection.
 
+#![forbid(unsafe_code)]
+
 use ddl_core::planner::{plan_dft, plan_wht, PlannerConfig, Strategy};
 use ddl_core::tree::Tree;
 use ddl_core::wisdom::Wisdom;
@@ -76,7 +78,7 @@ pub fn plan_cached(transform: &str, n: usize, cfg: &PlannerConfig) -> Tree {
     let outcome = match transform {
         "dft" => plan_dft(n, cfg),
         "wht" => plan_wht(n, cfg),
-        other => panic!("unknown transform {other}"),
+        other => die(&format!("unknown transform {other}")),
     };
     wisdom.put(
         transform,
@@ -108,6 +110,13 @@ pub struct SweepArgs {
     pub metrics_out: Option<PathBuf>,
 }
 
+/// Prints a usage error and exits: the sweep binaries have no caller to
+/// recover into, and a clean diagnostic beats an unwind.
+fn die(msg: &str) -> ! {
+    eprintln!("ddl-bench: {msg}");
+    std::process::exit(2);
+}
+
 /// Parses `--max-log-n <k>`-style arguments shared by the sweep binaries.
 pub fn parse_sweep_args() -> SweepArgs {
     let mut parsed = SweepArgs {
@@ -122,16 +131,18 @@ pub fn parse_sweep_args() -> SweepArgs {
                 parsed.max_log = args
                     .next()
                     .and_then(|v| v.parse().ok())
-                    .expect("--max-log-n needs an integer");
+                    .unwrap_or_else(|| die("--max-log-n needs an integer"));
             }
             "--quick" => parsed.quick = true,
             "--metrics-out" => {
-                parsed.metrics_out =
-                    Some(PathBuf::from(args.next().expect("--metrics-out needs a path")));
+                parsed.metrics_out = Some(PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--metrics-out needs a path")),
+                ));
             }
-            other => panic!(
+            other => die(&format!(
                 "unknown argument {other} (expected --max-log-n <k> | --quick | --metrics-out <path>)"
-            ),
+            )),
         }
     }
     parsed

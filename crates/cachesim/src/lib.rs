@@ -33,6 +33,8 @@
 //! assert_eq!(cache.stats().hits, 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod cache;
 pub mod hierarchy;

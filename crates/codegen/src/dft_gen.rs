@@ -73,14 +73,10 @@ fn dft_rec(g: &mut Graph, x: &[CVal], dir: Direction) -> Vec<CVal> {
 
     // Stage 2: n1 sub-DFTs of size n2 over B[j1][..];
     // Y[j1 + n1*j2] = sum_i2 B[j1][i2] w_{n2}^{i2 j2}.
-    let mut y = vec![None; n];
-    for (j1, row) in b.iter().enumerate() {
-        let out = dft_rec(g, row, dir);
-        for (j2, v) in out.into_iter().enumerate() {
-            y[j1 + n1 * j2] = Some(v);
-        }
-    }
-    y.into_iter().map(|v| v.unwrap()).collect()
+    // k ↦ (k % n1, k / n1) inverts j1 + n1*j2 over 0..n, so the gather
+    // below reads every sub-DFT output exactly once.
+    let outs: Vec<Vec<CVal>> = b.iter().map(|row| dft_rec(g, row, dir)).collect();
+    (0..n).map(|k| outs[k % n1][k / n1]).collect()
 }
 
 /// Direct definition for prime sizes: `Y[j] = Σ_i x[i] w^{ij}`.

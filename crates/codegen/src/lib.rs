@@ -22,6 +22,8 @@
 //! in its generated codelets) and dispatched by `ddl-kernels`; a test
 //! over there pins the generated code against the naive DFT.
 
+#![forbid(unsafe_code)]
+
 pub mod dft_gen;
 pub mod emit;
 pub mod expr;

@@ -17,6 +17,14 @@ pub fn compact(g: &Graph, outputs: &[CVal]) -> (Graph, Vec<CVal>) {
     let mut out = Graph::new();
     let mut remap: Vec<Option<ExprId>> = vec![None; g.len()];
 
+    // A live node's children are live and precede it (graphs are built
+    // bottom-up), so by the time a parent is rebuilt its children have
+    // already been remapped; a miss means `live_set` itself is broken.
+    let mapped = |remap: &[Option<ExprId>], id: ExprId| {
+        // ddl-lint: allow(no-panics): topological-order invariant of live_set
+        remap[id.0 as usize].expect("compact: child of a live node not remapped")
+    };
+
     for i in 0..g.len() {
         if !live[i] {
             continue;
@@ -27,19 +35,19 @@ pub fn compact(g: &Graph, outputs: &[CVal]) -> (Graph, Vec<CVal>) {
             Node::LoadIm(k) => out.load_im(k as usize),
             Node::Const(b) => out.constant(f64::from_bits(b)),
             Node::Add(a, b) => {
-                let (a, b) = (remap[a.0 as usize].unwrap(), remap[b.0 as usize].unwrap());
+                let (a, b) = (mapped(&remap, a), mapped(&remap, b));
                 out.add(a, b)
             }
             Node::Sub(a, b) => {
-                let (a, b) = (remap[a.0 as usize].unwrap(), remap[b.0 as usize].unwrap());
+                let (a, b) = (mapped(&remap, a), mapped(&remap, b));
                 out.sub(a, b)
             }
             Node::Neg(a) => {
-                let a = remap[a.0 as usize].unwrap();
+                let a = mapped(&remap, a);
                 out.neg(a)
             }
             Node::MulC(c, a) => {
-                let a = remap[a.0 as usize].unwrap();
+                let a = mapped(&remap, a);
                 out.mul_const(f64::from_bits(c), a)
             }
         };
@@ -49,8 +57,8 @@ pub fn compact(g: &Graph, outputs: &[CVal]) -> (Graph, Vec<CVal>) {
     let outputs = outputs
         .iter()
         .map(|c| CVal {
-            re: remap[c.re.0 as usize].expect("live output"),
-            im: remap[c.im.0 as usize].expect("live output"),
+            re: mapped(&remap, c.re),
+            im: mapped(&remap, c.im),
         })
         .collect();
     (out, outputs)

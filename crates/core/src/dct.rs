@@ -49,6 +49,7 @@ impl DctPlan {
     /// DCT-II: `y[k] = 2 Σ_i x[i] cos(π k (2i+1) / 2n)`.
     pub fn dct2(&self, x: &[f64], y: &mut [f64]) {
         if let Err(e) = self.try_dct2(x, y) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }
@@ -87,6 +88,7 @@ impl DctPlan {
     /// recovers the original input of `dct2`.
     pub fn dct3(&self, y: &[f64], x: &mut [f64]) {
         if let Err(e) = self.try_dct3(y, x) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }

@@ -253,6 +253,7 @@ impl DftPlan {
     /// Panicking wrapper over [`DftPlan::try_execute`].
     pub fn execute(&self, input: &[Complex64], output: &mut [Complex64]) {
         if let Err(e) = self.try_execute(input, output) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }
@@ -283,6 +284,7 @@ impl DftPlan {
     /// Panicking wrapper over [`DftPlan::try_execute_inplace`].
     pub fn execute_inplace(&self, data: &mut [Complex64]) {
         if let Err(e) = self.try_execute_inplace(data) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }
@@ -483,6 +485,7 @@ impl DftPlan {
         if let Err(e) = self.try_execute_view(
             input, in_base, in_stride, output, out_base, out_stride, scratch, tracer, addrs,
         ) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }

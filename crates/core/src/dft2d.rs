@@ -91,6 +91,7 @@ impl Dft2dPlan {
     /// Both slices must hold `rows*cols` points.
     pub fn execute(&self, input: &[Complex64], output: &mut [Complex64]) {
         if let Err(e) = self.try_execute(input, output) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }

@@ -152,7 +152,7 @@ impl Parser<'_> {
         if start == self.pos {
             return Err(self.err("expected a number"));
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]);
         let value: usize = text.parse().map_err(|_| self.err("number out of range"))?;
         // exponent notation 2^k
         if self.peek() == Some(b'^') {
@@ -164,7 +164,7 @@ impl Parser<'_> {
             if estart == self.pos {
                 return Err(self.err("expected exponent after '^'"));
             }
-            let etext = std::str::from_utf8(&self.bytes[estart..self.pos]).unwrap();
+            let etext = String::from_utf8_lossy(&self.bytes[estart..self.pos]);
             let exp: u32 = etext
                 .parse()
                 .map_err(|_| self.err("exponent out of range"))?;

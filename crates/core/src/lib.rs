@@ -43,6 +43,8 @@
 //! assert!((y[0].re - 1024.0).abs() < 1e-9); // DC bin of a constant
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dct;
 pub mod dft;
 pub mod dft2d;

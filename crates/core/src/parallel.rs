@@ -238,8 +238,10 @@ where
                 .spawn_scoped(scope, move || {
                     let (chunk_base, chunk) = slot
                         .lock()
+                        // ddl-lint: allow(no-panics): internal batch-slot invariant; poisoning or a double take is a bug, not a recoverable state
                         .expect("batch chunk slot poisoned")
                         .take()
+                        // ddl-lint: allow(no-panics): internal batch-slot invariant; poisoning or a double take is a bug, not a recoverable state
                         .expect("batch chunk taken twice");
                     (
                         chunk_base,
@@ -264,8 +266,10 @@ where
             .map(|slot| {
                 let (chunk_base, chunk) = slot
                     .lock()
+                    // ddl-lint: allow(no-panics): internal batch-slot invariant; poisoning or a double take is a bug, not a recoverable state
                     .expect("batch chunk slot poisoned")
                     .take()
+                    // ddl-lint: allow(no-panics): internal batch-slot invariant; poisoning or a double take is a bug, not a recoverable state
                     .expect("batch chunk taken twice");
                 (
                     chunk_base,
@@ -382,9 +386,11 @@ pub fn execute_dft_batch(
     match try_execute_dft_batch(plan, inputs, outputs, threads) {
         Ok(report) => {
             if let Some((_, e)) = report.failures().next() {
+                // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
                 panic!("{e}");
             }
         }
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }
@@ -424,9 +430,11 @@ pub fn execute_wht_batch(plan: &WhtPlan, data: &mut [f64], threads: usize) {
     match try_execute_wht_batch(plan, data, threads) {
         Ok(report) => {
             if let Some((_, e)) = report.failures().next() {
+                // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
                 panic!("{e}");
             }
         }
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }

@@ -238,6 +238,7 @@ pub fn try_plan_dft_with<S: Sink>(
 pub fn plan_dft(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
     match try_plan_dft(n, cfg) {
         Ok(out) => out,
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }
@@ -286,6 +287,7 @@ pub fn try_plan_wht_with<S: Sink>(
 pub fn plan_wht(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
     match try_plan_wht(n, cfg) {
         Ok(out) => out,
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }
@@ -301,6 +303,7 @@ pub fn plan_wht(n: usize, cfg: &PlannerConfig) -> PlanOutcome {
 pub fn plan_dft_sweep(max_n: usize, cfg: &PlannerConfig) -> Vec<(usize, PlanOutcome)> {
     match try_plan_dft_sweep(max_n, cfg) {
         Ok(out) => out,
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }
@@ -327,6 +330,7 @@ pub fn try_plan_dft_sweep_with<S: Sink>(
 pub fn plan_wht_sweep(max_n: usize, cfg: &PlannerConfig) -> Vec<(usize, PlanOutcome)> {
     match try_plan_wht_sweep(max_n, cfg) {
         Ok(out) => out,
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }
@@ -549,11 +553,13 @@ impl<S: Sink> Search<'_, S> {
                 let stats = match self.kind {
                     Kind::Dft => {
                         let plan = DftPlan::new(tree.clone(), Direction::Forward)
+                            // ddl-lint: allow(no-panics): the planner’s own tree must compile; failure here is a planner bug
                             .expect("planner generated an invalid tree");
                         crate::traced::simulate_dft_at_stride(&plan, stride, cache)
                     }
                     Kind::Wht => {
                         let plan =
+                            // ddl-lint: allow(no-panics): the planner’s own tree must compile; failure here is a planner bug
                             WhtPlan::new(tree.clone()).expect("planner generated an invalid tree");
                         crate::traced::simulate_wht_at_stride(&plan, stride, cache)
                     }
@@ -568,6 +574,7 @@ impl<S: Sink> Search<'_, S> {
 /// input is read at `stride` (the paper's `Get_time`).
 pub fn time_dft_tree(tree: &Tree, n: usize, stride: usize, min_secs: f64, min_reps: u32) -> f64 {
     let plan =
+        // ddl-lint: allow(no-panics): the planner’s own tree must compile; failure here is a planner bug
         DftPlan::new(tree.clone(), Direction::Forward).expect("planner generated an invalid tree");
     let span = (n - 1) * stride + 1;
     let src: Vec<Complex64> = (0..span)
@@ -598,6 +605,7 @@ pub fn time_dft_tree(tree: &Tree, n: usize, stride: usize, min_secs: f64, min_re
 /// Wall-clock cost of one in-place execution of `tree` as an `n`-point WHT
 /// on a view of the given stride.
 pub fn time_wht_tree(tree: &Tree, n: usize, stride: usize, min_secs: f64, min_reps: u32) -> f64 {
+    // ddl-lint: allow(no-panics): the planner’s own tree must compile; failure here is a planner bug
     let plan = WhtPlan::new(tree.clone()).expect("planner generated an invalid tree");
     let span = (n - 1) * stride + 1;
     let mut data: Vec<f64> = (0..span).map(|i| (i % 101) as f64 * 0.5 - 20.0).collect();

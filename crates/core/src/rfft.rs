@@ -69,6 +69,7 @@ impl RfftPlan {
     /// `k = 0 ..= n/2`.
     pub fn forward(&self, x: &[f64], spectrum: &mut [Complex64]) {
         if let Err(e) = self.try_forward(x, spectrum) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }
@@ -113,6 +114,7 @@ impl RfftPlan {
     /// bins (normalized — `inverse(forward(x)) == x`).
     pub fn inverse(&self, spectrum: &[Complex64], x: &mut [f64]) {
         if let Err(e) = self.try_inverse(spectrum, x) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }

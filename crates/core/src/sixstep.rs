@@ -93,6 +93,7 @@ impl SixStepPlan {
     /// Executes out of place.
     pub fn execute(&self, input: &[Complex64], output: &mut [Complex64]) {
         if let Err(e) = self.try_execute(input, output) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }

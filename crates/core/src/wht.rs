@@ -84,6 +84,7 @@ impl WhtPlan {
     /// [`WhtPlan::try_execute`] for the fallible form.
     pub fn execute(&self, data: &mut [f64]) {
         if let Err(e) = self.try_execute(data) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }
@@ -110,6 +111,7 @@ impl WhtPlan {
         addrs: [u64; 2],
     ) {
         if let Err(e) = self.try_execute_view(data, base, stride, scratch, tracer, addrs) {
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             panic!("{e}");
         }
     }

@@ -22,6 +22,7 @@ use ddl_num::{root_of_unity, Complex64, DdlError, Direction};
 /// see [`try_fft_radix2_inplace`] for the fallible form.
 pub fn fft_radix2_inplace(data: &mut [Complex64], dir: Direction) {
     if let Err(e) = try_fft_radix2_inplace(data, dir) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }

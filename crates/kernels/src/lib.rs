@@ -24,6 +24,8 @@
 //! * [`wht`] — Walsh–Hadamard counterparts (unrolled, leaf dispatcher,
 //!   naive and iterative references) on `f64` data.
 
+#![forbid(unsafe_code)]
+
 pub mod codelets;
 pub mod generated;
 pub mod iterative;

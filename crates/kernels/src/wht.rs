@@ -23,6 +23,7 @@ pub const MAX_LEAF_WHT: usize = 64;
 pub fn naive_wht(x: &[f64]) -> Vec<f64> {
     match try_naive_wht(x) {
         Ok(y) => y,
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }
@@ -110,6 +111,7 @@ pub fn wht8(data: &mut [f64], base: usize, stride: usize) {
 /// length; see [`try_fwht_inplace`] for the fallible form.
 pub fn fwht_inplace(data: &mut [f64]) {
     if let Err(e) = try_fwht_inplace(data) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }
@@ -154,6 +156,7 @@ pub fn try_fwht_inplace(data: &mut [f64]) -> Result<(), DdlError> {
 /// the fallible form.
 pub fn wht_leaf_strided(n: usize, data: &mut [f64], base: usize, stride: usize) {
     if let Err(e) = try_wht_leaf_strided(n, data, base, stride) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }

@@ -22,6 +22,7 @@ pub fn bit_reverse_index(i: usize, bits: u32) -> usize {
 /// for the fallible form.
 pub fn bit_reverse_permute<T>(data: &mut [T]) {
     if let Err(e) = try_bit_reverse_permute(data) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }

@@ -33,6 +33,8 @@
 //! assert_eq!(&dst[..4], &[0, 4, 8, 12]); // the old stride-4 walk, now unit
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bitrev;
 pub mod padding;
 pub mod permute;

@@ -22,6 +22,7 @@ use ddl_num::DdlError;
 pub fn conflict_free_stride(stride: usize, elem: usize, line: usize, sets: usize) -> usize {
     match try_conflict_free_stride(stride, elem, line, sets) {
         Ok(s) => s,
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }
@@ -74,6 +75,7 @@ pub fn pad_rows<T: Copy + Default>(
 ) -> Vec<T> {
     match try_pad_rows(src, row_len, count, padded_stride) {
         Ok(dst) => dst,
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }
@@ -123,6 +125,7 @@ pub fn unpad_rows<T: Copy + Default>(
 ) -> Vec<T> {
     match try_unpad_rows(src, row_len, count, padded_stride) {
         Ok(dst) => dst,
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }

@@ -15,6 +15,7 @@ use ddl_num::DdlError;
 /// only (callers in hot paths pass planner-generated permutations).
 pub fn apply_permutation<T: Copy>(src: &[T], dst: &mut [T], perm: &[usize]) {
     if let Err(e) = try_apply_permutation(src, dst, perm) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }
@@ -56,6 +57,7 @@ pub fn try_apply_permutation<T: Copy>(
 /// `[data[perm[0]], data[perm[1]], …]`.
 pub fn apply_permutation_in_place<T: Copy>(data: &mut [T], perm: &[usize]) {
     if let Err(e) = try_apply_permutation_in_place(data, perm) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }
@@ -114,6 +116,7 @@ pub fn try_apply_permutation_in_place<T: Copy>(
 pub fn invert_permutation(perm: &[usize]) -> Vec<usize> {
     match try_invert_permutation(perm) {
         Ok(inv) => inv,
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }

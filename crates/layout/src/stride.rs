@@ -32,6 +32,7 @@ impl StridedView {
     pub fn new(base: usize, stride: usize, len: usize, buf_len: usize) -> Self {
         match StridedView::try_new(base, stride, len, buf_len) {
             Ok(v) => v,
+            // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
             Err(e) => panic!("{e}"),
         }
     }
@@ -88,6 +89,7 @@ impl StridedView {
 #[inline]
 pub fn gather_stride<T: Copy>(src: &[T], base: usize, stride: usize, dst: &mut [T]) {
     if let Err(e) = try_gather_stride(src, base, stride, dst) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }
@@ -124,6 +126,7 @@ pub fn try_gather_stride<T: Copy>(
 #[inline]
 pub fn scatter_stride<T: Copy>(src: &[T], dst: &mut [T], base: usize, stride: usize) {
     if let Err(e) = try_scatter_stride(src, dst, base, stride) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }

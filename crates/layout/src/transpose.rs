@@ -50,6 +50,7 @@ fn check_matrix<T>(
 /// see [`try_transpose`] for the fallible form.
 pub fn transpose<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: usize) {
     if let Err(e) = try_transpose(src, dst, rows, cols) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }
@@ -77,6 +78,7 @@ pub fn try_transpose<T: Copy>(
 /// the matrix size.
 pub fn transpose_blocked<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: usize, tile: usize) {
     if let Err(e) = try_transpose_blocked(src, dst, rows, cols, tile) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }
@@ -121,6 +123,7 @@ pub fn try_transpose_blocked<T: Copy>(
 /// paper's Section I) to the explicitly blocked version.
 pub fn transpose_recursive<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: usize) {
     if let Err(e) = try_transpose_recursive(src, dst, rows, cols) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }
@@ -175,6 +178,7 @@ fn run_recursive<T: Copy>(src: &[T], dst: &mut [T], rows: usize, cols: usize) {
 /// In-place transpose of a square `n × n` row-major matrix.
 pub fn transpose_in_place_square<T: Copy>(data: &mut [T], n: usize) {
     if let Err(e) = try_transpose_in_place_square(data, n) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }
@@ -209,6 +213,7 @@ pub fn try_transpose_in_place_square<T: Copy>(data: &mut [T], n: usize) -> Resul
 /// previously at stride `s` contiguous in `y`.
 pub fn stride_permutation<T: Copy>(src: &[T], dst: &mut [T], n: usize, s: usize) {
     if let Err(e) = try_stride_permutation(src, dst, n, s) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }
@@ -251,6 +256,7 @@ pub fn try_stride_permutation<T: Copy>(
 /// In-place `L^N_s` for the balanced case `s == sqrt(N)`.
 pub fn stride_permutation_in_place_square<T: Copy>(data: &mut [T], n: usize, s: usize) {
     if let Err(e) = try_stride_permutation_in_place_square(data, n, s) {
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         panic!("{e}");
     }
 }

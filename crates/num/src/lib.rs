@@ -18,6 +18,8 @@
 //! * [`ddl_error`] — the unified [`DdlError`] type every fallible public
 //!   operation in the workspace reports through.
 
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod ddl_error;
 pub mod error;

@@ -6,6 +6,8 @@
 //! noise — together with reference computations (circular convolution,
 //! PSNR) used to verify end-to-end pipelines built on the transforms.
 
+#![forbid(unsafe_code)]
+
 pub mod convolution;
 pub mod signal;
 
@@ -24,6 +26,7 @@ pub use signal::{chirp, impulse, noise_complex, noise_real, tone_mixture, Tone};
 pub fn psnr_db(reference: &[f64], reconstruction: &[f64], peak: f64) -> f64 {
     match try_psnr_db(reference, reconstruction, peak) {
         Ok(v) => v,
+        // ddl-lint: allow(no-panics): panicking wrapper by design; use the try_ variant for a Result
         Err(e) => panic!("{e}"),
     }
 }

@@ -21,5 +21,13 @@ run cargo test -q
 run cargo run --release -q -p ddl-bench --bin obs_smoke -- --metrics-out target/metrics-smoke.json
 run cargo run --release -q -p ddl-bench --bin obs_smoke -- --check target/metrics-smoke.json
 
+# Static analysis gate: workspace lint (panic discipline, forbid(unsafe),
+# timing hygiene), then the plan/DAG analyzer over every golden plan and
+# generated codelet. Both exit non-zero on any error-severity finding;
+# the analyzer report is validated by round-tripping it through --check.
+run cargo run --release -q -p ddl-analyze --bin ddl_lint -- --out target/lint-report.json
+run cargo run --release -q -p ddl-analyze --bin ddl_analyze -- --out target/analyze-report.json
+run cargo run --release -q -p ddl-analyze --bin ddl_analyze -- --check target/analyze-report.json
+
 echo
 echo "CI gate passed."

@@ -43,6 +43,8 @@
 //! assert!((y[0].re - 4096.0).abs() < 1e-6);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ddl_cachesim as cachesim;
 pub use ddl_core as core;
 pub use ddl_kernels as kernels;

@@ -12,6 +12,8 @@
 //! against saved baselines) is intentionally absent. Set
 //! `CRITERION_QUICK=1` to shrink the measurement window for smoke runs.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -19,6 +19,8 @@
 //! `#![proptest_config(ProptestConfig::with_cases(n))]` or globally with
 //! the `PROPTEST_CASES` environment variable.
 
+#![forbid(unsafe_code)]
+
 use rand::prelude::*;
 
 /// Runner configuration; only `cases` is meaningful in this stand-in.

@@ -9,6 +9,8 @@
 //! reproducible per seed, which is all the tests and signal generators
 //! require. It makes no cryptographic claims.
 
+#![forbid(unsafe_code)]
+
 /// Core trait: a source of uniformly distributed 64-bit words.
 pub trait RngCore {
     /// Next 64 uniformly random bits.
