@@ -1,0 +1,371 @@
+//! Performance-trajectory harness: runs the pinned benchmark suite,
+//! writes a versioned `ddl-bench` report, and optionally compares it
+//! against a stored baseline, emits a cost-model calibration report and
+//! a Chrome trace of one instrumented run.
+//!
+//! Modes:
+//!
+//! * **run** (default) — executes the suite (see [`ddl_bench::suite`])
+//!   and writes `BENCH_<label>.json`. With `--baseline <path>` the run
+//!   is compared case-by-case against the stored report: regressions
+//!   beyond `--tolerance` (or a vanished case) exit non-zero.
+//! * **`--check <path>`** (repeatable) — validates a previously emitted
+//!   artifact: `ddl-bench`, `ddl-calibration` and `ddl-metrics` reports
+//!   are auto-detected by their `schema` field, Chrome traces by their
+//!   `traceEvents` key. Violations print the offending JSON path and
+//!   exit non-zero.
+//! * **`--compare <current> <baseline>`** — compares two stored reports
+//!   without re-running the suite.
+//!
+//! ```sh
+//! cargo run --release -p ddl-bench --bin bench_suite -- --quick --label ci \
+//!     --out target/BENCH_ci.json --calibrate-out target/calibration.json \
+//!     --trace-out target/trace.json
+//! cargo run --release -p ddl-bench --bin bench_suite -- --check target/BENCH_ci.json
+//! cargo run --release -p ddl-bench --bin bench_suite -- \
+//!     --compare target/BENCH_ci.json results/bench_baseline.json
+//! ```
+
+use ddl_bench::suite::{
+    compare, default_repeats, run_suite, BenchReport, Comparison, SuiteConfig, DEFAULT_TOLERANCE,
+};
+use ddl_core::json::{self, Json};
+use ddl_core::planner::{try_plan_dft_with, PlannerConfig};
+use ddl_core::{
+    calibrate_dft, calibrate_wht, validate_chrome_trace, write_chrome_trace, CalibrationConfig,
+    CalibrationReport, DftPlan, MetricsReport, Recorder,
+};
+use ddl_num::{Complex64, Direction};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Sizes the calibration report always covers (the acceptance pair: one
+/// in-cache, one out-of-cache on paper-default geometry).
+const CALIBRATION_LOGS: [u32; 2] = [10, 16];
+/// Size of the traced run behind `--trace-out`.
+const TRACE_N: usize = 1 << 10;
+
+struct Args {
+    quick: bool,
+    label: String,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    tolerance: f64,
+    repeats: Option<u32>,
+    check: Vec<PathBuf>,
+    compare: Option<(PathBuf, PathBuf)>,
+    calibrate_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_suite: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        quick: false,
+        label: "local".into(),
+        out: None,
+        baseline: None,
+        tolerance: DEFAULT_TOLERANCE,
+        repeats: None,
+        check: Vec::new(),
+        compare: None,
+        calibrate_out: None,
+        trace_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let next_path = |args: &mut dyn Iterator<Item = String>, flag: &str| -> PathBuf {
+        PathBuf::from(
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a path"))),
+        )
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => parsed.quick = true,
+            "--label" => {
+                parsed.label = args.next().unwrap_or_else(|| die("--label needs a value"));
+            }
+            "--out" => parsed.out = Some(next_path(&mut args, "--out")),
+            "--baseline" => parsed.baseline = Some(next_path(&mut args, "--baseline")),
+            "--tolerance" => {
+                parsed.tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|t: &f64| t.is_finite() && *t >= 0.0)
+                    .unwrap_or_else(|| die("--tolerance needs a non-negative number"));
+            }
+            "--repeats" => {
+                parsed.repeats = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|r| *r >= 1)
+                        .unwrap_or_else(|| die("--repeats needs a positive integer")),
+                );
+            }
+            "--check" => parsed.check.push(next_path(&mut args, "--check")),
+            "--compare" => {
+                let cur = next_path(&mut args, "--compare");
+                let base = next_path(&mut args, "--compare");
+                parsed.compare = Some((cur, base));
+            }
+            "--calibrate-out" => {
+                parsed.calibrate_out = Some(next_path(&mut args, "--calibrate-out"));
+            }
+            "--trace-out" => parsed.trace_out = Some(next_path(&mut args, "--trace-out")),
+            other => die(&format!(
+                "unknown argument {other} (expected --quick | --label <s> | --out <path> | \
+                 --baseline <path> | --tolerance <f> | --repeats <k> | --check <path> | \
+                 --compare <current> <baseline> | --calibrate-out <path> | --trace-out <path>)"
+            )),
+        }
+    }
+    parsed
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if !args.check.is_empty() {
+        let mut code = ExitCode::SUCCESS;
+        for path in &args.check {
+            match check_artifact(path) {
+                Ok(summary) => println!("ok: {}: {summary}", path.display()),
+                Err(msg) => {
+                    eprintln!("check failed: {}: {msg}", path.display());
+                    code = ExitCode::from(1);
+                }
+            }
+        }
+        return code;
+    }
+
+    if let Some((current, baseline)) = &args.compare {
+        let cur = match load_report(current) {
+            Ok(r) => r,
+            Err(msg) => die(&msg),
+        };
+        let base = match load_report(baseline) {
+            Ok(r) => r,
+            Err(msg) => die(&msg),
+        };
+        return report_comparison(&compare(&cur, &base, args.tolerance), args.tolerance);
+    }
+
+    // --- run mode ---
+    let cfg = SuiteConfig {
+        label: args.label.clone(),
+        quick: args.quick,
+        repeats: args.repeats.unwrap_or_else(|| default_repeats(args.quick)),
+    };
+    eprintln!(
+        "running {} suite ({} repeats per case)...",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.repeats
+    );
+    let report = match run_suite(&cfg) {
+        Ok(r) => r,
+        Err(e) => die(&format!("suite failed: {e}")),
+    };
+    for case in &report.cases {
+        println!(
+            "{:<28} median {:>12.0} ns  (min {:.0}, max {:.0})",
+            case.id, case.median_ns, case.min_ns, case.max_ns
+        );
+    }
+
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from(format!("target/BENCH_{}.json", args.label)));
+    if let Some(parent) = out.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    if let Err(e) = report.write(&out) {
+        die(&format!("{e}"));
+    }
+    eprintln!("bench report written to {}", out.display());
+
+    if let Some(path) = &args.calibrate_out {
+        if let Err(e) = emit_calibration(&args.label, path) {
+            die(&format!("calibration failed: {e}"));
+        }
+    }
+    if let Some(path) = &args.trace_out {
+        if let Err(e) = emit_trace(path) {
+            die(&format!("trace export failed: {e}"));
+        }
+    }
+
+    if let Some(baseline) = &args.baseline {
+        let base = match load_report(baseline) {
+            Ok(r) => r,
+            Err(msg) => die(&msg),
+        };
+        return report_comparison(&compare(&report, &base, args.tolerance), args.tolerance);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Calibrates DFT and WHT at the pinned sizes and writes the report.
+fn emit_calibration(label: &str, path: &Path) -> Result<(), ddl_num::DdlError> {
+    let cal = CalibrationConfig::paper_default();
+    let cfg = PlannerConfig::ddl_analytical();
+    let mut report = CalibrationReport {
+        label: label.to_string(),
+        cases: Vec::new(),
+    };
+    for log in CALIBRATION_LOGS {
+        let n = 1usize << log;
+        report.cases.push(calibrate_dft(n, &cfg, &cal)?);
+        report.cases.push(calibrate_wht(n, &cfg, &cal)?);
+    }
+    for case in &report.cases {
+        let total = case.total.rel_error() * 100.0;
+        println!(
+            "calibration {:<4} n={:<7} total err {total:>+7.1}%  (leaf {:+.1}%, twiddle {:+.1}%, reorg {:+.1}%)",
+            case.transform,
+            case.n,
+            case.leaf.rel_error() * 100.0,
+            case.twiddle.rel_error() * 100.0,
+            case.reorg.rel_error() * 100.0,
+        );
+    }
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    report.write(path)?;
+    eprintln!("calibration report written to {}", path.display());
+    Ok(())
+}
+
+/// Plans and profiles one instrumented DFT, exporting the recorded
+/// span/stage timeline as a Chrome trace-event document.
+fn emit_trace(path: &Path) -> Result<(), ddl_num::DdlError> {
+    let mut recorder = Recorder::new();
+    let cfg = PlannerConfig::ddl_analytical();
+    let outcome = try_plan_dft_with(TRACE_N, &cfg, &mut recorder)?;
+    let plan = DftPlan::new(outcome.tree, Direction::Forward)?;
+    let input: Vec<Complex64> = (0..TRACE_N)
+        .map(|i| Complex64::new((i % 7) as f64, (i % 3) as f64 * 0.5))
+        .collect();
+    let mut output = vec![Complex64::ZERO; TRACE_N];
+    plan.try_profile_with(&input, &mut output, &mut recorder)?;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    write_chrome_trace(&recorder, path)?;
+    // Round-trip self-check: what we just wrote must validate.
+    let text = std::fs::read_to_string(path).map_err(|e| ddl_num::DdlError::Metrics {
+        detail: format!("cannot re-read {}: {e}", path.display()),
+    })?;
+    let summary = validate_chrome_trace(&text)?;
+    eprintln!(
+        "trace written to {} ({} events, {} spans, depth {})",
+        path.display(),
+        summary.events,
+        summary.begins,
+        summary.max_depth
+    );
+    Ok(())
+}
+
+fn load_report(path: &Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    BenchReport::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Prints a comparison and converts it to the process exit code.
+fn report_comparison(cmp: &Comparison, tolerance: f64) -> ExitCode {
+    for r in &cmp.regressions {
+        println!(
+            "REGRESSION {:<28} {:>12.0} ns -> {:>12.0} ns  ({:+.1}%)",
+            r.id,
+            r.baseline_ns,
+            r.current_ns,
+            (r.ratio - 1.0) * 100.0
+        );
+    }
+    for i in &cmp.improvements {
+        println!(
+            "improved   {:<28} {:>12.0} ns -> {:>12.0} ns  ({:+.1}%)",
+            i.id,
+            i.baseline_ns,
+            i.current_ns,
+            (i.ratio - 1.0) * 100.0
+        );
+    }
+    for id in &cmp.missing {
+        println!("MISSING    {id} (present in baseline, absent from current run)");
+    }
+    for id in &cmp.added {
+        println!("added      {id} (not in baseline)");
+    }
+    if cmp.passed() {
+        println!(
+            "baseline comparison passed (tolerance {:.0}%, {} improvements, {} new cases)",
+            tolerance * 100.0,
+            cmp.improvements.len(),
+            cmp.added.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "baseline comparison FAILED: {} regressions, {} missing cases (tolerance {:.0}%)",
+            cmp.regressions.len(),
+            cmp.missing.len(),
+            tolerance * 100.0
+        );
+        ExitCode::from(1)
+    }
+}
+
+/// Validates one artifact, auto-detecting its schema; returns a short
+/// human summary or the path-bearing error message.
+fn check_artifact(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read file: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("$: {e}"))?;
+    let top = doc.as_obj().ok_or("$: top level is not an object")?;
+    if top.contains_key("traceEvents") {
+        let s = validate_chrome_trace(&text).map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "ddl-trace: {} events ({} begin/end pairs, {} completes, depth {}, {} dropped)",
+            s.events, s.begins, s.completes, s.max_depth, s.events_dropped
+        ));
+    }
+    match top.get("schema").and_then(Json::as_str) {
+        Some("ddl-bench") => {
+            let r = BenchReport::parse(&text).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "ddl-bench: label {:?}, {} cases, {} mode, host {}",
+                r.label,
+                r.cases.len(),
+                if r.quick { "quick" } else { "full" },
+                r.env.cpu
+            ))
+        }
+        Some("ddl-calibration") => {
+            let r = CalibrationReport::parse(&text).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "ddl-calibration: label {:?}, {} cases",
+                r.label,
+                r.cases.len()
+            ))
+        }
+        Some("ddl-metrics") => {
+            let r = MetricsReport::parse(&text).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "ddl-metrics: {} planner runs, {} executions, {} batches",
+                r.planner.len(),
+                r.executions.len(),
+                r.batches.len()
+            ))
+        }
+        Some(other) => Err(format!("$.schema: unknown schema {other:?}")),
+        None => Err("$.schema: missing or non-string (and no traceEvents key)".into()),
+    }
+}

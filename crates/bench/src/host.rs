@@ -55,6 +55,34 @@ pub fn caches() -> Vec<CacheDesc> {
     out
 }
 
+/// Output of `rustc --version` (or "unknown"): part of the benchmark
+/// environment header, since codegen changes shift every timing.
+pub fn rustc_version() -> String {
+    command_line("rustc", &["--version"])
+}
+
+/// Short git commit of the working tree (or "unknown"): lets a stored
+/// benchmark report be traced back to the code it measured.
+pub fn git_sha() -> String {
+    command_line("git", &["rev-parse", "--short", "HEAD"])
+}
+
+/// First line of a command's stdout, or "unknown" when the command is
+/// missing or fails (benchmarks must run on hosts without a toolchain).
+fn command_line(program: &str, args: &[&str]) -> String {
+    let out = match std::process::Command::new(program).args(args).output() {
+        Ok(out) if out.status.success() => out,
+        _ => return "unknown".to_string(),
+    };
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .next()
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .unwrap_or("unknown")
+        .to_string()
+}
+
 /// Parses "48K" / "2048K" / "36M" sysfs cache size strings.
 pub fn parse_size(s: &str) -> Option<usize> {
     if let Some(k) = s.strip_suffix('K') {
@@ -99,6 +127,14 @@ mod tests {
             assert!(size > 0);
             assert!(line.is_power_of_two());
         }
+    }
+
+    #[test]
+    fn toolchain_probes_never_panic() {
+        // Either a real answer or the documented fallback — never empty.
+        assert!(!rustc_version().is_empty());
+        assert!(!git_sha().is_empty());
+        assert_eq!(command_line("ddl-no-such-binary", &[]), "unknown");
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //! | `table5`    | Table V — optimal WHT factorizations per size |
 //! | `table6`    | Table VI — optimal FFT factorizations per size |
 //!
+//! Beyond the paper, `obs_smoke` emits and validates the `ddl-metrics`
+//! observability report, and `bench_suite` (backed by [`suite`]) runs
+//! the pinned performance-trajectory suite with baseline comparison,
+//! cost-model calibration and Chrome-trace export.
+//!
 //! This library provides the pieces they share: measured planning with a
 //! wisdom cache (so one planning pass serves every binary), timing
 //! wrappers, and host introspection.
@@ -27,6 +32,7 @@ use ddl_core::wisdom::Wisdom;
 use std::path::PathBuf;
 
 pub mod host;
+pub mod suite;
 
 /// Default size sweep for the performance figures: `2^10 .. 2^22`.
 ///

@@ -57,7 +57,9 @@
 //! codelet; the touched line set per leaf is identical, which is the
 //! granularity the cache model observes.
 
-use crate::obs::{stage_end, stage_start, ExecutionMetrics, NullSink, Recorder, Sink, Stage};
+use crate::obs::{
+    stage_end, stage_start, ExecutionMetrics, NullSink, Recorder, Sink, SpanInfo, SpanKind, Stage,
+};
 use crate::tree::Tree;
 use crate::DFT_POINT_BYTES;
 use ddl_cachesim::{MemoryTracer, NullTracer};
@@ -440,10 +442,32 @@ impl DftPlan {
         input: &[Complex64],
         output: &mut [Complex64],
     ) -> Result<ExecutionMetrics, DdlError> {
-        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
         let mut recorder = Recorder::new();
+        self.try_profile_with(input, output, &mut recorder)
+    }
+
+    /// [`DftPlan::try_profile`] into a caller-provided recorder, which
+    /// additionally captures the hierarchical trace timeline (an
+    /// `execution` span wrapping one `node` span per tree node) for
+    /// export via [`crate::trace`]. The returned metrics summarize the
+    /// recorder's accumulated totals, so pass a fresh recorder for
+    /// single-run numbers.
+    pub fn try_profile_with(
+        &self,
+        input: &[Complex64],
+        output: &mut [Complex64],
+        recorder: &mut Recorder,
+    ) -> Result<ExecutionMetrics, DdlError> {
+        let mut scratch = vec![Complex64::ZERO; self.scratch_len()];
+        recorder.span_begin(SpanInfo {
+            kind: SpanKind::Execution,
+            label: "dft",
+            size: self.n(),
+            stride: 1,
+            reorg: self.root.reorg,
+        });
         let t0 = std::time::Instant::now();
-        self.try_execute_view_observed(
+        let result = self.try_execute_view_observed(
             input,
             0,
             1,
@@ -453,15 +477,17 @@ impl DftPlan {
             &mut scratch,
             &mut NullTracer,
             [0; 4],
-            &mut recorder,
-        )?;
+            recorder,
+        );
         let total_ns = t0.elapsed().as_nanos() as u64;
+        recorder.span_end();
+        result?;
         Ok(ExecutionMetrics::from_recorder(
             "dft",
             self.n(),
             self.tree.to_string(),
             total_ns,
-            &recorder,
+            recorder,
             crate::obs::tree_leaf_flops(&self.tree, true),
         ))
     }
@@ -508,6 +534,15 @@ fn exec<T: MemoryTracer, S: Sink>(
     sink: &mut S,
 ) {
     let n = node.n;
+    if S::ENABLED {
+        sink.span_begin(SpanInfo {
+            kind: SpanKind::Node,
+            label: "dft",
+            size: n,
+            stride: sv.stride,
+            reorg: node.reorg,
+        });
+    }
     match &node.kind {
         CompiledKind::Leaf => {
             if node.reorg && sv.stride > 1 {
@@ -701,6 +736,9 @@ fn exec<T: MemoryTracer, S: Sink>(
                 }
             }
         }
+    }
+    if S::ENABLED {
+        sink.span_end();
     }
 }
 

@@ -45,6 +45,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod calibrate;
 pub mod dct;
 pub mod dft;
 pub mod dft2d;
@@ -57,19 +58,24 @@ pub mod parallel;
 pub mod planner;
 pub mod rfft;
 pub mod sixstep;
+pub mod trace;
 pub mod traced;
 pub mod tree;
 pub mod wht;
 pub mod wisdom;
 
+pub use calibrate::{
+    calibrate_dft, calibrate_wht, CalibrationCase, CalibrationConfig, CalibrationReport,
+    StageCalibration, CALIBRATION_SCHEMA, CALIBRATION_VERSION,
+};
 pub use dct::DctPlan;
 pub use ddl_num::DdlError;
 pub use dft::DftPlan;
 pub use dft2d::Dft2dPlan;
-pub use model::CacheModel;
+pub use model::{CacheModel, StageCost};
 pub use obs::{
     BatchMetrics, Counter, ExecutionMetrics, MetricsReport, NullSink, PlannerRunMetrics, Recorder,
-    Sink, Stage, StageBreakdown,
+    Sink, SpanInfo, SpanKind, Stage, StageBreakdown, TraceEvent,
 };
 pub use parallel::{
     execute_batch_with, execute_dft_batch, execute_wht_batch, try_execute_dft_batch,
@@ -81,6 +87,10 @@ pub use planner::{
 };
 pub use rfft::RfftPlan;
 pub use sixstep::SixStepPlan;
+pub use trace::{
+    chrome_trace_json, validate_chrome_trace, write_chrome_trace, TraceSummary, TRACE_SCHEMA,
+    TRACE_VERSION,
+};
 pub use tree::Tree;
 pub use wht::WhtPlan;
 pub use wisdom::Wisdom;

@@ -20,6 +20,43 @@
 //! per butterfly-op, miss penalty) can be calibrated from measurements;
 //! defaults are order-of-magnitude values for a modern core.
 
+/// Predicted cost split along the paper's Eq. (2)/(3) terms, the
+/// analytical mirror of [`crate::obs::StageBreakdown`]: `leaf_ns` is the
+/// recursive `T_left`/`T_right` payload, `twiddle_ns` the `T_tw` passes,
+/// `reorg_ns` the `Dr` reorganizations. Produced per point by the node
+/// cost recursion and per transform by [`CacheModel::dft_stage_cost_ns`]
+/// / [`CacheModel::wht_stage_cost_ns`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageCost {
+    /// Leaf codelet cost in nanoseconds.
+    pub leaf_ns: f64,
+    /// Twiddle pass cost in nanoseconds (zero for the WHT).
+    pub twiddle_ns: f64,
+    /// Reorganization (`Dr`) cost in nanoseconds.
+    pub reorg_ns: f64,
+}
+
+impl StageCost {
+    /// Sum of the three stage terms.
+    pub fn total_ns(&self) -> f64 {
+        self.leaf_ns + self.twiddle_ns + self.reorg_ns
+    }
+
+    fn add(&mut self, other: StageCost) {
+        self.leaf_ns += other.leaf_ns;
+        self.twiddle_ns += other.twiddle_ns;
+        self.reorg_ns += other.reorg_ns;
+    }
+
+    fn scaled(&self, by: f64) -> StageCost {
+        StageCost {
+            leaf_ns: self.leaf_ns * by,
+            twiddle_ns: self.twiddle_ns * by,
+            reorg_ns: self.reorg_ns * by,
+        }
+    }
+}
+
 /// Analytical cost model for factorized-transform execution.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct CacheModel {
@@ -150,41 +187,52 @@ impl CacheModel {
     /// transpose instead); the right child reads at unit stride and
     /// writes the node's output at `n1 * write_stride`.
     pub fn tree_cost_ns(&self, tree: &crate::tree::Tree, root_stride: usize) -> f64 {
-        self.dft_node_cost(tree, root_stride, 1) * tree.size() as f64
+        self.dft_stage_cost_ns(tree, root_stride).total_ns()
     }
 
-    /// Per-point cost of a DFT subtree reading at `rs` and writing its
-    /// outputs at `ws`.
-    fn dft_node_cost(&self, tree: &crate::tree::Tree, rs: usize, ws: usize) -> f64 {
+    /// [`CacheModel::tree_cost_ns`] split into the Eq. (2)/(3) stage
+    /// terms: the per-stage *predictions* a calibration run compares
+    /// against the measured [`crate::obs::StageBreakdown`]. The terms
+    /// sum to `tree_cost_ns`.
+    pub fn dft_stage_cost_ns(&self, tree: &crate::tree::Tree, root_stride: usize) -> StageCost {
+        self.dft_node_cost(tree, root_stride, 1)
+            .scaled(tree.size() as f64)
+    }
+
+    /// Per-point stage costs of a DFT subtree reading at `rs` and writing
+    /// its outputs at `ws`.
+    fn dft_node_cost(&self, tree: &crate::tree::Tree, rs: usize, ws: usize) -> StageCost {
         use crate::tree::Tree;
         let n = tree.size();
+        let mut cost = StageCost::default();
         match tree {
             Tree::Leaf { reorg, .. } => {
                 if *reorg && rs > 1 {
                     // gather to unit stride, then the codelet runs on the
                     // compacted copy
-                    self.reorg_cost_per_point(n, rs) + self.leaf_cost_rw(n, 1, ws)
+                    cost.reorg_ns += self.reorg_cost_per_point(n, rs);
+                    cost.leaf_ns += self.leaf_cost_rw(n, 1, ws);
                 } else {
-                    self.leaf_cost_rw(n, rs, ws)
+                    cost.leaf_ns += self.leaf_cost_rw(n, rs, ws);
                 }
             }
             Tree::Split { left, right, reorg } => {
                 let n1 = left.size();
                 let n2 = right.size();
-                let mut cost = self.twiddle_cost_per_point(n);
+                cost.twiddle_ns += self.twiddle_cost_per_point(n);
                 if *reorg {
                     // stage-1 writes contiguous, then the tiled transpose
-                    cost += self.dft_node_cost(left, n2 * rs, 1);
-                    cost += self.transpose_cost_per_point();
+                    cost.add(self.dft_node_cost(left, n2 * rs, 1));
+                    cost.reorg_ns += self.transpose_cost_per_point();
                 } else {
                     // stage-1 writes the intermediate buffer interleaved
-                    cost += self.dft_node_cost(left, n2 * rs, n2);
+                    cost.add(self.dft_node_cost(left, n2 * rs, n2));
                 }
                 // stage 2 reads unit stride and writes the output view
-                cost += self.dft_node_cost(right, 1, n1 * ws);
-                cost
+                cost.add(self.dft_node_cost(right, 1, n1 * ws));
             }
         }
+        cost
     }
 
     /// Estimated total cost (nanoseconds) of executing a WHT factorization
@@ -194,28 +242,36 @@ impl CacheModel {
     /// parent's stride (exactly the paper's Fig. 4 convention) and a
     /// reorganization pays both a gather and a scatter-back.
     pub fn wht_tree_cost_ns(&self, tree: &crate::tree::Tree, root_stride: usize) -> f64 {
-        self.wht_node_cost(tree, root_stride) * tree.size() as f64
+        self.wht_stage_cost_ns(tree, root_stride).total_ns()
     }
 
-    fn wht_node_cost(&self, tree: &crate::tree::Tree, stride: usize) -> f64 {
+    /// [`CacheModel::wht_tree_cost_ns`] split into stage terms (the WHT
+    /// has no twiddle term, so `twiddle_ns` is always zero). The terms
+    /// sum to `wht_tree_cost_ns`.
+    pub fn wht_stage_cost_ns(&self, tree: &crate::tree::Tree, root_stride: usize) -> StageCost {
+        self.wht_node_cost(tree, root_stride)
+            .scaled(tree.size() as f64)
+    }
+
+    fn wht_node_cost(&self, tree: &crate::tree::Tree, stride: usize) -> StageCost {
         use crate::tree::Tree;
         let n = tree.size();
-        let mut cost = 0.0;
+        let mut cost = StageCost::default();
         let mut stride = stride;
         if tree.reorg() && stride > 1 {
             // gather + scatter back
-            cost += 2.0 * self.reorg_cost_per_point(n, stride);
+            cost.reorg_ns += 2.0 * self.reorg_cost_per_point(n, stride);
             stride = 1;
         }
         match tree {
-            Tree::Leaf { .. } => cost + self.leaf_cost_per_point(n, stride),
+            Tree::Leaf { .. } => cost.leaf_ns += self.leaf_cost_per_point(n, stride),
             Tree::Split { left, right, .. } => {
                 let n2 = right.size();
-                cost += self.wht_node_cost(right, stride);
-                cost += self.wht_node_cost(left, n2 * stride);
-                cost
+                cost.add(self.wht_node_cost(right, stride));
+                cost.add(self.wht_node_cost(left, n2 * stride));
             }
         }
+        cost
     }
 }
 
@@ -324,6 +380,33 @@ mod tests {
             t => t,
         };
         assert!(m.tree_cost_ns(&ddl, 1) >= m.tree_cost_ns(&sdl, 1));
+    }
+
+    #[test]
+    fn stage_costs_sum_to_tree_cost() {
+        let m = CacheModel::paper_default();
+        for expr in [
+            "ct(32, 32)",
+            "ctddl(ctddl(8, 8), ct(8, 8))",
+            "ct(ddl(8), ct(8, 4))",
+        ] {
+            let t = crate::grammar::parse(expr).unwrap();
+            let stages = m.dft_stage_cost_ns(&t, 1);
+            let total = m.tree_cost_ns(&t, 1);
+            assert!(
+                (stages.total_ns() - total).abs() <= 1e-9 * total.abs().max(1.0),
+                "{expr}: {} != {total}",
+                stages.total_ns()
+            );
+            assert!(stages.leaf_ns > 0.0, "{expr}: leaf term missing");
+            if t.reorg_count() > 0 {
+                assert!(stages.reorg_ns > 0.0, "{expr}: reorg term missing");
+            }
+        }
+        let w = crate::grammar::parse("split(splitddl(32, 32), split(8, 8))").unwrap();
+        let stages = m.wht_stage_cost_ns(&w, 1);
+        assert!((stages.total_ns() - m.wht_tree_cost_ns(&w, 1)).abs() < 1e-9);
+        assert_eq!(stages.twiddle_ns, 0.0, "WHT has no twiddle term");
     }
 
     #[test]

@@ -146,6 +146,92 @@ pub struct Candidate {
     pub cost: f64,
 }
 
+/// Classification of a hierarchical span (see [`SpanInfo`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A whole profiled plan execution (the trace root).
+    Execution,
+    /// One factorization-tree node visited by the executor recursion.
+    Node,
+    /// A whole planner search (one `try_plan_*_with` call).
+    PlannerRun,
+    /// One `(size, stride)` DP state solved by the planner (memo misses
+    /// only; memo hits never open a span).
+    PlannerState,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in trace exports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Execution => "execution",
+            SpanKind::Node => "node",
+            SpanKind::PlannerRun => "planner_run",
+            SpanKind::PlannerState => "planner_state",
+        }
+    }
+}
+
+/// Static description of one hierarchical span: what the executor or
+/// planner was working on when the span opened. Copyable and allocation
+/// free so span sites stay cheap even when enabled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanInfo {
+    /// What this span covers.
+    pub kind: SpanKind,
+    /// Transform or strategy label (`"dft"`, `"wht"`, `"sdl"`, `"ddl"`).
+    pub label: &'static str,
+    /// Transform size of the covered node/state/run.
+    pub size: usize,
+    /// Input stride the node/state operates at.
+    pub stride: usize,
+    /// Whether the covered node carries a reorganization.
+    pub reorg: bool,
+}
+
+/// One event in a recorded trace timeline. Timestamps are nanoseconds
+/// since the owning [`Recorder`]'s construction (its *epoch*), so they
+/// are non-negative and non-decreasing in recording order.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A hierarchical span opened.
+    Begin {
+        /// What the span covers.
+        info: SpanInfo,
+        /// Nanoseconds since the recorder epoch.
+        ts_ns: u64,
+    },
+    /// The innermost open span closed (`info` echoes its `Begin`).
+    End {
+        /// What the span covered.
+        info: SpanInfo,
+        /// Nanoseconds since the recorder epoch.
+        ts_ns: u64,
+    },
+    /// A completed leaf/twiddle/reorg stage interval (Eq. (2)/(3) term).
+    Stage {
+        /// Which cost-decomposition term the interval belongs to.
+        stage: Stage,
+        /// Interval start, nanoseconds since the recorder epoch.
+        ts_ns: u64,
+        /// Interval length in nanoseconds.
+        dur_ns: u64,
+        /// Data points the stage pass covered.
+        points: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp (interval start for stage events).
+    pub fn ts_ns(&self) -> u64 {
+        match self {
+            TraceEvent::Begin { ts_ns, .. }
+            | TraceEvent::End { ts_ns, .. }
+            | TraceEvent::Stage { ts_ns, .. } => *ts_ns,
+        }
+    }
+}
+
 /// Observer for planner and executor instrumentation.
 ///
 /// Implementations with `ENABLED == false` (the [`NullSink`]) make every
@@ -165,6 +251,14 @@ pub trait Sink {
 
     /// Records one planner candidate.
     fn candidate(&mut self, candidate: Candidate);
+
+    /// Opens a hierarchical span. Every `span_begin` must be paired with
+    /// a later [`Sink::span_end`]; sites nest like the executor/planner
+    /// recursion itself. Default: no-op.
+    fn span_begin(&mut self, _info: SpanInfo) {}
+
+    /// Closes the innermost open span. Default: no-op.
+    fn span_end(&mut self) {}
 }
 
 /// The disabled sink: observes nothing, costs nothing.
@@ -182,6 +276,12 @@ impl Sink for NullSink {
 
     #[inline(always)]
     fn candidate(&mut self, _candidate: Candidate) {}
+
+    #[inline(always)]
+    fn span_begin(&mut self, _info: SpanInfo) {}
+
+    #[inline(always)]
+    fn span_end(&mut self) {}
 }
 
 /// Starts a stage timer only when the sink is enabled; with the
@@ -206,13 +306,25 @@ pub fn stage_end<S: Sink>(sink: &mut S, stage: Stage, t0: Option<std::time::Inst
     }
 }
 
-/// Cap on retained planner candidates; beyond it only the drop count
-/// grows, so a huge search cannot balloon the recorder.
+/// Default cap on retained planner candidates; beyond it only the drop
+/// count grows, so a huge search cannot balloon the recorder. Override
+/// per recorder with [`Recorder::with_candidate_capacity`].
 pub const MAX_RECORDED_CANDIDATES: usize = 4096;
 
-/// The standard in-memory sink: accumulates counters, per-stage spans
-/// and a bounded candidate log, and converts into report sections.
-#[derive(Clone, Debug, Default)]
+/// Default cap on retained trace events. Override per recorder with
+/// [`Recorder::with_limits`].
+pub const MAX_TRACE_EVENTS: usize = 1 << 16;
+
+/// The standard in-memory sink: accumulates counters, per-stage spans,
+/// a bounded candidate log and a bounded hierarchical trace-event
+/// timeline, and converts into report sections.
+///
+/// Both logs truncate rather than grow without bound: once a log is
+/// full, further observations only bump the matching `*_dropped`
+/// counter. Truncation keeps the trace well formed — a `Begin` that
+/// does not fit suppresses its matching `End` too (never recording one
+/// without the other), so begin/end events always balance.
+#[derive(Clone, Debug)]
 pub struct Recorder {
     counters: [u64; Counter::ALL.len()],
     stage_ns: [u64; Stage::ALL.len()],
@@ -220,12 +332,86 @@ pub struct Recorder {
     stage_points: [u64; Stage::ALL.len()],
     candidates: Vec<Candidate>,
     candidates_dropped: u64,
+    max_candidates: usize,
+    events: Vec<TraceEvent>,
+    events_dropped: u64,
+    max_events: usize,
+    /// Infos of currently open recorded spans (so `End` can echo them).
+    open: Vec<SpanInfo>,
+    /// Depth of `Begin`s dropped at the cap whose `End`s must be
+    /// swallowed to keep the recorded timeline balanced.
+    skip_depth: u32,
+    /// Timestamp origin for all trace events.
+    epoch: std::time::Instant,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
 }
 
 impl Recorder {
-    /// A fresh recorder with every counter at zero.
+    /// A fresh recorder with every counter at zero and the default
+    /// [`MAX_RECORDED_CANDIDATES`] / [`MAX_TRACE_EVENTS`] log caps.
     pub fn new() -> Recorder {
-        Recorder::default()
+        Recorder::with_limits(MAX_RECORDED_CANDIDATES, MAX_TRACE_EVENTS)
+    }
+
+    /// A fresh recorder retaining at most `capacity` planner candidates
+    /// (the trace-event cap stays at [`MAX_TRACE_EVENTS`]).
+    pub fn with_candidate_capacity(capacity: usize) -> Recorder {
+        Recorder::with_limits(capacity, MAX_TRACE_EVENTS)
+    }
+
+    /// A fresh recorder with explicit candidate and trace-event caps.
+    pub fn with_limits(max_candidates: usize, max_events: usize) -> Recorder {
+        Recorder {
+            counters: [0; Counter::ALL.len()],
+            stage_ns: [0; Stage::ALL.len()],
+            stage_calls: [0; Stage::ALL.len()],
+            stage_points: [0; Stage::ALL.len()],
+            candidates: Vec::new(),
+            candidates_dropped: 0,
+            max_candidates,
+            events: Vec::new(),
+            events_dropped: 0,
+            max_events,
+            open: Vec::new(),
+            skip_depth: 0,
+            epoch: std::time::Instant::now(),
+        }
+    }
+
+    /// The candidate-log retention cap this recorder was built with.
+    pub fn candidate_capacity(&self) -> usize {
+        self.max_candidates
+    }
+
+    /// The trace-event retention cap this recorder was built with.
+    pub fn trace_capacity(&self) -> usize {
+        self.max_events
+    }
+
+    /// The recorded trace timeline, in recording order.
+    pub fn trace_events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Trace events observed beyond the retention cap.
+    pub fn trace_events_dropped(&self) -> u64 {
+        self.events_dropped
+    }
+
+    /// Number of spans currently open (0 after balanced instrumentation).
+    pub fn open_span_depth(&self) -> usize {
+        self.open.len() + self.skip_depth as usize
+    }
+
+    /// Nanoseconds since this recorder's construction — the timestamp
+    /// origin of its trace events.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
     }
 
     /// Current value of one counter.
@@ -299,13 +485,52 @@ impl Sink for Recorder {
         self.stage_ns[i] += nanos;
         self.stage_calls[i] += 1;
         self.stage_points[i] += points;
+        if self.events.len() < self.max_events {
+            // `stage_end` reports after the interval closed; reconstruct
+            // its start so the event sits where the work happened.
+            let now = self.now_ns();
+            self.events.push(TraceEvent::Stage {
+                stage,
+                ts_ns: now.saturating_sub(nanos),
+                dur_ns: nanos,
+                points,
+            });
+        } else {
+            self.events_dropped += 1;
+        }
     }
 
     fn candidate(&mut self, candidate: Candidate) {
-        if self.candidates.len() < MAX_RECORDED_CANDIDATES {
+        if self.candidates.len() < self.max_candidates {
             self.candidates.push(candidate);
         } else {
             self.candidates_dropped += 1;
+        }
+    }
+
+    fn span_begin(&mut self, info: SpanInfo) {
+        if self.events.len() < self.max_events {
+            let ts_ns = self.now_ns();
+            self.events.push(TraceEvent::Begin { info, ts_ns });
+            self.open.push(info);
+        } else {
+            self.skip_depth += 1;
+            self.events_dropped += 1;
+        }
+    }
+
+    fn span_end(&mut self) {
+        if self.skip_depth > 0 {
+            // Closing a span whose `Begin` was dropped at the cap.
+            self.skip_depth -= 1;
+            return;
+        }
+        if let Some(info) = self.open.pop() {
+            // `End`s for recorded `Begin`s bypass the cap so the
+            // timeline stays balanced; the log can therefore exceed
+            // `max_events` by at most the open nesting depth.
+            let ts_ns = self.now_ns();
+            self.events.push(TraceEvent::End { info, ts_ns });
         }
     }
 }
@@ -512,45 +737,52 @@ impl MetricsReport {
             .ok_or_else(|| metrics_err("top level is not a JSON object".into()))?;
         match top.get("schema").and_then(Json::as_str) {
             Some(METRICS_SCHEMA) => {}
-            Some(other) => return Err(metrics_err(format!("unknown schema {other:?}"))),
-            None => return Err(metrics_err("missing \"schema\" field".into())),
+            Some(other) => {
+                return Err(metrics_err(format!(
+                    "$.schema: unknown schema {other:?} (expected {METRICS_SCHEMA:?})"
+                )))
+            }
+            None => return Err(metrics_err("$.schema: missing or non-string".into())),
         }
         let version = top
             .get("version")
             .and_then(Json::as_u64)
-            .ok_or_else(|| metrics_err("missing or non-integer \"version\"".into()))?;
+            .ok_or_else(|| metrics_err("$.version: missing or non-integer".into()))?;
         if version > METRICS_VERSION as u64 {
             return Err(metrics_err(format!(
-                "report version {version} is newer than supported version {METRICS_VERSION}"
+                "$.version: report version {version} is newer than supported version {METRICS_VERSION}"
             )));
         }
         let arr = |key: &str| -> Result<&[Json], DdlError> {
             match top.get(key) {
                 None => Ok(&[]),
                 Some(Json::Arr(items)) => Ok(items),
-                Some(_) => Err(metrics_err(format!("\"{key}\" is not an array"))),
+                Some(_) => Err(metrics_err(format!("$.{key}: not an array"))),
             }
         };
         let planner = arr("planner")?
             .iter()
-            .map(planner_from_json)
+            .enumerate()
+            .map(|(i, v)| planner_from_json(v, i))
             .collect::<Result<_, _>>()?;
         let executions = arr("executions")?
             .iter()
-            .map(execution_from_json)
+            .enumerate()
+            .map(|(i, v)| execution_from_json(v, i))
             .collect::<Result<_, _>>()?;
         let batches = arr("batches")?
             .iter()
-            .map(batch_from_json)
+            .enumerate()
+            .map(|(i, v)| batch_from_json(v, i))
             .collect::<Result<_, _>>()?;
         let mut counters = BTreeMap::new();
         if let Some(v) = top.get("counters") {
             let obj = v
                 .as_obj()
-                .ok_or_else(|| metrics_err("\"counters\" is not an object".into()))?;
+                .ok_or_else(|| metrics_err("$.counters: not an object".into()))?;
             for (k, v) in obj {
                 let v = v.as_u64().ok_or_else(|| {
-                    metrics_err(format!("counter {k:?} is not a non-negative integer"))
+                    metrics_err(format!("$.counters.{k}: not a non-negative integer"))
                 })?;
                 counters.insert(k.clone(), v);
             }
@@ -579,38 +811,58 @@ pub fn env_metrics_out() -> Option<PathBuf> {
     }
 }
 
-fn metrics_err(detail: String) -> DdlError {
+pub(crate) fn metrics_err(detail: String) -> DdlError {
     DdlError::Metrics { detail }
 }
 
-fn obj<'j>(v: &'j Json, what: &str) -> Result<&'j BTreeMap<String, Json>, DdlError> {
+/// Decode helpers shared by every report schema in the workspace
+/// (`ddl-metrics`, `ddl-trace`, `ddl-calibration`, `ddl-bench`). Each
+/// takes the JSON-path of the enclosing object (e.g. `$.planner[2]`) so
+/// validation failures name the offending field, not just the file.
+pub(crate) fn obj<'j>(v: &'j Json, path: &str) -> Result<&'j BTreeMap<String, Json>, DdlError> {
     v.as_obj()
-        .ok_or_else(|| metrics_err(format!("{what} entry is not an object")))
+        .ok_or_else(|| metrics_err(format!("{path}: not an object")))
 }
 
-fn get_str(map: &BTreeMap<String, Json>, key: &str) -> Result<String, DdlError> {
+pub(crate) fn get_str(
+    map: &BTreeMap<String, Json>,
+    path: &str,
+    key: &str,
+) -> Result<String, DdlError> {
     map.get(key)
         .and_then(Json::as_str)
         .map(str::to_string)
-        .ok_or_else(|| metrics_err(format!("missing or non-string \"{key}\"")))
+        .ok_or_else(|| metrics_err(format!("{path}.{key}: missing or non-string")))
 }
 
-fn get_u64(map: &BTreeMap<String, Json>, key: &str) -> Result<u64, DdlError> {
+pub(crate) fn get_u64(
+    map: &BTreeMap<String, Json>,
+    path: &str,
+    key: &str,
+) -> Result<u64, DdlError> {
     map.get(key)
         .and_then(Json::as_u64)
-        .ok_or_else(|| metrics_err(format!("missing or non-integer \"{key}\"")))
+        .ok_or_else(|| metrics_err(format!("{path}.{key}: missing or non-integer")))
 }
 
-fn get_f64(map: &BTreeMap<String, Json>, key: &str) -> Result<f64, DdlError> {
+pub(crate) fn get_f64(
+    map: &BTreeMap<String, Json>,
+    path: &str,
+    key: &str,
+) -> Result<f64, DdlError> {
     map.get(key)
         .and_then(Json::as_f64)
-        .ok_or_else(|| metrics_err(format!("missing or non-numeric \"{key}\"")))
+        .ok_or_else(|| metrics_err(format!("{path}.{key}: missing or non-numeric")))
 }
 
-fn get_bool(map: &BTreeMap<String, Json>, key: &str) -> Result<bool, DdlError> {
+pub(crate) fn get_bool(
+    map: &BTreeMap<String, Json>,
+    path: &str,
+    key: &str,
+) -> Result<bool, DdlError> {
     match map.get(key) {
         Some(Json::Bool(b)) => Ok(*b),
-        _ => Err(metrics_err(format!("missing or non-boolean \"{key}\""))),
+        _ => Err(metrics_err(format!("{path}.{key}: missing or non-boolean"))),
     }
 }
 
@@ -629,19 +881,20 @@ fn planner_to_json(p: &PlannerRunMetrics) -> Json {
     Json::Obj(m)
 }
 
-fn planner_from_json(v: &Json) -> Result<PlannerRunMetrics, DdlError> {
-    let m = obj(v, "planner")?;
+fn planner_from_json(v: &Json, i: usize) -> Result<PlannerRunMetrics, DdlError> {
+    let path = format!("$.planner[{i}]");
+    let m = obj(v, &path)?;
     Ok(PlannerRunMetrics {
-        transform: get_str(m, "transform")?,
-        n: get_u64(m, "n")? as usize,
-        strategy: get_str(m, "strategy")?,
-        backend: get_str(m, "backend")?,
-        states: get_u64(m, "states")?,
-        candidates: get_u64(m, "candidates")?,
-        memo_hits: get_u64(m, "memo_hits")?,
-        cost: get_f64(m, "cost")?,
-        plan_seconds: get_f64(m, "plan_seconds")?,
-        tree: get_str(m, "tree")?,
+        transform: get_str(m, &path, "transform")?,
+        n: get_u64(m, &path, "n")? as usize,
+        strategy: get_str(m, &path, "strategy")?,
+        backend: get_str(m, &path, "backend")?,
+        states: get_u64(m, &path, "states")?,
+        candidates: get_u64(m, &path, "candidates")?,
+        memo_hits: get_u64(m, &path, "memo_hits")?,
+        cost: get_f64(m, &path, "cost")?,
+        plan_seconds: get_f64(m, &path, "plan_seconds")?,
+        tree: get_str(m, &path, "tree")?,
     })
 }
 
@@ -663,26 +916,28 @@ fn execution_to_json(e: &ExecutionMetrics) -> Json {
     Json::Obj(m)
 }
 
-fn execution_from_json(v: &Json) -> Result<ExecutionMetrics, DdlError> {
-    let m = obj(v, "executions")?;
+fn execution_from_json(v: &Json, i: usize) -> Result<ExecutionMetrics, DdlError> {
+    let path = format!("$.executions[{i}]");
+    let m = obj(v, &path)?;
+    let stages_path = format!("{path}.stages");
     let stages = m
         .get("stages")
         .and_then(Json::as_obj)
-        .ok_or_else(|| metrics_err("missing or non-object \"stages\"".into()))?;
+        .ok_or_else(|| metrics_err(format!("{stages_path}: missing or non-object")))?;
     Ok(ExecutionMetrics {
-        transform: get_str(m, "transform")?,
-        n: get_u64(m, "n")? as usize,
-        tree: get_str(m, "tree")?,
-        total_ns: get_u64(m, "total_ns")?,
+        transform: get_str(m, &path, "transform")?,
+        n: get_u64(m, &path, "n")? as usize,
+        tree: get_str(m, &path, "tree")?,
+        total_ns: get_u64(m, &path, "total_ns")?,
         stages: StageBreakdown {
-            leaf_ns: get_u64(stages, "leaf_ns")?,
-            twiddle_ns: get_u64(stages, "twiddle_ns")?,
-            reorg_ns: get_u64(stages, "reorg_ns")?,
+            leaf_ns: get_u64(stages, &stages_path, "leaf_ns")?,
+            twiddle_ns: get_u64(stages, &stages_path, "twiddle_ns")?,
+            reorg_ns: get_u64(stages, &stages_path, "reorg_ns")?,
         },
-        leaf_calls: get_u64(m, "leaf_calls")?,
-        twiddle_points: get_u64(m, "twiddle_points")?,
-        reorg_points: get_u64(m, "reorg_points")?,
-        leaf_flops_est: get_u64(m, "leaf_flops_est")?,
+        leaf_calls: get_u64(m, &path, "leaf_calls")?,
+        twiddle_points: get_u64(m, &path, "twiddle_points")?,
+        reorg_points: get_u64(m, &path, "reorg_points")?,
+        leaf_flops_est: get_u64(m, &path, "leaf_flops_est")?,
     })
 }
 
@@ -703,18 +958,19 @@ fn batch_to_json(b: &BatchMetrics) -> Json {
     Json::Obj(m)
 }
 
-fn batch_from_json(v: &Json) -> Result<BatchMetrics, DdlError> {
-    let m = obj(v, "batches")?;
+fn batch_from_json(v: &Json, i: usize) -> Result<BatchMetrics, DdlError> {
+    let path = format!("$.batches[{i}]");
+    let m = obj(v, &path)?;
     Ok(BatchMetrics {
-        label: get_str(m, "label")?,
-        items: get_u64(m, "items")?,
-        ok: get_u64(m, "ok")?,
-        panicked: get_u64(m, "panicked")?,
-        degraded_to_sequential: get_bool(m, "degraded_to_sequential")?,
-        wall_ns: get_u64(m, "wall_ns")?,
-        queue_ns_max: get_u64(m, "queue_ns_max")?,
-        run_ns_total: get_u64(m, "run_ns_total")?,
-        run_ns_max: get_u64(m, "run_ns_max")?,
+        label: get_str(m, &path, "label")?,
+        items: get_u64(m, &path, "items")?,
+        ok: get_u64(m, &path, "ok")?,
+        panicked: get_u64(m, &path, "panicked")?,
+        degraded_to_sequential: get_bool(m, &path, "degraded_to_sequential")?,
+        wall_ns: get_u64(m, &path, "wall_ns")?,
+        queue_ns_max: get_u64(m, &path, "queue_ns_max")?,
+        run_ns_total: get_u64(m, &path, "run_ns_total")?,
+        run_ns_max: get_u64(m, &path, "run_ns_max")?,
     })
 }
 
@@ -853,6 +1109,108 @@ mod tests {
         }
         assert_eq!(r.candidates().len(), MAX_RECORDED_CANDIDATES);
         assert_eq!(r.candidates_dropped(), 10);
+    }
+
+    #[test]
+    fn candidate_capacity_is_configurable() {
+        let mut r = Recorder::with_candidate_capacity(2);
+        assert_eq!(r.candidate_capacity(), 2);
+        for i in 0..5 {
+            r.candidate(Candidate {
+                size: i,
+                stride: 1,
+                reorg: false,
+                cost: 1.0,
+            });
+        }
+        assert_eq!(r.candidates().len(), 2);
+        assert_eq!(r.candidates_dropped(), 3);
+        // zero capacity keeps nothing but still counts
+        let mut z = Recorder::with_candidate_capacity(0);
+        z.candidate(Candidate {
+            size: 8,
+            stride: 1,
+            reorg: false,
+            cost: 1.0,
+        });
+        assert!(z.candidates().is_empty());
+        assert_eq!(z.candidates_dropped(), 1);
+    }
+
+    fn span(kind: SpanKind, size: usize) -> SpanInfo {
+        SpanInfo {
+            kind,
+            label: "dft",
+            size,
+            stride: 1,
+            reorg: false,
+        }
+    }
+
+    #[test]
+    fn spans_record_balanced_nested_events() {
+        let mut r = Recorder::new();
+        r.span_begin(span(SpanKind::Execution, 64));
+        r.span_begin(span(SpanKind::Node, 8));
+        assert_eq!(r.open_span_depth(), 2);
+        r.span_end();
+        r.span_end();
+        assert_eq!(r.open_span_depth(), 0);
+        let ev = r.trace_events();
+        assert_eq!(ev.len(), 4);
+        assert!(matches!(ev[0], TraceEvent::Begin { info, .. } if info.size == 64));
+        assert!(matches!(ev[1], TraceEvent::Begin { info, .. } if info.size == 8));
+        // ends echo the innermost begin's info, LIFO order
+        assert!(matches!(ev[2], TraceEvent::End { info, .. } if info.size == 8));
+        assert!(matches!(ev[3], TraceEvent::End { info, .. } if info.size == 64));
+        // timestamps never run backwards
+        let ts: Vec<u64> = ev.iter().map(TraceEvent::ts_ns).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps: {ts:?}");
+    }
+
+    #[test]
+    fn trace_event_cap_preserves_balance() {
+        // cap of 2: outer Begin + inner Begin recorded, third Begin
+        // dropped; its End must be swallowed, not mismatched. Ends for
+        // recorded Begins bypass the cap so the log stays balanced.
+        let mut r = Recorder::with_limits(MAX_RECORDED_CANDIDATES, 2);
+        r.span_begin(span(SpanKind::Execution, 64));
+        r.span_begin(span(SpanKind::Node, 16));
+        r.span_begin(span(SpanKind::Node, 4));
+        r.span_end();
+        r.span_end();
+        r.span_end();
+        assert_eq!(r.open_span_depth(), 0);
+        assert!(r.trace_events_dropped() > 0);
+        let begins = r
+            .trace_events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Begin { .. }))
+            .count();
+        let ends = r
+            .trace_events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::End { .. }))
+            .count();
+        assert_eq!(begins, ends);
+        assert_eq!(begins, 2);
+    }
+
+    #[test]
+    fn stage_events_enter_the_timeline() {
+        let mut r = Recorder::new();
+        r.stage(Stage::Twiddle, 500, 32);
+        let ev = r.trace_events();
+        assert_eq!(ev.len(), 1);
+        assert!(matches!(
+            ev[0],
+            TraceEvent::Stage {
+                stage: Stage::Twiddle,
+                dur_ns: 500,
+                points: 32,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -28,7 +28,7 @@
 use crate::dft::DftPlan;
 use crate::measure::time_per_call;
 use crate::model::CacheModel;
-use crate::obs::{Candidate, Counter, NullSink, Sink};
+use crate::obs::{Candidate, Counter, NullSink, Sink, SpanInfo, SpanKind};
 use crate::tree::Tree;
 use crate::wht::WhtPlan;
 use ddl_cachesim::NullTracer;
@@ -216,6 +216,9 @@ pub fn try_plan_dft_with<S: Sink>(
             "cannot plan a 0-point transform",
         ));
     }
+    if S::ENABLED {
+        sink.span_begin(planner_run_span(Kind::Dft, cfg, n));
+    }
     let mut search = Search {
         cfg: *cfg,
         kind: Kind::Dft,
@@ -224,11 +227,16 @@ pub fn try_plan_dft_with<S: Sink>(
         sink,
     };
     let (cost, tree) = search.best(n, 1);
+    let states = search.memo.len();
+    let candidates = search.candidates;
+    if S::ENABLED {
+        sink.span_end();
+    }
     Ok(PlanOutcome {
         tree,
         cost,
-        states: search.memo.len(),
-        candidates: search.candidates,
+        states,
+        candidates,
     })
 }
 
@@ -264,6 +272,9 @@ pub fn try_plan_wht_with<S: Sink>(
             format!("WHT sizes must be powers of two, got {n}"),
         ));
     }
+    if S::ENABLED {
+        sink.span_begin(planner_run_span(Kind::Wht, cfg, n));
+    }
     let mut search = Search {
         cfg: *cfg,
         kind: Kind::Wht,
@@ -272,11 +283,16 @@ pub fn try_plan_wht_with<S: Sink>(
         sink,
     };
     let (cost, tree) = search.best(n, 1);
+    let states = search.memo.len();
+    let candidates = search.candidates;
+    if S::ENABLED {
+        sink.span_end();
+    }
     Ok(PlanOutcome {
         tree,
         cost,
-        states: search.memo.len(),
-        candidates: search.candidates,
+        states,
+        candidates,
     })
 }
 
@@ -366,6 +382,9 @@ fn plan_sweep<S: Sink>(
             "sweep planning requires a power-of-two max size",
         ));
     }
+    if S::ENABLED {
+        sink.span_begin(planner_run_span(kind, cfg, max_n));
+    }
     let mut search = Search {
         cfg: *cfg,
         kind,
@@ -391,13 +410,39 @@ fn plan_sweep<S: Sink>(
         ));
         n *= 2;
     }
+    if S::ENABLED {
+        sink.span_end();
+    }
     Ok(out)
+}
+
+/// Span describing one whole planner search: the transform kind as the
+/// label, the root size, and the strategy encoded in `reorg` (true for
+/// DDL — the searches differ exactly in whether reorganization
+/// candidates exist).
+fn planner_run_span(kind: Kind, cfg: &PlannerConfig, n: usize) -> SpanInfo {
+    SpanInfo {
+        kind: SpanKind::PlannerRun,
+        label: kind.label(),
+        size: n,
+        stride: 1,
+        reorg: cfg.strategy == Strategy::Ddl,
+    }
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Kind {
     Dft,
     Wht,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Dft => "dft",
+            Kind::Wht => "wht",
+        }
+    }
 }
 
 struct Search<'s, S: Sink> {
@@ -423,6 +468,17 @@ impl<S: Sink> Search<'_, S> {
                 self.sink.counter(Counter::PlannerMemoHits, 1);
             }
             return hit.clone();
+        }
+        if S::ENABLED {
+            // Memo misses only: each DP state is solved (and spanned)
+            // once; hits return above without opening a span.
+            self.sink.span_begin(SpanInfo {
+                kind: SpanKind::PlannerState,
+                label: self.kind.label(),
+                size: n,
+                stride,
+                reorg: false,
+            });
         }
 
         let mut best: Option<(f64, Tree)> = None;
@@ -509,6 +565,7 @@ impl<S: Sink> Search<'_, S> {
         });
         if S::ENABLED {
             self.sink.counter(Counter::PlannerStates, 1);
+            self.sink.span_end();
         }
         self.memo.insert((n, stride), result.clone());
         result

@@ -1,0 +1,364 @@
+//! Chrome trace-event export of recorded span timelines.
+//!
+//! A [`Recorder`](crate::obs::Recorder) captures the hierarchical
+//! timeline of an instrumented run — `execution`/`node` spans from the
+//! executors, `planner_run`/`planner_state` spans from the DP search,
+//! and the leaf/twiddle/reorg stage intervals of the paper's Eq. (2)/(3)
+//! decomposition. This module serializes that timeline in the Chrome
+//! trace-event JSON format, so a run can be opened in Perfetto
+//! (<https://ui.perfetto.dev>) or `chrome://tracing` and inspected as a
+//! flame graph of the factorization recursion.
+//!
+//! The mapping:
+//!
+//! * span begin/end pairs become duration events (`"ph": "B"` /
+//!   `"ph": "E"`), nested exactly as the recursion nested;
+//! * stage intervals become complete events (`"ph": "X"`, with `dur`);
+//! * timestamps are microseconds (`ts`, fractional) since the
+//!   recorder's construction;
+//! * the document carries `otherData.schema = "ddl-trace"` plus the
+//!   schema version and the recorder's drop counter, so a truncated
+//!   trace is detectable.
+//!
+//! [`validate_chrome_trace`] is the matching well-formedness checker
+//! used by `bench_suite --check` and the test suite: balanced and
+//! properly nested B/E events, non-negative and (for duration events)
+//! non-decreasing timestamps, and non-negative durations.
+
+use crate::json::{self, Json};
+use crate::obs::{metrics_err, Recorder, TraceEvent};
+use ddl_num::DdlError;
+use std::collections::BTreeMap;
+
+/// Schema identifier carried in `otherData`.
+pub const TRACE_SCHEMA: &str = "ddl-trace";
+
+/// Current schema version; readers refuse anything newer.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Process/thread id stamped on every event: the recorded timelines are
+/// single-threaded, so one lane is the truthful rendering.
+const TRACE_PID: f64 = 1.0;
+
+/// Nanoseconds → fractional microseconds (the trace-event `ts` unit).
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+fn base_event(name: String, cat: &str, ph: &str, ts_ns: u64) -> BTreeMap<String, Json> {
+    let mut m = BTreeMap::new();
+    m.insert("name".into(), Json::Str(name));
+    m.insert("cat".into(), Json::Str(cat.into()));
+    m.insert("ph".into(), Json::Str(ph.into()));
+    m.insert("ts".into(), Json::Num(us(ts_ns)));
+    m.insert("pid".into(), Json::Num(TRACE_PID));
+    m.insert("tid".into(), Json::Num(TRACE_PID));
+    m
+}
+
+fn event_to_json(ev: &TraceEvent) -> Json {
+    match ev {
+        TraceEvent::Begin { info, ts_ns } => {
+            let mut m = base_event(
+                format!("{}:{} n={}", info.kind.as_str(), info.label, info.size),
+                info.kind.as_str(),
+                "B",
+                *ts_ns,
+            );
+            let mut args = BTreeMap::new();
+            args.insert("size".into(), Json::Num(info.size as f64));
+            args.insert("stride".into(), Json::Num(info.stride as f64));
+            args.insert("reorg".into(), Json::Bool(info.reorg));
+            m.insert("args".into(), Json::Obj(args));
+            Json::Obj(m)
+        }
+        TraceEvent::End { info, ts_ns } => {
+            let m = base_event(
+                format!("{}:{} n={}", info.kind.as_str(), info.label, info.size),
+                info.kind.as_str(),
+                "E",
+                *ts_ns,
+            );
+            Json::Obj(m)
+        }
+        TraceEvent::Stage {
+            stage,
+            ts_ns,
+            dur_ns,
+            points,
+        } => {
+            let mut m = base_event(stage.as_str().to_string(), "stage", "X", *ts_ns);
+            m.insert("dur".into(), Json::Num(us(*dur_ns)));
+            let mut args = BTreeMap::new();
+            args.insert("points".into(), Json::Num(*points as f64));
+            m.insert("args".into(), Json::Obj(args));
+            Json::Obj(m)
+        }
+    }
+}
+
+/// Serializes a recorder's timeline as a Chrome trace-event document.
+pub fn chrome_trace_json(recorder: &Recorder) -> Json {
+    let events: Vec<Json> = recorder.trace_events().iter().map(event_to_json).collect();
+    let mut other = BTreeMap::new();
+    other.insert("schema".into(), Json::Str(TRACE_SCHEMA.into()));
+    other.insert("version".into(), Json::Num(TRACE_VERSION as f64));
+    other.insert(
+        "events_dropped".into(),
+        Json::Num(recorder.trace_events_dropped() as f64),
+    );
+    let mut top = BTreeMap::new();
+    top.insert("traceEvents".into(), Json::Arr(events));
+    top.insert("displayTimeUnit".into(), Json::Str("ns".into()));
+    top.insert("otherData".into(), Json::Obj(other));
+    Json::Obj(top)
+}
+
+/// Writes the pretty-printed trace document to `path`.
+pub fn write_chrome_trace(recorder: &Recorder, path: &std::path::Path) -> Result<(), DdlError> {
+    std::fs::write(path, chrome_trace_json(recorder).pretty())
+        .map_err(|e| metrics_err(format!("cannot write {}: {e}", path.display())))
+}
+
+/// What [`validate_chrome_trace`] learned about a well-formed trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events in the document.
+    pub events: usize,
+    /// Duration-begin (`"B"`) events.
+    pub begins: usize,
+    /// Duration-end (`"E"`) events.
+    pub ends: usize,
+    /// Complete (`"X"`) events.
+    pub completes: usize,
+    /// Deepest B/E nesting reached.
+    pub max_depth: usize,
+    /// The `otherData.events_dropped` counter.
+    pub events_dropped: u64,
+}
+
+/// Validates a Chrome trace-event document produced by
+/// [`chrome_trace_json`]: schema/version, balanced and properly nested
+/// `B`/`E` events with non-decreasing timestamps, non-negative `ts`
+/// everywhere and non-negative `dur` on `X` events. Errors name the
+/// offending JSON path (e.g. `$.traceEvents[42].ts`).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, DdlError> {
+    let doc = json::parse(text).map_err(|e| metrics_err(format!("not JSON: {e}")))?;
+    let top = doc
+        .as_obj()
+        .ok_or_else(|| metrics_err("$: top level is not an object".into()))?;
+    let other = top
+        .get("otherData")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| metrics_err("$.otherData: missing or non-object".into()))?;
+    match other.get("schema").and_then(Json::as_str) {
+        Some(TRACE_SCHEMA) => {}
+        Some(s) => {
+            return Err(metrics_err(format!(
+                "$.otherData.schema: unknown schema {s:?} (expected {TRACE_SCHEMA:?})"
+            )))
+        }
+        None => {
+            return Err(metrics_err(
+                "$.otherData.schema: missing or non-string".into(),
+            ))
+        }
+    }
+    let version = other
+        .get("version")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| metrics_err("$.otherData.version: missing or non-integer".into()))?;
+    if version > TRACE_VERSION as u64 {
+        return Err(metrics_err(format!(
+            "$.otherData.version: trace version {version} is newer than supported {TRACE_VERSION}"
+        )));
+    }
+    let events_dropped = other
+        .get("events_dropped")
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    let events = match top.get("traceEvents") {
+        Some(Json::Arr(items)) => items,
+        _ => return Err(metrics_err("$.traceEvents: missing or non-array".into())),
+    };
+
+    let mut summary = TraceSummary {
+        events: events.len(),
+        events_dropped,
+        ..TraceSummary::default()
+    };
+    let mut depth = 0usize;
+    // B/E events share one strictly ordered timeline; X events carry
+    // reconstructed start times that may interleave, so only their own
+    // fields are range-checked.
+    let mut last_dur_ts = f64::NEG_INFINITY;
+    for (i, ev) in events.iter().enumerate() {
+        let path = format!("$.traceEvents[{i}]");
+        let m = ev
+            .as_obj()
+            .ok_or_else(|| metrics_err(format!("{path}: not an object")))?;
+        let ph = m
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| metrics_err(format!("{path}.ph: missing or non-string")))?;
+        m.get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| metrics_err(format!("{path}.name: missing or non-string")))?;
+        let ts = m
+            .get("ts")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| metrics_err(format!("{path}.ts: missing or non-numeric")))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(metrics_err(format!(
+                "{path}.ts: negative or non-finite ({ts})"
+            )));
+        }
+        match ph {
+            "B" => {
+                if ts < last_dur_ts {
+                    return Err(metrics_err(format!(
+                        "{path}.ts: runs backwards ({ts} after {last_dur_ts})"
+                    )));
+                }
+                last_dur_ts = ts;
+                depth += 1;
+                summary.begins += 1;
+                summary.max_depth = summary.max_depth.max(depth);
+            }
+            "E" => {
+                if ts < last_dur_ts {
+                    return Err(metrics_err(format!(
+                        "{path}.ts: runs backwards ({ts} after {last_dur_ts})"
+                    )));
+                }
+                last_dur_ts = ts;
+                if depth == 0 {
+                    return Err(metrics_err(format!(
+                        "{path}: \"E\" event without a matching open \"B\""
+                    )));
+                }
+                depth -= 1;
+                summary.ends += 1;
+            }
+            "X" => {
+                let dur = m
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| metrics_err(format!("{path}.dur: missing or non-numeric")))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(metrics_err(format!(
+                        "{path}.dur: negative or non-finite ({dur})"
+                    )));
+                }
+                summary.completes += 1;
+            }
+            other => {
+                return Err(metrics_err(format!(
+                    "{path}.ph: unsupported phase {other:?}"
+                )))
+            }
+        }
+    }
+    if depth != 0 {
+        return Err(metrics_err(format!(
+            "$.traceEvents: {depth} \"B\" event(s) never closed"
+        )));
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::{Sink, SpanInfo, SpanKind, Stage};
+
+    fn info(size: usize) -> SpanInfo {
+        SpanInfo {
+            kind: SpanKind::Node,
+            label: "dft",
+            size,
+            stride: 1,
+            reorg: false,
+        }
+    }
+
+    #[test]
+    fn export_of_recorded_spans_validates() {
+        let mut r = Recorder::new();
+        r.span_begin(info(64));
+        r.stage(Stage::Leaf, 120, 64);
+        r.span_begin(info(8));
+        r.span_end();
+        r.span_end();
+        let text = chrome_trace_json(&r).pretty();
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.begins, 2);
+        assert_eq!(summary.ends, 2);
+        assert_eq!(summary.completes, 1);
+        assert_eq!(summary.max_depth, 2);
+        assert_eq!(summary.events, 5);
+        assert_eq!(summary.events_dropped, 0);
+    }
+
+    #[test]
+    fn empty_recorder_exports_a_valid_trace() {
+        let r = Recorder::new();
+        let text = chrome_trace_json(&r).pretty();
+        let summary = validate_chrome_trace(&text).unwrap();
+        assert_eq!(summary.events, 0);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        for (doc, needle) in [
+            ("[]", "$:"),
+            ("{}", "$.otherData"),
+            (
+                r#"{"traceEvents": [], "otherData": {"schema": "nope", "version": 1}}"#,
+                "$.otherData.schema",
+            ),
+            (
+                r#"{"traceEvents": [], "otherData": {"schema": "ddl-trace", "version": 99}}"#,
+                "$.otherData.version",
+            ),
+            (
+                r#"{"traceEvents": 5, "otherData": {"schema": "ddl-trace", "version": 1}}"#,
+                "$.traceEvents",
+            ),
+            (
+                r#"{"traceEvents": [{"name": "x", "ph": "E", "ts": 1}],
+                    "otherData": {"schema": "ddl-trace", "version": 1}}"#,
+                "$.traceEvents[0]",
+            ),
+            (
+                r#"{"traceEvents": [{"name": "x", "ph": "B", "ts": 1}],
+                    "otherData": {"schema": "ddl-trace", "version": 1}}"#,
+                "never closed",
+            ),
+            (
+                r#"{"traceEvents": [{"name": "x", "ph": "B", "ts": -4}],
+                    "otherData": {"schema": "ddl-trace", "version": 1}}"#,
+                "$.traceEvents[0].ts",
+            ),
+            (
+                r#"{"traceEvents": [{"name": "x", "ph": "X", "ts": 1, "dur": -2}],
+                    "otherData": {"schema": "ddl-trace", "version": 1}}"#,
+                "$.traceEvents[0].dur",
+            ),
+            (
+                r#"{"traceEvents": [
+                        {"name": "a", "ph": "B", "ts": 5},
+                        {"name": "a", "ph": "E", "ts": 2}],
+                    "otherData": {"schema": "ddl-trace", "version": 1}}"#,
+                "runs backwards",
+            ),
+        ] {
+            let got = validate_chrome_trace(doc);
+            let err = match got {
+                Err(DdlError::Metrics { ref detail }) => detail.clone(),
+                other => panic!("expected Metrics error for {doc}, got {other:?}"),
+            };
+            assert!(err.contains(needle), "error {err:?} misses {needle:?}");
+        }
+    }
+}

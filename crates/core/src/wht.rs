@@ -15,7 +15,9 @@
 //! memory operations, the WHT version of the paper's `Dr` reorganization.
 //! Data points are `f64` (8 bytes), as in the paper's WHT experiments.
 
-use crate::obs::{stage_end, stage_start, ExecutionMetrics, NullSink, Recorder, Sink, Stage};
+use crate::obs::{
+    stage_end, stage_start, ExecutionMetrics, NullSink, Recorder, Sink, SpanInfo, SpanKind, Stage,
+};
 use crate::tree::Tree;
 use crate::WHT_POINT_BYTES;
 use ddl_cachesim::{MemoryTracer, NullTracer};
@@ -189,25 +191,48 @@ impl WhtPlan {
     /// call/point counts and a leaf op estimate. Scratch is allocated
     /// internally.
     pub fn try_profile(&self, data: &mut [f64]) -> Result<ExecutionMetrics, DdlError> {
-        let mut scratch = vec![0.0f64; self.scratch_need];
         let mut recorder = Recorder::new();
+        self.try_profile_with(data, &mut recorder)
+    }
+
+    /// [`WhtPlan::try_profile`] into a caller-provided recorder, which
+    /// additionally captures the hierarchical trace timeline (an
+    /// `execution` span wrapping one `node` span per tree node) for
+    /// export via [`crate::trace`]. The returned metrics summarize the
+    /// recorder's accumulated totals, so pass a fresh recorder for
+    /// single-run numbers.
+    pub fn try_profile_with(
+        &self,
+        data: &mut [f64],
+        recorder: &mut Recorder,
+    ) -> Result<ExecutionMetrics, DdlError> {
+        let mut scratch = vec![0.0f64; self.scratch_need];
+        recorder.span_begin(SpanInfo {
+            kind: SpanKind::Execution,
+            label: "wht",
+            size: self.n,
+            stride: 1,
+            reorg: self.tree.reorg(),
+        });
         let t0 = std::time::Instant::now();
-        self.try_execute_view_observed(
+        let result = self.try_execute_view_observed(
             data,
             0,
             1,
             &mut scratch,
             &mut NullTracer,
             [0; 2],
-            &mut recorder,
-        )?;
+            recorder,
+        );
         let total_ns = t0.elapsed().as_nanos() as u64;
+        recorder.span_end();
+        result?;
         Ok(ExecutionMetrics::from_recorder(
             "wht",
             self.n,
             crate::grammar::print_wht(&self.tree),
             total_ns,
-            &recorder,
+            recorder,
             crate::obs::tree_leaf_flops(&self.tree, false),
         ))
     }
@@ -235,6 +260,15 @@ fn exec<T: MemoryTracer, S: Sink>(
 ) {
     let n = node.size();
     let pt = WHT_POINT_BYTES as u32;
+    if S::ENABLED {
+        sink.span_begin(SpanInfo {
+            kind: SpanKind::Node,
+            label: "wht",
+            size: n,
+            stride,
+            reorg: node.reorg(),
+        });
+    }
 
     if node.reorg() && stride > 1 {
         // Dr: gather the strided view into contiguous scratch, transform
@@ -279,12 +313,19 @@ fn exec<T: MemoryTracer, S: Sink>(
                 );
             }
         }
+        // The reorganized path returns here; both exits close the span.
+        if S::ENABLED {
+            sink.span_end();
+        }
         return;
     }
 
     exec_body(
         node, data, base, stride, data_addr, scratch, scr_addr, tr, sink,
     );
+    if S::ENABLED {
+        sink.span_end();
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -3,7 +3,7 @@
 //!
 //! Run with:
 //! ```sh
-//! cargo run --release --example plan_explorer [max_log_n]
+//! cargo run --release --example plan_explorer [max_log_n] [--trace-out <path>]
 //! ```
 //!
 //! For each size the explorer prints the SDL- and DDL-optimal trees in
@@ -11,14 +11,31 @@
 //! leaf stride of each (the quantity that drives Case III conflicts), and
 //! the simulated miss rate of both on the paper's 512 KB direct-mapped
 //! cache — a compact view of everything the optimization does.
+//!
+//! After the table it profiles the largest DDL plan with the span
+//! recorder and prints a per-node breakdown — which `(size, stride)`
+//! invocations the execution time actually went to. With
+//! `--trace-out <path>` the same timeline is exported as Chrome
+//! trace-event JSON (open in Perfetto or chrome://tracing).
 
 use dynamic_data_layout::prelude::*;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 fn main() {
-    let max_log: u32 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20);
+    let mut max_log: u32 = 20;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace-out" => {
+                trace_out = Some(PathBuf::from(
+                    args.next().expect("--trace-out needs a path"),
+                ));
+            }
+            other => max_log = other.parse().expect("max_log_n must be an integer"),
+        }
+    }
     let cache = CacheConfig::paper_default(64);
 
     println!("cache: 512 KB direct-mapped, 64 B lines (paper simulation config)");
@@ -55,6 +72,66 @@ fn main() {
     println!("\nreading the table:");
     println!("- below 2^15 points the two searches agree (no reorganizations);");
     println!("- above it, DDL trees cap the leaf stride and cut the simulated miss rate.");
+
+    span_breakdown(max_log.min(16), trace_out.as_deref());
+}
+
+/// Profiles the DDL plan at `2^log_n` with the span recorder and prints
+/// where the execution time went, node by node.
+fn span_breakdown(log_n: u32, trace_out: Option<&std::path::Path>) {
+    let n = 1usize << log_n;
+    let ddl = plan_dft(n, &PlannerConfig::ddl_analytical());
+    let plan = DftPlan::new(ddl.tree, Direction::Forward).unwrap();
+    let input: Vec<Complex64> = (0..n)
+        .map(|i| Complex64::new((i % 7) as f64, (i % 3) as f64 * 0.5))
+        .collect();
+    let mut output = vec![Complex64::ZERO; n];
+    let mut recorder = Recorder::new();
+    plan.try_profile_with(&input, &mut output, &mut recorder)
+        .unwrap();
+
+    // Replay the balanced Begin/End timeline, aggregating inclusive time
+    // per (size, stride, reorg) node shape.
+    let mut stack: Vec<(SpanInfo, u64)> = Vec::new();
+    let mut agg: BTreeMap<(usize, usize, bool), (u64, u64)> = BTreeMap::new();
+    for event in recorder.trace_events() {
+        match event {
+            TraceEvent::Begin { info, ts_ns } => stack.push((*info, *ts_ns)),
+            TraceEvent::End { ts_ns, .. } => {
+                if let Some((info, t0)) = stack.pop() {
+                    if matches!(info.kind, SpanKind::Node) {
+                        let e = agg.entry((info.size, info.stride, info.reorg)).or_default();
+                        e.0 += 1;
+                        e.1 += ts_ns.saturating_sub(t0);
+                    }
+                }
+            }
+            TraceEvent::Stage { .. } => {}
+        }
+    }
+
+    println!("\nper-node span breakdown of the DDL plan at 2^{log_n}:");
+    println!(
+        "{:>8} {:>8} {:>6} | {:>6} {:>14} {:>12}",
+        "size", "stride", "reorg", "calls", "inclusive-ns", "ns/call"
+    );
+    for ((size, stride, reorg), (calls, total_ns)) in agg.iter().rev() {
+        println!(
+            "{size:>8} {stride:>8} {:>6} | {calls:>6} {total_ns:>14} {:>12.0}",
+            if *reorg { "yes" } else { "" },
+            *total_ns as f64 / (*calls).max(1) as f64
+        );
+    }
+    println!("(inclusive time: children are counted inside their parents)");
+
+    if let Some(path) = trace_out {
+        write_chrome_trace(&recorder, path).unwrap();
+        println!(
+            "trace with {} events written to {} (load in Perfetto / chrome://tracing)",
+            recorder.trace_events().len(),
+            path.display()
+        );
+    }
 }
 
 /// Abbreviates long tree expressions for table display.

@@ -21,6 +21,26 @@ run cargo test -q
 run cargo run --release -q -p ddl-bench --bin obs_smoke -- --metrics-out target/metrics-smoke.json
 run cargo run --release -q -p ddl-bench --bin obs_smoke -- --check target/metrics-smoke.json
 
+# Benchmark trajectory: quick suite emitting a ddl-bench report plus the
+# cost-model calibration report and a Chrome trace of one instrumented
+# run. Every artifact is schema-validated, the self-comparison is a hard
+# gate (it must always pass), and the committed baseline comparison is a
+# soft gate: cross-host timing drift warns instead of failing the build.
+run cargo run --release -q -p ddl-bench --bin bench_suite -- --quick --label ci \
+    --out target/BENCH_ci.json --calibrate-out target/calibration-ci.json \
+    --trace-out target/trace-ci.json
+run cargo run --release -q -p ddl-bench --bin bench_suite -- \
+    --check target/BENCH_ci.json \
+    --check target/calibration-ci.json \
+    --check target/trace-ci.json
+run cargo run --release -q -p ddl-bench --bin bench_suite -- \
+    --compare target/BENCH_ci.json target/BENCH_ci.json
+echo
+echo "==> bench baseline comparison (soft gate)"
+cargo run --release -q -p ddl-bench --bin bench_suite -- \
+    --compare target/BENCH_ci.json results/bench_baseline.json \
+    || echo "warning: benchmark trajectory drifted from results/bench_baseline.json (soft gate)"
+
 # Static analysis gate: workspace lint (panic discipline, forbid(unsafe),
 # timing hygiene), then the plan/DAG analyzer over every golden plan and
 # generated codelet. Both exit non-zero on any error-severity finding;

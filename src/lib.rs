@@ -55,11 +55,14 @@ pub use ddl_workloads as workloads;
 /// The commonly needed names in one import.
 pub mod prelude {
     pub use ddl_cachesim::{Cache, CacheConfig, CacheStats};
+    pub use ddl_core::calibrate::{
+        calibrate_dft, calibrate_wht, CalibrationConfig, CalibrationReport,
+    };
     pub use ddl_core::grammar::{parse as parse_tree, print_dft, print_wht};
     pub use ddl_core::measure::{fft_mflops, time_per_call, time_per_point_ns};
     pub use ddl_core::obs::{
         BatchMetrics, Counter, ExecutionMetrics, MetricsReport, NullSink, PlannerRunMetrics,
-        Recorder, Sink, Stage, StageBreakdown,
+        Recorder, Sink, SpanInfo, SpanKind, Stage, StageBreakdown, TraceEvent,
     };
     pub use ddl_core::parallel::{
         execute_dft_batch, execute_wht_batch, try_execute_dft_batch, try_execute_wht_batch,
@@ -68,6 +71,7 @@ pub mod prelude {
     pub use ddl_core::planner::{
         plan_dft, plan_wht, try_plan_dft, try_plan_wht, CostBackend, PlannerConfig, Strategy,
     };
+    pub use ddl_core::trace::{chrome_trace_json, validate_chrome_trace, write_chrome_trace};
     pub use ddl_core::traced::{simulate_dft, simulate_wht};
     pub use ddl_core::tree::Tree;
     pub use ddl_core::wisdom::Wisdom;

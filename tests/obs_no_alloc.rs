@@ -2,8 +2,11 @@
 //! [`NullSink`]/`NullTracer` path performs **zero heap allocations** once
 //! buffers exist. This is the "zero-cost when disabled" half of the
 //! observability layer's contract, checked with a counting global
-//! allocator. The test lives in its own integration-test binary so no
-//! concurrently running test can contribute allocations.
+//! allocator. The executors below recurse through every span site
+//! (`span_begin`/`span_end` on each node) as well as the stage sites, so
+//! the guarantee covers the hierarchical trace instrumentation too. The
+//! test lives in its own integration-test binary so no concurrently
+//! running test can contribute allocations.
 
 use dynamic_data_layout::cachesim::NullTracer;
 use dynamic_data_layout::prelude::*;

@@ -1,0 +1,143 @@
+//! End-to-end contract of the hierarchical trace pipeline: instrumented
+//! planning and execution record balanced, well-nested span timelines,
+//! and the Chrome trace-event export both validates and survives a
+//! round-trip through the workspace JSON parser.
+
+use dynamic_data_layout::core::json;
+use dynamic_data_layout::core::planner::try_plan_dft_with;
+use dynamic_data_layout::core::trace::{chrome_trace_json, validate_chrome_trace};
+use dynamic_data_layout::prelude::*;
+
+fn dft_input(n: usize) -> Vec<Complex64> {
+    (0..n)
+        .map(|i| Complex64::new((i % 7) as f64, (i % 3) as f64 * 0.5))
+        .collect()
+}
+
+/// Profiles one reorganizing DFT into `recorder` and returns the plan size.
+fn profile_dft(recorder: &mut Recorder) -> usize {
+    let tree = Tree::split_ddl(Tree::leaf(64), Tree::leaf(64));
+    let plan = DftPlan::new(tree, Direction::Forward).unwrap();
+    let n = plan.n();
+    let input = dft_input(n);
+    let mut output = vec![Complex64::ZERO; n];
+    plan.try_profile_with(&input, &mut output, recorder)
+        .unwrap();
+    n
+}
+
+#[test]
+fn dft_profile_records_balanced_nested_spans() {
+    let mut recorder = Recorder::new();
+    profile_dft(&mut recorder);
+    assert_eq!(recorder.open_span_depth(), 0, "every span must be closed");
+
+    let events = recorder.trace_events();
+    let begins: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Begin { info, .. } => Some(*info),
+            _ => None,
+        })
+        .collect();
+    let ends = events
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::End { .. }))
+        .count();
+    assert_eq!(begins.len(), ends, "begin/end balance");
+    // The outermost span is the execution; the recursion contributes one
+    // node span per recursive call: the ct(64, 64) root plus each of its
+    // 64 left-child and 64 right-child column invocations.
+    assert!(matches!(begins[0].kind, SpanKind::Execution));
+    let nodes = begins
+        .iter()
+        .filter(|i| matches!(i.kind, SpanKind::Node))
+        .count();
+    assert_eq!(nodes, 1 + 64 + 64, "one node span per recursive call");
+    assert_eq!(
+        begins.iter().filter(|i| i.size == 4096).count(),
+        2,
+        "execution span plus the root node span cover the full size"
+    );
+    assert!(
+        begins.iter().any(|i| i.reorg),
+        "the ctddl root must record its reorganization decision"
+    );
+
+    // Timestamps along the B/E subsequence never run backwards.
+    let mut last = 0u64;
+    for e in events {
+        if let TraceEvent::Begin { ts_ns, .. } | TraceEvent::End { ts_ns, .. } = e {
+            assert!(*ts_ns >= last, "non-monotonic span timestamp");
+            last = *ts_ns;
+        }
+    }
+}
+
+#[test]
+fn wht_reorg_early_return_still_closes_spans() {
+    // Reorg on the strided left child: the executor's gather/scatter
+    // branch returns early, which must still close the node span.
+    let tree = Tree::split(Tree::leaf_ddl(32), Tree::leaf(32));
+    let plan = WhtPlan::new(tree).unwrap();
+    let mut data: Vec<f64> = (0..plan.n()).map(|i| (i % 11) as f64 - 5.0).collect();
+    let mut recorder = Recorder::new();
+    plan.try_profile_with(&mut data, &mut recorder).unwrap();
+    assert_eq!(recorder.open_span_depth(), 0);
+
+    let summary =
+        validate_chrome_trace(&chrome_trace_json(&recorder).pretty()).expect("valid trace");
+    assert_eq!(summary.begins, summary.ends);
+    assert!(summary.begins >= 4, "execution span plus three node spans");
+    assert!(summary.max_depth >= 3);
+}
+
+#[test]
+fn planner_search_appears_in_the_exported_trace() {
+    let mut recorder = Recorder::new();
+    try_plan_dft_with(1 << 8, &PlannerConfig::ddl_analytical(), &mut recorder).unwrap();
+    let text = chrome_trace_json(&recorder).pretty();
+    validate_chrome_trace(&text).expect("valid trace");
+
+    let doc = json::parse(&text).unwrap();
+    let events = doc.as_obj().unwrap()["traceEvents"].clone();
+    let cats: Vec<String> = match events {
+        json::Json::Arr(items) => items
+            .iter()
+            .filter_map(|e| Some(e.as_obj()?.get("cat")?.as_str()?.to_string()))
+            .collect(),
+        _ => panic!("traceEvents must be an array"),
+    };
+    assert!(cats.iter().any(|c| c == "planner_run"));
+    assert!(cats.iter().any(|c| c == "planner_state"));
+}
+
+#[test]
+fn chrome_export_round_trips_through_the_json_parser() {
+    let mut recorder = Recorder::new();
+    profile_dft(&mut recorder);
+    let exported = chrome_trace_json(&recorder);
+    let reparsed = json::parse(&exported.pretty()).expect("export must be parseable JSON");
+    assert_eq!(
+        reparsed, exported,
+        "export must survive a parse round-trip unchanged"
+    );
+    let summary = validate_chrome_trace(&exported.pretty()).expect("valid trace");
+    assert_eq!(summary.events_dropped, 0);
+    assert!(summary.completes > 0, "stage events export as X events");
+}
+
+#[test]
+fn capped_recorder_still_exports_a_valid_trace() {
+    // A cap far below the event volume of this plan: Begins get dropped,
+    // their Ends are swallowed, and the document must stay well-formed.
+    let mut recorder = Recorder::with_limits(1024, 4);
+    profile_dft(&mut recorder);
+    assert_eq!(recorder.open_span_depth(), 0);
+    assert!(recorder.trace_events_dropped() > 0);
+
+    let summary =
+        validate_chrome_trace(&chrome_trace_json(&recorder).pretty()).expect("valid trace");
+    assert_eq!(summary.begins, summary.ends, "truncation preserves balance");
+    assert!(summary.events_dropped > 0, "drop counter must be exported");
+}
