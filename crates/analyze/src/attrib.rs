@@ -1,0 +1,161 @@
+//! Static enrichment and three-way cross-check of attribution runs.
+//!
+//! `ddl-core`'s attribution layer classifies every leaf empirically
+//! (simulated exclusive miss rate) and analytically (`CacheModel`).
+//! This module adds the third, *static* verdict — [`conflict_degree`]
+//! over the leaf's read and write access families under the run's own
+//! cache geometry — and then cross-checks all three. The three methods
+//! share no code paths: the simulator replays real addresses through an
+//! LRU cache, the model applies the paper's Sec. III-B closed form, and
+//! the analyzer counts set residues of arithmetic progressions. Where
+//! they agree, the Case III story is corroborated three independent
+//! ways; where they disagree, [`crosscheck`] reports the node by path
+//! instead of dropping it.
+
+use crate::conflict::{conflict_degree, CacheGeometry};
+use ddl_core::attrib::{AttributionRun, CaseClass, NodeAttribution};
+
+/// One node where the three classification methods split.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Disagreement {
+    /// `/`-joined node path (`label:size@stride` segments).
+    pub path: String,
+    /// Empirical class from the simulated exclusive miss rate.
+    pub empirical: Option<CaseClass>,
+    /// Analytical `CacheModel` class.
+    pub model: Option<CaseClass>,
+    /// Static conflict-analyzer verdict.
+    pub static_pathological: Option<bool>,
+}
+
+impl std::fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: empirical {:?}, model {:?}, static pathological {:?}",
+            self.path, self.empirical, self.model, self.static_pathological
+        )
+    }
+}
+
+/// Fills `static_pathological`/`static_degree` on every annotated leaf of
+/// the run, from [`conflict_degree`] over both the read stream (span
+/// stride) and the write stream (`write_stride`, recovered by the model
+/// walk). A base address of 0 is representative: for the line-multiple
+/// strides that matter the degree is base-invariant.
+pub fn annotate_static(run: &mut AttributionRun) {
+    let geom = CacheGeometry::from_config(&run.cache);
+    let point_bytes = run.point_bytes;
+    run.walk_mut(&mut |node, _| {
+        // Leaves only: the conflict model, like the paper's, describes a
+        // leaf's access families, not a split's twiddle pass.
+        if node.model.is_none() {
+            return;
+        }
+        let mut degree = 0usize;
+        let mut pathological = false;
+        let mut streams = vec![node.stride];
+        if let Some(ws) = node.write_stride {
+            streams.push(ws);
+        }
+        for stride in streams {
+            let info = conflict_degree(&geom, 0, stride * point_bytes, point_bytes, node.size);
+            degree = degree.max(info.degree);
+            pathological |= info.is_pathological(&geom);
+        }
+        node.static_pathological = Some(pathological);
+        node.static_degree = Some(degree as u64);
+    });
+}
+
+/// Compares the three Case III verdicts on every leaf that has all three
+/// (run [`annotate_static`] first). Agreement is boolean — "is this leaf
+/// Case III?" — because the static analyzer has no intermediate class.
+/// Returns every disagreeing node with its path; an empty vector means
+/// the three methods tell one story.
+pub fn crosscheck(run: &AttributionRun) -> Vec<Disagreement> {
+    let mut out = Vec::new();
+    run.walk(&mut |node, path| {
+        let (Some(model), Some(stat)) = (node.model, node.static_pathological) else {
+            return;
+        };
+        let verdicts = [
+            node.empirical.map(|e| e == CaseClass::Case3),
+            Some(model == CaseClass::Case3),
+            Some(stat),
+        ];
+        let reference = verdicts[1];
+        if verdicts.iter().any(|v| *v != reference) {
+            out.push(Disagreement {
+                path: path.to_string(),
+                empirical: node.empirical,
+                model: Some(model),
+                static_pathological: Some(stat),
+            });
+        }
+    });
+    out
+}
+
+/// Convenience: leaves of the run in depth-first order, with paths.
+pub fn annotated_leaves(run: &AttributionRun) -> Vec<(String, NodeAttribution)> {
+    let mut out = Vec::new();
+    run.walk(&mut |node, path| {
+        if node.model.is_some() {
+            out.push((path.to_string(), node.clone()));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddl_cachesim::CacheConfig;
+    use ddl_core::attrib::attribute_dft;
+    use ddl_core::DftPlan;
+    use ddl_num::Direction;
+
+    fn small_cache() -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 16 * 1024,
+            line_bytes: 64,
+            associativity: 1,
+        }
+    }
+
+    #[test]
+    fn static_annotation_fills_every_leaf() {
+        let plan = DftPlan::from_expr("ctddl(64, 32)", Direction::Forward).unwrap();
+        let mut run = attribute_dft(&plan, 64, small_cache()).unwrap();
+        annotate_static(&mut run);
+        let leaves = annotated_leaves(&run);
+        assert!(!leaves.is_empty());
+        for (path, leaf) in &leaves {
+            assert!(leaf.static_pathological.is_some(), "{path}");
+            assert!(leaf.static_degree.is_some(), "{path}");
+        }
+    }
+
+    #[test]
+    fn crosscheck_reports_injected_disagreements_with_paths() {
+        let plan = DftPlan::from_expr("ct(64, 32)", Direction::Forward).unwrap();
+        let mut run = attribute_dft(&plan, 64, small_cache()).unwrap();
+        annotate_static(&mut run);
+        assert!(crosscheck(&run).is_empty(), "golden pair should agree");
+
+        // Flip one leaf's static verdict: the disagreement must surface
+        // with that node's path, not vanish.
+        let mut flipped_path = String::new();
+        run.walk_mut(&mut |node, path| {
+            if node.model.is_some() && flipped_path.is_empty() {
+                node.static_pathological = Some(false);
+                flipped_path = path.to_string();
+            }
+        });
+        let disagreements = crosscheck(&run);
+        assert_eq!(disagreements.len(), 1);
+        assert_eq!(disagreements[0].path, flipped_path);
+        assert!(disagreements[0].to_string().contains(&flipped_path));
+    }
+}

@@ -13,6 +13,8 @@
 //!   `ddl-cachesim` traces.
 //! * [`conflict`] — closed-form cache-set conflict degrees per access
 //!   family (the static counterpart to simulated conflict misses).
+//! * [`attrib`] — static enrichment of `ddl-core` attribution runs and
+//!   the three-way empirical/model/static Case III cross-check.
 //! * [`dag`] — structural verification of `ddl-codegen` codelet DAGs:
 //!   store coverage, load reachability, constant sanity, op budgets.
 //! * [`lint`] — workspace source lints (`ddl-lint`): no panics in
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod attrib;
 pub mod conflict;
 pub mod dag;
 pub mod findings;
@@ -37,6 +40,7 @@ pub use access::{
     analyze_dft_plan, analyze_dft_tree, analyze_wht_plan, analyze_wht_tree, AccessSet, LeafFamily,
     Region, StaticAnalysis,
 };
+pub use attrib::{annotate_static, annotated_leaves, crosscheck, Disagreement};
 pub use conflict::{
     conflict_degree, conflict_summary, CacheGeometry, ConflictInfo, ConflictSummary,
 };

@@ -1,39 +1,52 @@
 //! Performance-trajectory harness: runs the pinned benchmark suite,
 //! writes a versioned `ddl-bench` report, and optionally compares it
-//! against a stored baseline, emits a cost-model calibration report and
-//! a Chrome trace of one instrumented run.
+//! against a stored baseline, emits cost-model calibration, per-node
+//! cache-miss attribution and a Chrome trace of one instrumented run,
+//! and maintains the longitudinal trajectory ledger.
 //!
 //! Modes:
 //!
 //! * **run** (default) — executes the suite (see [`ddl_bench::suite`])
 //!   and writes `BENCH_<label>.json`. With `--baseline <path>` the run
 //!   is compared case-by-case against the stored report: regressions
-//!   beyond `--tolerance` (or a vanished case) exit non-zero.
+//!   beyond `--tolerance` (or a vanished case) exit non-zero. With
+//!   `--ledger <path>` the run (plus an attribution digest for the
+//!   pinned sizes) is appended as one line to the JSONL ledger.
 //! * **`--check <path>`** (repeatable) — validates a previously emitted
-//!   artifact: `ddl-bench`, `ddl-calibration` and `ddl-metrics` reports
-//!   are auto-detected by their `schema` field, Chrome traces by their
-//!   `traceEvents` key. Violations print the offending JSON path and
-//!   exit non-zero.
+//!   artifact through `ddl_core::check_report_text`: `ddl-metrics`,
+//!   `ddl-calibration` and `ddl-attribution` reports and Chrome traces
+//!   are dispatched by the shared validator; the `ddl-bench` schema this
+//!   crate owns is layered on its `Unknown` passthrough. Violations
+//!   print the offending JSON path and exit non-zero.
 //! * **`--compare <current> <baseline>`** — compares two stored reports
 //!   without re-running the suite.
+//! * **`--ledger-check <path>`** — validates every line of a trajectory
+//!   ledger and exits non-zero if any consecutive same-environment pair
+//!   regressed beyond `--tolerance`.
 //!
 //! ```sh
 //! cargo run --release -p ddl-bench --bin bench_suite -- --quick --label ci \
 //!     --out target/BENCH_ci.json --calibrate-out target/calibration.json \
-//!     --trace-out target/trace.json
+//!     --trace-out target/trace.json --attribution-out target/attribution.json \
+//!     --ledger results/trajectory.jsonl
 //! cargo run --release -p ddl-bench --bin bench_suite -- --check target/BENCH_ci.json
 //! cargo run --release -p ddl-bench --bin bench_suite -- \
 //!     --compare target/BENCH_ci.json results/bench_baseline.json
+//! cargo run --release -p ddl-bench --bin bench_suite -- \
+//!     --ledger-check results/trajectory.jsonl
 //! ```
 
+use ddl_analyze::{annotate_static, crosscheck};
+use ddl_bench::ledger::{append_entry, check_ledger, read_ledger, AttributionSummary, LedgerEntry};
 use ddl_bench::suite::{
     compare, default_repeats, run_suite, BenchReport, Comparison, SuiteConfig, DEFAULT_TOLERANCE,
 };
-use ddl_core::json::{self, Json};
-use ddl_core::planner::{try_plan_dft_with, PlannerConfig};
+use ddl_cachesim::CacheConfig;
+use ddl_core::attrib::{attribute_dft, attribute_wht, AttributionReport, AttributionRun};
+use ddl_core::planner::{plan_dft, plan_wht, try_plan_dft_with, PlannerConfig, Strategy};
 use ddl_core::{
-    calibrate_dft, calibrate_wht, validate_chrome_trace, write_chrome_trace, CalibrationConfig,
-    CalibrationReport, DftPlan, MetricsReport, Recorder,
+    calibrate_dft, calibrate_wht, check_report_text, validate_chrome_trace, write_chrome_trace,
+    CalibrationConfig, CalibrationReport, CheckedReport, DftPlan, Recorder, WhtPlan,
 };
 use ddl_num::{Complex64, Direction};
 use std::path::{Path, PathBuf};
@@ -42,6 +55,12 @@ use std::process::ExitCode;
 /// Sizes the calibration report always covers (the acceptance pair: one
 /// in-cache, one out-of-cache on paper-default geometry).
 const CALIBRATION_LOGS: [u32; 2] = [10, 16];
+/// Sizes the attribution report and ledger digest always cover: the same
+/// in-cache/out-of-cache pair as calibration, so the three artifacts
+/// describe the same runs.
+const ATTRIBUTION_LOGS: [u32; 2] = [10, 16];
+/// Cache line size (bytes) for the attribution simulations.
+const ATTRIBUTION_LINE_BYTES: usize = 64;
 /// Size of the traced run behind `--trace-out`.
 const TRACE_N: usize = 1 << 10;
 
@@ -56,6 +75,9 @@ struct Args {
     compare: Option<(PathBuf, PathBuf)>,
     calibrate_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
+    attribution_out: Option<PathBuf>,
+    ledger: Option<PathBuf>,
+    ledger_check: Option<PathBuf>,
 }
 
 fn die(msg: &str) -> ! {
@@ -75,6 +97,9 @@ fn parse_args() -> Args {
         compare: None,
         calibrate_out: None,
         trace_out: None,
+        attribution_out: None,
+        ledger: None,
+        ledger_check: None,
     };
     let mut args = std::env::args().skip(1);
     let next_path = |args: &mut dyn Iterator<Item = String>, flag: &str| -> PathBuf {
@@ -116,10 +141,18 @@ fn parse_args() -> Args {
                 parsed.calibrate_out = Some(next_path(&mut args, "--calibrate-out"));
             }
             "--trace-out" => parsed.trace_out = Some(next_path(&mut args, "--trace-out")),
+            "--attribution-out" => {
+                parsed.attribution_out = Some(next_path(&mut args, "--attribution-out"));
+            }
+            "--ledger" => parsed.ledger = Some(next_path(&mut args, "--ledger")),
+            "--ledger-check" => {
+                parsed.ledger_check = Some(next_path(&mut args, "--ledger-check"));
+            }
             other => die(&format!(
                 "unknown argument {other} (expected --quick | --label <s> | --out <path> | \
                  --baseline <path> | --tolerance <f> | --repeats <k> | --check <path> | \
-                 --compare <current> <baseline> | --calibrate-out <path> | --trace-out <path>)"
+                 --compare <current> <baseline> | --calibrate-out <path> | --trace-out <path> | \
+                 --attribution-out <path> | --ledger <path> | --ledger-check <path>)"
             )),
         }
     }
@@ -152,7 +185,12 @@ fn main() -> ExitCode {
             Ok(r) => r,
             Err(msg) => die(&msg),
         };
+        warn_mode_mismatch(&cur, &base);
         return report_comparison(&compare(&cur, &base, args.tolerance), args.tolerance);
+    }
+
+    if let Some(path) = &args.ledger_check {
+        return run_ledger_check(path, args.tolerance);
     }
 
     // --- run mode ---
@@ -200,14 +238,173 @@ fn main() -> ExitCode {
         }
     }
 
+    // Attribution runs feed both the standalone report and the ledger
+    // digest; compute them once when either consumer is enabled.
+    if args.attribution_out.is_some() || args.ledger.is_some() {
+        let (attribution, summaries) = match attribution_runs(&args.label) {
+            Ok(pair) => pair,
+            Err(e) => die(&format!("attribution failed: {e}")),
+        };
+        if let Some(path) = &args.attribution_out {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent).ok();
+            }
+            if let Err(e) = attribution.write(path) {
+                die(&format!("attribution report: {e}"));
+            }
+            eprintln!(
+                "attribution report written to {} ({} runs)",
+                path.display(),
+                attribution.runs.len()
+            );
+        }
+        if let Some(path) = &args.ledger {
+            let entry = LedgerEntry::from_report(&report, summaries);
+            if let Err(e) = append_entry(path, &entry) {
+                die(&format!("ledger append: {e}"));
+            }
+            eprintln!(
+                "ledger entry appended to {} ({} cases, {} attribution digests)",
+                path.display(),
+                entry.cases.len(),
+                entry.attribution.len()
+            );
+        }
+    }
+
     if let Some(baseline) = &args.baseline {
         let base = match load_report(baseline) {
             Ok(r) => r,
             Err(msg) => die(&msg),
         };
+        warn_mode_mismatch(&report, &base);
         return report_comparison(&compare(&report, &base, args.tolerance), args.tolerance);
     }
     ExitCode::SUCCESS
+}
+
+/// Comparing a quick run against a full baseline (or vice versa) is
+/// usually a CI misconfiguration: the case sets only partially overlap
+/// and the repeat counts differ. Warn, but still compare — `--compare`
+/// stays usable for ad-hoc questions.
+fn warn_mode_mismatch(current: &BenchReport, baseline: &BenchReport) {
+    if current.quick != baseline.quick {
+        eprintln!(
+            "warning: comparing a {} run against a {} baseline; case sets will only \
+             partially overlap",
+            if current.quick { "quick" } else { "full" },
+            if baseline.quick { "quick" } else { "full" },
+        );
+    }
+}
+
+/// Attributes cache misses per plan node for the pinned transform sizes
+/// (both strategies), prints any three-way classification disagreements,
+/// and returns the full report plus the per-run ledger digests.
+fn attribution_runs(
+    label: &str,
+) -> Result<(AttributionReport, Vec<AttributionSummary>), ddl_num::DdlError> {
+    let cache = CacheConfig::paper_default(ATTRIBUTION_LINE_BYTES);
+    let mut report = AttributionReport {
+        label: label.to_string(),
+        runs: Vec::new(),
+    };
+    let mut summaries = Vec::new();
+    for log in ATTRIBUTION_LOGS {
+        let n = 1usize << log;
+        for strategy in [Strategy::Sdl, Strategy::Ddl] {
+            let cfg = match strategy {
+                Strategy::Sdl => PlannerConfig::sdl_analytical(),
+                Strategy::Ddl => PlannerConfig::ddl_analytical(),
+            };
+            let strategy_name = match strategy {
+                Strategy::Sdl => "sdl",
+                Strategy::Ddl => "ddl",
+            };
+            let dft = DftPlan::new(plan_dft(n, &cfg).tree, Direction::Forward)?;
+            let wht = WhtPlan::new(plan_wht(n, &cfg).tree)?;
+            let runs = [
+                attribute_dft(&dft, 1, cache)?,
+                attribute_wht(&wht, 1, cache)?,
+            ];
+            for mut run in runs {
+                annotate_static(&mut run);
+                for d in crosscheck(&run) {
+                    eprintln!(
+                        "attribution disagreement ({} n={} {}): {d}",
+                        run.transform, run.n, strategy_name
+                    );
+                }
+                summaries.push(summarize_run(&run, strategy_name));
+                report.runs.push(run);
+            }
+        }
+    }
+    for s in &summaries {
+        println!(
+            "attribution {:<4} n={:<7} {:<4} miss rate {:>6.3}%  ({} of {} leaves Case III)",
+            s.transform,
+            s.n,
+            s.strategy,
+            s.miss_rate * 100.0,
+            s.case3_leaves,
+            s.leaves
+        );
+    }
+    Ok((report, summaries))
+}
+
+fn summarize_run(run: &AttributionRun, strategy: &str) -> AttributionSummary {
+    let (leaves, case3_leaves) = run.case3_leaf_counts();
+    AttributionSummary {
+        transform: run.transform.clone(),
+        n: run.n,
+        strategy: strategy.to_string(),
+        miss_rate: run.totals.miss_rate(),
+        misses: run.totals.misses,
+        accesses: run.totals.accesses,
+        leaves,
+        case3_leaves,
+    }
+}
+
+/// Reads and validates a trajectory ledger; regressions between
+/// consecutive comparable entries fail the process.
+fn run_ledger_check(path: &Path, tolerance: f64) -> ExitCode {
+    let entries = match read_ledger(path) {
+        Ok(e) => e,
+        Err(e) => die(&format!("{e}")),
+    };
+    let check = check_ledger(&entries, tolerance);
+    for r in &check.regressions {
+        println!(
+            "LEDGER REGRESSION {:<28} {:>12.0} ns -> {:>12.0} ns  ({:+.1}%)  [{} -> {}]",
+            r.id,
+            r.prev_ns,
+            r.cur_ns,
+            (r.ratio - 1.0) * 100.0,
+            r.from,
+            r.to
+        );
+    }
+    println!(
+        "ledger {}: {} entries, {} pairs compared, {} skipped (environment change)",
+        path.display(),
+        check.entries,
+        check.compared,
+        check.skipped
+    );
+    if check.passed() {
+        println!("ledger check passed (tolerance {:.0}%)", tolerance * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "ledger check FAILED: {} regressions (tolerance {:.0}%)",
+            check.regressions.len(),
+            tolerance * 100.0
+        );
+        ExitCode::from(1)
+    }
 }
 
 /// Calibrates DFT and WHT at the pinned sizes and writes the report.
@@ -324,21 +521,34 @@ fn report_comparison(cmp: &Comparison, tolerance: f64) -> ExitCode {
     }
 }
 
-/// Validates one artifact, auto-detecting its schema; returns a short
-/// human summary or the path-bearing error message.
+/// Validates one artifact through the shared `ddl-core` dispatcher,
+/// layering the `ddl-bench` schema (which core does not own) on the
+/// `Unknown` passthrough; returns a short human summary or the
+/// path-bearing error message.
 fn check_artifact(path: &Path) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read file: {e}"))?;
-    let doc = json::parse(&text).map_err(|e| format!("$: {e}"))?;
-    let top = doc.as_obj().ok_or("$: top level is not an object")?;
-    if top.contains_key("traceEvents") {
-        let s = validate_chrome_trace(&text).map_err(|e| e.to_string())?;
-        return Ok(format!(
+    match check_report_text(&text).map_err(|e| e.to_string())? {
+        CheckedReport::Trace(s) => Ok(format!(
             "ddl-trace: {} events ({} begin/end pairs, {} completes, depth {}, {} dropped)",
             s.events, s.begins, s.completes, s.max_depth, s.events_dropped
-        ));
-    }
-    match top.get("schema").and_then(Json::as_str) {
-        Some("ddl-bench") => {
+        )),
+        CheckedReport::Metrics(r) => Ok(format!(
+            "ddl-metrics: {} planner runs, {} executions, {} batches",
+            r.planner.len(),
+            r.executions.len(),
+            r.batches.len()
+        )),
+        CheckedReport::Calibration(r) => Ok(format!(
+            "ddl-calibration: label {:?}, {} cases",
+            r.label,
+            r.cases.len()
+        )),
+        CheckedReport::Attribution(r) => Ok(format!(
+            "ddl-attribution: label {:?}, {} runs, all conserved",
+            r.label,
+            r.runs.len()
+        )),
+        CheckedReport::Unknown { schema } if schema == "ddl-bench" => {
             let r = BenchReport::parse(&text).map_err(|e| e.to_string())?;
             Ok(format!(
                 "ddl-bench: label {:?}, {} cases, {} mode, host {}",
@@ -348,24 +558,6 @@ fn check_artifact(path: &Path) -> Result<String, String> {
                 r.env.cpu
             ))
         }
-        Some("ddl-calibration") => {
-            let r = CalibrationReport::parse(&text).map_err(|e| e.to_string())?;
-            Ok(format!(
-                "ddl-calibration: label {:?}, {} cases",
-                r.label,
-                r.cases.len()
-            ))
-        }
-        Some("ddl-metrics") => {
-            let r = MetricsReport::parse(&text).map_err(|e| e.to_string())?;
-            Ok(format!(
-                "ddl-metrics: {} planner runs, {} executions, {} batches",
-                r.planner.len(),
-                r.executions.len(),
-                r.batches.len()
-            ))
-        }
-        Some(other) => Err(format!("$.schema: unknown schema {other:?}")),
-        None => Err("$.schema: missing or non-string (and no traceEvents key)".into()),
+        CheckedReport::Unknown { schema } => Err(format!("$.schema: unknown schema {schema:?}")),
     }
 }

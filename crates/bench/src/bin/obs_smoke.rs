@@ -159,15 +159,19 @@ fn emit_report(metrics_out: Option<&Path>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// Parses an emitted report and enforces the invariants CI gates on.
+/// Validates an emitted report through the shared `ddl-core` dispatcher
+/// and enforces the `ddl-metrics` invariants CI gates on.
 fn check_report(path: &Path) -> ExitCode {
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) => return fail(format!("cannot read {}: {e}", path.display())),
-    };
-    let report = match MetricsReport::parse(&text) {
-        Ok(r) => r,
-        Err(e) => return fail(format!("{}: invalid metrics report: {e}", path.display())),
+    let report = match ddl_core::check_report(path) {
+        Ok(ddl_core::CheckedReport::Metrics(r)) => *r,
+        Ok(other) => {
+            return fail(format!(
+                "{}: expected a ddl-metrics report, found schema {:?}",
+                path.display(),
+                other.schema()
+            ))
+        }
+        Err(e) => return fail(format!("invalid report: {e}")),
     };
 
     if report.planner.is_empty() {

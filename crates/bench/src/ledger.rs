@@ -1,0 +1,487 @@
+//! The longitudinal performance ledger: `results/trajectory.jsonl`.
+//!
+//! Single-run `BENCH_*.json` reports answer "how fast is this commit";
+//! the ROADMAP's trajectory question — "has the repo gotten slower since
+//! PR N" — needs runs to *accumulate*. This module implements that as an
+//! append-only JSONL file: one [`LedgerEntry`] per suite run, each a
+//! single compact line carrying the environment fingerprint (git sha,
+//! rustc, cpu), the per-case medians, and a per-node attribution summary
+//! for the pinned simulation sizes. CI appends an entry every run and
+//! then validates the whole file with [`check_ledger`], which flags
+//! consecutive same-environment entries whose medians regressed beyond
+//! tolerance.
+//!
+//! JSONL (not a JSON array) is deliberate: appending is an O(1) write
+//! that never rewrites history, concurrent readers see a prefix of valid
+//! lines, and the file diffs line-per-run under version control.
+
+use crate::suite::BenchReport;
+use ddl_core::json::{self, Json};
+use ddl_num::DdlError;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Schema identifier stamped into every ledger line.
+pub const TRAJECTORY_SCHEMA: &str = "ddl-trajectory";
+/// Current ledger schema version; readers refuse newer lines.
+pub const TRAJECTORY_VERSION: u64 = 1;
+
+fn ledger_err(detail: String) -> DdlError {
+    DdlError::Metrics { detail }
+}
+
+/// Attribution digest for one pinned simulated run: enough to watch the
+/// Case III population drift across commits without storing whole trees.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttributionSummary {
+    /// `dft` | `wht`.
+    pub transform: String,
+    /// Transform size.
+    pub n: usize,
+    /// Planner strategy (`sdl` | `ddl`).
+    pub strategy: String,
+    /// Whole-run simulated miss rate.
+    pub miss_rate: f64,
+    /// Whole-run simulated misses.
+    pub misses: u64,
+    /// Whole-run accesses.
+    pub accesses: u64,
+    /// Classified leaves in the attributed tree.
+    pub leaves: u64,
+    /// Leaves empirically classified Case III.
+    pub case3_leaves: u64,
+}
+
+/// One run of the suite, as a single ledger line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LedgerEntry {
+    /// Run label (`--label`).
+    pub label: String,
+    /// Quick-mode flag; quick and full entries are never compared.
+    pub quick: bool,
+    /// Git commit of the working tree, or "unknown".
+    pub git_sha: String,
+    /// Toolchain fingerprint.
+    pub rustc: String,
+    /// CPU model; entries from different CPUs are never compared.
+    pub cpu: String,
+    /// Case id -> median nanoseconds, from the suite report.
+    pub cases: BTreeMap<String, f64>,
+    /// Attribution digests for the pinned simulation sizes.
+    pub attribution: Vec<AttributionSummary>,
+}
+
+impl LedgerEntry {
+    /// Builds an entry from a suite report plus attribution digests.
+    pub fn from_report(report: &BenchReport, attribution: Vec<AttributionSummary>) -> LedgerEntry {
+        LedgerEntry {
+            label: report.label.clone(),
+            quick: report.quick,
+            git_sha: report.env.git_sha.clone(),
+            rustc: report.env.rustc.clone(),
+            cpu: report.env.cpu.clone(),
+            cases: report
+                .cases
+                .iter()
+                .map(|c| (c.id.clone(), c.median_ns))
+                .collect(),
+            attribution,
+        }
+    }
+
+    /// Serializes as one compact JSON value (one JSONL line, sans
+    /// newline).
+    pub fn to_line(&self) -> String {
+        let mut m = BTreeMap::new();
+        m.insert("schema".into(), Json::Str(TRAJECTORY_SCHEMA.into()));
+        m.insert("version".into(), Json::Num(TRAJECTORY_VERSION as f64));
+        m.insert("label".into(), Json::Str(self.label.clone()));
+        m.insert("quick".into(), Json::Bool(self.quick));
+        m.insert("git_sha".into(), Json::Str(self.git_sha.clone()));
+        m.insert("rustc".into(), Json::Str(self.rustc.clone()));
+        m.insert("cpu".into(), Json::Str(self.cpu.clone()));
+        m.insert(
+            "cases".into(),
+            Json::Obj(
+                self.cases
+                    .iter()
+                    .map(|(id, ns)| (id.clone(), Json::Num(*ns)))
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "attribution".into(),
+            Json::Arr(
+                self.attribution
+                    .iter()
+                    .map(|a| {
+                        let mut am = BTreeMap::new();
+                        am.insert("transform".into(), Json::Str(a.transform.clone()));
+                        am.insert("n".into(), Json::Num(a.n as f64));
+                        am.insert("strategy".into(), Json::Str(a.strategy.clone()));
+                        am.insert("miss_rate".into(), Json::Num(a.miss_rate));
+                        am.insert("misses".into(), Json::Num(a.misses as f64));
+                        am.insert("accesses".into(), Json::Num(a.accesses as f64));
+                        am.insert("leaves".into(), Json::Num(a.leaves as f64));
+                        am.insert("case3_leaves".into(), Json::Num(a.case3_leaves as f64));
+                        Json::Obj(am)
+                    })
+                    .collect(),
+            ),
+        );
+        Json::Obj(m).compact()
+    }
+
+    /// Parses one ledger line.
+    pub fn parse_line(text: &str) -> Result<LedgerEntry, DdlError> {
+        let doc = json::parse(text).map_err(|e| ledger_err(format!("ledger line: {e}")))?;
+        let m = doc
+            .as_obj()
+            .ok_or_else(|| ledger_err("ledger line: not an object".into()))?;
+        match m.get("schema").and_then(Json::as_str) {
+            Some(s) if s == TRAJECTORY_SCHEMA => {}
+            Some(s) => {
+                return Err(ledger_err(format!(
+                    "ledger line: expected schema {TRAJECTORY_SCHEMA:?}, got {s:?}"
+                )))
+            }
+            None => return Err(ledger_err("ledger line: missing schema".into())),
+        }
+        match m.get("version").and_then(Json::as_u64) {
+            Some(v) if v <= TRAJECTORY_VERSION => {}
+            Some(v) => {
+                return Err(ledger_err(format!(
+                    "ledger line: version {v} is newer than supported {TRAJECTORY_VERSION}"
+                )))
+            }
+            None => return Err(ledger_err("ledger line: missing version".into())),
+        }
+        let str_field = |key: &str| -> Result<String, DdlError> {
+            m.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ledger_err(format!("ledger line: missing or non-string {key}")))
+        };
+        let quick = match m.get("quick") {
+            Some(Json::Bool(b)) => *b,
+            _ => {
+                return Err(ledger_err(
+                    "ledger line: missing or non-boolean quick".into(),
+                ))
+            }
+        };
+        let cases = match m.get("cases") {
+            Some(Json::Obj(obj)) => {
+                let mut cases = BTreeMap::new();
+                for (id, v) in obj {
+                    let ns = v
+                        .as_f64()
+                        .filter(|x| x.is_finite() && *x >= 0.0)
+                        .ok_or_else(|| ledger_err(format!("ledger line: case {id}: bad median")))?;
+                    cases.insert(id.clone(), ns);
+                }
+                cases
+            }
+            _ => return Err(ledger_err("ledger line: missing cases object".into())),
+        };
+        let mut attribution = Vec::new();
+        match m.get("attribution") {
+            Some(Json::Arr(items)) => {
+                for (i, item) in items.iter().enumerate() {
+                    let am = item.as_obj().ok_or_else(|| {
+                        ledger_err(format!("ledger line: attribution[{i}]: not an object"))
+                    })?;
+                    let path = format!("attribution[{i}]");
+                    let s = |key: &str| -> Result<String, DdlError> {
+                        am.get(key)
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                            .ok_or_else(|| ledger_err(format!("ledger line: {path}.{key}: bad")))
+                    };
+                    let u = |key: &str| -> Result<u64, DdlError> {
+                        am.get(key)
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| ledger_err(format!("ledger line: {path}.{key}: bad")))
+                    };
+                    attribution.push(AttributionSummary {
+                        transform: s("transform")?,
+                        n: u("n")? as usize,
+                        strategy: s("strategy")?,
+                        miss_rate: am
+                            .get("miss_rate")
+                            .and_then(Json::as_f64)
+                            .filter(|x| x.is_finite() && *x >= 0.0)
+                            .ok_or_else(|| {
+                                ledger_err(format!("ledger line: {path}.miss_rate: bad"))
+                            })?,
+                        misses: u("misses")?,
+                        accesses: u("accesses")?,
+                        leaves: u("leaves")?,
+                        case3_leaves: u("case3_leaves")?,
+                    });
+                }
+            }
+            Some(_) => return Err(ledger_err("ledger line: attribution: not an array".into())),
+            None => {}
+        }
+        Ok(LedgerEntry {
+            label: str_field("label")?,
+            quick,
+            git_sha: str_field("git_sha")?,
+            rustc: str_field("rustc")?,
+            cpu: str_field("cpu")?,
+            cases,
+            attribution,
+        })
+    }
+}
+
+/// Appends one entry to the ledger at `path` (creating parent
+/// directories and the file as needed). The write is a single
+/// line-plus-newline append: existing entries are never rewritten.
+pub fn append_entry(path: &Path, entry: &LedgerEntry) -> Result<(), DdlError> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| ledger_err(format!("creating {}: {e}", parent.display())))?;
+        }
+    }
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| ledger_err(format!("opening {}: {e}", path.display())))?;
+    writeln!(file, "{}", entry.to_line())
+        .map_err(|e| ledger_err(format!("appending to {}: {e}", path.display())))
+}
+
+/// Reads every entry of a ledger file. Blank lines are skipped; a
+/// malformed line fails with its 1-based line number (an append-only
+/// ledger that went bad must be noticed, not truncated silently).
+pub fn read_ledger(path: &Path) -> Result<Vec<LedgerEntry>, DdlError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ledger_err(format!("reading {}: {e}", path.display())))?;
+    let mut entries = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        entries.push(LedgerEntry::parse_line(line).map_err(|e| {
+            ledger_err(format!(
+                "{} line {}: {}",
+                path.display(),
+                i + 1,
+                match e {
+                    DdlError::Metrics { detail } => detail,
+                    other => other.to_string(),
+                }
+            ))
+        })?);
+    }
+    Ok(entries)
+}
+
+/// One case that regressed between two consecutive comparable entries.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LedgerRegression {
+    /// Git sha (or label) of the earlier entry.
+    pub from: String,
+    /// Git sha (or label) of the later entry.
+    pub to: String,
+    /// Case id.
+    pub id: String,
+    /// Earlier median nanoseconds.
+    pub prev_ns: f64,
+    /// Later median nanoseconds.
+    pub cur_ns: f64,
+    /// `cur / prev`.
+    pub ratio: f64,
+}
+
+/// Outcome of [`check_ledger`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LedgerCheck {
+    /// Entries read.
+    pub entries: usize,
+    /// Consecutive pairs actually compared (same quick mode and CPU).
+    pub compared: usize,
+    /// Consecutive pairs skipped for environment/mode mismatch.
+    pub skipped: usize,
+    /// Regressions beyond tolerance across compared pairs.
+    pub regressions: Vec<LedgerRegression>,
+}
+
+impl LedgerCheck {
+    /// True when no compared pair regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Walks consecutive entry pairs and flags any case whose median grew
+/// beyond `prev * (1 + tolerance)`. Pairs with mismatched quick mode or
+/// CPU are skipped (counted, not compared): cross-environment deltas are
+/// not regressions.
+pub fn check_ledger(entries: &[LedgerEntry], tolerance: f64) -> LedgerCheck {
+    let mut out = LedgerCheck {
+        entries: entries.len(),
+        ..LedgerCheck::default()
+    };
+    for pair in entries.windows(2) {
+        let (prev, cur) = (&pair[0], &pair[1]);
+        if prev.quick != cur.quick || prev.cpu != cur.cpu {
+            out.skipped += 1;
+            continue;
+        }
+        out.compared += 1;
+        for (id, &prev_ns) in &prev.cases {
+            let Some(&cur_ns) = cur.cases.get(id) else {
+                continue;
+            };
+            let ratio = if prev_ns > 0.0 {
+                cur_ns / prev_ns
+            } else if cur_ns > 0.0 {
+                f64::INFINITY
+            } else {
+                1.0
+            };
+            if ratio > 1.0 + tolerance {
+                out.regressions.push(LedgerRegression {
+                    from: ref_name(prev),
+                    to: ref_name(cur),
+                    id: id.clone(),
+                    prev_ns,
+                    cur_ns,
+                    ratio,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn ref_name(entry: &LedgerEntry) -> String {
+    if entry.git_sha != "unknown" && !entry.git_sha.is_empty() {
+        entry.git_sha.clone()
+    } else {
+        entry.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, quick: bool, cpu: &str, medians: &[(&str, f64)]) -> LedgerEntry {
+        LedgerEntry {
+            label: label.into(),
+            quick,
+            git_sha: format!("sha-{label}"),
+            rustc: "rustc test".into(),
+            cpu: cpu.into(),
+            cases: medians
+                .iter()
+                .map(|&(id, ns)| (id.to_string(), ns))
+                .collect(),
+            attribution: vec![AttributionSummary {
+                transform: "dft".into(),
+                n: 1024,
+                strategy: "ddl".into(),
+                miss_rate: 0.05,
+                misses: 100,
+                accesses: 2000,
+                leaves: 3,
+                case3_leaves: 0,
+            }],
+        }
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ddl-ledger-{}-{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn entry_round_trips_as_one_line() {
+        let e = entry("a", true, "cpu0", &[("dft-ddl-n16", 123.5)]);
+        let line = e.to_line();
+        assert!(!line.contains('\n'));
+        assert_eq!(LedgerEntry::parse_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn append_then_read_preserves_order() {
+        let path = temp_path("order");
+        let _ = std::fs::remove_file(&path);
+        let a = entry("a", true, "cpu0", &[("c", 100.0)]);
+        let b = entry("b", true, "cpu0", &[("c", 110.0)]);
+        append_entry(&path, &a).unwrap();
+        append_entry(&path, &b).unwrap();
+        let back = read_ledger(&path).unwrap();
+        assert_eq!(back, vec![a, b]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_line_numbers() {
+        let path = temp_path("bad");
+        std::fs::write(
+            &path,
+            format!("{}\nnot json\n", entry("a", true, "c", &[]).to_line()),
+        )
+        .unwrap();
+        let err = read_ledger(&path).unwrap_err().to_string();
+        assert!(err.contains("line 2"), "no line number in: {err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_regression_fails_the_check() {
+        let entries = vec![
+            entry("a", true, "cpu0", &[("dft", 100.0), ("wht", 50.0)]),
+            entry("b", true, "cpu0", &[("dft", 1000.0), ("wht", 55.0)]),
+        ];
+        let check = check_ledger(&entries, 0.5);
+        assert_eq!(check.compared, 1);
+        assert!(!check.passed());
+        assert_eq!(check.regressions.len(), 1);
+        let r = &check.regressions[0];
+        assert_eq!(r.id, "dft");
+        assert!((r.ratio - 10.0).abs() < 1e-12);
+        assert_eq!(r.from, "sha-a");
+        assert_eq!(r.to, "sha-b");
+    }
+
+    #[test]
+    fn stable_medians_pass() {
+        let entries = vec![
+            entry("a", true, "cpu0", &[("dft", 100.0)]),
+            entry("b", true, "cpu0", &[("dft", 120.0)]),
+            entry("c", true, "cpu0", &[("dft", 95.0)]),
+        ];
+        let check = check_ledger(&entries, 0.5);
+        assert!(check.passed());
+        assert_eq!(check.compared, 2);
+    }
+
+    #[test]
+    fn mismatched_mode_or_cpu_is_skipped_not_compared() {
+        let entries = vec![
+            entry("a", true, "cpu0", &[("dft", 100.0)]),
+            entry("b", false, "cpu0", &[("dft", 10000.0)]),
+            entry("c", false, "cpu1", &[("dft", 100000.0)]),
+        ];
+        let check = check_ledger(&entries, 0.5);
+        assert!(check.passed(), "cross-mode/cpu deltas are not regressions");
+        assert_eq!(check.compared, 0);
+        assert_eq!(check.skipped, 2);
+    }
+
+    #[test]
+    fn single_entry_trivially_passes() {
+        let check = check_ledger(&[entry("a", true, "cpu0", &[("dft", 1.0)])], 0.5);
+        assert!(check.passed());
+        assert_eq!(check.entries, 1);
+        assert_eq!(check.compared, 0);
+    }
+}

@@ -18,7 +18,8 @@
 //! Beyond the paper, `obs_smoke` emits and validates the `ddl-metrics`
 //! observability report, and `bench_suite` (backed by [`suite`]) runs
 //! the pinned performance-trajectory suite with baseline comparison,
-//! cost-model calibration and Chrome-trace export.
+//! cost-model calibration, Chrome-trace export, per-node cache-miss
+//! attribution and the longitudinal [`ledger`].
 //!
 //! This library provides the pieces they share: measured planning with a
 //! wisdom cache (so one planning pass serves every binary), timing
@@ -32,6 +33,7 @@ use ddl_core::wisdom::Wisdom;
 use std::path::PathBuf;
 
 pub mod host;
+pub mod ledger;
 pub mod suite;
 
 /// Default size sweep for the performance figures: `2^10 .. 2^22`.

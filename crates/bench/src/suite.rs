@@ -671,6 +671,19 @@ mod tests {
     }
 
     #[test]
+    fn removed_cases_fail_even_without_regressions() {
+        // Every surviving case is stable or faster; only the coverage
+        // shrank. A silently vanished case is still a failed comparison —
+        // a deleted benchmark would otherwise hide its own regression.
+        let base = report(vec![case("a", 100.0), case("gone", 50.0)]);
+        let cur = report(vec![case("a", 90.0)]);
+        let cmp = compare(&cur, &base, 0.5);
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.missing, vec!["gone".to_string()]);
+        assert!(!cmp.passed());
+    }
+
+    #[test]
     fn self_comparison_passes() {
         let r = report(vec![case("a", 100.0), case("b", 0.0)]);
         let cmp = compare(&r, &r, 0.1);

@@ -132,6 +132,38 @@ mod tests {
         assert_eq!(p.accesses, 0);
         assert_eq!(p.distinct_lines, 0);
         assert_eq!(dominant_stride(&p), None);
+        // No deltas: the unit fraction is defined as 0, never NaN.
+        assert_eq!(p.unit_fraction, 0.0);
+        assert_eq!(p.other_strides, 0);
+        assert!(p.stride_histogram.is_empty());
+    }
+
+    #[test]
+    fn single_access_has_no_deltas() {
+        let t = record(&[4096]);
+        let p = profile(&t, 64, 16, 1024);
+        assert_eq!(p.accesses, 1);
+        assert_eq!(p.distinct_lines, 1);
+        assert_eq!(p.unit_fraction, 0.0);
+        assert_eq!(p.other_strides, 0);
+        assert!(p.stride_histogram.is_empty());
+        assert_eq!(dominant_stride(&p), None);
+    }
+
+    #[test]
+    fn all_out_of_range_stream_keeps_unit_fraction_finite() {
+        // Every consecutive delta exceeds max_delta: the histogram stays
+        // empty, everything lands in other_strides, and unit_fraction is
+        // exactly 0 (not NaN, not negative).
+        let addrs: Vec<u64> = (0..16).map(|i| i * (1 << 24)).collect();
+        let t = record(&addrs);
+        let p = profile(&t, 64, 16, 1024);
+        assert_eq!(p.accesses, 16);
+        assert_eq!(p.other_strides, 15);
+        assert!(p.stride_histogram.is_empty());
+        assert_eq!(p.unit_fraction, 0.0);
+        assert!(p.unit_fraction.is_finite());
+        assert_eq!(dominant_stride(&p), None);
     }
 
     #[test]

@@ -1,0 +1,367 @@
+//! Per-node cache-event attribution.
+//!
+//! The simulator and the span timeline (`ddl-core`'s `Sink`) historically
+//! lived in separate worlds: the cache accumulated one whole-run
+//! [`CacheStats`], while spans recorded which tree node was executing but
+//! saw no memory events. [`AttributingCache`] joins them: it wraps a
+//! [`Cache`], forwards every read/write to it, and segments the simulated
+//! address stream at executor node boundaries (`node_enter`/`node_exit`,
+//! driven by the executor's `Sink` node spans carrying
+//! `(label, size, stride, reorg)`).
+//!
+//! Attribution is *exclusive* (self time, in profiler terms): each node
+//! owns only the events that occurred while it was the innermost open
+//! span. Events outside any span land in the `outside` bucket. Because
+//! every event is charged to exactly one bucket via snapshot deltas of the
+//! same monotone counters, conservation is exact by construction:
+//!
+//! ```text
+//! sum(node.self_stats) + outside == cache.stats()
+//! ```
+//!
+//! Repeated visits to the "same" node — same `(label, size, stride,
+//! reorg)` under the same parent, as happens when a Cooley-Tukey split
+//! calls one child `n1` times — aggregate into one arena node with a
+//! `calls` count, so the tree mirrors the plan tree, not the dynamic call
+//! trace.
+
+use crate::cache::{Cache, CacheStats};
+use crate::trace::MemoryTracer;
+
+/// Identity of an executor tree node: the span attributes the executors
+/// publish on their `Sink` node spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeKey {
+    /// Transform label (`"dft"` / `"wht"`), `'static` like span labels.
+    pub label: &'static str,
+    /// Sub-transform size at this node.
+    pub size: usize,
+    /// Input stride (in points) the node runs at.
+    pub stride: usize,
+    /// Whether the node performs a DDL reorganization step.
+    pub reorg: bool,
+}
+
+/// One node of the attributed tree (arena-allocated; indices into
+/// [`AttributingCache::nodes`]).
+#[derive(Clone, Debug)]
+pub struct AttributedNode {
+    /// Span identity `(label, size, stride, reorg)`.
+    pub key: NodeKey,
+    /// Number of dynamic visits aggregated into this node.
+    pub calls: u64,
+    /// Exclusive (self) cache events: charged while this node was the
+    /// innermost open span.
+    pub self_stats: CacheStats,
+    /// Parent arena index; `None` for roots.
+    pub parent: Option<usize>,
+    /// Child arena indices in first-visit order.
+    pub children: Vec<usize>,
+}
+
+impl AttributedNode {
+    /// Inclusive stats: this node's self events plus all descendants'.
+    /// Needs the arena because children are stored by index.
+    pub fn inclusive_stats(&self, arena: &[AttributedNode]) -> CacheStats {
+        let mut total = self.self_stats;
+        for &c in &self.children {
+            total.add(&arena[c].inclusive_stats(arena));
+        }
+        total
+    }
+}
+
+/// A [`Cache`] wrapper that attributes events to executor tree nodes.
+///
+/// Drive it with interleaved [`MemoryTracer`] events and
+/// `node_enter`/`node_exit` calls (in `ddl-core`, a `Sink` adapter
+/// forwards the executor's node spans). Call [`finish`] after the run to
+/// flush trailing events into the `outside` bucket.
+///
+/// [`finish`]: AttributingCache::finish
+#[derive(Clone, Debug)]
+pub struct AttributingCache {
+    cache: Cache,
+    nodes: Vec<AttributedNode>,
+    /// Arena indices of nodes with no parent.
+    roots: Vec<usize>,
+    /// Open-span stack of arena indices (top = innermost).
+    stack: Vec<usize>,
+    /// Events observed while no node span was open.
+    outside: CacheStats,
+    /// Cache counters at the last flush point.
+    last: CacheStats,
+}
+
+impl AttributingCache {
+    /// Wraps `cache` (which may be pre-warmed; only counter deltas from
+    /// this point on are attributed).
+    pub fn new(cache: Cache) -> Self {
+        let last = cache.stats();
+        AttributingCache {
+            cache,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            stack: Vec::new(),
+            outside: CacheStats::default(),
+            last,
+        }
+    }
+
+    /// Charges everything since the last flush point to the innermost
+    /// open node (or `outside`).
+    fn flush(&mut self) {
+        let now = self.cache.stats();
+        let delta = now.delta_since(&self.last);
+        self.last = now;
+        match self.stack.last() {
+            Some(&idx) => self.nodes[idx].self_stats.add(&delta),
+            None => self.outside.add(&delta),
+        }
+    }
+
+    /// Opens a node span. Events from here until the matching
+    /// [`node_exit`] (minus nested spans) are charged to this node.
+    ///
+    /// [`node_exit`]: AttributingCache::node_exit
+    pub fn node_enter(&mut self, key: NodeKey) {
+        self.flush();
+        let parent = self.stack.last().copied();
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        let existing = siblings.iter().copied().find(|&i| self.nodes[i].key == key);
+        let idx = match existing {
+            Some(i) => i,
+            None => {
+                let i = self.nodes.len();
+                self.nodes.push(AttributedNode {
+                    key,
+                    calls: 0,
+                    self_stats: CacheStats::default(),
+                    parent,
+                    children: Vec::new(),
+                });
+                match parent {
+                    Some(p) => self.nodes[p].children.push(i),
+                    None => self.roots.push(i),
+                }
+                i
+            }
+        };
+        self.nodes[idx].calls += 1;
+        self.stack.push(idx);
+    }
+
+    /// Closes the innermost node span. Panics on an unbalanced exit.
+    pub fn node_exit(&mut self) {
+        self.flush();
+        assert!(
+            self.stack.pop().is_some(),
+            "node_exit without matching node_enter"
+        );
+    }
+
+    /// Flushes trailing events (after the last span closed) into
+    /// `outside`. Call once after the run; further events keep
+    /// accumulating normally.
+    pub fn finish(&mut self) {
+        self.flush();
+        assert!(
+            self.stack.is_empty(),
+            "finish with {} node span(s) still open",
+            self.stack.len()
+        );
+    }
+
+    /// The wrapped cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// The attributed-node arena. Indices in [`roots`] and
+    /// `AttributedNode::children` point into this slice.
+    ///
+    /// [`roots`]: AttributingCache::roots
+    pub fn nodes(&self) -> &[AttributedNode] {
+        &self.nodes
+    }
+
+    /// Arena indices of root nodes.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Events charged to no node (setup, teardown, between spans).
+    pub fn outside(&self) -> CacheStats {
+        self.outside
+    }
+
+    /// Whole-run totals from the wrapped cache.
+    pub fn totals(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Sum of all per-node self stats plus the outside bucket. After
+    /// [`finish`], equals [`totals`] exactly (conservation).
+    ///
+    /// [`finish`]: AttributingCache::finish
+    /// [`totals`]: AttributingCache::totals
+    pub fn attributed_total(&self) -> CacheStats {
+        let mut total = self.outside;
+        for node in &self.nodes {
+            total.add(&node.self_stats);
+        }
+        total
+    }
+}
+
+impl MemoryTracer for AttributingCache {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn read(&mut self, addr: u64, bytes: u32) {
+        self.cache.read(addr, bytes);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64, bytes: u32) {
+        self.cache.write(addr, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn attrib() -> AttributingCache {
+        AttributingCache::new(Cache::new(CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 64,
+            associativity: 1,
+        }))
+    }
+
+    fn key(size: usize, stride: usize) -> NodeKey {
+        NodeKey {
+            label: "dft",
+            size,
+            stride,
+            reorg: false,
+        }
+    }
+
+    #[test]
+    fn conservation_with_nested_spans_and_outside_events() {
+        let mut a = attrib();
+        a.read(0, 16); // outside
+        a.node_enter(key(8, 1));
+        a.read(64, 16);
+        a.node_enter(key(4, 2));
+        a.read(128, 16);
+        a.write(128, 16);
+        a.node_exit();
+        a.write(64, 16); // back in the parent
+        a.node_exit();
+        a.write(0, 16); // outside again
+        a.finish();
+
+        let attributed = a.attributed_total();
+        assert_eq!(attributed, a.totals());
+        assert_eq!(a.outside().accesses, 2);
+        let root = &a.nodes()[a.roots()[0]];
+        assert_eq!(root.self_stats.accesses, 2);
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(a.nodes()[root.children[0]].self_stats.accesses, 2);
+        // Inclusive rolls the child into the parent.
+        assert_eq!(root.inclusive_stats(a.nodes()).accesses, 4);
+    }
+
+    #[test]
+    fn repeated_visits_aggregate_into_one_node() {
+        let mut a = attrib();
+        a.node_enter(key(16, 4));
+        for i in 0..3u64 {
+            a.node_enter(key(4, 4));
+            a.read(i * 64, 16);
+            a.node_exit();
+        }
+        a.node_exit();
+        a.finish();
+
+        let root = &a.nodes()[a.roots()[0]];
+        assert_eq!(root.calls, 1);
+        assert_eq!(root.children.len(), 1);
+        let child = &a.nodes()[root.children[0]];
+        assert_eq!(child.calls, 3);
+        assert_eq!(child.self_stats.accesses, 3);
+        assert_eq!(a.attributed_total(), a.totals());
+    }
+
+    #[test]
+    fn distinct_keys_make_distinct_siblings() {
+        let mut a = attrib();
+        a.node_enter(key(16, 1));
+        a.node_enter(key(4, 1));
+        a.node_exit();
+        a.node_enter(key(4, 4));
+        a.node_exit();
+        a.node_enter(NodeKey {
+            reorg: true,
+            ..key(4, 1)
+        });
+        a.node_exit();
+        a.node_exit();
+        a.finish();
+        assert_eq!(a.nodes()[a.roots()[0]].children.len(), 3);
+    }
+
+    #[test]
+    fn empty_run_attributes_nothing() {
+        let mut a = attrib();
+        a.finish();
+        assert_eq!(a.attributed_total(), CacheStats::default());
+        assert!(a.nodes().is_empty());
+        assert!(a.roots().is_empty());
+    }
+
+    #[test]
+    fn prewarmed_cache_attributes_only_new_events() {
+        let mut cache = Cache::new(CacheConfig {
+            capacity_bytes: 1024,
+            line_bytes: 64,
+            associativity: 1,
+        });
+        cache.read(0, 16);
+        cache.read(64, 16);
+        let warm = cache.stats();
+        let mut a = AttributingCache::new(cache);
+        a.node_enter(key(2, 1));
+        a.read(0, 16);
+        a.node_exit();
+        a.finish();
+        let mut expect = a.attributed_total();
+        expect.add(&warm);
+        assert_eq!(expect, a.totals());
+        assert_eq!(a.nodes()[0].self_stats.accesses, 1);
+        // The warm lines are resident: the attributed access hits.
+        assert_eq!(a.nodes()[0].self_stats.hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "node_exit without matching node_enter")]
+    fn unbalanced_exit_panics() {
+        let mut a = attrib();
+        a.node_exit();
+    }
+
+    #[test]
+    #[should_panic(expected = "still open")]
+    fn finish_with_open_span_panics() {
+        let mut a = attrib();
+        a.node_enter(key(4, 1));
+        a.finish();
+    }
+}

@@ -99,6 +99,35 @@ impl CacheStats {
     pub fn non_compulsory_misses(&self) -> u64 {
         self.misses - self.compulsory_misses
     }
+
+    /// Field-wise difference `self - earlier`. Both snapshots must come
+    /// from the same monotonically-counting cache, with `earlier` taken
+    /// first; attribution layers use this to carve the run total into
+    /// per-span deltas whose sum is exact by construction.
+    pub fn delta_since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses - earlier.accesses,
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            line_lookups: self.line_lookups - earlier.line_lookups,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            compulsory_misses: self.compulsory_misses - earlier.compulsory_misses,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+
+    /// Field-wise accumulation of `other` into `self`.
+    pub fn add(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.line_lookups += other.line_lookups;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.compulsory_misses += other.compulsory_misses;
+        self.evictions += other.evictions;
+    }
 }
 
 /// A single-level set-associative LRU cache.

@@ -21,6 +21,9 @@
 //! * [`hierarchy`] — an inclusive two-level L1/L2 wrapper.
 //! * [`tlb`] — a data-TLB model (a small, page-granular LRU cache).
 //! * [`analysis`] — trace profiling: stride histograms and working sets.
+//! * [`attrib`] — per-node attribution: an [`attrib::AttributingCache`]
+//!   that segments the address stream at executor node boundaries and
+//!   charges counter deltas to an arena tree with exact conservation.
 //!
 //! ```
 //! use ddl_cachesim::{Cache, CacheConfig};
@@ -36,12 +39,14 @@
 #![forbid(unsafe_code)]
 
 pub mod analysis;
+pub mod attrib;
 pub mod cache;
 pub mod hierarchy;
 pub mod tlb;
 pub mod trace;
 
 pub use analysis::{dominant_stride, profile, TraceProfile};
+pub use attrib::{AttributedNode, AttributingCache, NodeKey};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::TwoLevelCache;
 pub use tlb::{CacheWithTlb, Tlb};

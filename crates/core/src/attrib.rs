@@ -1,0 +1,1013 @@
+//! Per-node cache-miss attribution: joining the simulator to the span
+//! timeline.
+//!
+//! The paper's argument is *located*: Case III conflict misses happen at
+//! specific non-unit-stride leaf stages, and DDL's reorganizations remove
+//! exactly those (Sec. III–IV). Whole-run [`CacheStats`] totals can show
+//! *that* a DDL plan misses less; this module shows *which tree node*
+//! stopped thrashing. It drives the real executors under an
+//! [`AttributingCache`] (`ddl-cachesim`), bridging the executor's two
+//! instrumentation channels — the [`MemoryTracer`] address stream and the
+//! [`Sink`] node spans carrying `(label, size, stride, reorg)` — into one
+//! attributed tree with exact conservation: per-node counters sum to the
+//! whole-run totals, every event charged to exactly one node (or the
+//! `outside` bucket).
+//!
+//! Each leaf is then classified three ways:
+//!
+//! 1. **empirically** from its simulated exclusive miss rate,
+//! 2. **analytically** from [`CacheModel::leaf_miss_per_point`] over both
+//!    its read and write streams (write strides are recovered by walking
+//!    the plan tree with the executor's stride propagation), and
+//! 3. **statically** by the conflict analyzer in `ddl-analyze` (which
+//!    fills the `static_*` fields post-hoc; `ddl-core` cannot depend on
+//!    it).
+//!
+//! The result serializes as the versioned `ddl-attribution` v1 schema;
+//! parsing re-verifies conservation, so a schema check is also an
+//! invariant check.
+
+use crate::dft::DftPlan;
+use crate::json::{self, Json};
+use crate::model::CacheModel;
+use crate::obs::{get_bool, get_str, get_u64, metrics_err, obj, Sink, SpanInfo, SpanKind};
+use crate::traced::SIM_PAGE_BYTES;
+use crate::tree::Tree;
+use crate::wht::WhtPlan;
+use crate::{DFT_POINT_BYTES, WHT_POINT_BYTES};
+use ddl_cachesim::{
+    AddressSpace, AttributedNode, AttributingCache, Cache, CacheConfig, CacheStats, MemoryTracer,
+    NodeKey,
+};
+use ddl_num::{Complex64, DdlError};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Schema identifier of attribution reports.
+pub const ATTRIBUTION_SCHEMA: &str = "ddl-attribution";
+/// Current attribution schema version; readers refuse newer.
+pub const ATTRIBUTION_VERSION: u32 = 1;
+
+/// The paper's Sec. III-B taxonomy, as a per-leaf verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CaseClass {
+    /// Cases I/II: the working set fits (`n·s <= C`), compulsory misses
+    /// only (~`1/B` per point).
+    CaseI2,
+    /// Between the clean regimes: elevated but not total miss traffic.
+    Intermediate,
+    /// Case III: set conflicts at a power-of-two stride; effectively
+    /// every access misses.
+    Case3,
+}
+
+impl CaseClass {
+    /// Stable serialization token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CaseClass::CaseI2 => "case_i_ii",
+            CaseClass::Intermediate => "intermediate",
+            CaseClass::Case3 => "case_iii",
+        }
+    }
+
+    /// Inverse of [`CaseClass::as_str`].
+    pub fn parse_token(s: &str) -> Option<CaseClass> {
+        match s {
+            "case_i_ii" => Some(CaseClass::CaseI2),
+            "intermediate" => Some(CaseClass::Intermediate),
+            "case_iii" => Some(CaseClass::Case3),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CaseClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One node of the attributed plan tree, with its exclusive (self)
+/// simulated counters and the per-method classifications.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeAttribution {
+    /// Transform label (`"dft"` / `"wht"`).
+    pub label: String,
+    /// Sub-transform size at this node.
+    pub size: usize,
+    /// Input (read) stride in points, as published on the node span.
+    pub stride: usize,
+    /// Whether the node performs a DDL reorganization.
+    pub reorg: bool,
+    /// Dynamic visits aggregated into this node.
+    pub calls: u64,
+    /// Exclusive simulated counters (this node minus its children).
+    pub stats: CacheStats,
+    /// Output (write) stride in points, recovered from the plan-tree
+    /// walk (the span only carries the read stride).
+    pub write_stride: Option<usize>,
+    /// Empirical classification from the exclusive miss rate; `None`
+    /// when the node generated no memory events of its own.
+    pub empirical: Option<CaseClass>,
+    /// Analytical [`CacheModel`] classification (leaves only — the
+    /// Sec. III-B model is a leaf model).
+    pub model: Option<CaseClass>,
+    /// Static conflict-analyzer verdict (filled by `ddl-analyze`).
+    pub static_pathological: Option<bool>,
+    /// Worst per-set conflict degree from the static analyzer.
+    pub static_degree: Option<u64>,
+    /// Child nodes in first-visit order.
+    pub children: Vec<NodeAttribution>,
+}
+
+impl NodeAttribution {
+    /// `label:size@stride` — one path segment of a node path.
+    pub fn path_segment(&self) -> String {
+        format!("{}:{}@{}", self.label, self.size, self.stride)
+    }
+
+    /// Sum of this node's and all descendants' exclusive stats.
+    pub fn inclusive_stats(&self) -> CacheStats {
+        let mut total = self.stats;
+        for c in &self.children {
+            total.add(&c.inclusive_stats());
+        }
+        total
+    }
+
+    /// Depth-first traversal over `self` and descendants, with the
+    /// `/`-joined node path.
+    pub fn walk<'a>(&'a self, prefix: &str, visit: &mut dyn FnMut(&'a NodeAttribution, &str)) {
+        let path = if prefix.is_empty() {
+            self.path_segment()
+        } else {
+            format!("{prefix}/{}", self.path_segment())
+        };
+        visit(self, &path);
+        for c in &self.children {
+            c.walk(&path, visit);
+        }
+    }
+
+    fn walk_mut(&mut self, prefix: &str, visit: &mut dyn FnMut(&mut NodeAttribution, &str)) {
+        let path = if prefix.is_empty() {
+            self.path_segment()
+        } else {
+            format!("{prefix}/{}", self.path_segment())
+        };
+        visit(self, &path);
+        for c in &mut self.children {
+            c.walk_mut(&path, visit);
+        }
+    }
+}
+
+/// One attributed simulation: a plan executed once at a root stride
+/// against a fresh cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttributionRun {
+    /// `"dft"` or `"wht"`.
+    pub transform: String,
+    /// Transform size.
+    pub n: usize,
+    /// Factorization-tree expression (`Tree` display form).
+    pub tree: String,
+    /// Root input stride in points.
+    pub root_stride: usize,
+    /// Bytes per data point (16 for the complex DFT, 8 for the WHT).
+    pub point_bytes: usize,
+    /// Simulated cache geometry.
+    pub cache: CacheConfig,
+    /// Whole-run cache counters.
+    pub totals: CacheStats,
+    /// Events charged to no node span (buffer setup/teardown; zero for
+    /// the executors, which span their entire recursion).
+    pub outside: CacheStats,
+    /// Attributed root nodes (one per top-level execution).
+    pub roots: Vec<NodeAttribution>,
+}
+
+impl AttributionRun {
+    /// Sum of all per-node exclusive stats plus the outside bucket.
+    pub fn attributed_total(&self) -> CacheStats {
+        let mut total = self.outside;
+        for r in &self.roots {
+            total.add(&r.inclusive_stats());
+        }
+        total
+    }
+
+    /// Exact conservation: attributed events equal the run totals.
+    pub fn conserved(&self) -> bool {
+        self.attributed_total() == self.totals
+    }
+
+    /// Visits every node with its `/`-joined path.
+    pub fn walk<'a>(&'a self, visit: &mut dyn FnMut(&'a NodeAttribution, &str)) {
+        for r in &self.roots {
+            r.walk("", visit);
+        }
+    }
+
+    /// Mutable form of [`AttributionRun::walk`] (used by the static
+    /// enrichment pass in `ddl-analyze`).
+    pub fn walk_mut(&mut self, visit: &mut dyn FnMut(&mut NodeAttribution, &str)) {
+        for r in &mut self.roots {
+            r.walk_mut("", visit);
+        }
+    }
+
+    /// Number of leaves (model-classified nodes) and how many of them
+    /// are empirically Case III — the summary pair the trajectory ledger
+    /// stores per pinned size.
+    pub fn case3_leaf_counts(&self) -> (u64, u64) {
+        let mut leaves = 0;
+        let mut case3 = 0;
+        self.walk(&mut |node, _| {
+            if node.model.is_some() {
+                leaves += 1;
+                if node.empirical == Some(CaseClass::Case3) {
+                    case3 += 1;
+                }
+            }
+        });
+        (leaves, case3)
+    }
+}
+
+/// A set of attributed runs under one label — the `ddl-attribution` v1
+/// document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AttributionReport {
+    /// Free-form label (e.g. `"ci"`).
+    pub label: String,
+    /// The attributed runs.
+    pub runs: Vec<AttributionRun>,
+}
+
+// ---------------------------------------------------------------------------
+// Bridge: one shared AttributingCache behind the executor's two channels.
+// ---------------------------------------------------------------------------
+
+/// [`MemoryTracer`] half of the bridge: forwards the address stream into
+/// the shared attributing cache.
+struct SharedTracer(Rc<RefCell<AttributingCache>>);
+
+impl MemoryTracer for SharedTracer {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn read(&mut self, addr: u64, bytes: u32) {
+        self.0.borrow_mut().read(addr, bytes);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64, bytes: u32) {
+        self.0.borrow_mut().write(addr, bytes);
+    }
+}
+
+/// [`Sink`] half of the bridge: forwards *node* spans as attribution
+/// boundaries. Other span kinds (execution, planner) nest around node
+/// spans, so they are tracked on a local stack and skipped.
+struct AttribSink {
+    shared: Rc<RefCell<AttributingCache>>,
+    kinds: Vec<SpanKind>,
+}
+
+impl AttribSink {
+    fn new(shared: Rc<RefCell<AttributingCache>>) -> Self {
+        AttribSink {
+            shared,
+            kinds: Vec::new(),
+        }
+    }
+}
+
+impl Sink for AttribSink {
+    const ENABLED: bool = true;
+
+    fn counter(&mut self, _counter: crate::obs::Counter, _delta: u64) {}
+
+    fn stage(&mut self, _stage: crate::obs::Stage, _nanos: u64, _points: u64) {}
+
+    fn candidate(&mut self, _candidate: crate::obs::Candidate) {}
+
+    fn span_begin(&mut self, info: SpanInfo) {
+        self.kinds.push(info.kind);
+        if info.kind == SpanKind::Node {
+            self.shared.borrow_mut().node_enter(NodeKey {
+                label: info.label,
+                size: info.size,
+                stride: info.stride,
+                reorg: info.reorg,
+            });
+        }
+    }
+
+    fn span_end(&mut self) {
+        // ddl-lint: allow(no-panics): executors emit balanced spans by construction; imbalance is a bug
+        let kind = self.kinds.pop().expect("span_end without span_begin");
+        if kind == SpanKind::Node {
+            self.shared.borrow_mut().node_exit();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drivers (mirror crate::traced's buffer layout exactly).
+// ---------------------------------------------------------------------------
+
+/// Runs one out-of-place DFT execution with input read at `root_stride`
+/// against a fresh cache, attributing every simulated cache event to the
+/// plan-tree node that caused it. Buffer layout matches
+/// [`crate::traced::simulate_dft_at_stride`], so totals agree with the
+/// unattributed simulation.
+pub fn attribute_dft(
+    plan: &DftPlan,
+    root_stride: usize,
+    config: CacheConfig,
+) -> Result<AttributionRun, DdlError> {
+    let n = plan.n();
+    let span = (n - 1) * root_stride + 1;
+    let mut space = AddressSpace::new(SIM_PAGE_BYTES);
+    let xa = space.alloc((span * DFT_POINT_BYTES) as u64);
+    let ya = space.alloc((n * DFT_POINT_BYTES) as u64);
+    let sa = space.alloc((plan.scratch_len().max(1) * DFT_POINT_BYTES) as u64);
+    let ta = space.alloc((plan.twiddle_points().max(1) * DFT_POINT_BYTES) as u64);
+
+    let x = vec![Complex64::new(1.0, -1.0); span];
+    let mut y = vec![Complex64::ZERO; n];
+    let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+
+    let shared = Rc::new(RefCell::new(AttributingCache::new(Cache::new(config))));
+    let mut tracer = SharedTracer(Rc::clone(&shared));
+    let mut sink = AttribSink::new(Rc::clone(&shared));
+    plan.try_execute_view_observed(
+        &x,
+        0,
+        root_stride,
+        &mut y,
+        0,
+        1,
+        &mut scratch,
+        &mut tracer,
+        [xa, ya, sa, ta],
+        &mut sink,
+    )?;
+    std::hint::black_box(&mut y);
+    drop(tracer);
+    drop(sink);
+    let mut attrib = Rc::try_unwrap(shared)
+        // ddl-lint: allow(no-panics): both clones were just dropped; a leak here is a bug, not a recoverable state
+        .expect("attribution bridge outlived the run")
+        .into_inner();
+    attrib.finish();
+
+    let mut run = finish_run(attrib, "dft", n, plan.tree(), root_stride, DFT_POINT_BYTES);
+    let model =
+        CacheModel::from_geometry(config.capacity_bytes, config.line_bytes, DFT_POINT_BYTES);
+    for root in &mut run.roots {
+        annotate_dft(plan.tree(), root_stride, 1, root, &model);
+    }
+    classify_empirical_tree(&mut run.roots, model.line_points);
+    Ok(run)
+}
+
+/// Runs one in-place WHT execution on a view of `root_stride` against a
+/// fresh cache, attributing events per node. Buffer layout matches
+/// [`crate::traced::simulate_wht_at_stride`].
+pub fn attribute_wht(
+    plan: &WhtPlan,
+    root_stride: usize,
+    config: CacheConfig,
+) -> Result<AttributionRun, DdlError> {
+    let n = plan.n();
+    let span = (n - 1) * root_stride + 1;
+    let mut space = AddressSpace::new(SIM_PAGE_BYTES);
+    let da = space.alloc((span * WHT_POINT_BYTES) as u64);
+    let sa = space.alloc((plan.scratch_len().max(1) * WHT_POINT_BYTES) as u64);
+
+    let mut data = vec![1.5f64; span];
+    let mut scratch = vec![0.0f64; plan.scratch_len()];
+
+    let shared = Rc::new(RefCell::new(AttributingCache::new(Cache::new(config))));
+    let mut tracer = SharedTracer(Rc::clone(&shared));
+    let mut sink = AttribSink::new(Rc::clone(&shared));
+    plan.try_execute_view_observed(
+        &mut data,
+        0,
+        root_stride,
+        &mut scratch,
+        &mut tracer,
+        [da, sa],
+        &mut sink,
+    )?;
+    std::hint::black_box(&mut data);
+    drop(tracer);
+    drop(sink);
+    let mut attrib = Rc::try_unwrap(shared)
+        // ddl-lint: allow(no-panics): both clones were just dropped; a leak here is a bug, not a recoverable state
+        .expect("attribution bridge outlived the run")
+        .into_inner();
+    attrib.finish();
+
+    let mut run = finish_run(attrib, "wht", n, plan.tree(), root_stride, WHT_POINT_BYTES);
+    let model =
+        CacheModel::from_geometry(config.capacity_bytes, config.line_bytes, WHT_POINT_BYTES);
+    for root in &mut run.roots {
+        annotate_wht(plan.tree(), root_stride, root, &model);
+    }
+    classify_empirical_tree(&mut run.roots, model.line_points);
+    Ok(run)
+}
+
+fn finish_run(
+    attrib: AttributingCache,
+    transform: &str,
+    n: usize,
+    tree: &Tree,
+    root_stride: usize,
+    point_bytes: usize,
+) -> AttributionRun {
+    let arena = attrib.nodes();
+    let roots = attrib
+        .roots()
+        .iter()
+        .map(|&i| build_node(arena, i))
+        .collect();
+    AttributionRun {
+        transform: transform.to_string(),
+        n,
+        tree: tree.to_string(),
+        root_stride,
+        point_bytes,
+        cache: attrib.cache().config(),
+        totals: attrib.totals(),
+        outside: attrib.outside(),
+        roots,
+    }
+}
+
+fn build_node(arena: &[AttributedNode], idx: usize) -> NodeAttribution {
+    let a = &arena[idx];
+    NodeAttribution {
+        label: a.key.label.to_string(),
+        size: a.key.size,
+        stride: a.key.stride,
+        reorg: a.key.reorg,
+        calls: a.calls,
+        stats: a.self_stats,
+        write_stride: None,
+        empirical: None,
+        model: None,
+        static_pathological: None,
+        static_degree: None,
+        children: a.children.iter().map(|&c| build_node(arena, c)).collect(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classification.
+// ---------------------------------------------------------------------------
+
+/// Classifies a leaf from the analytical model, taking the worse of the
+/// read and write streams: a leaf whose reads are compacted but whose
+/// writes still land at a pathological stride (the out-of-place stage-2
+/// situation) is still a Case III node.
+pub fn classify_model(
+    model: &CacheModel,
+    n: usize,
+    read_stride: usize,
+    write_stride: usize,
+) -> CaseClass {
+    let worst = model
+        .leaf_miss_per_point(n, read_stride)
+        .max(model.leaf_miss_per_point(n, write_stride));
+    let compulsory = 1.0 / model.line_points as f64;
+    if worst >= 1.0 - 1e-12 {
+        CaseClass::Case3
+    } else if worst <= compulsory + 1e-12 {
+        CaseClass::CaseI2
+    } else {
+        CaseClass::Intermediate
+    }
+}
+
+/// Classifies a node from its simulated exclusive miss rate: `>= 0.5`
+/// means more than half of all line lookups missed (only conflict
+/// thrashing does that), `<= 1.5/B` is compulsory-dominated traffic with
+/// slack for twiddle/scratch effects, anything between is intermediate.
+pub fn classify_empirical(stats: &CacheStats, line_points: usize) -> Option<CaseClass> {
+    if stats.line_lookups == 0 {
+        return None;
+    }
+    let rate = stats.miss_rate();
+    if rate >= 0.5 {
+        Some(CaseClass::Case3)
+    } else if rate <= 1.5 / line_points as f64 {
+        Some(CaseClass::CaseI2)
+    } else {
+        Some(CaseClass::Intermediate)
+    }
+}
+
+fn classify_empirical_tree(nodes: &mut [NodeAttribution], line_points: usize) {
+    for node in nodes {
+        node.empirical = classify_empirical(&node.stats, line_points);
+        classify_empirical_tree(&mut node.children, line_points);
+    }
+}
+
+/// Walks the plan tree alongside the attributed tree with the DFT
+/// executor's stride propagation (the same recurrence as
+/// `CacheModel::dft_node_cost`): the left child reads at `n2 · rs` and
+/// writes at `n2` (unit when reorganized), the right child reads at unit
+/// stride and writes at `n1 · ws`. Fills `write_stride` everywhere and
+/// the model classification at leaves.
+fn annotate_dft(tree: &Tree, rs: usize, ws: usize, node: &mut NodeAttribution, model: &CacheModel) {
+    debug_assert_eq!(node.size, tree.size());
+    debug_assert_eq!(node.stride, rs);
+    node.write_stride = Some(ws);
+    match tree {
+        Tree::Leaf { n, .. } => {
+            node.model = Some(classify_model(model, *n, rs, ws));
+        }
+        Tree::Split { left, right, reorg } => {
+            let n1 = left.size();
+            let n2 = right.size();
+            let (l_rs, l_ws) = (n2 * rs, if *reorg { 1 } else { n2 });
+            let (r_rs, r_ws) = (1, n1 * ws);
+            for child in &mut node.children {
+                if child.size == n1 && child.stride == l_rs && child.reorg == left.reorg() {
+                    annotate_dft(left, l_rs, l_ws, child, model);
+                } else if child.size == n2 && child.stride == r_rs && child.reorg == right.reorg() {
+                    annotate_dft(right, r_rs, r_ws, child, model);
+                }
+            }
+        }
+    }
+}
+
+/// WHT analogue of [`annotate_dft`]: the executor is in place (write
+/// stride equals read stride), a reorganizing node runs its body at unit
+/// stride, the right child inherits the node's stride and the left child
+/// runs at `n2 ·` it.
+fn annotate_wht(tree: &Tree, stride: usize, node: &mut NodeAttribution, model: &CacheModel) {
+    debug_assert_eq!(node.size, tree.size());
+    debug_assert_eq!(node.stride, stride);
+    node.write_stride = Some(stride);
+    // A reorganized node gathers/scatters at `stride` itself but hands
+    // its body (and children) a unit-stride view.
+    let body_stride = if tree.reorg() && stride > 1 {
+        1
+    } else {
+        stride
+    };
+    match tree {
+        Tree::Leaf { n, .. } => {
+            // The gather/scatter of a reorganized leaf still pays the
+            // strided traffic, so classify on the span's own stride.
+            node.model = Some(classify_model(model, *n, stride, stride));
+        }
+        Tree::Split { left, right, .. } => {
+            let n1 = left.size();
+            let n2 = right.size();
+            let l_s = n2 * body_stride;
+            let r_s = body_stride;
+            for child in &mut node.children {
+                if child.size == n1 && child.stride == l_s && child.reorg == left.reorg() {
+                    annotate_wht(left, l_s, child, model);
+                } else if child.size == n2 && child.stride == r_s && child.reorg == right.reorg() {
+                    annotate_wht(right, r_s, child, model);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialization (ddl-attribution v1).
+// ---------------------------------------------------------------------------
+
+fn stats_to_json(s: &CacheStats) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("accesses".into(), Json::Num(s.accesses as f64));
+    m.insert("reads".into(), Json::Num(s.reads as f64));
+    m.insert("writes".into(), Json::Num(s.writes as f64));
+    m.insert("line_lookups".into(), Json::Num(s.line_lookups as f64));
+    m.insert("hits".into(), Json::Num(s.hits as f64));
+    m.insert("misses".into(), Json::Num(s.misses as f64));
+    m.insert(
+        "compulsory_misses".into(),
+        Json::Num(s.compulsory_misses as f64),
+    );
+    m.insert("evictions".into(), Json::Num(s.evictions as f64));
+    Json::Obj(m)
+}
+
+fn stats_from_json(v: &Json, path: &str) -> Result<CacheStats, DdlError> {
+    let m = obj(v, path)?;
+    Ok(CacheStats {
+        accesses: get_u64(m, path, "accesses")?,
+        reads: get_u64(m, path, "reads")?,
+        writes: get_u64(m, path, "writes")?,
+        line_lookups: get_u64(m, path, "line_lookups")?,
+        hits: get_u64(m, path, "hits")?,
+        misses: get_u64(m, path, "misses")?,
+        compulsory_misses: get_u64(m, path, "compulsory_misses")?,
+        evictions: get_u64(m, path, "evictions")?,
+    })
+}
+
+fn node_to_json(n: &NodeAttribution) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("label".into(), Json::Str(n.label.clone()));
+    m.insert("size".into(), Json::Num(n.size as f64));
+    m.insert("stride".into(), Json::Num(n.stride as f64));
+    m.insert("reorg".into(), Json::Bool(n.reorg));
+    m.insert("calls".into(), Json::Num(n.calls as f64));
+    m.insert("stats".into(), stats_to_json(&n.stats));
+    if let Some(ws) = n.write_stride {
+        m.insert("write_stride".into(), Json::Num(ws as f64));
+    }
+    if let Some(c) = n.empirical {
+        m.insert("empirical".into(), Json::Str(c.as_str().into()));
+    }
+    if let Some(c) = n.model {
+        m.insert("model".into(), Json::Str(c.as_str().into()));
+    }
+    if let Some(p) = n.static_pathological {
+        m.insert("static_pathological".into(), Json::Bool(p));
+    }
+    if let Some(d) = n.static_degree {
+        m.insert("static_degree".into(), Json::Num(d as f64));
+    }
+    m.insert(
+        "children".into(),
+        Json::Arr(n.children.iter().map(node_to_json).collect()),
+    );
+    Json::Obj(m)
+}
+
+fn case_from_json(
+    m: &BTreeMap<String, Json>,
+    path: &str,
+    key: &str,
+) -> Result<Option<CaseClass>, DdlError> {
+    match m.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| metrics_err(format!("{path}.{key}: not a string")))?;
+            CaseClass::parse_token(s)
+                .map(Some)
+                .ok_or_else(|| metrics_err(format!("{path}.{key}: unknown class {s:?}")))
+        }
+    }
+}
+
+fn node_from_json(v: &Json, path: &str) -> Result<NodeAttribution, DdlError> {
+    let m = obj(v, path)?;
+    let children = match m.get("children") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .enumerate()
+            .map(|(i, c)| node_from_json(c, &format!("{path}.children[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?,
+        Some(_) => return Err(metrics_err(format!("{path}.children: not an array"))),
+        None => Vec::new(),
+    };
+    Ok(NodeAttribution {
+        label: get_str(m, path, "label")?,
+        size: get_u64(m, path, "size")? as usize,
+        stride: get_u64(m, path, "stride")? as usize,
+        reorg: get_bool(m, path, "reorg")?,
+        calls: get_u64(m, path, "calls")?,
+        stats: stats_from_json(
+            m.get("stats")
+                .ok_or_else(|| metrics_err(format!("{path}: missing stats")))?,
+            &format!("{path}.stats"),
+        )?,
+        write_stride: match m.get("write_stride") {
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| metrics_err(format!("{path}.write_stride: not an integer")))?
+                    as usize,
+            ),
+            None => None,
+        },
+        empirical: case_from_json(m, path, "empirical")?,
+        model: case_from_json(m, path, "model")?,
+        static_pathological: match m.get("static_pathological") {
+            Some(Json::Bool(b)) => Some(*b),
+            Some(_) => {
+                return Err(metrics_err(format!(
+                    "{path}.static_pathological: not a boolean"
+                )))
+            }
+            None => None,
+        },
+        static_degree: match m.get("static_degree") {
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| metrics_err(format!("{path}.static_degree: not an integer")))?,
+            ),
+            None => None,
+        },
+        children,
+    })
+}
+
+fn run_to_json(r: &AttributionRun) -> Json {
+    let mut cache = BTreeMap::new();
+    cache.insert(
+        "capacity_bytes".into(),
+        Json::Num(r.cache.capacity_bytes as f64),
+    );
+    cache.insert("line_bytes".into(), Json::Num(r.cache.line_bytes as f64));
+    cache.insert(
+        "associativity".into(),
+        Json::Num(r.cache.associativity as f64),
+    );
+    let mut m = BTreeMap::new();
+    m.insert("transform".into(), Json::Str(r.transform.clone()));
+    m.insert("n".into(), Json::Num(r.n as f64));
+    m.insert("tree".into(), Json::Str(r.tree.clone()));
+    m.insert("root_stride".into(), Json::Num(r.root_stride as f64));
+    m.insert("point_bytes".into(), Json::Num(r.point_bytes as f64));
+    m.insert("cache".into(), Json::Obj(cache));
+    m.insert("totals".into(), stats_to_json(&r.totals));
+    m.insert("outside".into(), stats_to_json(&r.outside));
+    m.insert("conserved".into(), Json::Bool(r.conserved()));
+    m.insert(
+        "nodes".into(),
+        Json::Arr(r.roots.iter().map(node_to_json).collect()),
+    );
+    Json::Obj(m)
+}
+
+fn run_from_json(v: &Json, path: &str) -> Result<AttributionRun, DdlError> {
+    let m = obj(v, path)?;
+    let cache_path = format!("{path}.cache");
+    let cm = obj(
+        m.get("cache")
+            .ok_or_else(|| metrics_err(format!("{path}: missing cache")))?,
+        &cache_path,
+    )?;
+    let roots = match m.get("nodes") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .enumerate()
+            .map(|(i, n)| node_from_json(n, &format!("{path}.nodes[{i}]")))
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err(metrics_err(format!("{path}.nodes: not an array"))),
+    };
+    let run = AttributionRun {
+        transform: get_str(m, path, "transform")?,
+        n: get_u64(m, path, "n")? as usize,
+        tree: get_str(m, path, "tree")?,
+        root_stride: get_u64(m, path, "root_stride")? as usize,
+        point_bytes: get_u64(m, path, "point_bytes")? as usize,
+        cache: CacheConfig {
+            capacity_bytes: get_u64(cm, &cache_path, "capacity_bytes")? as usize,
+            line_bytes: get_u64(cm, &cache_path, "line_bytes")? as usize,
+            associativity: get_u64(cm, &cache_path, "associativity")? as usize,
+        },
+        totals: stats_from_json(
+            m.get("totals")
+                .ok_or_else(|| metrics_err(format!("{path}: missing totals")))?,
+            &format!("{path}.totals"),
+        )?,
+        outside: stats_from_json(
+            m.get("outside")
+                .ok_or_else(|| metrics_err(format!("{path}: missing outside")))?,
+            &format!("{path}.outside"),
+        )?,
+        roots,
+    };
+    // A schema check is also an invariant check: conservation must hold
+    // in any document claiming this schema.
+    if !run.conserved() {
+        return Err(metrics_err(format!(
+            "{path}: conservation violated (attributed {:?} != totals {:?})",
+            run.attributed_total(),
+            run.totals
+        )));
+    }
+    Ok(run)
+}
+
+impl AttributionReport {
+    /// Serializes under the `ddl-attribution` v1 schema.
+    pub fn to_json(&self) -> Json {
+        let mut m = BTreeMap::new();
+        m.insert("schema".into(), Json::Str(ATTRIBUTION_SCHEMA.into()));
+        m.insert("version".into(), Json::Num(ATTRIBUTION_VERSION as f64));
+        m.insert("label".into(), Json::Str(self.label.clone()));
+        m.insert(
+            "runs".into(),
+            Json::Arr(self.runs.iter().map(run_to_json).collect()),
+        );
+        Json::Obj(m)
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_text(&self) -> String {
+        self.to_json().pretty()
+    }
+
+    /// Strict parse: schema/version gate, field validation, and
+    /// conservation re-verification per run.
+    pub fn parse(text: &str) -> Result<AttributionReport, DdlError> {
+        let doc = json::parse(text).map_err(|e| metrics_err(format!("attribution: {e}")))?;
+        let m = obj(&doc, "attribution")?;
+        let schema = get_str(m, "attribution", "schema")?;
+        if schema != ATTRIBUTION_SCHEMA {
+            return Err(metrics_err(format!(
+                "attribution.schema: expected {ATTRIBUTION_SCHEMA:?}, got {schema:?}"
+            )));
+        }
+        let version = get_u64(m, "attribution", "version")? as u32;
+        if version > ATTRIBUTION_VERSION {
+            return Err(metrics_err(format!(
+                "attribution.version: {version} is newer than supported {ATTRIBUTION_VERSION}"
+            )));
+        }
+        let runs = match m.get("runs") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .enumerate()
+                .map(|(i, r)| run_from_json(r, &format!("attribution.runs[{i}]")))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err(metrics_err("attribution.runs: not an array".into())),
+        };
+        Ok(AttributionReport {
+            label: get_str(m, "attribution", "label")?,
+            runs,
+        })
+    }
+
+    /// Writes the pretty JSON document to `path`.
+    pub fn write(&self, path: &std::path::Path) -> Result<(), DdlError> {
+        std::fs::write(path, self.to_text()).map_err(|e| {
+            metrics_err(format!(
+                "writing attribution report {}: {e}",
+                path.display()
+            ))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traced::{simulate_dft_at_stride, simulate_wht_at_stride};
+    use ddl_num::Direction;
+
+    fn paper_cache() -> CacheConfig {
+        CacheConfig::paper_default(64)
+    }
+
+    fn small_cache() -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 16 * 1024,
+            line_bytes: 64,
+            associativity: 1,
+        }
+    }
+
+    #[test]
+    fn dft_attribution_conserves_and_matches_unattributed_totals() {
+        let plan = DftPlan::from_expr("ct(ddl(8), ct(8, 4))", Direction::Forward).unwrap();
+        let run = attribute_dft(&plan, 4, paper_cache()).unwrap();
+        assert!(run.conserved());
+        assert_eq!(run.totals, simulate_dft_at_stride(&plan, 4, paper_cache()));
+        // The executor spans its whole recursion: nothing falls outside.
+        assert_eq!(run.outside, CacheStats::default());
+        assert_eq!(run.roots.len(), 1);
+        assert_eq!(run.roots[0].size, plan.n());
+    }
+
+    #[test]
+    fn wht_attribution_conserves_and_matches_unattributed_totals() {
+        let plan = WhtPlan::from_expr("split(splitddl(8, 8), split(8, 4))").unwrap();
+        let run = attribute_wht(&plan, 2, paper_cache()).unwrap();
+        assert!(run.conserved());
+        assert_eq!(run.totals, simulate_wht_at_stride(&plan, 2, paper_cache()));
+        assert_eq!(run.outside, CacheStats::default());
+    }
+
+    #[test]
+    fn annotation_reaches_every_node() {
+        let plan = DftPlan::from_expr("ctddl(ct(8, 8), ct(8, 4))", Direction::Forward).unwrap();
+        let run = attribute_dft(&plan, 1, paper_cache()).unwrap();
+        let mut missing = Vec::new();
+        run.walk(&mut |node, path| {
+            if node.write_stride.is_none() {
+                missing.push(path.to_string());
+            }
+            if node.children.is_empty() && node.model.is_none() {
+                missing.push(format!("{path} (leaf without model class)"));
+            }
+        });
+        assert!(missing.is_empty(), "unannotated nodes: {missing:?}");
+    }
+
+    #[test]
+    fn golden_pair_leaves_thrash_on_the_small_cache() {
+        // The conflict-ranking golden pair: ct(2^6, 2^5) at root stride
+        // 64 on a 16 KB direct-mapped cache. Every leaf sees a
+        // pathological read or write stride, so empirical and model
+        // classifications both land on Case III.
+        let plan = DftPlan::from_expr("ct(64, 32)", Direction::Forward).unwrap();
+        let run = attribute_dft(&plan, 64, small_cache()).unwrap();
+        let mut leaves = 0;
+        run.walk(&mut |node, path| {
+            if node.model.is_some() {
+                leaves += 1;
+                assert_eq!(node.model, Some(CaseClass::Case3), "{path}");
+                assert_eq!(node.empirical, Some(CaseClass::Case3), "{path}");
+            }
+        });
+        assert!(leaves >= 2, "expected both stage leaves, saw {leaves}");
+    }
+
+    #[test]
+    fn in_cache_plan_is_compulsory_only() {
+        let plan = DftPlan::from_expr("ct(8, 8)", Direction::Forward).unwrap();
+        let run = attribute_dft(&plan, 1, paper_cache()).unwrap();
+        run.walk(&mut |node, path| {
+            if node.model.is_some() {
+                assert_eq!(node.model, Some(CaseClass::CaseI2), "{path}");
+                assert_eq!(node.empirical, Some(CaseClass::CaseI2), "{path}");
+            }
+        });
+    }
+
+    #[test]
+    fn report_round_trips_and_parse_checks_conservation() {
+        let dft = DftPlan::from_expr("ct(ddl(8), 8)", Direction::Forward).unwrap();
+        let wht = WhtPlan::from_expr("split(8, 8)").unwrap();
+        let report = AttributionReport {
+            label: "test".into(),
+            runs: vec![
+                attribute_dft(&dft, 2, paper_cache()).unwrap(),
+                attribute_wht(&wht, 1, paper_cache()).unwrap(),
+            ],
+        };
+        let text = report.to_text();
+        let back = AttributionReport::parse(&text).unwrap();
+        assert_eq!(back, report);
+
+        // Corrupting a counter must fail the parse-time conservation
+        // re-check, not round-trip silently.
+        let broken = text.replacen(
+            &format!("\"misses\": {}", report.runs[0].totals.misses),
+            "\"misses\": 999999999",
+            1,
+        );
+        assert_ne!(broken, text, "corruption did not apply");
+        let err = AttributionReport::parse(&broken).unwrap_err();
+        assert!(
+            err.to_string().contains("conservation"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn parse_refuses_newer_versions_and_wrong_schema() {
+        let report = AttributionReport {
+            label: "v".into(),
+            runs: vec![],
+        };
+        let newer = report
+            .to_text()
+            .replace("\"version\": 1", "\"version\": 99");
+        assert!(AttributionReport::parse(&newer).is_err());
+        let wrong = report
+            .to_text()
+            .replace("ddl-attribution", "ddl-somethingelse");
+        assert!(AttributionReport::parse(&wrong).is_err());
+    }
+
+    #[test]
+    fn node_paths_name_size_and_stride() {
+        let plan = DftPlan::from_expr("ct(4, 4)", Direction::Forward).unwrap();
+        let run = attribute_dft(&plan, 1, paper_cache()).unwrap();
+        let mut paths = Vec::new();
+        run.walk(&mut |_, path| paths.push(path.to_string()));
+        assert_eq!(paths[0], "dft:16@1");
+        assert!(
+            paths.iter().any(|p| p == "dft:16@1/dft:4@4"),
+            "stage-1 leaf path missing from {paths:?}"
+        );
+        assert!(
+            paths.iter().any(|p| p == "dft:16@1/dft:4@1"),
+            "stage-2 leaf path missing from {paths:?}"
+        );
+    }
+}

@@ -87,6 +87,46 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace or trailing
+    /// newline — the JSONL form for append-only ledgers, where one value
+    /// must occupy exactly one line.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(x) => write_num(out, *x),
+            Json::Str(s) => write_str(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -433,6 +473,11 @@ mod tests {
 
         let text = doc.pretty();
         assert_eq!(parse(&text).unwrap(), doc);
+
+        // The compact form is one line and round-trips identically.
+        let line = doc.compact();
+        assert!(!line.contains('\n'));
+        assert_eq!(parse(&line).unwrap(), doc);
     }
 
     #[test]

@@ -45,6 +45,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod attrib;
 pub mod calibrate;
 pub mod dct;
 pub mod dft;
@@ -56,6 +57,7 @@ pub mod model;
 pub mod obs;
 pub mod parallel;
 pub mod planner;
+pub mod reports;
 pub mod rfft;
 pub mod sixstep;
 pub mod trace;
@@ -64,6 +66,10 @@ pub mod tree;
 pub mod wht;
 pub mod wisdom;
 
+pub use attrib::{
+    attribute_dft, attribute_wht, classify_empirical, classify_model, AttributionReport,
+    AttributionRun, CaseClass, NodeAttribution, ATTRIBUTION_SCHEMA, ATTRIBUTION_VERSION,
+};
 pub use calibrate::{
     calibrate_dft, calibrate_wht, CalibrationCase, CalibrationConfig, CalibrationReport,
     StageCalibration, CALIBRATION_SCHEMA, CALIBRATION_VERSION,
@@ -85,6 +91,7 @@ pub use planner::{
     plan_dft, plan_wht, try_plan_dft, try_plan_dft_with, try_plan_wht, try_plan_wht_with,
     CostBackend, PlannerConfig, Strategy,
 };
+pub use reports::{check_report, check_report_text, CheckedReport};
 pub use rfft::RfftPlan;
 pub use sixstep::SixStepPlan;
 pub use trace::{

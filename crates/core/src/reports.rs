@@ -1,0 +1,135 @@
+//! One validator for every versioned report schema in the workspace.
+//!
+//! Each observability artifact (`ddl-metrics`, `ddl-trace`,
+//! `ddl-calibration`, `ddl-attribution`, `ddl-bench`) declares its schema
+//! in the document, and each has a strict parser. The CI `--check` modes
+//! historically re-implemented the dispatch per binary; [`check_report`]
+//! is the single entry point: it sniffs the schema and routes to the
+//! matching parser, so a new schema registers here once and every
+//! checker picks it up.
+//!
+//! Schemas owned by downstream crates (`ddl-bench`'s suite report) come
+//! back as [`CheckedReport::Unknown`] with the schema string, letting the
+//! caller layer its own dispatch on top without double-parsing.
+
+use crate::attrib::{AttributionReport, ATTRIBUTION_SCHEMA};
+use crate::calibrate::{CalibrationReport, CALIBRATION_SCHEMA};
+use crate::json;
+use crate::obs::{metrics_err, MetricsReport, METRICS_SCHEMA};
+use crate::trace::{validate_chrome_trace, TraceSummary};
+use ddl_num::DdlError;
+use std::path::Path;
+
+/// A successfully validated report, tagged by schema.
+#[derive(Clone, Debug)]
+pub enum CheckedReport {
+    /// A `ddl-metrics` document.
+    Metrics(Box<MetricsReport>),
+    /// A `ddl-trace` Chrome trace-event document (summarized).
+    Trace(TraceSummary),
+    /// A `ddl-calibration` document.
+    Calibration(CalibrationReport),
+    /// A `ddl-attribution` document.
+    Attribution(AttributionReport),
+    /// A syntactically valid document with a schema this crate does not
+    /// own (e.g. `ddl-bench`); the caller may dispatch further.
+    Unknown {
+        /// The document's declared schema string.
+        schema: String,
+    },
+}
+
+impl CheckedReport {
+    /// The schema the document declared.
+    pub fn schema(&self) -> &str {
+        match self {
+            CheckedReport::Metrics(_) => METRICS_SCHEMA,
+            CheckedReport::Trace(_) => crate::trace::TRACE_SCHEMA,
+            CheckedReport::Calibration(_) => CALIBRATION_SCHEMA,
+            CheckedReport::Attribution(_) => ATTRIBUTION_SCHEMA,
+            CheckedReport::Unknown { schema } => schema,
+        }
+    }
+}
+
+/// Validates one report document: strict JSON, schema detection, full
+/// schema-specific parse (which re-verifies each schema's invariants —
+/// e.g. attribution conservation, trace span balance).
+pub fn check_report_text(text: &str) -> Result<CheckedReport, DdlError> {
+    let doc = json::parse(text).map_err(|e| metrics_err(format!("report: {e}")))?;
+    let map = doc
+        .as_obj()
+        .ok_or_else(|| metrics_err("report: top level is not an object".into()))?;
+    // Chrome trace-event documents carry their schema in otherData, not
+    // at the top level; the traceEvents array is their signature.
+    if map.contains_key("traceEvents") {
+        return Ok(CheckedReport::Trace(validate_chrome_trace(text)?));
+    }
+    let schema = map
+        .get("schema")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| metrics_err("report: missing schema field".into()))?;
+    match schema {
+        METRICS_SCHEMA => Ok(CheckedReport::Metrics(Box::new(MetricsReport::parse(
+            text,
+        )?))),
+        CALIBRATION_SCHEMA => Ok(CheckedReport::Calibration(CalibrationReport::parse(text)?)),
+        ATTRIBUTION_SCHEMA => Ok(CheckedReport::Attribution(AttributionReport::parse(text)?)),
+        other => Ok(CheckedReport::Unknown {
+            schema: other.to_string(),
+        }),
+    }
+}
+
+/// [`check_report_text`] over a file, with the path in error messages.
+pub fn check_report(path: &Path) -> Result<CheckedReport, DdlError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| metrics_err(format!("reading {}: {e}", path.display())))?;
+    check_report_text(&text)
+        .map_err(|e| metrics_err(format!("{}: {}", path.display(), detail_of(&e))))
+}
+
+fn detail_of(e: &DdlError) -> String {
+    match e {
+        DdlError::Metrics { detail } => detail.clone(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrib::{attribute_dft, AttributionReport};
+    use crate::dft::DftPlan;
+    use ddl_cachesim::CacheConfig;
+    use ddl_num::Direction;
+
+    #[test]
+    fn dispatches_attribution_documents() {
+        let plan = DftPlan::from_expr("ct(8, 8)", Direction::Forward).unwrap();
+        let report = AttributionReport {
+            label: "t".into(),
+            runs: vec![attribute_dft(&plan, 1, CacheConfig::paper_default(64)).unwrap()],
+        };
+        match check_report_text(&report.to_text()).unwrap() {
+            CheckedReport::Attribution(back) => assert_eq!(back.runs.len(), 1),
+            other => panic!("wrong dispatch: {}", other.schema()),
+        }
+    }
+
+    #[test]
+    fn unknown_schemas_surface_without_error() {
+        let text = r#"{"schema": "ddl-bench", "version": 1}"#;
+        match check_report_text(text).unwrap() {
+            CheckedReport::Unknown { schema } => assert_eq!(schema, "ddl-bench"),
+            other => panic!("wrong dispatch: {}", other.schema()),
+        }
+    }
+
+    #[test]
+    fn missing_schema_and_bad_json_are_errors() {
+        assert!(check_report_text("{}").is_err());
+        assert!(check_report_text("not json").is_err());
+        assert!(check_report_text("[1, 2]").is_err());
+    }
+}

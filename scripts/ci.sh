@@ -22,19 +22,30 @@ run cargo run --release -q -p ddl-bench --bin obs_smoke -- --metrics-out target/
 run cargo run --release -q -p ddl-bench --bin obs_smoke -- --check target/metrics-smoke.json
 
 # Benchmark trajectory: quick suite emitting a ddl-bench report plus the
-# cost-model calibration report and a Chrome trace of one instrumented
-# run. Every artifact is schema-validated, the self-comparison is a hard
-# gate (it must always pass), and the committed baseline comparison is a
-# soft gate: cross-host timing drift warns instead of failing the build.
+# cost-model calibration report, a Chrome trace of one instrumented run
+# and the per-node cache-miss attribution report (DFT/WHT at 2^10 and
+# 2^16, both strategies). The run also appends one line to the
+# longitudinal ledger. Every artifact is schema-validated, the
+# self-comparison is a hard gate (it must always pass), and the committed
+# baseline comparison is a soft gate: cross-host timing drift warns
+# instead of failing the build.
 run cargo run --release -q -p ddl-bench --bin bench_suite -- --quick --label ci \
     --out target/BENCH_ci.json --calibrate-out target/calibration-ci.json \
-    --trace-out target/trace-ci.json
+    --trace-out target/trace-ci.json --attribution-out target/attribution-ci.json \
+    --ledger results/trajectory.jsonl
 run cargo run --release -q -p ddl-bench --bin bench_suite -- \
     --check target/BENCH_ci.json \
     --check target/calibration-ci.json \
-    --check target/trace-ci.json
+    --check target/trace-ci.json \
+    --check target/attribution-ci.json
 run cargo run --release -q -p ddl-bench --bin bench_suite -- \
     --compare target/BENCH_ci.json target/BENCH_ci.json
+
+# Longitudinal ledger: every entry (including the one just appended) must
+# parse, and no consecutive same-environment pair may have regressed.
+run cargo run --release -q -p ddl-bench --bin bench_suite -- \
+    --ledger-check results/trajectory.jsonl
+
 echo
 echo "==> bench baseline comparison (soft gate)"
 cargo run --release -q -p ddl-bench --bin bench_suite -- \

@@ -18,6 +18,8 @@
 //!   miss-rate experiments.
 //! * [`core`] — factorization trees, the `ct`/`ctddl` grammar, executors,
 //!   cost models, planners, wisdom and parallel batch execution.
+//! * [`analyze`] — static access/conflict analysis and the three-way
+//!   cache-miss attribution cross-check.
 //! * [`workloads`] — signal generators for examples and benchmarks.
 //!
 //! Every fallible operation is available in a `try_*` form returning
@@ -45,6 +47,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use ddl_analyze as analyze;
 pub use ddl_cachesim as cachesim;
 pub use ddl_core as core;
 pub use ddl_kernels as kernels;
@@ -55,6 +58,9 @@ pub use ddl_workloads as workloads;
 /// The commonly needed names in one import.
 pub mod prelude {
     pub use ddl_cachesim::{Cache, CacheConfig, CacheStats};
+    pub use ddl_core::attrib::{
+        attribute_dft, attribute_wht, AttributionReport, AttributionRun, CaseClass,
+    };
     pub use ddl_core::calibrate::{
         calibrate_dft, calibrate_wht, CalibrationConfig, CalibrationReport,
     };

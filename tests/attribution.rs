@@ -1,0 +1,174 @@
+//! Integration tests of per-node cache-miss attribution: conservation
+//! across the full planner-driven sweep (both transforms, both
+//! strategies, every reorganization threshold regime) and the three-way
+//! empirical/model/static agreement on the paper's canonical Case III
+//! plans.
+
+use dynamic_data_layout::analyze::{annotate_static, annotated_leaves, crosscheck};
+use dynamic_data_layout::cachesim::CacheStats;
+use dynamic_data_layout::core::attrib::AttributionRun;
+use dynamic_data_layout::core::{DFT_POINT_BYTES, WHT_POINT_BYTES};
+use dynamic_data_layout::prelude::*;
+
+/// Sizes spanning in-cache through well-out-of-cache on the paper cache.
+const SWEEP_LOGS: [u32; 4] = [4, 8, 12, 16];
+
+/// Reorganization-threshold regimes: a threshold below every sweep size
+/// (reorg considered everywhere), one in the middle, the paper value,
+/// and one above every size (reorg never pays).
+const CACHE_POINT_THRESHOLDS: [usize; 4] = [1 << 6, 1 << 12, 1 << 15, 1 << 30];
+
+fn configs() -> Vec<PlannerConfig> {
+    let mut out = Vec::new();
+    for strategy in [Strategy::Sdl, Strategy::Ddl] {
+        for cache_points in CACHE_POINT_THRESHOLDS {
+            let base = match strategy {
+                Strategy::Sdl => PlannerConfig::sdl_analytical(),
+                Strategy::Ddl => PlannerConfig::ddl_analytical(),
+            };
+            out.push(PlannerConfig {
+                cache_points,
+                ..base
+            });
+        }
+    }
+    out
+}
+
+fn assert_conserved(run: &AttributionRun, what: &str) {
+    assert!(
+        run.conserved(),
+        "{what}: attributed {:?} + outside {:?} != totals {:?}",
+        run.attributed_total(),
+        run.outside,
+        run.totals
+    );
+    // The executors open their node span before the first access and
+    // close it after the last: nothing may leak into the outside bucket.
+    assert_eq!(run.outside, CacheStats::default(), "{what}: outside events");
+    assert!(run.totals.accesses > 0, "{what}: empty trace");
+}
+
+#[test]
+fn dft_attribution_conserves_across_strategies_and_thresholds() {
+    let cache = CacheConfig::paper_default(64);
+    for cfg in configs() {
+        for log in SWEEP_LOGS {
+            let n = 1usize << log;
+            let tree = plan_dft(n, &cfg).tree;
+            let what = format!(
+                "dft n=2^{log} {:?} cache_points={} tree={tree}",
+                cfg.strategy, cfg.cache_points
+            );
+            let plan = DftPlan::new(tree, Direction::Forward).unwrap();
+            let run = attribute_dft(&plan, 1, cache).unwrap();
+            assert_conserved(&run, &what);
+            assert_eq!(run.point_bytes, DFT_POINT_BYTES);
+        }
+    }
+}
+
+#[test]
+fn wht_attribution_conserves_across_strategies_and_thresholds() {
+    let cache = CacheConfig::paper_default(64);
+    for cfg in configs() {
+        for log in SWEEP_LOGS {
+            let n = 1usize << log;
+            let tree = plan_wht(n, &cfg).tree;
+            let what = format!(
+                "wht n=2^{log} {:?} cache_points={}",
+                cfg.strategy, cfg.cache_points
+            );
+            let plan = WhtPlan::new(tree).unwrap();
+            let run = attribute_wht(&plan, 1, cache).unwrap();
+            assert_conserved(&run, &what);
+            assert_eq!(run.point_bytes, WHT_POINT_BYTES);
+        }
+    }
+}
+
+/// The tiny direct-mapped cache from `crates/analyze`'s conflict-ranking
+/// golden pair: 16 KiB, 64 B lines.
+fn small_cache() -> CacheConfig {
+    CacheConfig {
+        capacity_bytes: 16 * 1024,
+        line_bytes: 64,
+        associativity: 1,
+    }
+}
+
+#[test]
+fn golden_pair_agrees_three_ways() {
+    // ct(64, 32) at root stride 64 on the small cache: every leaf runs at
+    // a power-of-two stride whose working set exceeds the cache — the
+    // canonical Case III. Its ctddl twin reorganizes the left child so
+    // its leaves run at unit stride. On both, the empirical, analytical
+    // and static classifications must tell one story on every leaf.
+    for expr in ["ct(64, 32)", "ctddl(64, 32)"] {
+        let plan = DftPlan::from_expr(expr, Direction::Forward).unwrap();
+        let mut run = attribute_dft(&plan, 64, small_cache()).unwrap();
+        annotate_static(&mut run);
+        let disagreements = crosscheck(&run);
+        assert!(
+            disagreements.is_empty(),
+            "{expr}: methods disagree:\n{}",
+            disagreements
+                .iter()
+                .map(|d| format!("  {d}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        let leaves = annotated_leaves(&run);
+        assert!(!leaves.is_empty(), "{expr}: no classified leaves");
+        // The SDL member of the pair must actually exhibit Case III.
+        if expr == "ct(64, 32)" {
+            assert!(
+                leaves
+                    .iter()
+                    .all(|(_, l)| l.empirical == Some(CaseClass::Case3)),
+                "{expr}: expected every leaf to thrash"
+            );
+        }
+    }
+}
+
+#[test]
+fn injected_disagreement_is_reported_by_node_path() {
+    let plan = DftPlan::from_expr("ct(64, 32)", Direction::Forward).unwrap();
+    let mut run = attribute_dft(&plan, 64, small_cache()).unwrap();
+    annotate_static(&mut run);
+    assert!(crosscheck(&run).is_empty());
+    let mut flipped = String::new();
+    run.walk_mut(&mut |node, path| {
+        if node.model.is_some() && flipped.is_empty() {
+            node.static_pathological = Some(false);
+            flipped = path.to_string();
+        }
+    });
+    let disagreements = crosscheck(&run);
+    assert_eq!(disagreements.len(), 1);
+    assert_eq!(disagreements[0].path, flipped);
+}
+
+#[test]
+fn attribution_report_survives_serialization_with_static_annotations() {
+    let plan = DftPlan::from_expr("ctddl(64, 32)", Direction::Forward).unwrap();
+    let mut run = attribute_dft(&plan, 64, small_cache()).unwrap();
+    annotate_static(&mut run);
+    let report = AttributionReport {
+        label: "integration".into(),
+        runs: vec![run],
+    };
+    let back = AttributionReport::parse(&report.to_text()).unwrap();
+    assert_eq!(back.runs.len(), 1);
+    let before = annotated_leaves(&report.runs[0]);
+    let after = annotated_leaves(&back.runs[0]);
+    assert_eq!(before.len(), after.len());
+    for ((path_a, a), (path_b, b)) in before.iter().zip(after.iter()) {
+        assert_eq!(path_a, path_b);
+        assert_eq!(a.static_pathological, b.static_pathological);
+        assert_eq!(a.static_degree, b.static_degree);
+        assert_eq!(a.empirical, b.empirical);
+        assert_eq!(a.model, b.model);
+    }
+}
