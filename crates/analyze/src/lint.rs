@@ -1,7 +1,6 @@
 //! Workspace source lints (`ddl-lint`).
 //!
-//! Three repo invariants, enforced mechanically so they survive future
-//! PRs:
+//! Repo invariants, enforced mechanically so they survive future PRs:
 //!
 //! * **`lint/no-panics`** — library code must not call
 //!   `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
@@ -15,6 +14,12 @@
 //!   `measure.rs`/`parallel.rs`/`obs.rs`, which are exempt by design.
 //! * **`lint/forbid-unsafe`** — every workspace crate root must carry
 //!   `#![forbid(unsafe_code)]`.
+//! * **`lint/no-bare-lock`** / **`lint/no-unbounded-queue`** — executor
+//!   and scheduler hot paths (`parallel.rs`, `scheduler.rs`,
+//!   `engine.rs`, `faultpoint.rs`, all of `ddl-serve`) must not unwrap
+//!   lock results (one poisoned lock would cascade into a dead
+//!   scheduler) and must not construct unbounded channels (overload
+//!   must shed with `DdlError::Overloaded`, not grow memory).
 //!
 //! A finding is suppressed by a marker on the same line or the line
 //! directly above:
@@ -40,6 +45,9 @@ pub struct RuleSet {
     pub no_panics: bool,
     /// Apply `lint/no-std-time`.
     pub no_std_time: bool,
+    /// Apply the executor hot-path rules `lint/no-bare-lock` and
+    /// `lint/no-unbounded-queue`.
+    pub exec_hot_path: bool,
 }
 
 /// Banned panic-family tokens, stored in halves so this file does not
@@ -60,6 +68,31 @@ fn panic_tokens() -> Vec<String> {
 
 fn std_time_token() -> String {
     ["std::", "time"].concat()
+}
+
+/// Banned lock idioms in executor hot paths: a panicking worker poisons
+/// the lock, and a bare unwrap turns the *next* worker's lock into a
+/// second panic — one fault cascades into a dead scheduler. Hot paths
+/// must recover poison (`unwrap_or_else(PoisonError::into_inner)`) or
+/// route a typed error.
+fn bare_lock_tokens() -> Vec<String> {
+    [(".lock().unw", "rap()"), (".lock().exp", "ect(")]
+        .iter()
+        .map(|(a, b)| format!("{a}{b}"))
+        .collect()
+}
+
+/// Banned queue constructors in executor hot paths: an unbounded channel
+/// turns overload into unbounded memory growth instead of typed
+/// backpressure (`DdlError::Overloaded`). Use `mpsc::sync_channel` or a
+/// capacity-checked `VecDeque`.
+fn unbounded_queue_tokens() -> Vec<String> {
+    // No trailing paren: `mpsc::channel::<T>()` must match too. The
+    // bounded `mpsc::sync_channel` never contains this substring.
+    [("mpsc::chan", "nel"), ("::unbo", "unded(")]
+        .iter()
+        .map(|(a, b)| format!("{a}{b}"))
+        .collect()
 }
 
 fn allow_marker(rule: &str) -> String {
@@ -243,6 +276,8 @@ pub fn lint_source(label: &str, source: &str, rules: RuleSet, report: &mut Analy
     let in_test = test_module_lines(&scrubbed);
     let panic_toks = panic_tokens();
     let time_tok = std_time_token();
+    let lock_toks = bare_lock_tokens();
+    let queue_toks = unbounded_queue_tokens();
     let raw: Vec<&str> = source.lines().collect();
     for (idx, code) in scrubbed.iter().enumerate() {
         report.check();
@@ -266,6 +301,38 @@ pub fn lint_source(label: &str, source: &str, rules: RuleSet, report: &mut Analy
                             "banned token `{tok}` in library code: route errors through \
                              DdlError (try-first rule), or add `// {}: <reason>`",
                             allow_marker("lint/no-panics")
+                        ),
+                    );
+                }
+            }
+        }
+        if rules.exec_hot_path {
+            for tok in &lock_toks {
+                if code.contains(tok.as_str()) && !allowed("lint/no-bare-lock") {
+                    report.push(
+                        "lint/no-bare-lock",
+                        Severity::Error,
+                        &format!("{label}:{}", idx + 1),
+                        format!(
+                            "`{tok}` in an executor hot path: one poisoned lock must not \
+                             cascade — recover with unwrap_or_else(PoisonError::into_inner) \
+                             or route a typed error, or add `// {}: <reason>`",
+                            allow_marker("lint/no-bare-lock")
+                        ),
+                    );
+                }
+            }
+            for tok in &queue_toks {
+                if code.contains(tok.as_str()) && !allowed("lint/no-unbounded-queue") {
+                    report.push(
+                        "lint/no-unbounded-queue",
+                        Severity::Error,
+                        &format!("{label}:{}", idx + 1),
+                        format!(
+                            "`{tok}` in an executor hot path: unbounded queues turn overload \
+                             into memory growth — use a bounded queue that sheds with \
+                             DdlError::Overloaded, or add `// {}: <reason>`",
+                            allow_marker("lint/no-unbounded-queue")
                         ),
                     );
                 }
@@ -316,6 +383,27 @@ const PURE_PLANNING_CRATES: &[&str] = &["crates/num", "crates/layout", "crates/c
 fn is_pure_planning(rel: &str) -> bool {
     PURE_PLANNING.contains(&rel)
         || PURE_PLANNING_CRATES
+            .iter()
+            .any(|c| rel.starts_with(&format!("{c}/")))
+}
+
+/// Path suffixes of the executor/scheduler hot-path files subject to
+/// `lint/no-bare-lock` and `lint/no-unbounded-queue`: code that keeps
+/// running after a worker panics and that faces unbounded request
+/// arrival.
+const EXEC_HOT_PATH: &[&str] = &[
+    "crates/core/src/parallel.rs",
+    "crates/core/src/scheduler.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/faultpoint.rs",
+];
+
+/// Crates whose entire library source is an executor hot path.
+const EXEC_HOT_PATH_CRATES: &[&str] = &["crates/serve"];
+
+fn is_exec_hot_path(rel: &str) -> bool {
+    EXEC_HOT_PATH.contains(&rel)
+        || EXEC_HOT_PATH_CRATES
             .iter()
             .any(|c| rel.starts_with(&format!("{c}/")))
 }
@@ -371,6 +459,7 @@ pub fn lint_workspace(root: &Path, report: &mut AnalysisReport) -> std::io::Resu
             let rules = RuleSet {
                 no_panics: true,
                 no_std_time: is_pure_planning(&rel),
+                exec_hot_path: is_exec_hot_path(&rel),
             };
             lint_source(&rel, &source, rules, report);
         }
@@ -402,6 +491,7 @@ mod tests {
     const ALL: RuleSet = RuleSet {
         no_panics: true,
         no_std_time: true,
+        exec_hot_path: true,
     };
 
     #[test]
@@ -494,6 +584,7 @@ mod tests {
             RuleSet {
                 no_panics: true,
                 no_std_time: false,
+                exec_hot_path: false,
             },
             &mut report,
         );
@@ -526,6 +617,74 @@ mod tests {
         lint_crate_root("crates/y/src/lib.rs", "pub mod a;\n", &mut report);
         assert_eq!(report.error_count(), 1);
         assert_eq!(report.findings[0].rule, "lint/forbid-unsafe");
+    }
+
+    #[test]
+    fn bare_lock_flagged_in_hot_paths() {
+        let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n    *m.lock().unwrap()\n}\n";
+        let mut report = AnalysisReport::new();
+        lint_source("crates/core/src/scheduler.rs", src, ALL, &mut report);
+        // Both the hot-path rule and no-panics fire on the same token.
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.rule == "lint/no-bare-lock" && f.subject.ends_with(":2")));
+        // Outside hot paths the dedicated rule stays silent.
+        let mut report = AnalysisReport::new();
+        lint_source(
+            "crates/core/src/obs.rs",
+            src,
+            RuleSet {
+                no_panics: false,
+                no_std_time: false,
+                exec_hot_path: false,
+            },
+            &mut report,
+        );
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn poison_recovering_lock_is_clean() {
+        let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n    \
+                   *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)\n}\n";
+        let mut report = AnalysisReport::new();
+        lint_source("crates/serve/src/lib.rs", src, ALL, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn unbounded_channel_flagged_in_hot_paths() {
+        let src = "fn f() {\n    let (_tx, _rx) = std::sync::mpsc::channel::<u8>();\n}\n";
+        let mut report = AnalysisReport::new();
+        lint_source("crates/serve/src/lib.rs", src, ALL, &mut report);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.findings[0].rule, "lint/no-unbounded-queue");
+        // The bounded constructor is the sanctioned alternative.
+        let src = "fn f() {\n    let (_tx, _rx) = std::sync::mpsc::sync_channel::<u8>(1);\n}\n";
+        let mut report = AnalysisReport::new();
+        lint_source("crates/serve/src/lib.rs", src, ALL, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn hot_path_rules_honor_allow_markers() {
+        let src = "fn f() {\n    \
+                   // ddl-lint: allow(no-unbounded-queue): drained by the caller each turn\n    \
+                   let (_tx, _rx) = std::sync::mpsc::channel::<u8>();\n}\n";
+        let mut report = AnalysisReport::new();
+        lint_source("crates/serve/src/lib.rs", src, ALL, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn exec_hot_path_scope_is_exact() {
+        assert!(is_exec_hot_path("crates/core/src/scheduler.rs"));
+        assert!(is_exec_hot_path("crates/core/src/parallel.rs"));
+        assert!(is_exec_hot_path("crates/core/src/engine.rs"));
+        assert!(is_exec_hot_path("crates/serve/src/lib.rs"));
+        assert!(!is_exec_hot_path("crates/core/src/planner.rs"));
+        assert!(!is_exec_hot_path("crates/core/src/obs.rs"));
     }
 
     #[test]

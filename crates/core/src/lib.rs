@@ -50,6 +50,8 @@ pub mod calibrate;
 pub mod dct;
 pub mod dft;
 pub mod dft2d;
+pub mod engine;
+pub mod faultpoint;
 pub mod grammar;
 pub mod json;
 pub mod measure;
@@ -59,6 +61,7 @@ pub mod parallel;
 pub mod planner;
 pub mod reports;
 pub mod rfft;
+pub mod scheduler;
 pub mod sixstep;
 pub mod trace;
 pub mod traced;
@@ -78,6 +81,7 @@ pub use dct::DctPlan;
 pub use ddl_num::DdlError;
 pub use dft::DftPlan;
 pub use dft2d::Dft2dPlan;
+pub use engine::{Engine, EngineConfig, EngineStats, PlanKey, Session, TransformKind};
 pub use model::{CacheModel, StageCost};
 pub use obs::{
     BatchMetrics, Counter, ExecutionMetrics, MetricsReport, NullSink, PlannerRunMetrics, Recorder,
@@ -85,7 +89,8 @@ pub use obs::{
 };
 pub use parallel::{
     execute_batch_with, execute_dft_batch, execute_wht_batch, try_execute_dft_batch,
-    try_execute_wht_batch, BatchReport, ItemTiming,
+    try_execute_dft_batch_opts, try_execute_wht_batch, try_execute_wht_batch_opts, BatchReport,
+    ItemTiming,
 };
 pub use planner::{
     plan_dft, plan_wht, try_plan_dft, try_plan_dft_with, try_plan_wht, try_plan_wht_with,
@@ -93,6 +98,7 @@ pub use planner::{
 };
 pub use reports::{check_report, check_report_text, CheckedReport};
 pub use rfft::RfftPlan;
+pub use scheduler::{execute_batch_scheduled, BatchOptions, CancelToken};
 pub use sixstep::SixStepPlan;
 pub use trace::{
     chrome_trace_json, validate_chrome_trace, write_chrome_trace, TraceSummary, TRACE_SCHEMA,

@@ -640,6 +640,10 @@ pub struct BatchMetrics {
     pub ok: u64,
     /// Items that failed by worker panic.
     pub panicked: u64,
+    /// Items shed because the batch deadline expired before they ran.
+    pub deadline_expired: u64,
+    /// Items shed because the batch's cancellation token fired.
+    pub cancelled: u64,
     /// Whether part of the batch degraded to the calling thread.
     pub degraded_to_sequential: bool,
     /// Wall-clock nanoseconds for the whole batch.
@@ -948,6 +952,11 @@ fn batch_to_json(b: &BatchMetrics) -> Json {
     m.insert("ok".into(), Json::Num(b.ok as f64));
     m.insert("panicked".into(), Json::Num(b.panicked as f64));
     m.insert(
+        "deadline_expired".into(),
+        Json::Num(b.deadline_expired as f64),
+    );
+    m.insert("cancelled".into(), Json::Num(b.cancelled as f64));
+    m.insert(
         "degraded_to_sequential".into(),
         Json::Bool(b.degraded_to_sequential),
     );
@@ -966,6 +975,13 @@ fn batch_from_json(v: &Json, i: usize) -> Result<BatchMetrics, DdlError> {
         items: get_u64(m, &path, "items")?,
         ok: get_u64(m, &path, "ok")?,
         panicked: get_u64(m, &path, "panicked")?,
+        // Additive in PR 6; absent in documents written by older
+        // libraries, which simply had nothing to shed.
+        deadline_expired: m
+            .get("deadline_expired")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        cancelled: m.get("cancelled").and_then(Json::as_u64).unwrap_or(0),
         degraded_to_sequential: get_bool(m, &path, "degraded_to_sequential")?,
         wall_ns: get_u64(m, &path, "wall_ns")?,
         queue_ns_max: get_u64(m, &path, "queue_ns_max")?,
@@ -1015,6 +1031,8 @@ mod tests {
                 items: 8,
                 ok: 7,
                 panicked: 1,
+                deadline_expired: 0,
+                cancelled: 0,
                 degraded_to_sequential: false,
                 wall_ns: 500_000,
                 queue_ns_max: 1_000,

@@ -8,8 +8,9 @@
 //! workload, since large FFTs usually arrive in batches (rows of a 2-D
 //! transform, channels of a filter bank) — is executing many independent
 //! transforms concurrently, each with its own scratch. This module
-//! provides that with `std::thread::scope`; plans are immutable and
-//! shared by reference.
+//! provides the batch entry points; the execution engine underneath is
+//! the deadline-aware work-stealing [`crate::scheduler`] (plans are
+//! immutable and shared by reference).
 //!
 //! # Fault containment
 //!
@@ -28,11 +29,10 @@
 
 use crate::dft::DftPlan;
 use crate::obs::BatchMetrics;
+use crate::scheduler::{execute_batch_scheduled, BatchOptions};
 use crate::wht::WhtPlan;
 use ddl_cachesim::NullTracer;
 use ddl_num::{Complex64, DdlError};
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::Instant;
 
 /// Timing of one batch item: how long it waited and how long it ran.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -94,6 +94,38 @@ impl BatchReport {
         self.degraded_to_sequential
     }
 
+    /// Items shed because the batch deadline had expired when they were
+    /// dequeued.
+    pub fn deadline_expired(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|r| matches!(r, Err(DdlError::DeadlineExceeded { .. })))
+            .count()
+    }
+
+    /// Items shed because the batch's cancellation token fired.
+    pub fn cancelled(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|r| matches!(r, Err(DdlError::Cancelled { .. })))
+            .count()
+    }
+
+    /// Assembles a report from per-item parts (scheduler internal).
+    pub(crate) fn from_parts(
+        outcomes: Vec<Result<(), DdlError>>,
+        timings: Vec<ItemTiming>,
+        wall_ns: u64,
+        degraded_to_sequential: bool,
+    ) -> BatchReport {
+        BatchReport {
+            outcomes,
+            timings,
+            wall_ns,
+            degraded_to_sequential,
+        }
+    }
+
     /// Summarizes this report as a metrics-report section under the
     /// caller-chosen `label`.
     pub fn metrics(&self, label: &str) -> BatchMetrics {
@@ -107,6 +139,8 @@ impl BatchReport {
             items: self.outcomes.len() as u64,
             ok: self.outcomes.iter().filter(|r| r.is_ok()).count() as u64,
             panicked,
+            deadline_expired: self.deadline_expired() as u64,
+            cancelled: self.cancelled() as u64,
             degraded_to_sequential: self.degraded_to_sequential,
             wall_ns: self.wall_ns,
             queue_ns_max: self.timings.iter().map(|t| t.queue_ns).max().unwrap_or(0),
@@ -116,7 +150,7 @@ impl BatchReport {
     }
 }
 
-fn panic_payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -124,42 +158,6 @@ fn panic_payload_text(payload: Box<dyn std::any::Any + Send>) -> String {
     } else {
         "non-string panic payload".to_string()
     }
-}
-
-/// Runs one slice of the batch on the current thread, catching per-item
-/// panics. `base` is the global index of the first item in `chunk`;
-/// `epoch` is the batch start used to date each item's queueing delay.
-fn run_chunk<Item, S, FS, FI>(
-    base: usize,
-    chunk: Vec<Item>,
-    epoch: Instant,
-    new_scratch: &FS,
-    run_item: &FI,
-) -> Vec<(Result<(), DdlError>, ItemTiming)>
-where
-    FS: Fn() -> S,
-    FI: Fn(usize, Item, &mut S),
-{
-    let mut scratch = new_scratch();
-    chunk
-        .into_iter()
-        .enumerate()
-        .map(|(offset, item)| {
-            let index = base + offset;
-            let queue_ns = epoch.elapsed().as_nanos() as u64;
-            let start = Instant::now();
-            let outcome = catch_unwind(AssertUnwindSafe(|| run_item(index, item, &mut scratch)))
-                .map_err(|payload| DdlError::WorkerPanic {
-                    item: index,
-                    payload: panic_payload_text(payload),
-                });
-            let timing = ItemTiming {
-                queue_ns,
-                run_ns: start.elapsed().as_nanos() as u64,
-            };
-            (outcome, timing)
-        })
-        .collect()
 }
 
 /// Generic fault-contained batch engine: runs `run_item` once per item
@@ -171,6 +169,10 @@ where
 /// the batch runs on the calling thread instead. The DFT/WHT batch entry
 /// points are built on this engine, and it is public so applications can
 /// get the same containment for their own per-item post-processing.
+///
+/// Since PR 6 this is a thin wrapper over the work-stealing
+/// [`execute_batch_scheduled`](crate::scheduler::execute_batch_scheduled)
+/// with no deadline and no cancellation token.
 pub fn execute_batch_with<Item, S, FS, FI>(
     items: Vec<Item>,
     threads: usize,
@@ -182,148 +184,12 @@ where
     FS: Fn() -> S + Sync,
     FI: Fn(usize, Item, &mut S) + Sync,
 {
-    let epoch = Instant::now();
-    let batch = items.len();
-    if batch == 0 {
-        return BatchReport {
-            outcomes: Vec::new(),
-            timings: Vec::new(),
-            wall_ns: epoch.elapsed().as_nanos() as u64,
-            degraded_to_sequential: false,
-        };
-    }
-    let threads = threads.clamp(1, batch);
-
-    if threads == 1 {
-        let (outcomes, timings) = run_chunk(0, items, epoch, &new_scratch, &run_item)
-            .into_iter()
-            .unzip();
-        return BatchReport {
-            outcomes,
-            timings,
-            wall_ns: epoch.elapsed().as_nanos() as u64,
-            degraded_to_sequential: false,
-        };
-    }
-
-    // Partition into contiguous per-thread chunks. Each chunk lives in a
-    // mutex slot so that when thread spawn fails the chunk is still here
-    // and can run on the calling thread instead (workers that do start
-    // take their chunk out of the slot).
-    type ChunkSlot<Item> = std::sync::Mutex<Option<(usize, Vec<Item>)>>;
-    let per_thread = batch.div_ceil(threads);
-    let mut items = items;
-    let mut slots: Vec<ChunkSlot<Item>> = Vec::new();
-    let mut base = 0usize;
-    while !items.is_empty() {
-        let take = per_thread.min(items.len());
-        let rest = items.split_off(take);
-        let chunk = std::mem::replace(&mut items, rest);
-        slots.push(std::sync::Mutex::new(Some((base, chunk))));
-        base += take;
-    }
-
-    let mut outcomes: Vec<Result<(), DdlError>> = Vec::with_capacity(batch);
-    let mut timings: Vec<ItemTiming> = Vec::with_capacity(batch);
-    let mut degraded = false;
-
-    std::thread::scope(|scope| {
-        let new_scratch = &new_scratch;
-        let run_item = &run_item;
-        let mut handles = Vec::new();
-        let mut unspawned = Vec::new();
-        for slot in &slots {
-            let spawned = std::thread::Builder::new()
-                .name("ddl-batch-worker".to_string())
-                .spawn_scoped(scope, move || {
-                    let (chunk_base, chunk) = slot
-                        .lock()
-                        // ddl-lint: allow(no-panics): internal batch-slot invariant; poisoning or a double take is a bug, not a recoverable state
-                        .expect("batch chunk slot poisoned")
-                        .take()
-                        // ddl-lint: allow(no-panics): internal batch-slot invariant; poisoning or a double take is a bug, not a recoverable state
-                        .expect("batch chunk taken twice");
-                    (
-                        chunk_base,
-                        run_chunk(chunk_base, chunk, epoch, new_scratch, run_item),
-                    )
-                });
-            match spawned {
-                Ok(handle) => handles.push(handle),
-                // Spawn failure (thread/fd exhaustion): the closure is
-                // dropped without running, so the chunk is still in its
-                // slot — degrade it to the calling thread.
-                Err(_) => {
-                    degraded = true;
-                    unspawned.push(slot);
-                }
-            }
-        }
-
-        type ChunkResults = Vec<(Result<(), DdlError>, ItemTiming)>;
-        let mut collected: Vec<(usize, ChunkResults)> = unspawned
-            .into_iter()
-            .map(|slot| {
-                let (chunk_base, chunk) = slot
-                    .lock()
-                    // ddl-lint: allow(no-panics): internal batch-slot invariant; poisoning or a double take is a bug, not a recoverable state
-                    .expect("batch chunk slot poisoned")
-                    .take()
-                    // ddl-lint: allow(no-panics): internal batch-slot invariant; poisoning or a double take is a bug, not a recoverable state
-                    .expect("batch chunk taken twice");
-                (
-                    chunk_base,
-                    run_chunk(chunk_base, chunk, epoch, new_scratch, run_item),
-                )
-            })
-            .collect();
-        for handle in handles {
-            match handle.join() {
-                Ok(chunk_results) => collected.push(chunk_results),
-                // Unreachable in practice (panics are caught per item),
-                // but a join failure must not take down the caller; the
-                // affected items simply never report Ok.
-                Err(payload) => {
-                    let text = panic_payload_text(payload);
-                    eprintln!("ddl-batch worker failed outside item execution: {text}");
-                }
-            }
-        }
-        collected.sort_by_key(|(chunk_base, _)| *chunk_base);
-        let mut next = 0usize;
-        for (chunk_base, chunk_results) in collected {
-            // Pad any gap left by a lost worker with WorkerPanic errors
-            // so outcome indices always align with batch positions.
-            while next < chunk_base {
-                outcomes.push(Err(DdlError::WorkerPanic {
-                    item: next,
-                    payload: "worker thread lost".to_string(),
-                }));
-                timings.push(ItemTiming::default());
-                next += 1;
-            }
-            next += chunk_results.len();
-            for (outcome, timing) in chunk_results {
-                outcomes.push(outcome);
-                timings.push(timing);
-            }
-        }
-        while next < batch {
-            outcomes.push(Err(DdlError::WorkerPanic {
-                item: next,
-                payload: "worker thread lost".to_string(),
-            }));
-            timings.push(ItemTiming::default());
-            next += 1;
-        }
-    });
-
-    BatchReport {
-        outcomes,
-        timings,
-        wall_ns: epoch.elapsed().as_nanos() as u64,
-        degraded_to_sequential: degraded,
-    }
+    execute_batch_scheduled(
+        items,
+        &BatchOptions::with_threads(threads),
+        new_scratch,
+        run_item,
+    )
 }
 
 /// Fallible batch DFT: `inputs` and `outputs` are concatenations of
@@ -337,6 +203,19 @@ pub fn try_execute_dft_batch(
     inputs: &[Complex64],
     outputs: &mut [Complex64],
     threads: usize,
+) -> Result<BatchReport, DdlError> {
+    try_execute_dft_batch_opts(plan, inputs, outputs, &BatchOptions::with_threads(threads))
+}
+
+/// [`try_execute_dft_batch`] with full scheduling options: deadline and
+/// cancellation in addition to the worker count. Items dequeued past the
+/// deadline (or after cancellation) fail with typed errors in their
+/// report slots instead of executing.
+pub fn try_execute_dft_batch_opts(
+    plan: &DftPlan,
+    inputs: &[Complex64],
+    outputs: &mut [Complex64],
+    opts: &BatchOptions,
 ) -> Result<BatchReport, DdlError> {
     let n = plan.n();
     if !inputs.len().is_multiple_of(n) {
@@ -358,9 +237,9 @@ pub fn try_execute_dft_batch(
         .chunks_exact(n)
         .zip(outputs.chunks_exact_mut(n))
         .collect();
-    Ok(execute_batch_with(
+    Ok(execute_batch_scheduled(
         items,
-        threads,
+        opts,
         || vec![Complex64::ZERO; plan.scratch_len()],
         |_idx, (src, dst), scratch| {
             plan.execute_view(src, 0, 1, dst, 0, 1, scratch, &mut NullTracer, [0; 4]);
@@ -402,6 +281,17 @@ pub fn try_execute_wht_batch(
     data: &mut [f64],
     threads: usize,
 ) -> Result<BatchReport, DdlError> {
+    try_execute_wht_batch_opts(plan, data, &BatchOptions::with_threads(threads))
+}
+
+/// [`try_execute_wht_batch`] with full scheduling options (deadline and
+/// cancellation); the WHT counterpart of
+/// [`try_execute_dft_batch_opts`].
+pub fn try_execute_wht_batch_opts(
+    plan: &WhtPlan,
+    data: &mut [f64],
+    opts: &BatchOptions,
+) -> Result<BatchReport, DdlError> {
     let n = plan.n();
     if !data.len().is_multiple_of(n) {
         return Err(DdlError::shape(
@@ -412,9 +302,9 @@ pub fn try_execute_wht_batch(
     }
 
     let items: Vec<&mut [f64]> = data.chunks_exact_mut(n).collect();
-    Ok(execute_batch_with(
+    Ok(execute_batch_scheduled(
         items,
-        threads,
+        opts,
         || vec![0.0f64; plan.scratch_len()],
         |_idx, chunk, scratch| {
             plan.execute_view(chunk, 0, 1, scratch, &mut NullTracer, [0; 2]);

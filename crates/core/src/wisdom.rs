@@ -141,7 +141,7 @@ impl Wisdom {
     /// [`Wisdom::load`] with an observability sink: reports the number of
     /// accepted and quarantined entries as `wisdom.*` counters.
     pub fn load_with<S: Sink>(path: &Path, sink: &mut S) -> Result<Wisdom, DdlError> {
-        let text = match std::fs::read_to_string(path) {
+        let mut text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 return Ok(Wisdom::new());
@@ -153,6 +153,12 @@ impl Wisdom {
                 })
             }
         };
+        // Chaos probe: garble every tree expression after the read, as a
+        // bit-rotted store would. The damaged entries must land in
+        // quarantine — never crash the loader (see tests/chaos.rs).
+        if crate::faultpoint::hit("wisdom.load.corrupt") {
+            text = text.replace("ct(", "@@(").replace("split(", "@@(");
+        }
         let wisdom = Wisdom::parse_document(&text).map_err(|e| match e {
             // Attach the path to format errors detected in-memory.
             DdlError::WisdomFormat { detail, .. } => DdlError::WisdomFormat {
@@ -288,12 +294,21 @@ impl Wisdom {
             path: path.display().to_string(),
             detail,
         };
+        if crate::faultpoint::hit("wisdom.save.io") {
+            return Err(io_err("injected I/O failure (wisdom.save.io)".into()));
+        }
         let file_name = path
             .file_name()
             .ok_or_else(|| io_err("path has no file name".into()))?;
+        // The temp name carries the pid *and* a process-global sequence
+        // number: two threads of one process racing `save` on the same
+        // path must never share a temp file, or one writer's rename can
+        // publish the other's half-written bytes.
+        static SAVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut tmp_name = std::ffi::OsString::from(".");
         tmp_name.push(file_name);
-        tmp_name.push(format!(".tmp-{}", std::process::id()));
+        tmp_name.push(format!(".tmp-{}-{seq}", std::process::id()));
         let tmp = path.with_file_name(tmp_name);
 
         std::fs::write(&tmp, self.to_document()).map_err(|e| io_err(e.to_string()))?;
@@ -440,6 +455,15 @@ impl Wisdom {
             "re-planned (wisdom miss or corrupt entry)",
         );
         Ok((outcome.tree, outcome.cost))
+    }
+
+    /// Iterates the decoded `(transform, n, strategy)` keys of every
+    /// stored entry, in key order. Lets a service warm its plan cache
+    /// from persisted wisdom without knowing the key syntax.
+    pub fn keys(&self) -> impl Iterator<Item = (String, usize, Strategy)> + '_ {
+        self.entries
+            .keys()
+            .filter_map(|k| parse_key(k).map(|(t, n, s)| (t.to_string(), n, s)))
     }
 
     /// Entries rejected during the last [`Wisdom::load`], with reasons.
@@ -651,5 +675,113 @@ mod tests {
         let (tree, cost) = w.get("dft", 16, Strategy::Sdl).unwrap();
         assert_eq!(cost, 1.0);
         assert!(matches!(tree, Tree::Split { .. }));
+    }
+
+    #[test]
+    fn racing_saves_never_corrupt_the_store() {
+        use std::sync::Arc;
+
+        let dir = temp_dir("race");
+        let path = Arc::new(dir.join("wisdom.json"));
+
+        // Each writer saves a complete, distinct, valid store many
+        // times. Because every save uses a unique temp file and an
+        // atomic rename, a reader must always observe *some* writer's
+        // complete document — never torn bytes, never a parse error.
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let path = Arc::clone(&path);
+                std::thread::spawn(move || {
+                    let mut wis = Wisdom::new();
+                    let n = 16usize << w;
+                    wis.put(
+                        "dft",
+                        n,
+                        Strategy::Ddl,
+                        &Tree::rightmost(n, 8),
+                        1.0 + w as f64,
+                        "race",
+                    );
+                    for _ in 0..50 {
+                        wis.save(&path).unwrap();
+                        let loaded = Wisdom::load(&path).unwrap();
+                        assert_eq!(loaded.len(), 1, "torn or merged document");
+                        assert!(loaded.quarantined().is_empty());
+                    }
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().unwrap();
+        }
+
+        // The final state is one writer's store, and no temp droppings
+        // survive.
+        let survivor = Wisdom::load(&path).unwrap();
+        assert_eq!(survivor.len(), 1);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_load_corruption_quarantines_entries() {
+        let _x = crate::faultpoint::exclusive();
+        let dir = temp_dir("chaos-load");
+        let path = dir.join("wisdom.json");
+
+        let mut w = Wisdom::new();
+        w.put(
+            "dft",
+            64,
+            Strategy::Ddl,
+            &Tree::split(Tree::leaf(8), Tree::leaf(8)),
+            1.0,
+            "chaos",
+        );
+        w.save(&path).unwrap();
+
+        {
+            let _g = crate::faultpoint::arm(
+                5,
+                &[("wisdom.load.corrupt", crate::faultpoint::FaultMode::Always)],
+            );
+            let loaded = Wisdom::load(&path).expect("corrupt entries must not crash the loader");
+            assert_eq!(loaded.len(), 0);
+            assert_eq!(loaded.quarantined().len(), 1);
+            assert!(matches!(
+                loaded.quarantined()[0].error,
+                DdlError::CorruptWisdomEntry { .. }
+            ));
+        }
+        // Disarmed, the same file loads cleanly.
+        let clean = Wisdom::load(&path).unwrap();
+        assert_eq!(clean.len(), 1);
+        assert!(clean.quarantined().is_empty());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_save_failure_is_a_typed_io_error() {
+        let _x = crate::faultpoint::exclusive();
+        let dir = temp_dir("chaos-save");
+        let path = dir.join("wisdom.json");
+        let w = Wisdom::new();
+        {
+            let _g = crate::faultpoint::arm(
+                5,
+                &[("wisdom.save.io", crate::faultpoint::FaultMode::Once(0))],
+            );
+            assert!(matches!(w.save(&path), Err(DdlError::WisdomIo { .. })));
+            // The next save (fault spent) succeeds.
+            w.save(&path).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

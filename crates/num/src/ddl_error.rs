@@ -103,6 +103,27 @@ pub enum DdlError {
     },
     /// An OS-level resource was unavailable (e.g. thread spawn failed).
     Resource(String),
+    /// A service shed the request: its admission queue was at capacity.
+    /// Overload is reported immediately — requests are never queued
+    /// unboundedly or blocked indefinitely.
+    Overloaded {
+        /// Requests already queued when this one arrived.
+        queued: usize,
+        /// The bounded queue's capacity.
+        capacity: usize,
+    },
+    /// A request's deadline expired before (or while) it executed.
+    DeadlineExceeded {
+        /// Where expiry was detected (e.g. `"scheduler: dequeue"`).
+        context: &'static str,
+        /// Nanoseconds the request was past its deadline when detected.
+        late_ns: u64,
+    },
+    /// A request was cancelled through its cancellation token.
+    Cancelled {
+        /// Where cancellation was detected.
+        context: &'static str,
+    },
     /// A metrics report could not be written, read, or did not conform
     /// to the documented `ddl-metrics` JSON schema.
     Metrics {
@@ -161,6 +182,14 @@ impl fmt::Display for DdlError {
                 write!(f, "batch worker panicked on item {item}: {payload}")
             }
             DdlError::Resource(msg) => write!(f, "resource unavailable: {msg}"),
+            DdlError::Overloaded { queued, capacity } => write!(
+                f,
+                "overloaded: admission queue at capacity ({queued} queued, capacity {capacity})"
+            ),
+            DdlError::DeadlineExceeded { context, late_ns } => {
+                write!(f, "{context}: deadline exceeded by {late_ns} ns")
+            }
+            DdlError::Cancelled { context } => write!(f, "{context}: request cancelled"),
             DdlError::Metrics { detail } => write!(f, "metrics error: {detail}"),
         }
     }

@@ -1,0 +1,209 @@
+//! `ddl-serve` — line-oriented transform service over TCP or stdin.
+//!
+//! ```text
+//! ddl-serve [--listen ADDR] [--oneshot] [--workers N] [--queue N]
+//!           [--deadline-ms K] [--faults SEED:SPECS] [--wisdom PATH]
+//! ```
+//!
+//! * `--listen ADDR`   serve newline-delimited requests over TCP
+//!   (default `127.0.0.1:4890`); one response line per request line.
+//! * `--oneshot`       read requests from stdin, answer on stdout, exit
+//!   at EOF. Used by the CI smoke test and handy for piping.
+//! * `--workers N`     worker threads (default 2; 0 = serve inline).
+//! * `--queue N`       admission queue capacity (default 64); beyond it
+//!   requests shed immediately with `err overloaded:`.
+//! * `--deadline-ms K` default per-request deadline.
+//! * `--faults S:SPECS` arm fault injection, e.g.
+//!   `--faults 42:serve.worker.panic=p0.1;serve.queue.full=every@7`.
+//! * `--wisdom PATH`   warm the plan cache from a wisdom file.
+//!
+//! Request grammar (see `ddl-serve` crate docs): `plan dft 1024 ddl`,
+//! `exec dft 1024 ddl deadline_ms=50`, `exec dft ct(16, ct(16, 16))`,
+//! `exec wht 256 sdl`, `stats`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ddl_core::{faultpoint, EngineConfig, Wisdom};
+use ddl_serve::{Service, ServiceConfig};
+
+struct Args {
+    listen: String,
+    oneshot: bool,
+    workers: usize,
+    queue: usize,
+    deadline: Option<Duration>,
+    faults: Option<(u64, String)>,
+    wisdom: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ddl-serve [--listen ADDR] [--oneshot] [--workers N] [--queue N] \
+         [--deadline-ms K] [--faults SEED:SPECS] [--wisdom PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:4890".to_string(),
+        oneshot: false,
+        workers: 2,
+        queue: 64,
+        deadline: None,
+        faults: None,
+        wisdom: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("ddl-serve: {name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => args.listen = value("--listen"),
+            "--oneshot" => args.oneshot = true,
+            "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--queue" => args.queue = value("--queue").parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                let ms: u64 = value("--deadline-ms").parse().unwrap_or_else(|_| usage());
+                args.deadline = Some(Duration::from_millis(ms));
+            }
+            "--faults" => {
+                let spec = value("--faults");
+                let (seed, rules) = spec.split_once(':').unwrap_or_else(|| {
+                    eprintln!("ddl-serve: --faults wants SEED:SPECS");
+                    usage()
+                });
+                let seed: u64 = seed.parse().unwrap_or_else(|_| usage());
+                args.faults = Some((seed, rules.to_string()));
+            }
+            "--wisdom" => args.wisdom = Some(value("--wisdom")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("ddl-serve: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn serve_stream(svc: &Service, stream: TcpStream) {
+    let peer = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "?".to_string());
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("ddl-serve: [{peer}] clone failed: {e}");
+            return;
+        }
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = svc.handle(&line);
+        if writeln!(writer, "{response}").is_err() {
+            break;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    // Fault injection stays armed for the process lifetime: leak the
+    // guard so it is not disarmed on drop.
+    if let Some((seed, rules)) = &args.faults {
+        match faultpoint::parse_specs(rules) {
+            Ok(specs) => {
+                std::mem::forget(faultpoint::arm_specs(*seed, &specs));
+                eprintln!("ddl-serve: faults armed (seed {seed}): {rules}");
+            }
+            Err(e) => {
+                eprintln!("ddl-serve: bad --faults: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let svc = Service::start(ServiceConfig {
+        workers: args.workers,
+        queue_capacity: args.queue,
+        default_deadline: args.deadline,
+        engine: EngineConfig::default(),
+    });
+
+    if let Some(path) = &args.wisdom {
+        match Wisdom::load(std::path::Path::new(path)) {
+            Ok(wisdom) => {
+                let cached = svc.engine().warm_from_wisdom(&wisdom);
+                let quarantined = wisdom.quarantined().len();
+                eprintln!(
+                    "ddl-serve: warmed {cached} plan(s) from {path} \
+                     ({quarantined} corrupt entr(ies) quarantined)"
+                );
+            }
+            Err(e) => {
+                // Degrade, don't die: a corrupt wisdom file costs the
+                // warm cache, not the service.
+                eprintln!("ddl-serve: wisdom load failed ({e}); starting cold");
+            }
+        }
+    }
+
+    if args.oneshot {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(l) => l,
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            println!("{}", svc.handle(&line));
+        }
+        svc.shutdown();
+        return ExitCode::SUCCESS;
+    }
+
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("ddl-serve: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("ddl-serve: listening on {}", args.listen);
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let svc = svc.clone();
+                // Connection threads are best-effort: a failed spawn
+                // drops this connection but the listener keeps going.
+                let spawned = std::thread::Builder::new()
+                    .name("ddl-serve-conn".to_string())
+                    .spawn(move || serve_stream(&svc, stream));
+                if let Err(e) = spawned {
+                    eprintln!("ddl-serve: connection thread spawn failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("ddl-serve: accept failed: {e}"),
+        }
+    }
+    ExitCode::SUCCESS
+}

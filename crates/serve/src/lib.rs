@@ -1,0 +1,825 @@
+//! Fault-tolerant transform service over the `ddl-core` engine.
+//!
+//! The paper's planner/executor split naturally extends to a service:
+//! plans are expensive to search and compile but cheap to share, so a
+//! long-running process should plan once and execute many times on
+//! behalf of clients. This crate provides that process: a [`Service`]
+//! owning one shared [`Engine`](ddl_core::Engine) plus a pool of worker
+//! threads behind a **bounded** admission queue, and a line-oriented
+//! wire protocol reusing the workspace's factorization-tree grammar.
+//!
+//! # Wire protocol
+//!
+//! One request per line, one response line per request:
+//!
+//! ```text
+//! plan dft 1024 ddl                     → ok plan dft n=1024 strategy=ddl tree=ct(…)
+//! exec dft 1024 ddl [deadline_ms=50]    → ok exec dft n=1024 dc=1024 wall_ns=…
+//! exec dft ct(16, ct(16, 16)) [deadline_ms=50]
+//!                                       → ok exec dft n=4096 dc=4096 wall_ns=…
+//! exec wht 256 sdl                      → ok exec wht n=256 dc=256 wall_ns=…
+//! stats                                 → ok stats accepted=… shed=… …
+//! ```
+//!
+//! Executions run over an all-ones synthetic input and report the DC
+//! bin, so a client can verify the transform end to end without
+//! shipping data. Failures are one `err <code>: <detail>` line; `code`
+//! is stable (`overloaded`, `deadline`, `cancelled`, `parse`,
+//! `worker-panic`, …).
+//!
+//! # Overload and fault policy
+//!
+//! * **Admission is bounded.** [`Service::submit`] either enqueues or
+//!   fails *immediately* with [`DdlError::Overloaded`] — requests are
+//!   never queued unboundedly and callers are never blocked waiting for
+//!   queue space. Malformed requests are rejected at admission and
+//!   consume no queue slot.
+//! * **Worker panics are contained.** A panic while serving a request
+//!   (including those injected via the `serve.worker.panic` fault
+//!   point) turns into an `err worker-panic:` response for that request
+//!   only; the worker thread survives and keeps serving.
+//! * **Deadlines are honored at dequeue and report as typed errors.**
+//! * **Every accepted request gets exactly one response** — the
+//!   conservation invariant the chaos suite asserts:
+//!   `accepted == completed + failed` once the queue drains.
+
+#![forbid(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ddl_core::engine::{PlanKey, TransformKind};
+use ddl_core::{faultpoint, grammar, DdlError, DftPlan, Engine, EngineConfig, Strategy, WhtPlan};
+use ddl_num::{Complex64, Direction};
+
+/// Service construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads serving the queue. `0` is allowed: requests are
+    /// then served inline by [`Service::handle`] (degraded mode, also
+    /// what the service falls back to when every spawn fails).
+    pub workers: usize,
+    /// Admission queue capacity; submissions beyond it shed with
+    /// [`DdlError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Engine (plan cache + planner) configuration.
+    pub engine: EngineConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline: None,
+            engine: EngineConfig::default(),
+        }
+    }
+}
+
+/// One parsed wire request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Search (or fetch) a plan and cache it in the engine.
+    Plan {
+        /// Transform family.
+        kind: TransformKind,
+        /// Transform size.
+        n: usize,
+        /// Search strategy.
+        strategy: Strategy,
+    },
+    /// Execute over a synthetic all-ones input via an engine-cached plan.
+    ExecPlanned {
+        /// Transform family.
+        kind: TransformKind,
+        /// Transform size.
+        n: usize,
+        /// Search strategy.
+        strategy: Strategy,
+        /// Per-request deadline override.
+        deadline: Option<Duration>,
+    },
+    /// Execute an explicit factorization-tree expression.
+    ExecExpr {
+        /// Transform family.
+        kind: TransformKind,
+        /// Tree expression in the workspace grammar.
+        expr: String,
+        /// Per-request deadline override.
+        deadline: Option<Duration>,
+    },
+    /// Report service and engine counters.
+    Stats,
+}
+
+fn parse_err(pos: usize, msg: impl Into<String>) -> DdlError {
+    DdlError::Parse {
+        pos,
+        msg: msg.into(),
+    }
+}
+
+fn parse_kind(tok: &str) -> Result<TransformKind, DdlError> {
+    match tok {
+        "dft" => Ok(TransformKind::Dft(Direction::Forward)),
+        "idft" => Ok(TransformKind::Dft(Direction::Inverse)),
+        "wht" => Ok(TransformKind::Wht),
+        other => Err(parse_err(0, format!("unknown transform {other:?}"))),
+    }
+}
+
+fn parse_strategy(tok: &str) -> Result<Strategy, DdlError> {
+    match tok {
+        "sdl" => Ok(Strategy::Sdl),
+        "ddl" => Ok(Strategy::Ddl),
+        other => Err(parse_err(0, format!("unknown strategy {other:?}"))),
+    }
+}
+
+/// Parses one wire line into a [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, DdlError> {
+    let line = line.trim();
+    let mut toks: Vec<&str> = line.split_whitespace().collect();
+    match toks.first().copied() {
+        Some("stats") => Ok(Request::Stats),
+        Some("plan") => {
+            if toks.len() != 4 {
+                return Err(parse_err(0, "usage: plan <dft|wht> <n> <sdl|ddl>"));
+            }
+            let kind = parse_kind(toks[1])?;
+            let n: usize = toks[2]
+                .parse()
+                .map_err(|_| parse_err(0, format!("bad size {:?}", toks[2])))?;
+            let strategy = parse_strategy(toks[3])?;
+            Ok(Request::Plan { kind, n, strategy })
+        }
+        Some("exec") => {
+            if toks.len() < 3 {
+                return Err(parse_err(
+                    0,
+                    "usage: exec <dft|wht> (<n> <sdl|ddl> | <tree-expr>) [deadline_ms=K]",
+                ));
+            }
+            let kind = parse_kind(toks[1])?;
+            let deadline = match toks.last() {
+                Some(last) if last.starts_with("deadline_ms=") => {
+                    let ms: u64 = last["deadline_ms=".len()..]
+                        .parse()
+                        .map_err(|_| parse_err(0, format!("bad deadline {last:?}")))?;
+                    toks.pop();
+                    Some(Duration::from_millis(ms))
+                }
+                _ => None,
+            };
+            let rest = &toks[2..];
+            if rest.is_empty() {
+                return Err(parse_err(0, "exec: missing size or tree expression"));
+            }
+            // `exec dft 1024 ddl` — planned form; anything else is a
+            // tree expression (which may contain spaces: `ct(16, 16)`).
+            if rest.len() == 2 {
+                if let Ok(n) = rest[0].parse::<usize>() {
+                    let strategy = parse_strategy(rest[1])?;
+                    return Ok(Request::ExecPlanned {
+                        kind,
+                        n,
+                        strategy,
+                        deadline,
+                    });
+                }
+            }
+            let expr = rest.join(" ");
+            // Validate at admission so malformed trees never consume a
+            // queue slot.
+            grammar::parse(&expr)?;
+            Ok(Request::ExecExpr {
+                kind,
+                expr,
+                deadline,
+            })
+        }
+        Some(other) => Err(parse_err(0, format!("unknown command {other:?}"))),
+        None => Err(parse_err(0, "empty request")),
+    }
+}
+
+/// Stable one-token code for an error's wire response.
+pub fn error_code(e: &DdlError) -> &'static str {
+    match e {
+        DdlError::Overloaded { .. } => "overloaded",
+        DdlError::DeadlineExceeded { .. } => "deadline",
+        DdlError::Cancelled { .. } => "cancelled",
+        DdlError::Parse { .. } => "parse",
+        DdlError::WorkerPanic { .. } => "worker-panic",
+        DdlError::InvalidSize { .. } => "invalid-size",
+        DdlError::InvalidTree(_) => "invalid-tree",
+        DdlError::ShapeMismatch { .. } => "shape",
+        DdlError::Resource(_) => "resource",
+        _ => "error",
+    }
+}
+
+fn wire_err(e: &DdlError) -> String {
+    format!("err {}: {e}", error_code(e))
+}
+
+/// Point-in-time service counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests admitted to the queue (or served inline).
+    pub accepted: u64,
+    /// Requests shed at admission (queue full or injected shed).
+    pub shed: u64,
+    /// Requests answered with an `ok` response.
+    pub completed: u64,
+    /// Requests answered with an `err` response after admission.
+    pub failed: u64,
+    /// Failed requests whose cause was a contained worker panic.
+    pub worker_panics: u64,
+    /// Failed requests whose cause was deadline expiry.
+    pub deadline_expired: u64,
+    /// Requests currently queued.
+    pub queued: usize,
+    /// Worker threads currently running.
+    pub workers: usize,
+}
+
+struct Job {
+    request: Request,
+    submitted: Instant,
+    deadline: Option<Duration>,
+    reply: SyncSender<String>,
+}
+
+struct ServiceInner {
+    engine: Engine,
+    config: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    workers_live: AtomicUsize,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    worker_panics: AtomicU64,
+    deadline_expired: AtomicU64,
+}
+
+/// A pending response for one submitted request.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<String>,
+    deadline: Option<Duration>,
+}
+
+impl Ticket {
+    /// Waits for the response. Never blocks unboundedly: gives up after
+    /// the request deadline plus grace (or 30 s without one) with an
+    /// `err` line.
+    pub fn wait(self) -> String {
+        let limit = self
+            .deadline
+            .map(|d| d + Duration::from_secs(5))
+            .unwrap_or(Duration::from_secs(30));
+        match self.rx.recv_timeout(limit) {
+            Ok(line) => line,
+            Err(RecvTimeoutError::Timeout) => {
+                wire_err(&DdlError::Resource("response timed out".into()))
+            }
+            Err(RecvTimeoutError::Disconnected) => wire_err(&DdlError::Resource(
+                "worker dropped the response channel".into(),
+            )),
+        }
+    }
+}
+
+fn relock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panicking holder already reported its failure through its own
+    // response; the queue data (plain jobs) cannot be mid-mutation in an
+    // observable way, so poison recovery is safe and keeps serving.
+    lock.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The service: one shared engine, a bounded queue, a worker pool.
+/// Cloning shares the same service.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<ServiceInner>,
+    // Join handles live outside `inner` so clones stay cheap; only the
+    // handle returned by `start` can join.
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Service {
+    /// Builds the service and spawns its worker pool. Spawn failures
+    /// degrade: the service still works with fewer (or zero) workers,
+    /// serving inline through [`Service::handle`].
+    pub fn start(config: ServiceConfig) -> Service {
+        let svc = Service::without_workers(config);
+        let mut handles = Vec::new();
+        for i in 0..config.workers {
+            // `scheduler.spawn` injects spawn failure here too, so chaos
+            // runs exercise the degraded (fewer-workers) path.
+            if faultpoint::hit("scheduler.spawn") {
+                continue;
+            }
+            let inner = Arc::clone(&svc.inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("ddl-serve-{i}"))
+                .spawn(move || worker_loop(&inner));
+            if let Ok(h) = spawned {
+                svc.inner.workers_live.fetch_add(1, Ordering::Release);
+                handles.push(h);
+            }
+        }
+        *relock(&svc.workers) = handles;
+        svc
+    }
+
+    /// Builds the service with no worker threads. Tests use this to
+    /// drive the queue deterministically ([`Service::process_one`]);
+    /// production reaches the same state when every spawn fails.
+    pub fn without_workers(config: ServiceConfig) -> Service {
+        Service {
+            inner: Arc::new(ServiceInner {
+                engine: Engine::new(config.engine),
+                config,
+                queue: Mutex::new(VecDeque::new()),
+                ready: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                workers_live: AtomicUsize::new(0),
+                accepted: AtomicU64::new(0),
+                shed: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                failed: AtomicU64::new(0),
+                worker_panics: AtomicU64::new(0),
+                deadline_expired: AtomicU64::new(0),
+            }),
+            workers: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+
+    /// The shared engine (plan cache).
+    pub fn engine(&self) -> &Engine {
+        &self.inner.engine
+    }
+
+    /// Parses and admits one request line. Returns a [`Ticket`] for the
+    /// response, or fails immediately — malformed lines with a parse
+    /// error, a full queue with [`DdlError::Overloaded`]. Never blocks.
+    pub fn submit(&self, line: &str) -> Result<Ticket, DdlError> {
+        let request = parse_request(line)?;
+        // `stats` is a lock-free read; answer inline without a slot.
+        if request == Request::Stats {
+            let (tx, rx) = mpsc::sync_channel(1);
+            let _ = tx.send(self.stats_line());
+            self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+            self.inner.completed.fetch_add(1, Ordering::Relaxed);
+            return Ok(Ticket { rx, deadline: None });
+        }
+        let deadline = match &request {
+            Request::ExecPlanned { deadline, .. } | Request::ExecExpr { deadline, .. } => {
+                deadline.or(self.inner.config.default_deadline)
+            }
+            _ => self.inner.config.default_deadline,
+        };
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut q = relock(&self.inner.queue);
+            let capacity = self.inner.config.queue_capacity;
+            if q.len() >= capacity || faultpoint::hit("serve.queue.full") {
+                self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(DdlError::Overloaded {
+                    queued: q.len(),
+                    capacity,
+                });
+            }
+            q.push_back(Job {
+                request,
+                submitted: Instant::now(),
+                deadline,
+                reply: tx,
+            });
+        }
+        self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+        self.inner.ready.notify_one();
+        Ok(Ticket { rx, deadline })
+    }
+
+    /// Submits and waits: the one-call entry point connection handlers
+    /// use. With zero live workers (degraded mode) the request is served
+    /// inline on this thread.
+    pub fn handle(&self, line: &str) -> String {
+        match self.submit(line) {
+            Ok(ticket) => {
+                if self.inner.workers_live.load(Ordering::Acquire) == 0 {
+                    self.process_one();
+                }
+                ticket.wait()
+            }
+            Err(e) => wire_err(&e),
+        }
+    }
+
+    /// Dequeues and serves at most one job on the calling thread.
+    /// Returns whether a job was served. Tests and degraded mode use
+    /// this; worker threads run the same path in a loop.
+    pub fn process_one(&self) -> bool {
+        let job = relock(&self.inner.queue).pop_front();
+        match job {
+            Some(job) => {
+                serve_job(&self.inner, job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Signals workers to exit once the queue drains and joins them.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.ready.notify_all();
+        let handles = std::mem::take(&mut *relock(&self.workers));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            accepted: self.inner.accepted.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            worker_panics: self.inner.worker_panics.load(Ordering::Relaxed),
+            deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
+            queued: relock(&self.inner.queue).len(),
+            workers: self.inner.workers_live.load(Ordering::Acquire),
+        }
+    }
+
+    /// The `ok stats …` wire line.
+    pub fn stats_line(&self) -> String {
+        let s = self.stats();
+        let e = self.inner.engine.stats();
+        format!(
+            "ok stats accepted={} shed={} completed={} failed={} worker_panics={} \
+             deadline_expired={} queued={} workers={} plan_hits={} plan_misses={} \
+             plans_compiled={} shards_quarantined={} sessions={}",
+            s.accepted,
+            s.shed,
+            s.completed,
+            s.failed,
+            s.worker_panics,
+            s.deadline_expired,
+            s.queued,
+            s.workers,
+            e.plan_hits,
+            e.plan_misses,
+            e.plans_compiled,
+            e.shards_quarantined,
+            e.sessions
+        )
+    }
+}
+
+fn worker_loop(inner: &Arc<ServiceInner>) {
+    loop {
+        let job = {
+            let mut q = relock(&inner.queue);
+            loop {
+                if let Some(j) = q.pop_front() {
+                    break Some(j);
+                }
+                if inner.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _timeout) = inner
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(25))
+                    .unwrap_or_else(PoisonError::into_inner);
+                q = guard;
+            }
+        };
+        match job {
+            Some(job) => serve_job(inner, job),
+            None => {
+                inner.workers_live.fetch_sub(1, Ordering::Release);
+                return;
+            }
+        }
+    }
+}
+
+/// Serves one job: deadline check at dequeue, panic-contained execution,
+/// exactly one response.
+fn serve_job(inner: &ServiceInner, job: Job) {
+    if let Some(limit) = job.deadline {
+        let elapsed = job.submitted.elapsed();
+        if elapsed > limit {
+            let e = DdlError::DeadlineExceeded {
+                context: "serve: dequeue",
+                late_ns: (elapsed - limit).as_nanos() as u64,
+            };
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+            inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(wire_err(&e));
+            return;
+        }
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| run_request(inner, &job.request)));
+    let line = match outcome {
+        Ok(Ok(line)) => {
+            inner.completed.fetch_add(1, Ordering::Relaxed);
+            line
+        }
+        Ok(Err(e)) => {
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+            if matches!(e, DdlError::DeadlineExceeded { .. }) {
+                inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            }
+            wire_err(&e)
+        }
+        Err(payload) => {
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+            inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+            let text = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            wire_err(&DdlError::WorkerPanic {
+                item: 0,
+                payload: text,
+            })
+        }
+    };
+    let _ = job.reply.send(line);
+}
+
+fn run_request(inner: &ServiceInner, request: &Request) -> Result<String, DdlError> {
+    faultpoint::maybe_panic("serve.worker.panic");
+    match request {
+        Request::Stats => Ok(String::new()), // answered at admission
+        Request::Plan { kind, n, strategy } => {
+            let key = PlanKey {
+                kind: *kind,
+                n: *n,
+                strategy: *strategy,
+            };
+            let before = inner.engine.stats().plan_hits;
+            let artifact = inner.engine.plan(key)?;
+            let cached = inner.engine.stats().plan_hits > before;
+            let tree = match (kind, artifact.as_dft(), artifact.as_wht()) {
+                (_, Some(p), _) => grammar::print_dft(p.tree()),
+                (_, _, Some(p)) => grammar::print_wht(p.tree()),
+                _ => String::new(),
+            };
+            Ok(format!(
+                "ok plan {} n={n} strategy={} cached={} tree={tree}",
+                kind.label(),
+                strategy.label(),
+                cached
+            ))
+        }
+        Request::ExecPlanned {
+            kind, n, strategy, ..
+        } => {
+            let key = PlanKey {
+                kind: *kind,
+                n: *n,
+                strategy: *strategy,
+            };
+            let artifact = inner.engine.plan(key)?;
+            let started = Instant::now();
+            let dc = match (artifact.as_dft(), artifact.as_wht()) {
+                (Some(plan), _) => exec_dft_ones(plan)?,
+                (_, Some(plan)) => exec_wht_ones(plan)?,
+                _ => return Err(DdlError::Resource("unknown artifact kind".into())),
+            };
+            Ok(format!(
+                "ok exec {} n={n} dc={dc} wall_ns={}",
+                kind.label(),
+                started.elapsed().as_nanos()
+            ))
+        }
+        Request::ExecExpr { kind, expr, .. } => {
+            let tree = grammar::parse(expr)?;
+            let n = tree.size();
+            let started = Instant::now();
+            let dc = match kind {
+                TransformKind::Dft(dir) => {
+                    let plan = DftPlan::new(tree, *dir)?;
+                    exec_dft_ones(&plan)?
+                }
+                TransformKind::Wht => {
+                    let plan = WhtPlan::new(tree)?;
+                    exec_wht_ones(&plan)?
+                }
+            };
+            Ok(format!(
+                "ok exec {} n={n} dc={dc} wall_ns={}",
+                kind.label(),
+                started.elapsed().as_nanos()
+            ))
+        }
+    }
+}
+
+fn exec_dft_ones(plan: &DftPlan) -> Result<f64, DdlError> {
+    let n = plan.n();
+    let x = vec![Complex64::ONE; n];
+    let mut y = vec![Complex64::ZERO; n];
+    plan.try_execute(&x, &mut y)?;
+    Ok(y[0].re)
+}
+
+fn exec_wht_ones(plan: &WhtPlan) -> Result<f64, DdlError> {
+    let mut data = vec![1.0f64; plan.n()];
+    plan.try_execute(&mut data)?;
+    Ok(data[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddl_core::faultpoint::FaultMode;
+
+    fn small(workers: usize, capacity: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            queue_capacity: capacity,
+            default_deadline: None,
+            engine: EngineConfig::default(),
+        }
+    }
+
+    #[test]
+    fn parse_covers_the_grammar() {
+        assert_eq!(parse_request("stats"), Ok(Request::Stats));
+        assert_eq!(
+            parse_request("plan dft 1024 ddl"),
+            Ok(Request::Plan {
+                kind: TransformKind::Dft(Direction::Forward),
+                n: 1024,
+                strategy: Strategy::Ddl,
+            })
+        );
+        assert_eq!(
+            parse_request("exec wht 256 sdl deadline_ms=50"),
+            Ok(Request::ExecPlanned {
+                kind: TransformKind::Wht,
+                n: 256,
+                strategy: Strategy::Sdl,
+                deadline: Some(Duration::from_millis(50)),
+            })
+        );
+        match parse_request("exec dft ct(16, 16)") {
+            Ok(Request::ExecExpr { expr, .. }) => assert_eq!(expr, "ct(16, 16)"),
+            other => panic!("want ExecExpr, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_request("exec dft ct(16,"),
+            Err(DdlError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_request("frobnicate"),
+            Err(DdlError::Parse { .. })
+        ));
+        assert!(matches!(parse_request(""), Err(DdlError::Parse { .. })));
+    }
+
+    #[test]
+    fn saturated_queue_sheds_with_typed_overload() {
+        let svc = Service::without_workers(small(0, 2));
+        let t1 = svc.submit("exec dft 64 sdl").expect("slot 1");
+        let t2 = svc.submit("exec dft 64 sdl").expect("slot 2");
+        match svc.submit("exec dft 64 sdl") {
+            Err(DdlError::Overloaded { queued, capacity }) => {
+                assert_eq!((queued, capacity), (2, 2));
+            }
+            other => panic!("want Overloaded, got {other:?}"),
+        }
+        let s = svc.stats();
+        assert_eq!((s.accepted, s.shed, s.queued), (2, 1, 2));
+        // Draining frees slots again.
+        assert!(svc.process_one());
+        assert!(svc.process_one());
+        assert!(t1.wait().starts_with("ok exec dft n=64"));
+        assert!(t2.wait().starts_with("ok exec dft n=64"));
+        assert!(svc.submit("exec dft 64 sdl").is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_at_dequeue() {
+        let svc = Service::without_workers(small(0, 8));
+        let t = svc
+            .submit("exec dft 64 sdl deadline_ms=0")
+            .expect("admitted");
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(svc.process_one());
+        let line = t.wait();
+        assert!(line.starts_with("err deadline:"), "got {line}");
+        let s = svc.stats();
+        assert_eq!((s.failed, s.deadline_expired), (1, 1));
+    }
+
+    #[test]
+    fn malformed_requests_never_take_a_queue_slot() {
+        let svc = Service::without_workers(small(0, 1));
+        assert!(svc.submit("exec dft ct(").is_err());
+        assert!(svc.submit("plan dft ten ddl").is_err());
+        assert_eq!(svc.stats().queued, 0);
+        assert!(svc.submit("exec dft 32 sdl").is_ok());
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained() {
+        let _x = faultpoint::exclusive();
+        let svc = Service::without_workers(small(0, 8));
+        {
+            let _g = faultpoint::arm(3, &[("serve.worker.panic", FaultMode::Once(0))]);
+            let t = svc.submit("exec dft 64 sdl").expect("admitted");
+            assert!(svc.process_one());
+            let line = t.wait();
+            assert!(line.starts_with("err worker-panic:"), "got {line}");
+        }
+        // The service keeps serving after the contained panic.
+        let t = svc.submit("exec dft 64 sdl").expect("admitted");
+        assert!(svc.process_one());
+        assert!(t.wait().starts_with("ok exec dft n=64"));
+        let s = svc.stats();
+        assert_eq!((s.worker_panics, s.completed), (1, 1));
+        assert_eq!(s.accepted, s.completed + s.failed, "conservation");
+    }
+
+    #[test]
+    fn injected_queue_full_sheds_even_when_empty() {
+        let _x = faultpoint::exclusive();
+        let svc = Service::without_workers(small(0, 8));
+        let _g = faultpoint::arm(11, &[("serve.queue.full", FaultMode::Once(0))]);
+        match svc.submit("exec dft 64 sdl") {
+            Err(DdlError::Overloaded { queued, .. }) => assert_eq!(queued, 0),
+            other => panic!("want Overloaded, got {other:?}"),
+        }
+        assert!(svc.submit("exec dft 64 sdl").is_ok());
+    }
+
+    #[test]
+    fn worker_pool_serves_and_conserves() {
+        let svc = Service::start(small(2, 32));
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| {
+                let n = 32 << (i % 3);
+                svc.submit(&format!("exec dft {n} ddl")).expect("admitted")
+            })
+            .collect();
+        for t in tickets {
+            let line = t.wait();
+            assert!(line.starts_with("ok exec dft"), "got {line}");
+        }
+        svc.shutdown();
+        let s = svc.stats();
+        assert_eq!(s.accepted, 16);
+        assert_eq!(s.completed, 16);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.accepted, s.completed + s.failed, "conservation");
+        assert_eq!(s.workers, 0, "workers joined");
+    }
+
+    #[test]
+    fn degraded_zero_worker_mode_serves_inline() {
+        let svc = Service::without_workers(small(0, 8));
+        let line = svc.handle("exec wht 128 sdl");
+        assert!(line.starts_with("ok exec wht n=128 dc=128"), "got {line}");
+        let line = svc.handle("stats");
+        assert!(line.starts_with("ok stats "), "got {line}");
+    }
+
+    #[test]
+    fn plan_command_caches_in_the_engine() {
+        let svc = Service::without_workers(small(0, 8));
+        let first = svc.handle("plan dft 256 ddl");
+        assert!(first.contains("cached=false"), "got {first}");
+        assert!(first.contains("tree="), "got {first}");
+        let second = svc.handle("plan dft 256 ddl");
+        assert!(second.contains("cached=true"), "got {second}");
+    }
+
+    #[test]
+    fn exec_expr_runs_the_given_tree() {
+        let svc = Service::without_workers(small(0, 8));
+        let line = svc.handle("exec dft ct(16, ct(16, 16))");
+        assert!(line.starts_with("ok exec dft n=4096 dc=4096"), "got {line}");
+    }
+}

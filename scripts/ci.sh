@@ -13,8 +13,24 @@ run() {
 
 run cargo fmt --all -- --check
 run cargo clippy --workspace --all-targets -- -D warnings
-run cargo build --release
-run cargo test -q
+run cargo build --workspace --release
+run cargo test --workspace -q
+
+# Chaos suite: the deterministic fault-injection harness under a pinned
+# seed, re-run explicitly so it emits the JSONL fault report artifact
+# (each test appends one line per injected fault class). The gate also
+# checks the report covers at least five distinct fault classes, so a
+# silently-skipped chaos test cannot pass unnoticed.
+rm -f target/chaos-report.jsonl
+run env DDL_CHAOS_SEED=42 DDL_CHAOS_REPORT=target/chaos-report.jsonl \
+    cargo test -q --test chaos
+echo
+echo "==> chaos report fault-class coverage"
+classes=$(grep -o '"class":"[^"]*"' target/chaos-report.jsonl | sort -u | tee /dev/stderr | wc -l)
+if [ "$classes" -lt 5 ]; then
+    echo "error: chaos report covers only $classes fault classes (need >= 5)"
+    exit 1
+fi
 
 # Observability smoke: emit a metrics report from an instrumented run,
 # then validate the ddl-metrics schema and its structural invariants.

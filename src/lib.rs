@@ -21,6 +21,8 @@
 //! * [`analyze`] — static access/conflict analysis and the three-way
 //!   cache-miss attribution cross-check.
 //! * [`workloads`] — signal generators for examples and benchmarks.
+//! * [`serve`] — the fault-tolerant transform service (`ddl-serve`):
+//!   shared engine, bounded admission, deadline-aware workers.
 //!
 //! Every fallible operation is available in a `try_*` form returning
 //! `Result<_, DdlError>` (re-exported in the [`prelude`]); the
@@ -53,6 +55,7 @@ pub use ddl_core as core;
 pub use ddl_kernels as kernels;
 pub use ddl_layout as layout;
 pub use ddl_num as num;
+pub use ddl_serve as serve;
 pub use ddl_workloads as workloads;
 
 /// The commonly needed names in one import.
@@ -64,6 +67,7 @@ pub mod prelude {
     pub use ddl_core::calibrate::{
         calibrate_dft, calibrate_wht, CalibrationConfig, CalibrationReport,
     };
+    pub use ddl_core::engine::{Engine, EngineConfig, PlanKey, Session, TransformKind};
     pub use ddl_core::grammar::{parse as parse_tree, print_dft, print_wht};
     pub use ddl_core::measure::{fft_mflops, time_per_call, time_per_point_ns};
     pub use ddl_core::obs::{
@@ -71,16 +75,18 @@ pub mod prelude {
         Recorder, Sink, SpanInfo, SpanKind, Stage, StageBreakdown, TraceEvent,
     };
     pub use ddl_core::parallel::{
-        execute_dft_batch, execute_wht_batch, try_execute_dft_batch, try_execute_wht_batch,
-        BatchReport,
+        execute_dft_batch, execute_wht_batch, try_execute_dft_batch, try_execute_dft_batch_opts,
+        try_execute_wht_batch, try_execute_wht_batch_opts, BatchReport,
     };
     pub use ddl_core::planner::{
         plan_dft, plan_wht, try_plan_dft, try_plan_wht, CostBackend, PlannerConfig, Strategy,
     };
+    pub use ddl_core::scheduler::{execute_batch_scheduled, BatchOptions, CancelToken};
     pub use ddl_core::trace::{chrome_trace_json, validate_chrome_trace, write_chrome_trace};
     pub use ddl_core::traced::{simulate_dft, simulate_wht};
     pub use ddl_core::tree::Tree;
     pub use ddl_core::wisdom::Wisdom;
     pub use ddl_core::{CacheModel, DctPlan, Dft2dPlan, DftPlan, RfftPlan, SixStepPlan, WhtPlan};
     pub use ddl_num::{Complex64, DdlError, Direction};
+    pub use ddl_serve::{Service, ServiceConfig};
 }

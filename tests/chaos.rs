@@ -1,0 +1,415 @@
+//! Deterministic chaos suite for the fault-tolerant service layer.
+//!
+//! Each test arms one class of fault through `ddl_core::faultpoint`
+//! (seed-reproducible: the set of fired hit ordinals depends only on
+//! `(seed, point, ordinal)`), drives the scheduler / engine / service
+//! through it, and asserts the three robustness invariants:
+//!
+//! 1. **No deadlock** — the run completes inside a watchdog window.
+//! 2. **No lost item** — every submitted item/request yields exactly one
+//!    outcome (`BatchReport` slot or service response).
+//! 3. **Report conservation** — the outcome counts partition the total
+//!    (`ok + panicked + deadline_expired + cancelled == items`;
+//!    `accepted == completed + failed` for the service).
+//!
+//! Fault classes covered: item panics, worker-spawn failure, deadline
+//! expiry, corrupt wisdom loads, admission-queue saturation, engine
+//! shard poisoning, and service-worker panics.
+//!
+//! The seed is pinned by `DDL_CHAOS_SEED` (default 42); CI runs with the
+//! pinned default so failures replay exactly. When `DDL_CHAOS_REPORT`
+//! is set, each test appends one JSONL line describing what it injected
+//! and observed — CI uploads the file as the fault-injection artifact.
+
+use dynamic_data_layout::core::engine::{Engine, EngineConfig, PlanKey};
+use dynamic_data_layout::core::faultpoint::{self, FaultMode};
+use dynamic_data_layout::core::planner::{PlannerConfig, Strategy};
+use dynamic_data_layout::core::scheduler::{execute_batch_scheduled, BatchOptions};
+use dynamic_data_layout::core::tree::Tree;
+use dynamic_data_layout::core::wisdom::Wisdom;
+use dynamic_data_layout::core::BatchReport;
+use dynamic_data_layout::num::DdlError;
+use dynamic_data_layout::serve::{Service, ServiceConfig, Ticket};
+use std::io::Write as _;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Pinned chaos seed; override with `DDL_CHAOS_SEED` to explore.
+fn seed() -> u64 {
+    std::env::var("DDL_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Runs `f` on a helper thread and asserts it finishes within a minute:
+/// the executable no-deadlock assertion. Returns `f`'s value.
+fn with_watchdog<T: Send + 'static>(name: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::sync_channel(1);
+    let handle = std::thread::Builder::new()
+        .name(format!("chaos-{name}"))
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .expect("spawn watchdogged work");
+    let value = rx
+        .recv_timeout(Duration::from_secs(60))
+        .unwrap_or_else(|_| panic!("{name}: deadlocked or lost (watchdog fired)"));
+    let _ = handle.join();
+    value
+}
+
+/// Appends one finding line to `$DDL_CHAOS_REPORT` (no-op when unset).
+fn report_line(class: &str, detail: &str) {
+    let Ok(path) = std::env::var("DDL_CHAOS_REPORT") else {
+        return;
+    };
+    if let Some(parent) = std::path::Path::new(&path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            file,
+            "{{\"schema\":\"ddl-chaos\",\"class\":\"{class}\",\"seed\":{},{detail}}}",
+            seed()
+        );
+    }
+}
+
+fn assert_batch_conservation(report: &BatchReport) {
+    let ok = report.outcomes().iter().filter(|r| r.is_ok()).count();
+    let panicked = report
+        .outcomes()
+        .iter()
+        .filter(|r| matches!(r, Err(DdlError::WorkerPanic { .. })))
+        .count();
+    assert_eq!(
+        ok + panicked + report.deadline_expired() + report.cancelled(),
+        report.items(),
+        "outcomes must partition the batch"
+    );
+}
+
+fn noisy_batch(count: usize, opts: BatchOptions) -> BatchReport {
+    let items: Vec<usize> = (0..count).collect();
+    execute_batch_scheduled(
+        items,
+        &opts,
+        || 0u64,
+        |_idx, item, acc| {
+            *acc = acc.wrapping_add(item as u64);
+            std::hint::black_box(*acc);
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Class 1: item panics inside the work-stealing scheduler.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_item_panics_are_contained_and_deterministic() {
+    let _x = faultpoint::exclusive();
+    let run = |threads: usize| {
+        let _g = faultpoint::arm(seed(), &[("batch.item.panic", FaultMode::Probability(0.3))]);
+        with_watchdog("item-panic", move || {
+            noisy_batch(64, BatchOptions::with_threads(threads))
+        })
+    };
+
+    // Parallel run: containment + conservation.
+    let parallel = run(4);
+    assert_eq!(parallel.items(), 64, "no lost item");
+    assert_batch_conservation(&parallel);
+    let panicked = parallel
+        .outcomes()
+        .iter()
+        .filter(|r| matches!(r, Err(DdlError::WorkerPanic { .. })))
+        .count();
+    assert!(
+        panicked > 0,
+        "seeded probability 0.3 over 64 items fired nothing"
+    );
+    assert!(panicked < 64, "not every item may fail");
+
+    // Determinism: the fired ordinal set depends only on (seed, point,
+    // ordinal), so equal-thread reruns fail the same number of items —
+    // and single-thread reruns fail the exact same *items*.
+    let a = run(1);
+    let b = run(1);
+    let failed = |r: &BatchReport| -> Vec<usize> { r.failures().map(|(index, _)| index).collect() };
+    assert_eq!(failed(&a), failed(&b), "same seed must replay identically");
+    report_line(
+        "batch.item.panic",
+        &format!(
+            "\"items\":64,\"panicked\":{panicked},\"replayed\":{}",
+            failed(&a).len()
+        ),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Class 2: worker-thread spawn failure degrades, never aborts.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_spawn_failures_degrade_to_sequential() {
+    let _x = faultpoint::exclusive();
+    let report = {
+        let _g = faultpoint::arm(seed(), &[("scheduler.spawn", FaultMode::Always)]);
+        with_watchdog("spawn-fail", || {
+            noisy_batch(32, BatchOptions::with_threads(8))
+        })
+    };
+    assert_eq!(report.items(), 32, "no lost item");
+    assert!(
+        report.all_ok(),
+        "degraded run must still complete every item"
+    );
+    assert!(
+        report.degraded_to_sequential(),
+        "spawn failure must be recorded in the report"
+    );
+    assert_batch_conservation(&report);
+    report_line(
+        "scheduler.spawn",
+        "\"items\":32,\"ok\":32,\"degraded\":true",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Class 3: deadline expiry mid-batch.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_deadline_expiry_sheds_with_typed_errors() {
+    let _x = faultpoint::exclusive();
+    // Fire expiry on every second dequeue: roughly half the batch sheds.
+    let report = {
+        let _g = faultpoint::arm(seed(), &[("scheduler.deadline", FaultMode::Every(2))]);
+        with_watchdog("deadline", || {
+            noisy_batch(48, BatchOptions::with_threads(3))
+        })
+    };
+    assert_eq!(report.items(), 48, "no lost item");
+    assert!(report.deadline_expired() > 0, "injected expiry never fired");
+    assert!(
+        report.outcomes().iter().filter(|r| r.is_ok()).count() > 0,
+        "every-2nd expiry must not shed everything"
+    );
+    for outcome in report.outcomes() {
+        if let Err(e) = outcome {
+            assert!(
+                matches!(e, DdlError::DeadlineExceeded { .. }),
+                "only typed deadline errors expected, got {e:?}"
+            );
+        }
+    }
+    assert_batch_conservation(&report);
+    report_line(
+        "scheduler.deadline",
+        &format!(
+            "\"items\":48,\"deadline_expired\":{}",
+            report.deadline_expired()
+        ),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Class 4: corrupt wisdom loads quarantine; engine and service degrade.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_corrupt_wisdom_is_quarantined_not_fatal() {
+    let _x = faultpoint::exclusive();
+    let dir = std::env::temp_dir().join(format!("ddl-chaos-wisdom-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("wisdom.json");
+
+    let mut wisdom = Wisdom::new();
+    wisdom.put(
+        "dft",
+        64,
+        Strategy::Ddl,
+        &Tree::split(Tree::leaf(8), Tree::leaf(8)),
+        1.0,
+        "chaos",
+    );
+    wisdom.save(&path).expect("seed wisdom");
+
+    let engine = Engine::new(EngineConfig {
+        shards: 4,
+        planner: PlannerConfig::ddl_analytical(),
+    });
+    {
+        let _g = faultpoint::arm(seed(), &[("wisdom.load.corrupt", FaultMode::Always)]);
+        let loaded = Wisdom::load(&path).expect("corrupt entries must not fail the load");
+        assert_eq!(loaded.len(), 0, "damaged entries must not survive");
+        assert_eq!(loaded.quarantined().len(), 1, "damage lands in quarantine");
+        assert_eq!(
+            engine.warm_from_wisdom(&loaded),
+            0,
+            "nothing valid to warm from"
+        );
+    }
+    // Degraded, not dead: the engine plans the key from scratch.
+    let artifact = engine
+        .plan(PlanKey::dft(64, Strategy::Ddl))
+        .expect("cold planning still works");
+    assert_eq!(artifact.n(), 64);
+
+    std::fs::remove_dir_all(&dir).ok();
+    report_line(
+        "wisdom.load.corrupt",
+        "\"entries\":1,\"quarantined\":1,\"crashed\":false",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Class 5: admission-queue saturation sheds with Overloaded.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_queue_saturation_sheds_and_conserves() {
+    let _x = faultpoint::exclusive();
+    let svc = Service::without_workers(ServiceConfig {
+        workers: 0,
+        queue_capacity: 4,
+        default_deadline: None,
+        engine: EngineConfig::default(),
+    });
+
+    let mut tickets: Vec<Ticket> = Vec::new();
+    let mut shed = 0usize;
+    for _ in 0..12 {
+        match svc.submit("exec dft 64 sdl") {
+            Ok(t) => tickets.push(t),
+            Err(DdlError::Overloaded { queued, capacity }) => {
+                assert_eq!((queued, capacity), (4, 4));
+                shed += 1;
+            }
+            Err(other) => panic!("only Overloaded may shed, got {other:?}"),
+        }
+    }
+    assert_eq!(tickets.len(), 4, "exactly capacity admitted");
+    assert_eq!(shed, 8, "everything else shed immediately");
+
+    let svc2 = svc.clone();
+    with_watchdog("drain", move || while svc2.process_one() {});
+    for t in tickets {
+        let line = t.wait();
+        assert!(line.starts_with("ok exec dft n=64"), "got {line}");
+    }
+    let s = svc.stats();
+    assert_eq!(s.accepted, 4);
+    assert_eq!(s.shed, 8);
+    assert_eq!(s.accepted, s.completed + s.failed, "conservation");
+    assert_eq!(s.queued, 0);
+    report_line(
+        "serve.queue.full",
+        "\"submitted\":12,\"accepted\":4,\"shed\":8",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Class 6: a poisoned plan-cache shard quarantines; service keeps going.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_poisoned_shard_quarantines_not_crashes() {
+    let _x = faultpoint::exclusive();
+    let engine = Engine::new(EngineConfig {
+        shards: 4,
+        planner: PlannerConfig::ddl_analytical(),
+    });
+    let key = PlanKey::dft(128, Strategy::Ddl);
+    {
+        let _g = faultpoint::arm(seed(), &[("engine.shard.poison", FaultMode::Once(0))]);
+        let shared = engine.clone();
+        let artifact = with_watchdog("poison", move || shared.plan(key).map(|a| a.n()));
+        assert_eq!(artifact, Ok(128), "the poisoning request itself succeeds");
+    }
+    assert_eq!(engine.quarantined_shards(), 1);
+    // Repeated requests for the quarantined key still succeed, uncached.
+    for _ in 0..3 {
+        assert_eq!(engine.plan(key).map(|a| a.n()), Ok(128));
+    }
+    assert_eq!(engine.quarantined_shards(), 1, "no quarantine spread");
+    report_line(
+        "engine.shard.poison",
+        "\"quarantined_shards\":1,\"requests_served_after\":3",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Class 7: randomized service-worker panics under a drain schedule.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_service_worker_panics_conserve_responses() {
+    let _x = faultpoint::exclusive();
+    let run = || {
+        let _g = faultpoint::arm(
+            seed(),
+            &[("serve.worker.panic", FaultMode::Probability(0.4))],
+        );
+        let svc = Service::without_workers(ServiceConfig {
+            workers: 0,
+            queue_capacity: 32,
+            default_deadline: None,
+            engine: EngineConfig::default(),
+        });
+        let svc2 = svc.clone();
+        with_watchdog("panic-storm", move || {
+            let mut responses = Vec::new();
+            for chunk in 0..5 {
+                let tickets: Vec<Ticket> = (0..4)
+                    .map(|i| {
+                        let n = 32 << ((chunk + i) % 3);
+                        svc2.submit(&format!("exec dft {n} sdl")).expect("admitted")
+                    })
+                    .collect();
+                while svc2.process_one() {}
+                for t in tickets {
+                    responses.push(t.wait());
+                }
+            }
+            (responses, svc2.stats())
+        })
+    };
+
+    let (responses, stats) = run();
+    assert_eq!(responses.len(), 20, "every request answered exactly once");
+    let panics = responses
+        .iter()
+        .filter(|r| r.starts_with("err worker-panic:"))
+        .count();
+    let oks = responses.iter().filter(|r| r.starts_with("ok ")).count();
+    assert_eq!(panics + oks, 20, "responses partition into ok and panic");
+    assert!(panics > 0, "probability 0.4 over 20 requests fired nothing");
+    assert!(oks > 0, "service must survive the storm");
+    assert_eq!(stats.accepted, 20);
+    assert_eq!(
+        stats.accepted,
+        stats.completed + stats.failed,
+        "conservation"
+    );
+    assert_eq!(stats.worker_panics as usize, panics);
+
+    // Deterministic replay: same seed, same drain schedule, same fates.
+    let (replay, _) = run();
+    let fates = |rs: &[String]| -> Vec<bool> { rs.iter().map(|r| r.starts_with("ok ")).collect() };
+    assert_eq!(
+        fates(&responses),
+        fates(&replay),
+        "seeded replay must match"
+    );
+    report_line(
+        "serve.worker.panic",
+        &format!("\"requests\":20,\"worker_panics\":{panics},\"replay_matched\":true"),
+    );
+}

@@ -253,3 +253,237 @@ fn save_then_load_preserves_entries_and_version() {
     assert_eq!(back, tree);
     assert_eq!(cost, 3.25);
 }
+
+// ---------------------------------------------------------------------------
+// Performance-ledger fault injection: `results/trajectory.jsonl` lines.
+// ---------------------------------------------------------------------------
+
+use ddl_bench::ledger::{append_entry, read_ledger, AttributionSummary, LedgerEntry};
+use std::collections::BTreeMap;
+
+/// A representative ledger entry with every optional part populated.
+fn sample_ledger_entry() -> LedgerEntry {
+    LedgerEntry {
+        label: "robustness".into(),
+        quick: true,
+        git_sha: "deadbeef".into(),
+        rustc: "rustc 1.75.0".into(),
+        cpu: "test-cpu".into(),
+        cases: BTreeMap::from([
+            ("dft-ddl-n1024".to_string(), 1234.5),
+            ("wht-sdl-n256".to_string(), 98.25),
+        ]),
+        attribution: vec![AttributionSummary {
+            transform: "dft".into(),
+            n: 1024,
+            strategy: "ddl".into(),
+            miss_rate: 0.0625,
+            misses: 128,
+            accesses: 2048,
+            leaves: 3,
+            case3_leaves: 1,
+        }],
+    }
+}
+
+#[test]
+fn truncated_ledger_lines_are_typed_errors_at_every_offset() {
+    // A torn write (power loss, full disk, concurrent reader) leaves a
+    // prefix of a valid line. Every such prefix must parse to a typed
+    // error — never a panic, never a silently-wrong entry.
+    let entry = sample_ledger_entry();
+    let line = entry.to_line();
+    assert_eq!(LedgerEntry::parse_line(&line).unwrap(), entry);
+    for cut in 0..line.len() {
+        if !line.is_char_boundary(cut) {
+            continue;
+        }
+        let err = LedgerEntry::parse_line(&line[..cut])
+            .expect_err(&format!("prefix of {cut} bytes parsed as a full entry"));
+        assert!(
+            matches!(err, DdlError::Metrics { .. }),
+            "cut at {cut}: unexpected error kind {err}"
+        );
+    }
+}
+
+#[test]
+fn garbled_ledger_lines_are_typed_errors() {
+    let line = sample_ledger_entry().to_line();
+    let garbles: Vec<String> = vec![
+        line.replace("ddl-trajectory", "ddl-somethingelse"), // wrong schema
+        line.replace("\"version\":1", "\"version\":99"),     // future version
+        line.replace("\"schema\":", "\"scheme\":"),          // schema missing
+        line.replace("\"quick\":true", "\"quick\":\"yes\""), // non-boolean quick
+        line.replace("1234.5", "\"fast\""),                  // non-numeric median
+        line.replace("1234.5", "-1"),                        // negative median
+        line.replace("\"misses\":128", "\"misses\":-5"),     // negative counter
+        line.replace("\"miss_rate\":0.0625", "\"miss_rate\":1e999"), // non-finite
+        line.replace("\"transform\":\"dft\"", "\"transform\":7"), // wrong type
+    ];
+    for (i, text) in garbles.iter().enumerate() {
+        if *text == line {
+            continue; // replacement did not apply; nothing to assert
+        }
+        let err =
+            LedgerEntry::parse_line(text).expect_err(&format!("garble {i} was accepted: {text}"));
+        assert!(
+            matches!(err, DdlError::Metrics { .. }),
+            "garble {i}: unexpected error kind {err}"
+        );
+    }
+    // Attribution as a non-array is refused outright.
+    let err = LedgerEntry::parse_line(&line.replace("\"attribution\":[", "\"attribution\":\"["))
+        .map(|_| ())
+        .expect_err("non-array attribution accepted");
+    assert!(matches!(err, DdlError::Metrics { .. }), "{err}");
+}
+
+#[test]
+fn torn_ledger_tail_fails_with_line_number_not_panic() {
+    let dir = std::env::temp_dir().join(format!("ddl-robustness-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("torn-ledger.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let entry = sample_ledger_entry();
+    append_entry(&path, &entry).unwrap();
+    append_entry(&path, &entry).unwrap();
+    assert_eq!(read_ledger(&path).unwrap().len(), 2);
+
+    // Tear the final line mid-record, as an interrupted append would.
+    let full = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, &full[..full.len() - full.len() / 4]).unwrap();
+    let err = read_ledger(&path).unwrap_err().to_string();
+    assert!(err.contains("line 2"), "no line attribution in: {err}");
+
+    // Blank and whitespace-only lines between records stay harmless.
+    std::fs::write(
+        &path,
+        format!("\n{}\n   \n{}\n\n", entry.to_line(), entry.to_line()),
+    )
+    .unwrap();
+    assert_eq!(read_ledger(&path).unwrap().len(), 2);
+    std::fs::remove_file(&path).unwrap();
+}
+
+proptest! {
+    #[test]
+    fn bit_flipped_ledger_lines_never_panic(
+        pos in 0usize..600,
+        flip in 1u8..=255,
+    ) {
+        // Single-byte corruption anywhere in the line must yield Ok (the
+        // flip landed somewhere harmless, e.g. inside a label) or a typed
+        // error — the process must survive either way.
+        let entry = sample_ledger_entry();
+        let mut bytes = entry.to_line().into_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        if let Ok(text) = String::from_utf8(bytes) {
+            match LedgerEntry::parse_line(&text) {
+                Ok(_) => {}
+                Err(e) => prop_assert!(
+                    matches!(e, DdlError::Metrics { .. }),
+                    "unexpected error kind {}", e
+                ),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Attribution-report fault injection: `ddl-attribution` documents.
+// ---------------------------------------------------------------------------
+
+use dynamic_data_layout::cachesim::CacheConfig;
+use dynamic_data_layout::core::attrib::{attribute_dft, AttributionReport};
+use dynamic_data_layout::core::reports::{check_report_text, CheckedReport};
+
+/// A real attributed run serialized to the v1 document text.
+fn sample_attribution_text() -> String {
+    let plan = DftPlan::from_expr("ct(ddl(8), 8)", Direction::Forward).unwrap();
+    let cache = CacheConfig {
+        capacity_bytes: 16 * 1024,
+        line_bytes: 64,
+        associativity: 1,
+    };
+    let run = attribute_dft(&plan, 2, cache).unwrap();
+    AttributionReport {
+        label: "robustness".into(),
+        runs: vec![run],
+    }
+    .to_text()
+}
+
+#[test]
+fn truncated_attribution_reports_are_typed_errors() {
+    let text = sample_attribution_text();
+    assert!(AttributionReport::parse(&text).is_ok());
+    // Sampling every 7th boundary keeps the sweep fast while still
+    // covering cuts inside every structural region of the document.
+    for cut in (0..text.len()).step_by(7) {
+        if !text.is_char_boundary(cut) {
+            continue;
+        }
+        let err = AttributionReport::parse(&text[..cut])
+            .map(|_| ())
+            .expect_err(&format!("prefix of {cut} bytes parsed as a report"));
+        assert!(
+            matches!(err, DdlError::Metrics { .. }),
+            "cut at {cut}: unexpected error kind {err}"
+        );
+    }
+}
+
+#[test]
+fn malformed_attribution_reports_are_typed_errors() {
+    let text = sample_attribution_text();
+    let garbles: Vec<String> = vec![
+        text.replace("ddl-attribution", "ddl-imposter"), // wrong schema
+        text.replace("\"version\": 1", "\"version\": 99"), // future version
+        text.replace("\"label\"", "\"lebal\""),          // missing field
+        text.replace("\"hits\"", "\"htis\""),            // missing counter
+    ];
+    for (i, garbled) in garbles.iter().enumerate() {
+        assert_ne!(garbled, &text, "garble {i} did not apply");
+        let err = AttributionReport::parse(garbled)
+            .map(|_| ())
+            .expect_err(&format!("garble {i} was accepted"));
+        assert!(
+            matches!(err, DdlError::Metrics { .. }),
+            "garble {i}: unexpected error kind {err}"
+        );
+    }
+}
+
+#[test]
+fn attribution_conservation_violations_fail_the_parse() {
+    // A document whose counters stopped adding up (bit rot, a buggy
+    // producer) must be refused at parse time, not propagated into the
+    // trajectory ledger.
+    let text = sample_attribution_text();
+    let report = AttributionReport::parse(&text).unwrap();
+    let misses = report.runs[0].totals.misses;
+    let broken = text.replacen(&format!("\"misses\": {misses}"), "\"misses\": 987654321", 1);
+    assert_ne!(broken, text, "corruption did not apply");
+    let err = AttributionReport::parse(&broken).unwrap_err();
+    assert!(
+        err.to_string().contains("conservation"),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn report_checker_routes_attribution_docs_and_rejects_garbage() {
+    let text = sample_attribution_text();
+    match check_report_text(&text).unwrap() {
+        CheckedReport::Attribution(report) => assert_eq!(report.label, "robustness"),
+        other => panic!("sniffed wrong schema: {}", other.schema()),
+    }
+    // A recognized schema with a corrupt body is an error, not Unknown.
+    assert!(check_report_text(&text.replace("\"hits\"", "\"htis\"")).is_err());
+    // Truncated and non-JSON inputs are typed errors, never panics.
+    assert!(check_report_text(&text[..text.len() / 3]).is_err());
+    assert!(check_report_text("not a report at all").is_err());
+}
