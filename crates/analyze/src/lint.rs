@@ -48,6 +48,9 @@ pub struct RuleSet {
     /// Apply the executor hot-path rules `lint/no-bare-lock` and
     /// `lint/no-unbounded-queue`.
     pub exec_hot_path: bool,
+    /// Apply `lint/no-unsafe`: off only for the audited SIMD module
+    /// ([`UNSAFE_AUDITED`]).
+    pub no_unsafe: bool,
 }
 
 /// Banned panic-family tokens, stored in halves so this file does not
@@ -68,6 +71,45 @@ fn panic_tokens() -> Vec<String> {
 
 fn std_time_token() -> String {
     ["std::", "time"].concat()
+}
+
+/// The `unsafe` keyword, stored in halves so this file does not flag
+/// itself. Matched whole-word, so the `unsafe_code` lint name inside
+/// `#![deny(unsafe_code)]` / `#[allow(unsafe_code)]` attributes does not
+/// fire.
+fn unsafe_token() -> String {
+    ["uns", "afe"].concat()
+}
+
+/// The explicit allow-list of audited modules permitted to contain
+/// `unsafe`: exactly the SIMD backend's arch dispatch module. Everything
+/// else in the workspace is scanned by `lint/no-unsafe` and every other
+/// crate root must carry `#![forbid(unsafe_code)]`.
+pub const UNSAFE_AUDITED: &[&str] = &["crates/backend-simd/src/arch.rs"];
+
+/// Crate roots that deny rather than forbid `unsafe_code`: `forbid`
+/// cannot be overridden per-module, so the one crate hosting an audited
+/// unsafe module uses `deny` at the root plus a scoped `allow` on that
+/// module. Pinned to exactly the SIMD backend.
+pub const DENY_UNSAFE_ROOTS: &[&str] = &["crates/backend-simd/src/lib.rs"];
+
+/// Whether `rel` (workspace-relative, `/`-separated) is on the audited
+/// unsafe allow-list.
+pub fn is_unsafe_audited(rel: &str) -> bool {
+    UNSAFE_AUDITED.contains(&rel)
+}
+
+/// Whole-word occurrences of `tok` in `code` (neither neighbor is an
+/// identifier character).
+fn contains_word(code: &str, tok: &str) -> bool {
+    let bytes = code.as_bytes();
+    let ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    code.match_indices(tok).any(|(pos, _)| {
+        let before_ok = pos == 0 || !ident(bytes[pos - 1]);
+        let after = pos + tok.len();
+        let after_ok = after >= bytes.len() || !ident(bytes[after]);
+        before_ok && after_ok
+    })
 }
 
 /// Banned lock idioms in executor hot paths: a panicking worker poisons
@@ -276,6 +318,7 @@ pub fn lint_source(label: &str, source: &str, rules: RuleSet, report: &mut Analy
     let in_test = test_module_lines(&scrubbed);
     let panic_toks = panic_tokens();
     let time_tok = std_time_token();
+    let unsafe_tok = unsafe_token();
     let lock_toks = bare_lock_tokens();
     let queue_toks = unbounded_queue_tokens();
     let raw: Vec<&str> = source.lines().collect();
@@ -338,6 +381,19 @@ pub fn lint_source(label: &str, source: &str, rules: RuleSet, report: &mut Analy
                 }
             }
         }
+        if rules.no_unsafe && contains_word(code, unsafe_tok.as_str()) && !allowed("lint/no-unsafe")
+        {
+            report.push(
+                "lint/no-unsafe",
+                Severity::Error,
+                &format!("{label}:{}", idx + 1),
+                format!(
+                    "`{unsafe_tok}` outside the audited SIMD module: all unsafe code \
+                     lives in {} (see DESIGN.md §11)",
+                    UNSAFE_AUDITED.join(", ")
+                ),
+            );
+        }
         if rules.no_std_time && code.contains(time_tok.as_str()) && !allowed("lint/no-std-time") {
             report.push(
                 "lint/no-std-time",
@@ -353,9 +409,25 @@ pub fn lint_source(label: &str, source: &str, rules: RuleSet, report: &mut Analy
 }
 
 /// Checks one crate root for `#![forbid(unsafe_code)]`.
+///
+/// The roots pinned in [`DENY_UNSAFE_ROOTS`] (exactly the SIMD backend)
+/// may use `#![deny(unsafe_code)]` instead: `forbid` cannot be
+/// overridden, and that crate scopes an `#[allow(unsafe_code)]` onto its
+/// single audited module.
 pub fn lint_crate_root(label: &str, source: &str, report: &mut AnalysisReport) {
     report.subject();
     report.check();
+    if DENY_UNSAFE_ROOTS.contains(&label) {
+        if !source.contains("#![deny(unsafe_code)]") {
+            report.push(
+                "lint/forbid-unsafe",
+                Severity::Error,
+                label,
+                "audited-unsafe crate root is missing #![deny(unsafe_code)]".to_string(),
+            );
+        }
+        return;
+    }
     if !source.contains("#![forbid(unsafe_code)]") {
         report.push(
             "lint/forbid-unsafe",
@@ -460,6 +532,7 @@ pub fn lint_workspace(root: &Path, report: &mut AnalysisReport) -> std::io::Resu
                 no_panics: true,
                 no_std_time: is_pure_planning(&rel),
                 exec_hot_path: is_exec_hot_path(&rel),
+                no_unsafe: !is_unsafe_audited(&rel),
             };
             lint_source(&rel, &source, rules, report);
         }
@@ -492,6 +565,7 @@ mod tests {
         no_panics: true,
         no_std_time: true,
         exec_hot_path: true,
+        no_unsafe: true,
     };
 
     #[test]
@@ -585,6 +659,7 @@ mod tests {
                 no_panics: true,
                 no_std_time: false,
                 exec_hot_path: false,
+                no_unsafe: true,
             },
             &mut report,
         );
@@ -620,6 +695,72 @@ mod tests {
     }
 
     #[test]
+    fn deny_unsafe_root_carve_out_is_pinned_to_the_simd_backend() {
+        // The audited crate root satisfies the rule with deny.
+        let deny = "#![deny(unsafe_code)]\npub mod arch;\n";
+        let mut report = AnalysisReport::new();
+        lint_crate_root("crates/backend-simd/src/lib.rs", deny, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+        // ...and fails without it.
+        let mut report = AnalysisReport::new();
+        lint_crate_root(
+            "crates/backend-simd/src/lib.rs",
+            "pub mod arch;\n",
+            &mut report,
+        );
+        assert_eq!(report.error_count(), 1);
+        // Any other crate root with deny instead of forbid still fails:
+        // the carve-out does not generalize.
+        let mut report = AnalysisReport::new();
+        lint_crate_root("crates/core/src/lib.rs", deny, &mut report);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.findings[0].rule, "lint/forbid-unsafe");
+    }
+
+    #[test]
+    fn unsafe_token_flagged_outside_the_audited_module() {
+        let tok = unsafe_token();
+        let src = format!("fn f(p: *const u8) -> u8 {{\n    {tok} {{ *p }}\n}}\n");
+        let mut report = AnalysisReport::new();
+        lint_source("crates/core/src/dft.rs", &src, ALL, &mut report);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.findings[0].rule, "lint/no-unsafe");
+        assert_eq!(report.findings[0].subject, "crates/core/src/dft.rs:2");
+    }
+
+    #[test]
+    fn unsafe_allow_list_is_exactly_the_arch_module() {
+        assert!(is_unsafe_audited("crates/backend-simd/src/arch.rs"));
+        assert!(!is_unsafe_audited("crates/backend-simd/src/lib.rs"));
+        assert!(!is_unsafe_audited("crates/core/src/dft.rs"));
+        assert_eq!(UNSAFE_AUDITED.len(), 1);
+        // The workspace walk disables the rule for exactly that file.
+        let tok = unsafe_token();
+        let src = format!("fn f(p: *const u8) -> u8 {{\n    {tok} {{ *p }}\n}}\n");
+        let rules = RuleSet {
+            no_panics: true,
+            no_std_time: false,
+            exec_hot_path: false,
+            no_unsafe: !is_unsafe_audited("crates/backend-simd/src/arch.rs"),
+        };
+        let mut report = AnalysisReport::new();
+        lint_source("crates/backend-simd/src/arch.rs", &src, rules, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn unsafe_code_attribute_spelling_is_not_flagged() {
+        // `#![deny(unsafe_code)]` / `#[allow(unsafe_code)]` contain the
+        // keyword only as a prefix of the lint name; whole-word matching
+        // must not fire on them.
+        let tok = unsafe_token();
+        let src = format!("#![deny({tok}_code)]\n#[allow({tok}_code)]\nmod arch;\n");
+        let mut report = AnalysisReport::new();
+        lint_source("crates/backend-simd/src/lib.rs", &src, ALL, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
     fn bare_lock_flagged_in_hot_paths() {
         let src = "fn f(m: &std::sync::Mutex<u8>) -> u8 {\n    *m.lock().unwrap()\n}\n";
         let mut report = AnalysisReport::new();
@@ -638,6 +779,7 @@ mod tests {
                 no_panics: false,
                 no_std_time: false,
                 exec_hot_path: false,
+                no_unsafe: true,
             },
             &mut report,
         );

@@ -23,6 +23,11 @@
 //! * **`--ledger-check <path>`** — validates every line of a trajectory
 //!   ledger and exits non-zero if any consecutive same-environment pair
 //!   regressed beyond `--tolerance`.
+//! * **`--simd-check`** — measures the scalar and SIMD backends on the
+//!   DDL DFT at the acceptance size (2^16) and exits non-zero when the
+//!   SIMD median speedup is below the pinned floor while a vector unit
+//!   is active. CI treats a failure as a soft gate (warning) because
+//!   shared runners throttle; the number is still printed and archived.
 //!
 //! ```sh
 //! cargo run --release -p ddl-bench --bin bench_suite -- --quick --label ci \
@@ -39,14 +44,16 @@
 use ddl_analyze::{annotate_static, crosscheck};
 use ddl_bench::ledger::{append_entry, check_ledger, read_ledger, AttributionSummary, LedgerEntry};
 use ddl_bench::suite::{
-    compare, default_repeats, run_suite, BenchReport, Comparison, SuiteConfig, DEFAULT_TOLERANCE,
+    compare, default_repeats, dft_case, run_suite, BenchReport, Comparison, SuiteConfig,
+    DEFAULT_TOLERANCE,
 };
 use ddl_cachesim::CacheConfig;
 use ddl_core::attrib::{attribute_dft, attribute_wht, AttributionReport, AttributionRun};
 use ddl_core::planner::{plan_dft, plan_wht, try_plan_dft_with, PlannerConfig, Strategy};
 use ddl_core::{
-    calibrate_dft, calibrate_wht, check_report_text, validate_chrome_trace, write_chrome_trace,
-    CalibrationConfig, CalibrationReport, CheckedReport, DftPlan, Recorder, WhtPlan,
+    calibrate_dft, calibrate_wht, check_report_text, simd_active_isa, validate_chrome_trace,
+    write_chrome_trace, BackendKind, CalibrationConfig, CalibrationReport, CheckedReport, DftPlan,
+    Recorder, WhtPlan,
 };
 use ddl_num::{Complex64, Direction};
 use std::path::{Path, PathBuf};
@@ -63,6 +70,14 @@ const ATTRIBUTION_LOGS: [u32; 2] = [10, 16];
 const ATTRIBUTION_LINE_BYTES: usize = 64;
 /// Size of the traced run behind `--trace-out`.
 const TRACE_N: usize = 1 << 10;
+/// Transform size of the `--simd-check` acceptance measurement.
+const SIMD_CHECK_N: usize = 1 << 16;
+/// Minimum scalar/SIMD median speedup `--simd-check` accepts when a
+/// vector unit is active (the PR's acceptance floor).
+const SIMD_CHECK_FLOOR: f64 = 1.5;
+/// Repeats for the `--simd-check` medians: more than the full suite's
+/// default because a single ratio gates on it.
+const SIMD_CHECK_REPEATS: u32 = 9;
 
 struct Args {
     quick: bool,
@@ -78,6 +93,7 @@ struct Args {
     attribution_out: Option<PathBuf>,
     ledger: Option<PathBuf>,
     ledger_check: Option<PathBuf>,
+    simd_check: bool,
 }
 
 fn die(msg: &str) -> ! {
@@ -100,6 +116,7 @@ fn parse_args() -> Args {
         attribution_out: None,
         ledger: None,
         ledger_check: None,
+        simd_check: false,
     };
     let mut args = std::env::args().skip(1);
     let next_path = |args: &mut dyn Iterator<Item = String>, flag: &str| -> PathBuf {
@@ -148,11 +165,13 @@ fn parse_args() -> Args {
             "--ledger-check" => {
                 parsed.ledger_check = Some(next_path(&mut args, "--ledger-check"));
             }
+            "--simd-check" => parsed.simd_check = true,
             other => die(&format!(
                 "unknown argument {other} (expected --quick | --label <s> | --out <path> | \
                  --baseline <path> | --tolerance <f> | --repeats <k> | --check <path> | \
                  --compare <current> <baseline> | --calibrate-out <path> | --trace-out <path> | \
-                 --attribution-out <path> | --ledger <path> | --ledger-check <path>)"
+                 --attribution-out <path> | --ledger <path> | --ledger-check <path> | \
+                 --simd-check)"
             )),
         }
     }
@@ -191,6 +210,10 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.ledger_check {
         return run_ledger_check(path, args.tolerance);
+    }
+
+    if args.simd_check {
+        return run_simd_check(args.repeats.unwrap_or(SIMD_CHECK_REPEATS));
     }
 
     // --- run mode ---
@@ -368,6 +391,45 @@ fn summarize_run(run: &AttributionRun, strategy: &str) -> AttributionSummary {
     }
 }
 
+/// Measures scalar vs SIMD medians on the DDL DFT at [`SIMD_CHECK_N`]
+/// and gates on [`SIMD_CHECK_FLOOR`]. On hosts without a vector unit
+/// (the portable fallback is active) the ratio is printed but never
+/// gates: there is nothing to accept.
+fn run_simd_check(repeats: u32) -> ExitCode {
+    use ddl_core::planner::Strategy;
+    let isa = simd_active_isa();
+    let scalar = match dft_case(SIMD_CHECK_N, Strategy::Ddl, BackendKind::Scalar, repeats) {
+        Ok(c) => c,
+        Err(e) => die(&format!("simd-check scalar case failed: {e}")),
+    };
+    let simd = match dft_case(SIMD_CHECK_N, Strategy::Ddl, BackendKind::Simd, repeats) {
+        Ok(c) => c,
+        Err(e) => die(&format!("simd-check simd case failed: {e}")),
+    };
+    let speedup = if simd.median_ns > 0.0 {
+        scalar.median_ns / simd.median_ns
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "simd-check n={SIMD_CHECK_N} isa={isa} scalar {:>12.0} ns  simd {:>12.0} ns  speedup {speedup:.2}x (floor {SIMD_CHECK_FLOOR:.1}x)",
+        scalar.median_ns, simd.median_ns
+    );
+    if isa == "portable" {
+        println!("simd-check skipped: no vector unit on this host (portable fallback)");
+        return ExitCode::SUCCESS;
+    }
+    if speedup >= SIMD_CHECK_FLOOR {
+        println!("simd-check passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "simd-check FAILED: speedup {speedup:.2}x below the {SIMD_CHECK_FLOOR:.1}x floor"
+        );
+        ExitCode::from(1)
+    }
+}
+
 /// Reads and validates a trajectory ledger; regressions between
 /// consecutive comparable entries fail the process.
 fn run_ledger_check(path: &Path, tolerance: f64) -> ExitCode {
@@ -378,11 +440,12 @@ fn run_ledger_check(path: &Path, tolerance: f64) -> ExitCode {
     let check = check_ledger(&entries, tolerance);
     for r in &check.regressions {
         println!(
-            "LEDGER REGRESSION {:<28} {:>12.0} ns -> {:>12.0} ns  ({:+.1}%)  [{} -> {}]",
+            "LEDGER REGRESSION {:<28} {:>12.0} ns -> {:>12.0} ns  ({:+.1}%, host drift {:.2}x)  [{} -> {}]",
             r.id,
             r.prev_ns,
             r.cur_ns,
             (r.ratio - 1.0) * 100.0,
+            r.drift,
             r.from,
             r.to
         );

@@ -297,6 +297,9 @@ pub struct LedgerRegression {
     pub cur_ns: f64,
     /// `cur / prev`.
     pub ratio: f64,
+    /// Host-drift factor of the pair (median ratio across shared
+    /// cases, clamped to >= 1) that was divided out before flagging.
+    pub drift: f64,
 }
 
 /// Outcome of [`check_ledger`].
@@ -319,10 +322,52 @@ impl LedgerCheck {
     }
 }
 
+/// Minimum shared cases a pair needs before the median ratio is a
+/// trustworthy host-drift estimate; below this, drift is assumed 1.
+const DRIFT_MIN_CASES: usize = 5;
+
+fn case_ratio(prev_ns: f64, cur_ns: f64) -> f64 {
+    if prev_ns > 0.0 {
+        cur_ns / prev_ns
+    } else if cur_ns > 0.0 {
+        f64::INFINITY
+    } else {
+        1.0
+    }
+}
+
+/// Host-drift factor for one compared pair: the median `cur/prev`
+/// ratio across shared cases. Two ledger entries can carry the same
+/// CPU model string yet come from machines (or machine states —
+/// shared tenancy, thermal state) with very different effective
+/// throughput; a code regression moves *one* case, a slower host
+/// moves *all* of them, and the median separates the two. Clamped to
+/// >= 1 so a faster host never hides a case that failed to keep up.
+fn drift_factor(prev: &LedgerEntry, cur: &LedgerEntry) -> f64 {
+    let mut ratios: Vec<f64> = prev
+        .cases
+        .iter()
+        .filter_map(|(id, &p)| cur.cases.get(id).map(|&c| case_ratio(p, c)))
+        .filter(|r| r.is_finite())
+        .collect();
+    if ratios.len() < DRIFT_MIN_CASES {
+        return 1.0;
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let mid = ratios.len() / 2;
+    let median = if ratios.len().is_multiple_of(2) {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    } else {
+        ratios[mid]
+    };
+    median.max(1.0)
+}
+
 /// Walks consecutive entry pairs and flags any case whose median grew
-/// beyond `prev * (1 + tolerance)`. Pairs with mismatched quick mode or
-/// CPU are skipped (counted, not compared): cross-environment deltas are
-/// not regressions.
+/// beyond `prev * drift * (1 + tolerance)`, where `drift` is the
+/// pair's [host-drift factor](drift_factor). Pairs with mismatched
+/// quick mode or CPU are skipped (counted, not compared):
+/// cross-environment deltas are not regressions.
 pub fn check_ledger(entries: &[LedgerEntry], tolerance: f64) -> LedgerCheck {
     let mut out = LedgerCheck {
         entries: entries.len(),
@@ -335,18 +380,13 @@ pub fn check_ledger(entries: &[LedgerEntry], tolerance: f64) -> LedgerCheck {
             continue;
         }
         out.compared += 1;
+        let drift = drift_factor(prev, cur);
         for (id, &prev_ns) in &prev.cases {
             let Some(&cur_ns) = cur.cases.get(id) else {
                 continue;
             };
-            let ratio = if prev_ns > 0.0 {
-                cur_ns / prev_ns
-            } else if cur_ns > 0.0 {
-                f64::INFINITY
-            } else {
-                1.0
-            };
-            if ratio > 1.0 + tolerance {
+            let ratio = case_ratio(prev_ns, cur_ns);
+            if ratio / drift > 1.0 + tolerance {
                 out.regressions.push(LedgerRegression {
                     from: ref_name(prev),
                     to: ref_name(cur),
@@ -354,6 +394,7 @@ pub fn check_ledger(entries: &[LedgerEntry], tolerance: f64) -> LedgerCheck {
                     prev_ns,
                     cur_ns,
                     ratio,
+                    drift,
                 });
             }
         }
@@ -475,6 +516,88 @@ mod tests {
         assert!(check.passed(), "cross-mode/cpu deltas are not regressions");
         assert_eq!(check.compared, 0);
         assert_eq!(check.skipped, 2);
+    }
+
+    #[test]
+    fn uniform_host_drift_is_not_a_regression() {
+        // Every case ~1.8x slower (same CPU model string, slower
+        // machine state): the median ratio absorbs it.
+        let ids = ["a", "b", "c", "d", "e", "f"];
+        let prev: Vec<(&str, f64)> = ids.iter().map(|&id| (id, 1000.0)).collect();
+        let cur: Vec<(&str, f64)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, 1700.0 + 50.0 * i as f64))
+            .collect();
+        let entries = vec![
+            entry("a", true, "cpu0", &prev),
+            entry("b", true, "cpu0", &cur),
+        ];
+        let check = check_ledger(&entries, 0.5);
+        assert!(check.passed(), "{:?}", check.regressions);
+        assert_eq!(check.compared, 1);
+    }
+
+    #[test]
+    fn single_case_regression_survives_drift_normalization() {
+        // Host 1.2x slower overall, but one case blew up 5x: the
+        // drift factor must not launder it.
+        let prev = vec![
+            ("a", 1000.0),
+            ("b", 1000.0),
+            ("c", 1000.0),
+            ("d", 1000.0),
+            ("e", 1000.0),
+            ("bad", 1000.0),
+        ];
+        let cur = vec![
+            ("a", 1200.0),
+            ("b", 1150.0),
+            ("c", 1250.0),
+            ("d", 1200.0),
+            ("e", 1180.0),
+            ("bad", 5000.0),
+        ];
+        let entries = vec![
+            entry("a", true, "cpu0", &prev),
+            entry("b", true, "cpu0", &cur),
+        ];
+        let check = check_ledger(&entries, 0.5);
+        assert_eq!(check.regressions.len(), 1, "{:?}", check.regressions);
+        let r = &check.regressions[0];
+        assert_eq!(r.id, "bad");
+        assert!((r.ratio - 5.0).abs() < 1e-12);
+        assert!(r.drift > 1.1 && r.drift < 1.3, "drift {}", r.drift);
+    }
+
+    #[test]
+    fn faster_host_never_hides_a_lagging_case() {
+        // Everything got 2x faster except one case that got 2x slower;
+        // drift clamps at 1 so the laggard is still flagged.
+        let prev = vec![
+            ("a", 1000.0),
+            ("b", 1000.0),
+            ("c", 1000.0),
+            ("d", 1000.0),
+            ("e", 1000.0),
+            ("bad", 1000.0),
+        ];
+        let cur = vec![
+            ("a", 500.0),
+            ("b", 500.0),
+            ("c", 500.0),
+            ("d", 500.0),
+            ("e", 500.0),
+            ("bad", 2000.0),
+        ];
+        let entries = vec![
+            entry("a", true, "cpu0", &prev),
+            entry("b", true, "cpu0", &cur),
+        ];
+        let check = check_ledger(&entries, 0.5);
+        assert_eq!(check.regressions.len(), 1);
+        assert_eq!(check.regressions[0].id, "bad");
+        assert_eq!(check.regressions[0].drift, 1.0);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::host;
 use ddl_core::json::{self, Json};
 use ddl_core::planner::{try_plan_dft, try_plan_wht, PlannerConfig, Strategy};
 use ddl_core::wisdom::Wisdom;
-use ddl_core::{try_execute_dft_batch, DftPlan, WhtPlan};
+use ddl_core::{try_execute_dft_batch, BackendKind, DftPlan, WhtPlan};
 use ddl_num::{Complex64, DdlError, Direction};
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -66,12 +66,16 @@ pub fn collect_env() -> BenchEnv {
 /// summarized as median / min / max nanoseconds per execution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchCase {
-    /// Stable identifier baselines are matched on, e.g. `dft-ddl-n4096`.
+    /// Stable identifier baselines are matched on, e.g. `dft-ddl-n4096`
+    /// (scalar) or `dft-ddl-n4096-simd` (non-default backend).
     pub id: String,
     /// `dft` | `wht` | `dft-batch` | `wisdom`.
     pub transform: String,
     /// `sdl` | `ddl`.
     pub strategy: String,
+    /// Execution backend the case ran on: `scalar` | `interp` | `simd`.
+    /// Additive in schema version 1; absent in older reports (= scalar).
+    pub backend: String,
     /// Transform size in points.
     pub n: usize,
     /// Measured repetitions behind the summary statistics.
@@ -140,17 +144,34 @@ pub fn suite_log_sizes(quick: bool) -> Vec<u32> {
     }
 }
 
+/// Largest size the interpreter backend is benchmarked at in full mode:
+/// evaluating the expression network is orders slower than compiled
+/// leaves, so the big out-of-cache sizes would dominate suite wall time
+/// without adding information.
+const INTERP_MAX_N: usize = 1 << 12;
+
 /// Runs the pinned suite: every `(transform, strategy, size)` triple
-/// from [`suite_log_sizes`], plus one batch-engine case and one
-/// wisdom-hit case. Plans use the analytical backend so the *measured*
-/// quantity is execution, not planner noise.
+/// from [`suite_log_sizes`] on the scalar backend, the DDL DFT column
+/// repeated on the `simd` and `interp` backends (interpreter capped at
+/// [`INTERP_MAX_N`]), plus one batch-engine case and one wisdom-hit
+/// case. Plans use the analytical model so the *measured* quantity is
+/// execution, not planner noise.
 pub fn run_suite(cfg: &SuiteConfig) -> Result<BenchReport, DdlError> {
     let mut cases = Vec::new();
     for &log in &suite_log_sizes(cfg.quick) {
         let n = 1usize << log;
         for strategy in [Strategy::Sdl, Strategy::Ddl] {
-            cases.push(dft_case(n, strategy, cfg.repeats)?);
+            cases.push(dft_case(n, strategy, BackendKind::Scalar, cfg.repeats)?);
             cases.push(wht_case(n, strategy, cfg.repeats)?);
+        }
+        cases.push(dft_case(n, Strategy::Ddl, BackendKind::Simd, cfg.repeats)?);
+        if n <= INTERP_MAX_N {
+            cases.push(dft_case(
+                n,
+                Strategy::Ddl,
+                BackendKind::Interp,
+                cfg.repeats,
+            )?);
         }
     }
     cases.push(batch_case(cfg.repeats)?);
@@ -211,17 +232,30 @@ fn summary(samples: &mut [f64]) -> (f64, f64, f64) {
     (median, min, max)
 }
 
-fn dft_case(n: usize, strategy: Strategy, repeats: u32) -> Result<BenchCase, DdlError> {
+/// Measures one DFT case on an explicit execution backend. Scalar keeps
+/// the historical un-suffixed case id so stored baselines keep matching;
+/// other backends suffix the id with their label.
+pub fn dft_case(
+    n: usize,
+    strategy: Strategy,
+    backend: BackendKind,
+    repeats: u32,
+) -> Result<BenchCase, DdlError> {
     let outcome = try_plan_dft(n, &planner_cfg(strategy))?;
-    let plan = DftPlan::new(outcome.tree, Direction::Forward)?;
+    let plan = DftPlan::with_backend(outcome.tree, Direction::Forward, backend)?;
     let input = dft_input(n);
     let mut output = vec![Complex64::ZERO; n];
     let (median_ns, min_ns, max_ns) =
         time_median_ns(repeats, || plan.try_execute(&input, &mut output))?;
+    let id = match backend {
+        BackendKind::Scalar => format!("dft-{}-n{n}", strategy.label()),
+        other => format!("dft-{}-n{n}-{}", strategy.label(), other.label()),
+    };
     Ok(BenchCase {
-        id: format!("dft-{}-n{n}", strategy.label()),
+        id,
         transform: "dft".into(),
         strategy: strategy.label().into(),
+        backend: backend.label().into(),
         n,
         repeats,
         median_ns,
@@ -245,6 +279,7 @@ fn wht_case(n: usize, strategy: Strategy, repeats: u32) -> Result<BenchCase, Ddl
         id: format!("wht-{}-n{n}", strategy.label()),
         transform: "wht".into(),
         strategy: strategy.label().into(),
+        backend: BackendKind::Scalar.label().into(),
         n,
         repeats,
         median_ns,
@@ -269,6 +304,7 @@ fn batch_case(repeats: u32) -> Result<BenchCase, DdlError> {
         id: format!("dft-batch-n{n}-s{BATCH_SIGNALS}-t{BATCH_THREADS}"),
         transform: "dft-batch".into(),
         strategy: Strategy::Ddl.label().into(),
+        backend: BackendKind::Scalar.label().into(),
         n,
         repeats,
         median_ns,
@@ -290,6 +326,7 @@ fn wisdom_case(repeats: u32) -> Result<BenchCase, DdlError> {
         id: format!("wisdom-hit-dft-n{n}"),
         transform: "wisdom".into(),
         strategy: Strategy::Ddl.label().into(),
+        backend: BackendKind::Scalar.label().into(),
         n,
         repeats,
         median_ns,
@@ -367,6 +404,7 @@ impl BenchCase {
         m.insert("id".into(), Json::Str(self.id.clone()));
         m.insert("transform".into(), Json::Str(self.transform.clone()));
         m.insert("strategy".into(), Json::Str(self.strategy.clone()));
+        m.insert("backend".into(), Json::Str(self.backend.clone()));
         m.insert("n".into(), Json::Num(self.n as f64));
         m.insert("repeats".into(), Json::Num(self.repeats as f64));
         m.insert("median_ns".into(), Json::Num(self.median_ns));
@@ -377,10 +415,23 @@ impl BenchCase {
 
     fn from_json(v: &Json, path: &str) -> Result<BenchCase, DdlError> {
         let m = obj(v, path)?;
+        // `backend` is additive (execution backends landed after v1
+        // reports existed): absent means the only backend of that era.
+        let backend = m
+            .get("backend")
+            .and_then(Json::as_str)
+            .unwrap_or("scalar")
+            .to_string();
+        if !matches!(backend.as_str(), "scalar" | "interp" | "simd") {
+            return Err(bench_err(format!(
+                "{path}.backend: unknown backend \"{backend}\" (want scalar|interp|simd)"
+            )));
+        }
         let case = BenchCase {
             id: get_str(m, path, "id")?,
             transform: get_str(m, path, "transform")?,
             strategy: get_str(m, path, "strategy")?,
+            backend,
             n: get_u64(m, path, "n")? as usize,
             repeats: get_u64(m, path, "repeats")? as u32,
             median_ns: get_f64(m, path, "median_ns")?,
@@ -599,6 +650,7 @@ mod tests {
             id: id.into(),
             transform: "dft".into(),
             strategy: "ddl".into(),
+            backend: "scalar".into(),
             n: 64,
             repeats: 3,
             median_ns: median,
@@ -701,14 +753,41 @@ mod tests {
         };
         let report = run_suite(&cfg).unwrap();
         assert!(report.quick);
-        // 3 sizes x 2 transforms x 2 strategies + batch + wisdom
-        assert_eq!(report.cases.len(), 14);
+        // 3 sizes x (2 transforms x 2 strategies + simd + interp)
+        // + batch + wisdom
+        assert_eq!(report.cases.len(), 20);
         assert!(report.cases.iter().all(|c| c.median_ns > 0.0));
         assert!(report
             .cases
             .iter()
             .any(|c| c.transform == "dft-batch" || c.transform == "wisdom"));
+        for backend in ["scalar", "interp", "simd"] {
+            assert!(
+                report.cases.iter().any(|c| c.backend == backend),
+                "suite must cover the {backend} backend"
+            );
+        }
+        // Backend-tagged ids stay distinct from the scalar baseline ids.
+        assert!(report.cases.iter().any(|c| c.id == "dft-ddl-n256"));
+        assert!(report.cases.iter().any(|c| c.id == "dft-ddl-n256-simd"));
+        assert!(report.cases.iter().any(|c| c.id == "dft-ddl-n256-interp"));
         let parsed = BenchReport::parse(&report.to_pretty_json()).unwrap();
         assert_eq!(parsed.cases.len(), report.cases.len());
+    }
+
+    #[test]
+    fn backend_field_is_additive_in_the_schema() {
+        let r = report(vec![case("dft-ddl-n64", 10.0)]);
+        let text = r.to_pretty_json();
+        assert!(text.contains("\"backend\": \"scalar\""), "always written");
+        // A pre-backend report (field absent) still parses as scalar.
+        let legacy = text.replace("      \"backend\": \"scalar\",\n", "");
+        assert!(!legacy.contains("backend"), "field removed: {legacy}");
+        let parsed = BenchReport::parse(&legacy).unwrap();
+        assert_eq!(parsed.cases[0].backend, "scalar");
+        // An unknown backend label is a schema violation, with the path.
+        let bad = text.replace("\"backend\": \"scalar\"", "\"backend\": \"avx512\"");
+        let err = BenchReport::parse(&bad).unwrap_err().to_string();
+        assert!(err.contains("$.cases[0].backend"), "got: {err}");
     }
 }

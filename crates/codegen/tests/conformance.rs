@@ -109,3 +109,200 @@ fn dispatcher_covers_exactly_the_generated_sizes() {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Mutation testing against the SIMD lowering.
+//
+// The static verifier (`ddl_analyze::verify_codelet`) and the runtime
+// backends are two independent lines of defense against a corrupted
+// codelet DAG. These tests seed the same mutations the verifier's own
+// unit tests use — dropped store, duplicated store, poisoned constant,
+// redirected store — and pin the safety property of the pair: a mutated
+// DAG must either FAIL the verifier or produce output that DIVERGES
+// from the SIMD lowering of the true network. If a mutant passes the
+// verifier and still agrees with the SIMD backend, one of the two
+// oracles has gone blind.
+
+use ddl_analyze::{verify_codelet, AnalysisReport, CodeletDag};
+use ddl_codegen::expr::CVal;
+
+/// Evaluates a (possibly mutated) codelet DAG with emission semantics:
+/// output starts zeroed, stores apply in emission order (so a dropped
+/// store leaves zero and a duplicate overwrites with the same value) —
+/// exactly what lowering the mutant to `dst[slot] = ...` lines yields.
+fn eval_dag(dag: &CodeletDag, input: &[Complex64]) -> Vec<Complex64> {
+    let outputs: Vec<CVal> = dag
+        .stores
+        .iter()
+        .map(|s| CVal { re: s.re, im: s.im })
+        .collect();
+    let values = evaluate(&dag.graph, &outputs, input);
+    let mut out = vec![Complex64::ZERO; dag.n];
+    for (s, v) in dag.stores.iter().zip(values) {
+        if s.slot < dag.n {
+            out[s.slot] = v;
+        }
+    }
+    out
+}
+
+/// The SIMD lowering of the true `n`-point network (portable path on
+/// hosts without a vector unit — the contract is identical).
+fn simd_reference(n: usize, dir: Direction, input: &[Complex64]) -> Vec<Complex64> {
+    let mut out = vec![Complex64::ZERO; n];
+    assert!(
+        ddl_backend_simd::dft_leaf_strided_simd(n, dir, input, 0, 1, &mut out, 0, 1),
+        "SIMD backend does not claim n={n}"
+    );
+    out
+}
+
+/// True when the mutant's output observably differs from the SIMD
+/// lowering: anywhere beyond reassociation noise, or any non-finite
+/// value (a poisoned constant must not launder into agreement).
+fn diverges(mutant: &[Complex64], simd: &[Complex64]) -> bool {
+    mutant
+        .iter()
+        .zip(simd)
+        .any(|(m, s)| !m.re.is_finite() || !m.im.is_finite() || (*m - *s).abs() > 1e-9)
+}
+
+/// Asserts the safety property for one mutant.
+fn assert_caught(dag: &CodeletDag, dir: Direction, what: &str) {
+    let mut report = AnalysisReport::new();
+    let verifier_rejects = !verify_codelet(dag, &mut report);
+
+    // A deterministic non-pathological input: every DFT output depends
+    // on every input with distinct coefficients, so any structural
+    // mutation shifts at least one output.
+    let input: Vec<Complex64> = (0..dag.n)
+        .map(|i| Complex64::new(1.0 + i as f64, 0.5 - (i as f64) * 0.25))
+        .collect();
+    let mutant_out = eval_dag(dag, &input);
+    let simd_out = simd_reference(dag.n, dir, &input);
+    let runtime_diverges = diverges(&mutant_out, &simd_out);
+
+    assert!(
+        verifier_rejects || runtime_diverges,
+        "{what} (n={}, {dir:?}): mutant passed the verifier AND agreed with the SIMD lowering",
+        dag.n
+    );
+}
+
+#[test]
+fn unmutated_dags_agree_with_the_simd_lowering() {
+    // Baseline for the harness itself: the true network must verify
+    // clean and match the SIMD backend, or `assert_caught` would pass
+    // vacuously for every mutant.
+    for n in [4usize, 8, 16, 32, 64] {
+        for dir in [Direction::Forward, Direction::Inverse] {
+            let dag = CodeletDag::generate(n, dir);
+            let mut report = AnalysisReport::new();
+            assert!(verify_codelet(&dag, &mut report), "clean DAG rejected");
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new(1.0 + i as f64, 0.5 - (i as f64) * 0.25))
+                .collect();
+            assert!(
+                !diverges(&eval_dag(&dag, &input), &simd_reference(n, dir, &input)),
+                "clean n={n} {dir:?} DAG diverges from the SIMD lowering"
+            );
+        }
+    }
+}
+
+#[test]
+fn dropped_stores_never_silently_agree_with_simd() {
+    for n in [8usize, 16, 32, 64] {
+        for dir in [Direction::Forward, Direction::Inverse] {
+            for slot in [0, 1, n / 2, n - 1] {
+                let mut dag = CodeletDag::generate(n, dir);
+                dag.drop_store(slot);
+                assert_caught(&dag, dir, &format!("dropped store to slot {slot}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicated_stores_never_silently_agree_with_simd() {
+    // A duplicate store is numerically invisible (same value twice), so
+    // this mutant MUST be the verifier's catch — the runtime oracle
+    // cannot see it. The disjunction still holds; this pins which arm.
+    for n in [8usize, 32] {
+        let mut dag = CodeletDag::generate(n, Direction::Forward);
+        dag.duplicate_store(n / 2);
+        assert_caught(&dag, Direction::Forward, "duplicated store");
+        let mut report = AnalysisReport::new();
+        assert!(
+            !verify_codelet(&dag, &mut report),
+            "duplicate store must be caught statically — runtime cannot"
+        );
+    }
+}
+
+#[test]
+fn poisoned_constants_never_silently_agree_with_simd() {
+    for n in [8usize, 16, 64] {
+        for value in [f64::NAN, f64::INFINITY] {
+            let mut dag = CodeletDag::generate(n, Direction::Forward);
+            dag.poison_constant(2, value);
+            assert_caught(
+                &dag,
+                Direction::Forward,
+                &format!("constant poisoned to {value}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn redirected_stores_never_silently_agree_with_simd() {
+    // Swap two stores' destination slots: every slot still written
+    // exactly once (structurally clean), but two outputs land in each
+    // other's place — only the runtime comparison can catch this one.
+    for n in [8usize, 16, 32, 64] {
+        let mut dag = CodeletDag::generate(n, Direction::Forward);
+        let (a, b) = (1, n - 2);
+        for s in &mut dag.stores {
+            if s.slot == a {
+                s.slot = b;
+            } else if s.slot == b {
+                s.slot = a;
+            }
+        }
+        assert_caught(&dag, Direction::Forward, "swapped store slots");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random mutation x random size: whichever mutation the seed picks,
+    /// the verifier-or-divergence property holds.
+    #[test]
+    fn random_mutations_are_always_caught(
+        size_idx in 0usize..4,
+        slot_frac in 0.0f64..1.0,
+        mutation in 0usize..4,
+        forward in any::<bool>(),
+    ) {
+        let n = [8usize, 16, 32, 64][size_idx];
+        let dir = if forward { Direction::Forward } else { Direction::Inverse };
+        let slot = ((slot_frac * n as f64) as usize).min(n - 1);
+        let mut dag = CodeletDag::generate(n, dir);
+        let what = match mutation {
+            0 => { dag.drop_store(slot); "drop" }
+            1 => { dag.duplicate_store(slot); "duplicate" }
+            2 => { dag.poison_constant(slot, f64::NAN); "poison" }
+            _ => {
+                let other = (slot + n / 2) % n;
+                for s in &mut dag.stores {
+                    if s.slot == slot { s.slot = other; }
+                    else if s.slot == other { s.slot = slot; }
+                }
+                "swap"
+            }
+        };
+        assert_caught(&dag, dir, what);
+    }
+}

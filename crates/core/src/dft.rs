@@ -57,8 +57,13 @@
 //! codelet; the touched line set per leaf is identical, which is the
 //! granularity the cache model observes.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::backend::{self, BackendKind};
 use crate::obs::{
-    stage_end, stage_start, ExecutionMetrics, NullSink, Recorder, Sink, SpanInfo, SpanKind, Stage,
+    stage_end, stage_start, Counter, ExecutionMetrics, NullSink, Recorder, Sink, SpanInfo,
+    SpanKind, Stage,
 };
 use crate::tree::Tree;
 use crate::DFT_POINT_BYTES;
@@ -175,11 +180,26 @@ pub struct DftPlan {
     dir: Direction,
     root: Compiled,
     twiddle_points: usize,
+    backend: BackendKind,
+    /// Dispatch-time fallbacks to `Scalar` observed by this plan, shared
+    /// across clones so batch executors can diff it around a run.
+    backend_fallbacks: Arc<AtomicU64>,
 }
 
 impl DftPlan {
-    /// Compiles `tree` for the given direction.
+    /// Compiles `tree` for the given direction with the process-default
+    /// execution backend ([`BackendKind::selected`]).
     pub fn new(tree: Tree, dir: Direction) -> Result<DftPlan, PlanError> {
+        DftPlan::with_backend(tree, dir, BackendKind::selected())
+    }
+
+    /// Compiles `tree` for the given direction and an explicit leaf
+    /// execution backend.
+    pub fn with_backend(
+        tree: Tree,
+        dir: Direction,
+        backend: BackendKind,
+    ) -> Result<DftPlan, PlanError> {
         tree.validate().map_err(PlanError::InvalidTree)?;
         let mut tw_cursor = 0usize;
         let root = Compiled::build(&tree, dir, &mut tw_cursor);
@@ -188,7 +208,20 @@ impl DftPlan {
             dir,
             root,
             twiddle_points: tw_cursor,
+            backend,
+            backend_fallbacks: Arc::new(AtomicU64::new(0)),
         })
+    }
+
+    /// The leaf execution backend this plan was compiled for.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
+    }
+
+    /// How many executions of this plan (and its clones) degraded to the
+    /// `Scalar` backend at dispatch time.
+    pub fn backend_fallbacks(&self) -> u64 {
+        self.backend_fallbacks.load(Ordering::Relaxed)
     }
 
     /// Total twiddle-factor points across all split nodes — the size of
@@ -409,9 +442,20 @@ impl DftPlan {
                 scratch.len(),
             ));
         }
+        // Resolve the backend once per execution, not per leaf: the
+        // dispatch probe (feature detection / fault point) happens here
+        // and the whole recursion runs on the effective backend.
+        let (effective, fell_back) = backend::resolve(self.backend);
+        if fell_back {
+            self.backend_fallbacks.fetch_add(1, Ordering::Relaxed);
+            if S::ENABLED {
+                sink.counter(Counter::BackendFallback, 1);
+            }
+        }
         exec(
             &self.root,
             self.dir,
+            effective,
             input,
             View {
                 base: in_base,
@@ -465,6 +509,7 @@ impl DftPlan {
             size: self.n(),
             stride: 1,
             reorg: self.root.reorg,
+            backend: self.backend.label(),
         });
         let t0 = std::time::Instant::now();
         let result = self.try_execute_view_observed(
@@ -523,6 +568,7 @@ impl DftPlan {
 fn exec<T: MemoryTracer, S: Sink>(
     node: &Compiled,
     dir: Direction,
+    be: BackendKind,
     x: &[Complex64],
     sv: View,
     y: &mut [Complex64],
@@ -541,6 +587,7 @@ fn exec<T: MemoryTracer, S: Sink>(
             size: n,
             stride: sv.stride,
             reorg: node.reorg,
+            backend: be.label(),
         });
     }
     match &node.kind {
@@ -566,6 +613,7 @@ fn exec<T: MemoryTracer, S: Sink>(
                 leaf(
                     n,
                     dir,
+                    be,
                     r,
                     View {
                         base: 0,
@@ -578,7 +626,7 @@ fn exec<T: MemoryTracer, S: Sink>(
                     sink,
                 );
             } else {
-                leaf(n, dir, x, sv, y, dv, tr, sink);
+                leaf(n, dir, be, x, sv, y, dv, tr, sink);
             }
         }
         CompiledKind::Split {
@@ -605,6 +653,7 @@ fn exec<T: MemoryTracer, S: Sink>(
                     exec(
                         left,
                         dir,
+                        be,
                         x,
                         View {
                             base: sv.base + i2 * sv.stride,
@@ -627,7 +676,7 @@ fn exec<T: MemoryTracer, S: Sink>(
 
                 // Twiddle pass over t2 (table laid out to match).
                 let t0 = stage_start::<S>();
-                apply_twiddles(t2, 0, tw);
+                twiddle_pass(be, t2, tw);
                 stage_end(sink, Stage::Twiddle, t0, n as u64);
                 if T::ENABLED {
                     trace_twiddle(
@@ -649,6 +698,7 @@ fn exec<T: MemoryTracer, S: Sink>(
                     exec(
                         right,
                         dir,
+                        be,
                         t,
                         View {
                             base: n2 * j1,
@@ -679,6 +729,7 @@ fn exec<T: MemoryTracer, S: Sink>(
                     exec(
                         left,
                         dir,
+                        be,
                         x,
                         View {
                             base: sv.base + i2 * sv.stride,
@@ -700,7 +751,7 @@ fn exec<T: MemoryTracer, S: Sink>(
                 }
 
                 let t0 = stage_start::<S>();
-                apply_twiddles(t, 0, tw);
+                twiddle_pass(be, t, tw);
                 stage_end(sink, Stage::Twiddle, t0, n as u64);
                 if T::ENABLED {
                     trace_twiddle(
@@ -715,6 +766,7 @@ fn exec<T: MemoryTracer, S: Sink>(
                     exec(
                         right,
                         dir,
+                        be,
                         t,
                         View {
                             base: n2 * j1,
@@ -742,11 +794,14 @@ fn exec<T: MemoryTracer, S: Sink>(
     }
 }
 
-/// Executes one leaf codelet and emits its trace.
+/// Executes one leaf codelet through the effective backend and emits
+/// its trace. The scalar path keeps its direct (statically dispatched)
+/// call so the default backend costs nothing extra per leaf.
 #[allow(clippy::too_many_arguments)]
 fn leaf<T: MemoryTracer, S: Sink>(
     n: usize,
     dir: Direction,
+    be: BackendKind,
     x: &[Complex64],
     sv: View,
     y: &mut [Complex64],
@@ -755,7 +810,13 @@ fn leaf<T: MemoryTracer, S: Sink>(
     sink: &mut S,
 ) {
     let t0 = stage_start::<S>();
-    dft_leaf_strided(n, dir, x, sv.base, sv.stride, y, dv.base, dv.stride);
+    match be {
+        BackendKind::Scalar => {
+            dft_leaf_strided(n, dir, x, sv.base, sv.stride, y, dv.base, dv.stride)
+        }
+        other => backend::backend_for(other)
+            .leaf_dft(n, dir, x, sv.base, sv.stride, y, dv.base, dv.stride),
+    }
     stage_end(sink, Stage::Leaf, t0, n as u64);
     if T::ENABLED {
         for i in 0..n {
@@ -764,6 +825,15 @@ fn leaf<T: MemoryTracer, S: Sink>(
         for j in 0..n {
             tr.write(dv.elem_addr(j), DFT_POINT_BYTES as u32);
         }
+    }
+}
+
+/// Applies the inter-stage twiddle pass through the effective backend.
+/// Like [`leaf`], the scalar path keeps its direct kernel call.
+fn twiddle_pass(be: BackendKind, buf: &mut [Complex64], tw: &TwiddleTable) {
+    match be {
+        BackendKind::Scalar => apply_twiddles(buf, 0, tw),
+        other => backend::backend_for(other).apply_twiddles(buf, 0, tw.as_slice()),
     }
 }
 

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 pub mod attrib;
+pub mod backend;
 pub mod calibrate;
 pub mod dct;
 pub mod dft;
@@ -73,6 +74,7 @@ pub use attrib::{
     attribute_dft, attribute_wht, classify_empirical, classify_model, AttributionReport,
     AttributionRun, CaseClass, NodeAttribution, ATTRIBUTION_SCHEMA, ATTRIBUTION_VERSION,
 };
+pub use backend::{backend_for, simd_active_isa, BackendKind, ExecBackend};
 pub use calibrate::{
     calibrate_dft, calibrate_wht, CalibrationCase, CalibrationConfig, CalibrationReport,
     StageCalibration, CALIBRATION_SCHEMA, CALIBRATION_VERSION,

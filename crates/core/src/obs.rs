@@ -98,11 +98,14 @@ pub enum Counter {
     WisdomQuarantinedEntries,
     /// Entries written by wisdom saves.
     WisdomSavedEntries,
+    /// Executions whose requested backend degraded to `Scalar` at
+    /// dispatch time (see [`crate::backend::resolve`]).
+    BackendFallback,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 9] = [
         Counter::PlannerStates,
         Counter::PlannerMemoHits,
         Counter::PlannerCandidates,
@@ -111,6 +114,7 @@ impl Counter {
         Counter::WisdomLoadedEntries,
         Counter::WisdomQuarantinedEntries,
         Counter::WisdomSavedEntries,
+        Counter::BackendFallback,
     ];
 
     /// Stable dotted name used in reports.
@@ -124,6 +128,7 @@ impl Counter {
             Counter::WisdomLoadedEntries => "wisdom.loaded_entries",
             Counter::WisdomQuarantinedEntries => "wisdom.quarantined_entries",
             Counter::WisdomSavedEntries => "wisdom.saved_entries",
+            Counter::BackendFallback => "backend.fallbacks",
         }
     }
 
@@ -187,6 +192,10 @@ pub struct SpanInfo {
     pub stride: usize,
     /// Whether the covered node carries a reorganization.
     pub reorg: bool,
+    /// The execution backend tag of the covered node/run (a
+    /// [`crate::backend::BackendKind`] label; `"scalar"` for spans the
+    /// backend machinery does not reach, e.g. planner states).
+    pub backend: &'static str,
 }
 
 /// One event in a recorded trace timeline. Timestamps are nanoseconds
@@ -654,6 +663,9 @@ pub struct BatchMetrics {
     pub run_ns_total: u64,
     /// Longest single item run time.
     pub run_ns_max: u64,
+    /// Executions in the batch whose requested backend degraded to
+    /// `Scalar` at dispatch time.
+    pub backend_fallbacks: u64,
 }
 
 /// Estimated leaf-stage floating-point operations of a tree: the sum of
@@ -957,6 +969,10 @@ fn batch_to_json(b: &BatchMetrics) -> Json {
     );
     m.insert("cancelled".into(), Json::Num(b.cancelled as f64));
     m.insert(
+        "backend_fallbacks".into(),
+        Json::Num(b.backend_fallbacks as f64),
+    );
+    m.insert(
         "degraded_to_sequential".into(),
         Json::Bool(b.degraded_to_sequential),
     );
@@ -982,6 +998,12 @@ fn batch_from_json(v: &Json, i: usize) -> Result<BatchMetrics, DdlError> {
             .and_then(Json::as_u64)
             .unwrap_or(0),
         cancelled: m.get("cancelled").and_then(Json::as_u64).unwrap_or(0),
+        // Additive in PR 7 (execution backends); older documents never
+        // dispatched anything that could fall back.
+        backend_fallbacks: m
+            .get("backend_fallbacks")
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
         degraded_to_sequential: get_bool(m, &path, "degraded_to_sequential")?,
         wall_ns: get_u64(m, &path, "wall_ns")?,
         queue_ns_max: get_u64(m, &path, "queue_ns_max")?,
@@ -1033,6 +1055,7 @@ mod tests {
                 panicked: 1,
                 deadline_expired: 0,
                 cancelled: 0,
+                backend_fallbacks: 0,
                 degraded_to_sequential: false,
                 wall_ns: 500_000,
                 queue_ns_max: 1_000,
@@ -1162,6 +1185,7 @@ mod tests {
             size,
             stride: 1,
             reorg: false,
+            backend: "scalar",
         }
     }
 

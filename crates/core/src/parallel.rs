@@ -52,6 +52,7 @@ pub struct BatchReport {
     timings: Vec<ItemTiming>,
     wall_ns: u64,
     degraded_to_sequential: bool,
+    backend_fallbacks: u64,
 }
 
 impl BatchReport {
@@ -94,6 +95,18 @@ impl BatchReport {
         self.degraded_to_sequential
     }
 
+    /// Executions in this batch whose requested backend degraded to
+    /// `Scalar` at dispatch time (see [`crate::backend::resolve`]).
+    pub fn backend_fallbacks(&self) -> u64 {
+        self.backend_fallbacks
+    }
+
+    /// Records the dispatch-fallback count observed around the batch
+    /// (batch executor internal).
+    pub(crate) fn set_backend_fallbacks(&mut self, fallbacks: u64) {
+        self.backend_fallbacks = fallbacks;
+    }
+
     /// Items shed because the batch deadline had expired when they were
     /// dequeued.
     pub fn deadline_expired(&self) -> usize {
@@ -123,6 +136,7 @@ impl BatchReport {
             timings,
             wall_ns,
             degraded_to_sequential,
+            backend_fallbacks: 0,
         }
     }
 
@@ -146,6 +160,7 @@ impl BatchReport {
             queue_ns_max: self.timings.iter().map(|t| t.queue_ns).max().unwrap_or(0),
             run_ns_total: self.timings.iter().map(|t| t.run_ns).sum(),
             run_ns_max: self.timings.iter().map(|t| t.run_ns).max().unwrap_or(0),
+            backend_fallbacks: self.backend_fallbacks,
         }
     }
 }
@@ -237,14 +252,19 @@ pub fn try_execute_dft_batch_opts(
         .chunks_exact(n)
         .zip(outputs.chunks_exact_mut(n))
         .collect();
-    Ok(execute_batch_scheduled(
+    // Diff the plan's dispatch-fallback counter around the run so the
+    // report records how many executions degraded to the scalar backend.
+    let fallbacks_before = plan.backend_fallbacks();
+    let mut report = execute_batch_scheduled(
         items,
         opts,
         || vec![Complex64::ZERO; plan.scratch_len()],
         |_idx, (src, dst), scratch| {
             plan.execute_view(src, 0, 1, dst, 0, 1, scratch, &mut NullTracer, [0; 4]);
         },
-    ))
+    );
+    report.set_backend_fallbacks(plan.backend_fallbacks().saturating_sub(fallbacks_before));
+    Ok(report)
 }
 
 /// Executes a batch of independent DFTs: `inputs` and `outputs` are

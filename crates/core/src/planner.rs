@@ -427,6 +427,7 @@ fn planner_run_span(kind: Kind, cfg: &PlannerConfig, n: usize) -> SpanInfo {
         size: n,
         stride: 1,
         reorg: cfg.strategy == Strategy::Ddl,
+        backend: "scalar",
     }
 }
 
@@ -478,6 +479,7 @@ impl<S: Sink> Search<'_, S> {
                 size: n,
                 stride,
                 reorg: false,
+                backend: "scalar",
             });
         }
 

@@ -69,6 +69,7 @@ fn event_to_json(ev: &TraceEvent) -> Json {
             args.insert("size".into(), Json::Num(info.size as f64));
             args.insert("stride".into(), Json::Num(info.stride as f64));
             args.insert("reorg".into(), Json::Bool(info.reorg));
+            args.insert("backend".into(), Json::Str(info.backend.to_string()));
             m.insert("args".into(), Json::Obj(args));
             Json::Obj(m)
         }
@@ -279,6 +280,7 @@ mod tests {
             size,
             stride: 1,
             reorg: false,
+            backend: "scalar",
         }
     }
 

@@ -213,6 +213,7 @@ impl WhtPlan {
             size: self.n,
             stride: 1,
             reorg: self.tree.reorg(),
+            backend: "scalar",
         });
         let t0 = std::time::Instant::now();
         let result = self.try_execute_view_observed(
@@ -267,6 +268,7 @@ fn exec<T: MemoryTracer, S: Sink>(
             size: n,
             stride,
             reorg: node.reorg(),
+            backend: "scalar",
         });
     }
 

@@ -13,13 +13,19 @@
 //! One request per line, one response line per request:
 //!
 //! ```text
-//! plan dft 1024 ddl                     → ok plan dft n=1024 strategy=ddl tree=ct(…)
-//! exec dft 1024 ddl [deadline_ms=50]    → ok exec dft n=1024 dc=1024 wall_ns=…
+//! plan dft 1024 ddl [backend=simd]      → ok plan dft n=1024 strategy=ddl cached=… backend=… tree=ct(…)
+//! exec dft 1024 ddl [deadline_ms=50] [backend=simd]
+//!                                       → ok exec dft n=1024 dc=1024 backend=… wall_ns=…
 //! exec dft ct(16, ct(16, 16)) [deadline_ms=50]
-//!                                       → ok exec dft n=4096 dc=4096 wall_ns=…
-//! exec wht 256 sdl                      → ok exec wht n=256 dc=256 wall_ns=…
+//!                                       → ok exec dft n=4096 dc=4096 backend=… wall_ns=…
+//! exec wht 256 sdl                      → ok exec wht n=256 dc=256 backend=… wall_ns=…
 //! stats                                 → ok stats accepted=… shed=… …
 //! ```
+//!
+//! The optional trailing `backend=<scalar|interp|simd>` token selects
+//! the DFT leaf execution backend (see [`ddl_core::backend`]); absent,
+//! requests use the process default (`DDL_BACKEND` or `scalar`). It
+//! combines with `deadline_ms=` in either order.
 //!
 //! Executions run over an all-ones synthetic input and report the DC
 //! bin, so a client can verify the transform end to end without
@@ -54,7 +60,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ddl_core::engine::{PlanKey, TransformKind};
-use ddl_core::{faultpoint, grammar, DdlError, DftPlan, Engine, EngineConfig, Strategy, WhtPlan};
+use ddl_core::{
+    faultpoint, grammar, BackendKind, DdlError, DftPlan, Engine, EngineConfig, Strategy, WhtPlan,
+};
 use ddl_num::{Complex64, Direction};
 
 /// Service construction parameters.
@@ -95,6 +103,8 @@ pub enum Request {
         n: usize,
         /// Search strategy.
         strategy: Strategy,
+        /// Leaf execution backend the compiled plan dispatches to.
+        backend: BackendKind,
     },
     /// Execute over a synthetic all-ones input via an engine-cached plan.
     ExecPlanned {
@@ -106,6 +116,8 @@ pub enum Request {
         strategy: Strategy,
         /// Per-request deadline override.
         deadline: Option<Duration>,
+        /// Leaf execution backend.
+        backend: BackendKind,
     },
     /// Execute an explicit factorization-tree expression.
     ExecExpr {
@@ -115,6 +127,8 @@ pub enum Request {
         expr: String,
         /// Per-request deadline override.
         deadline: Option<Duration>,
+        /// Leaf execution backend.
+        backend: BackendKind,
     },
     /// Report service and engine counters.
     Stats,
@@ -144,6 +158,29 @@ fn parse_strategy(tok: &str) -> Result<Strategy, DdlError> {
     }
 }
 
+fn parse_backend(tok: &str) -> Result<BackendKind, DdlError> {
+    BackendKind::parse(tok).ok_or_else(|| {
+        parse_err(
+            0,
+            format!("unknown backend {tok:?} (want scalar|interp|simd)"),
+        )
+    })
+}
+
+/// Pops a trailing `backend=<scalar|interp|simd>` token, if present.
+/// Absent, callers fall back to the process-default backend
+/// ([`BackendKind::selected`]), keeping old clients byte-compatible.
+fn pop_backend(toks: &mut Vec<&str>) -> Result<Option<BackendKind>, DdlError> {
+    match toks.last() {
+        Some(last) if last.starts_with("backend=") => {
+            let backend = parse_backend(&last["backend=".len()..])?;
+            toks.pop();
+            Ok(Some(backend))
+        }
+        _ => Ok(None),
+    }
+}
+
 /// Parses one wire line into a [`Request`].
 pub fn parse_request(line: &str) -> Result<Request, DdlError> {
     let line = line.trim();
@@ -151,24 +188,37 @@ pub fn parse_request(line: &str) -> Result<Request, DdlError> {
     match toks.first().copied() {
         Some("stats") => Ok(Request::Stats),
         Some("plan") => {
+            let backend = pop_backend(&mut toks)?.unwrap_or_else(BackendKind::selected);
             if toks.len() != 4 {
-                return Err(parse_err(0, "usage: plan <dft|wht> <n> <sdl|ddl>"));
+                return Err(parse_err(
+                    0,
+                    "usage: plan <dft|wht> <n> <sdl|ddl> [backend=B]",
+                ));
             }
             let kind = parse_kind(toks[1])?;
             let n: usize = toks[2]
                 .parse()
                 .map_err(|_| parse_err(0, format!("bad size {:?}", toks[2])))?;
             let strategy = parse_strategy(toks[3])?;
-            Ok(Request::Plan { kind, n, strategy })
+            Ok(Request::Plan {
+                kind,
+                n,
+                strategy,
+                backend,
+            })
         }
         Some("exec") => {
             if toks.len() < 3 {
                 return Err(parse_err(
                     0,
-                    "usage: exec <dft|wht> (<n> <sdl|ddl> | <tree-expr>) [deadline_ms=K]",
+                    "usage: exec <dft|wht> (<n> <sdl|ddl> | <tree-expr>) \
+                     [deadline_ms=K] [backend=B]",
                 ));
             }
             let kind = parse_kind(toks[1])?;
+            // `deadline_ms=` and `backend=` are both trailing options;
+            // accept them in either order.
+            let mut backend = pop_backend(&mut toks)?;
             let deadline = match toks.last() {
                 Some(last) if last.starts_with("deadline_ms=") => {
                     let ms: u64 = last["deadline_ms=".len()..]
@@ -179,6 +229,10 @@ pub fn parse_request(line: &str) -> Result<Request, DdlError> {
                 }
                 _ => None,
             };
+            if backend.is_none() {
+                backend = pop_backend(&mut toks)?;
+            }
+            let backend = backend.unwrap_or_else(BackendKind::selected);
             let rest = &toks[2..];
             if rest.is_empty() {
                 return Err(parse_err(0, "exec: missing size or tree expression"));
@@ -193,6 +247,7 @@ pub fn parse_request(line: &str) -> Result<Request, DdlError> {
                         n,
                         strategy,
                         deadline,
+                        backend,
                     });
                 }
             }
@@ -204,6 +259,7 @@ pub fn parse_request(line: &str) -> Result<Request, DdlError> {
                 kind,
                 expr,
                 deadline,
+                backend,
             })
         }
         Some(other) => Err(parse_err(0, format!("unknown command {other:?}"))),
@@ -571,11 +627,17 @@ fn run_request(inner: &ServiceInner, request: &Request) -> Result<String, DdlErr
     faultpoint::maybe_panic("serve.worker.panic");
     match request {
         Request::Stats => Ok(String::new()), // answered at admission
-        Request::Plan { kind, n, strategy } => {
+        Request::Plan {
+            kind,
+            n,
+            strategy,
+            backend,
+        } => {
             let key = PlanKey {
                 kind: *kind,
                 n: *n,
                 strategy: *strategy,
+                backend: *backend,
             };
             let before = inner.engine.stats().plan_hits;
             let artifact = inner.engine.plan(key)?;
@@ -586,19 +648,25 @@ fn run_request(inner: &ServiceInner, request: &Request) -> Result<String, DdlErr
                 _ => String::new(),
             };
             Ok(format!(
-                "ok plan {} n={n} strategy={} cached={} tree={tree}",
+                "ok plan {} n={n} strategy={} cached={} backend={} tree={tree}",
                 kind.label(),
                 strategy.label(),
-                cached
+                cached,
+                backend.label()
             ))
         }
         Request::ExecPlanned {
-            kind, n, strategy, ..
+            kind,
+            n,
+            strategy,
+            backend,
+            ..
         } => {
             let key = PlanKey {
                 kind: *kind,
                 n: *n,
                 strategy: *strategy,
+                backend: *backend,
             };
             let artifact = inner.engine.plan(key)?;
             let started = Instant::now();
@@ -608,18 +676,24 @@ fn run_request(inner: &ServiceInner, request: &Request) -> Result<String, DdlErr
                 _ => return Err(DdlError::Resource("unknown artifact kind".into())),
             };
             Ok(format!(
-                "ok exec {} n={n} dc={dc} wall_ns={}",
+                "ok exec {} n={n} dc={dc} backend={} wall_ns={}",
                 kind.label(),
+                backend.label(),
                 started.elapsed().as_nanos()
             ))
         }
-        Request::ExecExpr { kind, expr, .. } => {
+        Request::ExecExpr {
+            kind,
+            expr,
+            backend,
+            ..
+        } => {
             let tree = grammar::parse(expr)?;
             let n = tree.size();
             let started = Instant::now();
             let dc = match kind {
                 TransformKind::Dft(dir) => {
-                    let plan = DftPlan::new(tree, *dir)?;
+                    let plan = DftPlan::with_backend(tree, *dir, *backend)?;
                     exec_dft_ones(&plan)?
                 }
                 TransformKind::Wht => {
@@ -628,8 +702,9 @@ fn run_request(inner: &ServiceInner, request: &Request) -> Result<String, DdlErr
                 }
             };
             Ok(format!(
-                "ok exec {} n={n} dc={dc} wall_ns={}",
+                "ok exec {} n={n} dc={dc} backend={} wall_ns={}",
                 kind.label(),
+                backend.label(),
                 started.elapsed().as_nanos()
             ))
         }
@@ -673,6 +748,7 @@ mod tests {
                 kind: TransformKind::Dft(Direction::Forward),
                 n: 1024,
                 strategy: Strategy::Ddl,
+                backend: BackendKind::selected(),
             })
         );
         assert_eq!(
@@ -682,6 +758,7 @@ mod tests {
                 n: 256,
                 strategy: Strategy::Sdl,
                 deadline: Some(Duration::from_millis(50)),
+                backend: BackendKind::selected(),
             })
         );
         match parse_request("exec dft ct(16, 16)") {
@@ -690,6 +767,44 @@ mod tests {
         }
         assert!(matches!(
             parse_request("exec dft ct(16,"),
+            Err(DdlError::Parse { .. })
+        ));
+        // The trailing backend option composes with deadline_ms in
+        // either order and is validated at parse time.
+        assert_eq!(
+            parse_request("plan dft 256 sdl backend=simd"),
+            Ok(Request::Plan {
+                kind: TransformKind::Dft(Direction::Forward),
+                n: 256,
+                strategy: Strategy::Sdl,
+                backend: BackendKind::Simd,
+            })
+        );
+        for line in [
+            "exec dft 64 ddl deadline_ms=50 backend=interp",
+            "exec dft 64 ddl backend=interp deadline_ms=50",
+        ] {
+            assert_eq!(
+                parse_request(line),
+                Ok(Request::ExecPlanned {
+                    kind: TransformKind::Dft(Direction::Forward),
+                    n: 64,
+                    strategy: Strategy::Ddl,
+                    deadline: Some(Duration::from_millis(50)),
+                    backend: BackendKind::Interp,
+                }),
+                "line {line:?}"
+            );
+        }
+        match parse_request("exec dft ct(8, 8) backend=simd") {
+            Ok(Request::ExecExpr { expr, backend, .. }) => {
+                assert_eq!(expr, "ct(8, 8)");
+                assert_eq!(backend, BackendKind::Simd);
+            }
+            other => panic!("want ExecExpr, got {other:?}"),
+        }
+        assert!(matches!(
+            parse_request("plan dft 256 sdl backend=avx2"),
             Err(DdlError::Parse { .. })
         ));
         assert!(matches!(
