@@ -1,0 +1,12 @@
+//! Fixture: a suppression that outlived its refactor, plus a marker
+//! naming a rule that does not exist.
+
+fn clamp_len(x: Option<u8>) -> u8 {
+    // ddl-lint: allow(no-panics): was an unwrap before the refactor
+    x.unwrap_or(0)
+}
+
+fn noop() {
+    // ddl-lint: allow(no-panix): typo'd rule name suppresses nothing
+    let _ = clamp_len(None);
+}

@@ -1,0 +1,7 @@
+//! Fixture: a live suppression — the banned token sits directly below
+//! the marker, so the allow is still earning its keep.
+
+fn must_len(x: Option<u8>) -> u8 {
+    // ddl-lint: allow(no-panics): documented panicking wrapper by design
+    x.unwrap()
+}

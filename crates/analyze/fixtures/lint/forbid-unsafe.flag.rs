@@ -1,0 +1,3 @@
+//! Fixture: a crate root with no `unsafe_code` forbid at all.
+
+pub mod kernels;

@@ -1,0 +1,7 @@
+//! Fixture: a poisoned lock here would cascade into a dead scheduler.
+
+use std::sync::Mutex;
+
+fn drain(queue: &Mutex<Vec<u64>>) -> Vec<u64> {
+    queue.lock().unwrap().split_off(0)
+}

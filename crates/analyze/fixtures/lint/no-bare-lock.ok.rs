@@ -1,0 +1,10 @@
+//! Fixture: hot paths recover poison instead of cascading it.
+
+use std::sync::{Mutex, PoisonError};
+
+fn drain(queue: &Mutex<Vec<u64>>) -> Vec<u64> {
+    queue
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .split_off(0)
+}

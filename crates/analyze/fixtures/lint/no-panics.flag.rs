@@ -1,0 +1,5 @@
+//! Fixture: library code that panics instead of routing `DdlError`.
+
+fn parse_len(s: &str) -> usize {
+    s.parse().unwrap()
+}

@@ -1,0 +1,14 @@
+//! Fixture: the try-first rule — errors route through `Result`, and
+//! `#[cfg(test)]` modules may still unwrap.
+
+fn parse_len(s: &str) -> Result<usize, std::num::ParseIntError> {
+    s.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        assert_eq!(super::parse_len("4").unwrap(), 4);
+    }
+}

@@ -1,0 +1,8 @@
+//! Fixture: pure planning code reading a clock.
+
+fn plan_seed() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0)
+}

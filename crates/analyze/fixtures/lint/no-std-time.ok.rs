@@ -1,0 +1,6 @@
+//! Fixture: planning stays a deterministic function of its inputs —
+//! any timestamp arrives as data, never from a clock.
+
+fn plan_seed(epoch_nanos: u64, n: usize) -> u64 {
+    epoch_nanos ^ (n as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}

@@ -1,0 +1,7 @@
+//! Fixture: an unbounded channel turns overload into memory growth.
+
+use std::sync::mpsc;
+
+fn feed() -> (mpsc::Sender<u64>, mpsc::Receiver<u64>) {
+    mpsc::channel()
+}

@@ -1,0 +1,8 @@
+//! Fixture: bounded queues shed overload with a typed error instead of
+//! growing without bound.
+
+use std::sync::mpsc;
+
+fn feed(depth: usize) -> (mpsc::SyncSender<u64>, mpsc::Receiver<u64>) {
+    mpsc::sync_channel(depth)
+}

@@ -1,0 +1,5 @@
+//! Fixture: unsafe code outside the audited arch module.
+
+fn read_first(p: *const u8) -> u8 {
+    unsafe { *p }
+}

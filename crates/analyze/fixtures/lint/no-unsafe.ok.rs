@@ -1,0 +1,6 @@
+//! Fixture: raw pointers may be carried as data; dereferencing them
+//! belongs to the audited arch module alone.
+
+fn addr_of_first(xs: &[u8]) -> usize {
+    xs.as_ptr() as usize
+}

@@ -1,0 +1,521 @@
+//! The `ddl-cert` certificate: one versioned, machine-checkable
+//! artifact binding together the three static-verification passes.
+//!
+//! A lint tells you the code *looks* fine; a certificate states *what
+//! was proven* in a form another program can re-validate without
+//! re-running the proofs:
+//!
+//! * `pointer` — the [`crate::ptr`] unsafe-pointer verification of
+//!   every SIMD intrinsic access in `arch.rs` (per-site bounds,
+//!   alignment, the access-trace fingerprint);
+//! * `locks` — the [`crate::locks`] lock-order graph with its
+//!   acyclicity verdict and topological order;
+//! * `errbound` — the [`crate::errbound`] per-size static ulp bounds
+//!   with the model constants that produced them;
+//! * `mutations` — the seeded-mutation self-test: how many injected
+//!   violations were applied to the pointer verifier and how many it
+//!   caught (anything but 100% voids the certificate).
+//!
+//! The document is versioned (`schema: "ddl-cert", version: 1`) and
+//! validated by [`check_cert_text`], which refuses newer versions and
+//! re-checks the internal invariants (caught == applied, acyclic lock
+//! graph, in-bounds sites, monotone bounds). `ddl_core::check_report`
+//! routes the document here via its `Unknown`-schema escape hatch.
+
+use crate::errbound;
+use crate::findings::{AnalysisReport, Severity};
+use crate::locks::{self, LockCertificate};
+use crate::ptr::{self, MutationSummary, PtrCertificate};
+use ddl_core::json::{self, Json};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Schema string of the certificate document.
+pub const CERT_SCHEMA: &str = "ddl-cert";
+
+/// Current certificate version; [`check_cert_text`] refuses newer.
+pub const CERT_VERSION: u32 = 1;
+
+/// Rule id for certificate-assembly findings.
+pub const RULE_CERT: &str = "cert/emit";
+
+/// Counts reported back by [`check_cert_text`] for display.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CertSummary {
+    /// Certified pointer sites.
+    pub sites: usize,
+    /// Verified kernels.
+    pub kernels: usize,
+    /// Lock classes.
+    pub classes: usize,
+    /// Lock-order edges.
+    pub edges: usize,
+    /// Per-size error bounds recorded.
+    pub bounds: usize,
+    /// Seeded mutations applied (and necessarily caught).
+    pub mutations: usize,
+}
+
+fn num(x: usize) -> Json {
+    Json::Num(x as f64)
+}
+
+fn obj(entries: Vec<(&str, Json)>) -> Json {
+    let mut m = BTreeMap::new();
+    for (k, v) in entries {
+        m.insert(k.to_string(), v);
+    }
+    Json::Obj(m)
+}
+
+fn pointer_json(cert: &PtrCertificate) -> Json {
+    obj(vec![
+        ("file", Json::Str(cert.file.clone())),
+        (
+            "sizes",
+            Json::Arr(cert.sizes.iter().map(|&n| num(n)).collect()),
+        ),
+        (
+            "kernels",
+            Json::Arr(cert.kernels.iter().map(|k| Json::Str(k.clone())).collect()),
+        ),
+        (
+            "fingerprint",
+            Json::Str(format!("{:016x}", cert.fingerprint)),
+        ),
+        (
+            "sites",
+            Json::Arr(
+                cert.sites
+                    .iter()
+                    .map(|s| {
+                        obj(vec![
+                            ("id", num(s.id)),
+                            ("kernel", Json::Str(s.kernel.clone())),
+                            ("module", Json::Str(s.module.clone())),
+                            ("line", num(s.line)),
+                            ("intrinsic", Json::Str(s.intrinsic.clone())),
+                            ("is_store", Json::Bool(s.is_store)),
+                            ("region", Json::Str(s.region.clone())),
+                            ("lanes", num(s.lanes)),
+                            ("min_index", Json::Num(s.min_index as f64)),
+                            ("max_end", Json::Num(s.max_end as f64)),
+                            ("region_len_at_max", Json::Num(s.region_len_at_max as f64)),
+                            ("align_bytes", num(s.align_bytes as usize)),
+                            ("executions", Json::Num(s.executions as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn locks_json(cert: &LockCertificate) -> Json {
+    obj(vec![
+        (
+            "classes",
+            Json::Arr(cert.classes.iter().map(|c| Json::Str(c.clone())).collect()),
+        ),
+        (
+            "edges",
+            Json::Arr(
+                cert.edges
+                    .iter()
+                    .map(|e| {
+                        obj(vec![
+                            ("from", Json::Str(e.from.clone())),
+                            ("to", Json::Str(e.to.clone())),
+                            ("site", Json::Str(e.site.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("acyclic", Json::Bool(cert.acyclic)),
+        (
+            "order",
+            Json::Arr(cert.order.iter().map(|c| Json::Str(c.clone())).collect()),
+        ),
+    ])
+}
+
+fn errbound_json() -> Json {
+    let mut bounds: Vec<Json> = errbound::bound_table()
+        .iter()
+        .map(|b| {
+            obj(vec![
+                ("n", num(b.n)),
+                ("r_dag", Json::Num((b.r_dag * 1e6).round() / 1e6)),
+                ("depth", num(b.depth)),
+                ("ulps", Json::Num(b.ulps as f64)),
+            ])
+        })
+        .collect();
+    // Composed sizes above the largest codelet, through the largest
+    // size the conformance suite sweeps.
+    for lg in 7u32..=14 {
+        let n = 1usize << lg;
+        bounds.push(obj(vec![
+            ("n", num(n)),
+            ("ulps", Json::Num(errbound::static_ulp_bound(n) as f64)),
+        ]));
+    }
+    obj(vec![
+        (
+            "model",
+            obj(vec![
+                ("kappa", Json::Num(errbound::KAPPA)),
+                ("c_level", Json::Num(errbound::C_LEVEL)),
+                ("c_dispatch", Json::Num(errbound::C_DISPATCH)),
+                ("max_codelet", num(errbound::MAX_CODELET)),
+            ]),
+        ),
+        ("bounds", Json::Arr(bounds)),
+    ])
+}
+
+fn mutations_json(m: &MutationSummary) -> Json {
+    obj(vec![
+        ("applied", num(m.applied)),
+        ("caught", num(m.caught)),
+        ("hard_oob", num(m.hard_violations)),
+    ])
+}
+
+/// Runs all three passes plus the mutation self-test against the
+/// workspace at `root` and assembles the certificate document.
+/// Returns `None` (with error findings in `report`) when any pass
+/// fails — a failing workspace gets no certificate.
+pub fn build_certificate(root: &Path, report: &mut AnalysisReport) -> Option<Json> {
+    let arch_path = root.join(ptr::PTR_TARGET);
+    let source = match std::fs::read_to_string(&arch_path) {
+        Ok(s) => s,
+        Err(e) => {
+            report.push(
+                RULE_CERT,
+                Severity::Error,
+                ptr::PTR_TARGET,
+                format!("cannot read pointer-verification target: {e}"),
+            );
+            return None;
+        }
+    };
+    let pointer = ptr::verify_arch_text(ptr::PTR_TARGET, &source, report)?;
+    let mutations = ptr::mutation_sweep(ptr::PTR_TARGET, &source, report)?;
+    if mutations.caught != mutations.applied {
+        report.push(
+            RULE_CERT,
+            Severity::Error,
+            ptr::PTR_TARGET,
+            format!(
+                "mutation self-test: only {}/{} seeded violations caught — verifier blind spot",
+                mutations.caught, mutations.applied
+            ),
+        );
+        return None;
+    }
+    let lock_cert = locks::analyze_locks(root, report)?;
+    let golden_path = root.join(locks::LOCK_GOLDEN_FIXTURE);
+    match std::fs::read_to_string(&golden_path) {
+        Ok(golden) => {
+            if !locks::check_golden(&lock_cert, &golden, report) {
+                return None;
+            }
+        }
+        Err(e) => {
+            report.push(
+                RULE_CERT,
+                Severity::Error,
+                locks::LOCK_GOLDEN_FIXTURE,
+                format!("cannot read golden lock order: {e}"),
+            );
+            return None;
+        }
+    }
+    if !errbound::verify_bounds(report) {
+        return None;
+    }
+    let findings = obj(vec![
+        ("errors", num(report.count(Severity::Error))),
+        ("warnings", num(report.count(Severity::Warning))),
+        ("checks", Json::Num(report.checks as f64)),
+        ("subjects", Json::Num(report.subjects as f64)),
+    ]);
+    Some(obj(vec![
+        ("schema", Json::Str(CERT_SCHEMA.into())),
+        ("version", Json::Num(CERT_VERSION as f64)),
+        ("pointer", pointer_json(&pointer)),
+        ("locks", locks_json(&lock_cert)),
+        ("errbound", errbound_json()),
+        ("mutations", mutations_json(&mutations)),
+        ("findings_summary", findings),
+    ]))
+}
+
+fn get<'a>(m: &'a BTreeMap<String, Json>, k: &str) -> Result<&'a Json, String> {
+    m.get(k).ok_or_else(|| format!("missing field `{k}`"))
+}
+
+fn get_obj<'a>(
+    m: &'a BTreeMap<String, Json>,
+    k: &str,
+) -> Result<&'a BTreeMap<String, Json>, String> {
+    get(m, k)?
+        .as_obj()
+        .ok_or_else(|| format!("field `{k}` is not an object"))
+}
+
+fn get_arr<'a>(m: &'a BTreeMap<String, Json>, k: &str) -> Result<&'a [Json], String> {
+    match get(m, k)? {
+        Json::Arr(v) => Ok(v),
+        _ => Err(format!("field `{k}` is not an array")),
+    }
+}
+
+fn get_u64(m: &BTreeMap<String, Json>, k: &str) -> Result<u64, String> {
+    get(m, k)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{k}` is not a non-negative integer"))
+}
+
+/// Validates a certificate document and re-checks its internal
+/// invariants. Returns display counts on success, a diagnostic on any
+/// violation. Refuses documents with a newer version than this build
+/// understands.
+pub fn check_cert_text(text: &str) -> Result<CertSummary, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    let top = doc.as_obj().ok_or("top level is not an object")?;
+    let schema = get(top, "schema")?
+        .as_str()
+        .ok_or("`schema` is not a string")?;
+    if schema != CERT_SCHEMA {
+        return Err(format!("schema is {schema:?}, not {CERT_SCHEMA:?}"));
+    }
+    let version = get_u64(top, "version")?;
+    if version > CERT_VERSION as u64 {
+        return Err(format!(
+            "certificate version {version} is newer than supported version {CERT_VERSION}"
+        ));
+    }
+
+    // Pointer certificate.
+    let pointer = get_obj(top, "pointer")?;
+    let file = get(pointer, "file")?
+        .as_str()
+        .ok_or("`pointer.file` is not a string")?;
+    if file != ptr::PTR_TARGET {
+        return Err(format!(
+            "pointer certificate covers {file:?}, expected {:?}",
+            ptr::PTR_TARGET
+        ));
+    }
+    let fp = get(pointer, "fingerprint")?
+        .as_str()
+        .ok_or("`pointer.fingerprint` is not a string")?;
+    if fp.len() != 16 || u64::from_str_radix(fp, 16).is_err() {
+        return Err(format!(
+            "`pointer.fingerprint` {fp:?} is not a 64-bit hex digest"
+        ));
+    }
+    let kernels = get_arr(pointer, "kernels")?;
+    let sites = get_arr(pointer, "sites")?;
+    if sites.is_empty() {
+        return Err("pointer certificate certifies zero sites".into());
+    }
+    for (i, s) in sites.iter().enumerate() {
+        let s = s
+            .as_obj()
+            .ok_or_else(|| format!("pointer site {i} is not an object"))?;
+        let max_end = get(s, "max_end")?
+            .as_f64()
+            .ok_or("site `max_end` is not numeric")?;
+        let region_len = get(s, "region_len_at_max")?
+            .as_f64()
+            .ok_or("site `region_len_at_max` is not numeric")?;
+        let min_index = get(s, "min_index")?
+            .as_f64()
+            .ok_or("site `min_index` is not numeric")?;
+        if min_index < 0.0 || max_end > region_len {
+            return Err(format!(
+                "pointer site {i} records an out-of-bounds access window \
+                 [{min_index}, {max_end}) in a region of {region_len}"
+            ));
+        }
+        let lanes = get_u64(s, "lanes")?;
+        if !(1..=8).contains(&lanes) {
+            return Err(format!(
+                "pointer site {i} has implausible lane count {lanes}"
+            ));
+        }
+        let align = get_u64(s, "align_bytes")?;
+        if align != 8 && align != 16 {
+            return Err(format!(
+                "pointer site {i} has implausible alignment {align}"
+            ));
+        }
+        if get_u64(s, "executions")? == 0 {
+            return Err(format!("pointer site {i} was never executed"));
+        }
+    }
+
+    // Lock certificate.
+    let locks_doc = get_obj(top, "locks")?;
+    let acyclic = matches!(get(locks_doc, "acyclic")?, Json::Bool(true));
+    if !acyclic {
+        return Err("lock-order graph is not certified acyclic".into());
+    }
+    let classes = get_arr(locks_doc, "classes")?;
+    let order = get_arr(locks_doc, "order")?;
+    if classes.is_empty() {
+        return Err("lock certificate names zero lock classes".into());
+    }
+    if order.len() != classes.len() {
+        return Err(format!(
+            "lock order covers {} of {} classes",
+            order.len(),
+            classes.len()
+        ));
+    }
+    let class_set: Vec<&str> = classes.iter().filter_map(|c| c.as_str()).collect();
+    let edges = get_arr(locks_doc, "edges")?;
+    for (i, e) in edges.iter().enumerate() {
+        let e = e
+            .as_obj()
+            .ok_or_else(|| format!("lock edge {i} is not an object"))?;
+        for end in ["from", "to"] {
+            let v = get(e, end)?
+                .as_str()
+                .ok_or("edge endpoint is not a string")?;
+            if !class_set.contains(&v) {
+                return Err(format!("lock edge {i} references unknown class {v:?}"));
+            }
+        }
+    }
+
+    // Error bounds: monotone, below the legacy flat bound.
+    let errb = get_obj(top, "errbound")?;
+    let bounds = get_arr(errb, "bounds")?;
+    if bounds.is_empty() {
+        return Err("error-bound certificate is empty".into());
+    }
+    let mut prev = (0u64, 0u64);
+    for (i, b) in bounds.iter().enumerate() {
+        let b = b
+            .as_obj()
+            .ok_or_else(|| format!("bound {i} is not an object"))?;
+        let n = get_u64(b, "n")?;
+        let ulps = get_u64(b, "ulps")?;
+        if ulps >= 4096 {
+            return Err(format!(
+                "bound for n={n} is {ulps} ulps, not below the flat 4096"
+            ));
+        }
+        if n > prev.0 && ulps < prev.1 {
+            return Err(format!(
+                "bounds not monotone: n={n} has {ulps} ulps after n={} with {}",
+                prev.0, prev.1
+            ));
+        }
+        prev = (n, ulps);
+    }
+
+    // Mutation self-test.
+    let muts = get_obj(top, "mutations")?;
+    let applied = get_u64(muts, "applied")?;
+    let caught = get_u64(muts, "caught")?;
+    if applied == 0 {
+        return Err("mutation self-test applied zero mutations".into());
+    }
+    if caught != applied {
+        return Err(format!(
+            "mutation self-test caught {caught}/{applied} seeded violations"
+        ));
+    }
+    if get_u64(muts, "hard_oob")? == 0 {
+        return Err("mutation self-test produced no hard out-of-bounds demonstration".into());
+    }
+
+    Ok(CertSummary {
+        sites: sites.len(),
+        kernels: kernels.len(),
+        classes: classes.len(),
+        edges: edges.len(),
+        bounds: bounds.len(),
+        mutations: applied as usize,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> std::path::PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .expect("workspace root")
+    }
+
+    #[test]
+    fn workspace_certificate_builds_and_validates() {
+        let mut report = AnalysisReport::new();
+        let doc = build_certificate(&root(), &mut report)
+            .unwrap_or_else(|| panic!("certificate: {:#?}", report.findings));
+        assert!(report.passes(), "{:#?}", report.findings);
+        let text = doc.pretty();
+        let summary = check_cert_text(&text).expect("self-validation");
+        assert!(summary.sites >= 20, "{summary:?}");
+        assert_eq!(summary.kernels, 4);
+        assert_eq!(summary.classes, 7);
+        assert_eq!(summary.edges, 2);
+        assert!(summary.bounds >= 10);
+        assert!(summary.mutations >= 50);
+    }
+
+    #[test]
+    fn core_report_checker_routes_cert_documents() {
+        let mut report = AnalysisReport::new();
+        let doc = build_certificate(&root(), &mut report).expect("certificate");
+        match ddl_core::check_report_text(&doc.pretty()) {
+            Ok(ddl_core::CheckedReport::Unknown { schema }) => {
+                assert_eq!(schema, CERT_SCHEMA);
+            }
+            other => panic!("wrong dispatch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn newer_versions_are_refused() {
+        let mut report = AnalysisReport::new();
+        let doc = build_certificate(&root(), &mut report).expect("certificate");
+        let text = doc.pretty().replace("\"version\": 1", "\"version\": 2");
+        let err = check_cert_text(&text).expect_err("must refuse newer");
+        assert!(err.contains("newer"), "{err}");
+    }
+
+    #[test]
+    fn tampered_bounds_fail_validation() {
+        let mut report = AnalysisReport::new();
+        let doc = build_certificate(&root(), &mut report).expect("certificate");
+        let text = doc.pretty().replace("\"ulps\": 96", "\"ulps\": 99999");
+        let err = check_cert_text(&text).expect_err("must reject tampered bound");
+        assert!(err.contains("4096"), "{err}");
+    }
+
+    #[test]
+    fn tampered_mutation_counts_fail_validation() {
+        let mut report = AnalysisReport::new();
+        let doc = build_certificate(&root(), &mut report).expect("certificate");
+        let text = doc.pretty().replace("\"caught\": 81", "\"caught\": 80");
+        let err = check_cert_text(&text).expect_err("must reject partial catches");
+        assert!(err.contains("81") || err.contains("caught"), "{err}");
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let err = check_cert_text("{\"schema\": \"ddl-metrics\", \"version\": 1}")
+            .expect_err("wrong schema");
+        assert!(err.contains("ddl-cert"), "{err}");
+    }
+}

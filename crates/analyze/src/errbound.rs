@@ -1,0 +1,276 @@
+//! Pass 3 of `ddl-cert`: static rounding-error bounds for verified
+//! codelet DAGs.
+//!
+//! The cross-backend conformance suite historically compared every
+//! backend against the scalar oracle with one flat tolerance (4096
+//! ulps for every size). That number was folklore. This pass derives a
+//! per-size bound from the *actual* generated expression DAGs: a
+//! standard forward error analysis propagates a magnitude bound `M`
+//! and an absolute-error bound `E` through every node
+//! (`u = 2⁻⁵³` is the unit roundoff for round-to-nearest f64):
+//!
+//! * `LoadRe`/`LoadIm`: `M = 1` (inputs are normalized to unit scale),
+//!   `E = 0`;
+//! * `Const(c)`: `M = |c|`, `E = 0`;
+//! * `Neg(a)`: exact — bounds pass through;
+//! * `Add/Sub(a, b)`: `M = Mₐ + M_b`, `E = Eₐ + E_b + u·M`;
+//! * `MulC(c, a)`: `M = |c|·Mₐ`, `E = |c|·Eₐ + u·M`.
+//!
+//! `r_dag(n)` is the worst `E / (u·M)` over all store roots — the
+//! relative rounding headroom of the `n`-point codelet in units of
+//! `u`, i.e. roughly "ulps at the output's magnitude scale". Above the
+//! largest codelet size the executor composes levels of verified
+//! codelets plus twiddle multiplications, each contributing a bounded
+//! number of rounding steps, so the bound grows linearly in the number
+//! of composed levels:
+//!
+//! ```text
+//! bound(n) = ⌈KAPPA · (r_dag(min(n, 64)) + C_LEVEL·max(0, log2 n − 6)
+//!                      + C_DISPATCH)⌉
+//! ```
+//!
+//! `KAPPA` absorbs the slop between "error relative to the magnitude
+//! bound" and "ulps relative to the actual output value" (cancellation
+//! shrinks outputs below `M`; both compared computations round). The
+//! constants are deliberately generous — the point is not a tight
+//! bound but a *derived, monotone, per-size* one that is strictly
+//! better than the flat 4096 for every size the suite sweeps, and that
+//! moves automatically if the generator ever emits deeper DAGs.
+
+use crate::dag::CodeletDag;
+use crate::findings::{AnalysisReport, Severity};
+use ddl_num::Direction;
+use std::sync::OnceLock;
+
+/// Rule id for error-bound findings.
+pub const RULE_ERRBOUND: &str = "cert/errbound";
+
+/// Largest size with a generated codelet DAG (the SIMD leaf cap).
+pub const MAX_CODELET: usize = 64;
+
+/// Ulps-per-`u` slack between the magnitude-relative model and the
+/// value-relative ulp measurement.
+pub const KAPPA: f64 = 32.0;
+
+/// Rounding headroom added per composed radix level above the largest
+/// codelet (twiddle multiply + butterfly accumulation).
+pub const C_LEVEL: f64 = 3.0;
+
+/// Headroom for dispatch-boundary effects (strided views, scratch
+/// copies, FMA contraction differences between backends).
+pub const C_DISPATCH: f64 = 2.0;
+
+/// Unit roundoff of f64 under round-to-nearest.
+const UNIT: f64 = 1.0 / ((1u64 << 53) as f64);
+
+/// Derived bound facts for one codelet size.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeBound {
+    /// Codelet size (power of two, `2..=MAX_CODELET`).
+    pub n: usize,
+    /// Worst relative rounding headroom `E/(u·M)` over both
+    /// directions' store roots.
+    pub r_dag: f64,
+    /// Longest rounding-operation chain in the DAG (worst direction).
+    pub depth: usize,
+    /// The derived conformance bound in ulps.
+    pub ulps: u64,
+}
+
+/// Propagates `(M, E)` through one direction's DAG; returns the worst
+/// `E/(u·M)` over store roots and the arithmetic depth.
+fn analyze_direction(n: usize, dir: Direction) -> (f64, usize) {
+    use ddl_codegen::Node;
+    let dag = CodeletDag::generate(n, dir);
+    let g = &dag.graph;
+    let mut mag = vec![0.0f64; g.len()];
+    let mut err = vec![0.0f64; g.len()];
+    for i in 0..g.len() {
+        let id = ddl_codegen::ExprId(i as u32);
+        let (m, e) = match g.node(id) {
+            Node::LoadRe(_) | Node::LoadIm(_) => (1.0, 0.0),
+            Node::Const(b) => (f64::from_bits(b).abs(), 0.0),
+            Node::Neg(a) => (mag[a.0 as usize], err[a.0 as usize]),
+            Node::Add(a, b) | Node::Sub(a, b) => {
+                let m = mag[a.0 as usize] + mag[b.0 as usize];
+                (m, err[a.0 as usize] + err[b.0 as usize] + UNIT * m)
+            }
+            Node::MulC(c, a) => {
+                let c = f64::from_bits(c).abs();
+                let m = c * mag[a.0 as usize];
+                (m, c * err[a.0 as usize] + UNIT * m)
+            }
+        };
+        mag[i] = m;
+        err[i] = e;
+    }
+    let mut worst = 0.0f64;
+    let mut roots = Vec::new();
+    for s in &dag.stores {
+        for id in [s.re, s.im] {
+            roots.push(id);
+            let m = mag[id.0 as usize];
+            if m > 0.0 {
+                worst = worst.max(err[id.0 as usize] / (UNIT * m));
+            }
+        }
+    }
+    (worst, g.depth(&roots))
+}
+
+/// The per-size bound table for every power-of-two codelet size,
+/// computed once.
+pub fn bound_table() -> &'static [SizeBound] {
+    static TABLE: OnceLock<Vec<SizeBound>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut out = Vec::new();
+        let mut n = 2usize;
+        while n <= MAX_CODELET {
+            let (rf, df) = analyze_direction(n, Direction::Forward);
+            let (ri, di) = analyze_direction(n, Direction::Inverse);
+            let r_dag = rf.max(ri);
+            out.push(SizeBound {
+                n,
+                r_dag,
+                depth: df.max(di),
+                ulps: compose(r_dag, n),
+            });
+            n *= 2;
+        }
+        out
+    })
+}
+
+/// Applies the level-composition formula to a codelet headroom.
+fn compose(r_dag: f64, n: usize) -> u64 {
+    let lg = n.next_power_of_two().trailing_zeros() as f64;
+    let levels_above = (lg - (MAX_CODELET.trailing_zeros() as f64)).max(0.0);
+    (KAPPA * (r_dag + C_LEVEL * levels_above + C_DISPATCH)).ceil() as u64
+}
+
+/// The static conformance bound in ulps for an `n`-point transform.
+///
+/// Sizes up to [`MAX_CODELET`] use their own codelet's derived
+/// headroom; larger sizes compose the largest codelet's headroom with
+/// `C_LEVEL` per radix level above it. Non-powers-of-two round up to
+/// the next power of two (the planner decomposes them no deeper).
+pub fn static_ulp_bound(n: usize) -> u64 {
+    if n <= 1 {
+        // A 0/1-point transform moves data without arithmetic.
+        return (KAPPA * C_DISPATCH) as u64;
+    }
+    let table = bound_table();
+    let p = n.next_power_of_two().min(MAX_CODELET);
+    let r_dag = table
+        .iter()
+        .find(|b| b.n >= p)
+        .map(|b| b.r_dag)
+        .unwrap_or(0.0);
+    compose(r_dag, n)
+}
+
+/// Certifies the bound table: every derived headroom must be positive
+/// and finite, and the composed bounds monotone in `n` and strictly
+/// below the legacy flat 4096 for every size the conformance suite
+/// sweeps (up to 2^14). Pushes findings and returns success.
+pub fn verify_bounds(report: &mut AnalysisReport) -> bool {
+    let mut ok = true;
+    report.subject();
+    for b in bound_table() {
+        if !(b.r_dag.is_finite() && b.r_dag > 0.0) {
+            ok = false;
+            report.push(
+                RULE_ERRBOUND,
+                Severity::Error,
+                &format!("dft{}", b.n),
+                format!("degenerate derived headroom r_dag = {}", b.r_dag),
+            );
+        }
+    }
+    let mut prev = 0u64;
+    for lg in 1u32..=14 {
+        let n = 1usize << lg;
+        let b = static_ulp_bound(n);
+        if b < prev {
+            ok = false;
+            report.push(
+                RULE_ERRBOUND,
+                Severity::Error,
+                &format!("dft{n}"),
+                format!("bound not monotone: {b} ulps < {prev} ulps for the previous size"),
+            );
+        }
+        if b >= 4096 {
+            ok = false;
+            report.push(
+                RULE_ERRBOUND,
+                Severity::Error,
+                &format!("dft{n}"),
+                format!("derived bound {b} ulps does not improve on the legacy flat 4096"),
+            );
+        }
+        prev = b;
+    }
+    report.check();
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_monotone_and_beat_the_flat_legacy_bound() {
+        let mut report = AnalysisReport::new();
+        assert!(verify_bounds(&mut report), "{:#?}", report.findings);
+        assert!(report.passes());
+    }
+
+    #[test]
+    fn table_covers_every_codelet_size() {
+        let sizes: Vec<usize> = bound_table().iter().map(|b| b.n).collect();
+        assert_eq!(sizes, vec![2, 4, 8, 16, 32, 64]);
+        for b in bound_table() {
+            assert!(b.depth >= 1, "{b:?}");
+            assert!(b.ulps >= 64, "{b:?}"); // KAPPA * C_DISPATCH floor
+        }
+    }
+
+    #[test]
+    fn headroom_grows_with_codelet_depth() {
+        let t = bound_table();
+        let r2 = t[0].r_dag;
+        let r64 = t[t.len() - 1].r_dag;
+        assert!(r64 > r2, "r_dag(64)={r64} vs r_dag(2)={r2}");
+        let d64 = t[t.len() - 1].depth;
+        assert!(d64 >= 6, "64-point DAG depth {d64} below log2(64)");
+    }
+
+    #[test]
+    fn composed_sizes_extend_linearly() {
+        let b64 = static_ulp_bound(64);
+        let b128 = static_ulp_bound(128);
+        let b4096 = static_ulp_bound(4096);
+        assert_eq!(b128 - b64, (KAPPA * C_LEVEL) as u64);
+        assert_eq!(b4096 - b64, 6 * (KAPPA * C_LEVEL) as u64);
+    }
+
+    #[test]
+    fn non_powers_of_two_round_up() {
+        assert_eq!(static_ulp_bound(3), static_ulp_bound(4));
+        assert_eq!(static_ulp_bound(100), static_ulp_bound(128));
+    }
+
+    #[test]
+    fn print_table_for_reference() {
+        for b in bound_table() {
+            eprintln!(
+                "n={:3} r_dag={:8.3} depth={:2} ulps={}",
+                b.n, b.r_dag, b.depth, b.ulps
+            );
+        }
+        for lg in 7..=14 {
+            eprintln!("n={:6} ulps={}", 1usize << lg, static_ulp_bound(1 << lg));
+        }
+    }
+}

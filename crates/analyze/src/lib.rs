@@ -19,31 +19,51 @@
 //!   store coverage, load reachability, constant sanity, op budgets.
 //! * [`lint`] — workspace source lints (`ddl-lint`): no panics in
 //!   library code, no clocks in pure planning code,
-//!   `#![forbid(unsafe_code)]` everywhere.
+//!   `#![forbid(unsafe_code)]` everywhere, no dead `allow` markers.
+//! * [`ptr`] — the unsafe-pointer verifier: parses the SIMD kernels in
+//!   `arch.rs` into a small pointer IR and proves every intrinsic
+//!   load/store in-bounds and aligned for every supported shape, with
+//!   a seeded-mutation self-test.
+//! * [`locks`] — the lock-order analyzer: acquisition sites, guard
+//!   extents, the inter-procedural lock-order graph, cycle and
+//!   held-across-unwind checks, pinned golden order.
+//! * [`errbound`] — static per-size ulp error bounds derived from the
+//!   verified codelet DAGs, replacing the legacy flat tolerance.
+//! * [`cert`] — binds the three passes into the versioned, machine-
+//!   checkable `ddl-cert` certificate artifact.
 //!
 //! All passes report through [`findings::AnalysisReport`], which
 //! serializes to the versioned `ddl-analyze` JSON schema; CI gates on
-//! `error`-severity findings via the `ddl_analyze` and `ddl_lint`
-//! binaries.
+//! `error`-severity findings via the `ddl_analyze`, `ddl_lint` and
+//! `ddl_cert` binaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;
 pub mod attrib;
+pub mod cert;
 pub mod conflict;
 pub mod dag;
+pub mod errbound;
 pub mod findings;
 pub mod lint;
+pub mod locks;
+pub mod ptr;
+mod tok;
 
 pub use access::{
     analyze_dft_plan, analyze_dft_tree, analyze_wht_plan, analyze_wht_tree, AccessSet, LeafFamily,
     Region, StaticAnalysis,
 };
 pub use attrib::{annotate_static, annotated_leaves, crosscheck, Disagreement};
+pub use cert::{build_certificate, check_cert_text, CertSummary, CERT_SCHEMA, CERT_VERSION};
 pub use conflict::{
     conflict_degree, conflict_summary, CacheGeometry, ConflictInfo, ConflictSummary,
 };
 pub use dag::{op_budget, verify_codelet, verify_generated, CodeletDag};
+pub use errbound::{static_ulp_bound, SizeBound};
 pub use findings::{AnalysisReport, Finding, Severity, ANALYZE_SCHEMA, ANALYZE_VERSION};
-pub use lint::{lint_source, lint_workspace, RuleSet};
+pub use lint::{lint_source, lint_workspace, RuleSet, RULE_DEAD_ALLOW};
+pub use locks::{analyze_locks, LockCertificate, LockEdge};
+pub use ptr::{mutation_sweep, verify_arch, MutationKind, PtrCertificate, PtrMutation};

@@ -20,6 +20,11 @@
 //!   lock results (one poisoned lock would cascade into a dead
 //!   scheduler) and must not construct unbounded channels (overload
 //!   must shed with `DdlError::Overloaded`, not grow memory).
+//! * **`lint/dead-allow`** — suppressions must stay earned: an allow
+//!   marker that no longer sits on or directly above a banned token, or
+//!   that names an unknown rule, is itself an error, as is an
+//!   [`UNSAFE_AUDITED`] entry whose file is gone or no longer contains
+//!   `unsafe` code. Without this, allow-lists only ever grow.
 //!
 //! A finding is suppressed by a marker on the same line or the line
 //! directly above:
@@ -37,6 +42,10 @@
 use crate::findings::{AnalysisReport, Severity};
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// Rule id for dead-suppression findings. Always on: a marker that
+/// suppresses nothing is wrong in every file class.
+pub const RULE_DEAD_ALLOW: &str = "lint/dead-allow";
 
 /// Which rule families to apply to one source file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -143,6 +152,21 @@ fn allow_marker(rule: &str) -> String {
     format!("ddl-lint: allow({short})")
 }
 
+/// The banned tokens a marker for `short` would suppress, plus whether
+/// they match whole-word. `None` for rule names no marker can refer to
+/// (including `forbid-unsafe`, whose crate-root check honors no
+/// markers at all — an allow for it is dead by construction).
+fn rule_tokens(short: &str) -> Option<(Vec<String>, bool)> {
+    match short {
+        "no-panics" => Some((panic_tokens(), false)),
+        "no-std-time" => Some((vec![std_time_token()], false)),
+        "no-bare-lock" => Some((bare_lock_tokens(), false)),
+        "no-unbounded-queue" => Some((unbounded_queue_tokens(), false)),
+        "no-unsafe" => Some((vec![unsafe_token()], true)),
+        _ => None,
+    }
+}
+
 /// Lexer state carried across lines while scrubbing.
 enum ScrubState {
     Normal,
@@ -153,19 +177,34 @@ enum ScrubState {
 
 /// Returns the source line by line with string/char-literal contents and
 /// comments blanked out: what remains is pure code text, safe for token
-/// matching and brace counting.
-fn scrub(source: &str) -> Vec<String> {
+/// matching and brace counting. Shared with the certificate passes'
+/// tokenizer ([`crate::tok`]).
+pub(crate) fn scrub(source: &str) -> Vec<String> {
+    scrub_and_comments(source).0
+}
+
+/// [`scrub`], but additionally captures each line's `//` line-comment
+/// text (including the slashes, so callers can tell `//` from `///` and
+/// `//!`; empty when the line has none). Only comments the lexer sees in
+/// code position count — a `//` inside a string literal or block comment
+/// is not a comment.
+pub(crate) fn scrub_and_comments(source: &str) -> (Vec<String>, Vec<String>) {
     let mut state = ScrubState::Normal;
     let mut out = Vec::new();
+    let mut comments = Vec::new();
     for line in source.lines() {
         let b = line.as_bytes();
         let mut res = String::with_capacity(b.len());
+        let mut comment = String::new();
         let mut i = 0;
         while i < b.len() {
             match state {
                 ScrubState::Normal => {
                     if b[i] == b'/' && b.get(i + 1) == Some(&b'/') {
-                        break; // line comment: rest of line is prose
+                        // Line comment: rest of line is prose. `//` is
+                        // ASCII, so `i` is a char boundary.
+                        comment = line.get(i..).unwrap_or("").to_string();
+                        break;
                     }
                     if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
                         state = ScrubState::BlockComment(1);
@@ -266,13 +305,15 @@ fn scrub(source: &str) -> Vec<String> {
             }
         }
         out.push(res);
+        comments.push(comment);
     }
-    out
+    (out, comments)
 }
 
 /// Which lines belong to `#[cfg(test)]` items, determined by brace
-/// counting over scrubbed code.
-fn test_module_lines(scrubbed: &[String]) -> Vec<bool> {
+/// counting over scrubbed code. Shared with the certificate passes so
+/// they skip test-only code the same way the lints do.
+pub(crate) fn test_module_lines(scrubbed: &[String]) -> Vec<bool> {
     let mut in_test = vec![false; scrubbed.len()];
     let mut i = 0;
     while i < scrubbed.len() {
@@ -314,7 +355,7 @@ fn test_module_lines(scrubbed: &[String]) -> Vec<bool> {
 /// findings; pure so tests can feed strings.
 pub fn lint_source(label: &str, source: &str, rules: RuleSet, report: &mut AnalysisReport) {
     report.subject();
-    let scrubbed = scrub(source);
+    let (scrubbed, comments) = scrub_and_comments(source);
     let in_test = test_module_lines(&scrubbed);
     let panic_toks = panic_tokens();
     let time_tok = std_time_token();
@@ -404,6 +445,55 @@ pub fn lint_source(label: &str, source: &str, rules: RuleSet, report: &mut Analy
                      function of their inputs"
                 ),
             );
+        }
+        // lint/dead-allow (always on): every allow marker in a real
+        // `//` comment must still suppress something. Doc comments
+        // (`///`, `//!`) and string literals are prose — markers there
+        // never suppressed anything, so they are not checked either.
+        let comment = comments[idx].as_str();
+        if !comment.starts_with("///") && !comment.starts_with("//!") {
+            let prefix = ["ddl-lint: ", "allow("].concat();
+            for (pos, _) in comment.match_indices(&prefix) {
+                let rest = &comment[pos + prefix.len()..];
+                let Some(end) = rest.find(')') else {
+                    continue;
+                };
+                let short = &rest[..end];
+                let Some((toks, whole_word)) = rule_tokens(short) else {
+                    report.push(
+                        RULE_DEAD_ALLOW,
+                        Severity::Error,
+                        &format!("{label}:{}", idx + 1),
+                        format!(
+                            "allow marker names unknown rule `{short}`: it suppresses \
+                             nothing and will rot silently"
+                        ),
+                    );
+                    continue;
+                };
+                let live = [idx, idx + 1].iter().any(|&j| {
+                    j < scrubbed.len()
+                        && !in_test[j]
+                        && toks.iter().any(|t| {
+                            if whole_word {
+                                contains_word(&scrubbed[j], t)
+                            } else {
+                                scrubbed[j].contains(t.as_str())
+                            }
+                        })
+                });
+                if !live {
+                    report.push(
+                        RULE_DEAD_ALLOW,
+                        Severity::Error,
+                        &format!("{label}:{}", idx + 1),
+                        format!(
+                            "dead allow marker for `{short}`: no banned token on this \
+                             line or the one below — delete the marker"
+                        ),
+                    );
+                }
+            }
         }
     }
 }
@@ -553,6 +643,49 @@ pub fn lint_workspace(root: &Path, report: &mut AnalysisReport) -> std::io::Resu
         let rel = rel_label(root, &path);
         let source = fs::read_to_string(&path)?;
         lint_crate_root(&rel, &source, report);
+    }
+
+    // The unsafe allow-lists must stay earned too: an audited path that
+    // vanished, or that no longer contains any real `unsafe` code, is a
+    // dead suppression that would silently exempt a future rewrite.
+    let tok = unsafe_token();
+    for rel in UNSAFE_AUDITED {
+        report.subject();
+        report.check();
+        match fs::read_to_string(root.join(rel)) {
+            Ok(src) => {
+                let code = scrub(&src).join("\n");
+                if !contains_word(&code, &tok) {
+                    report.push(
+                        RULE_DEAD_ALLOW,
+                        Severity::Error,
+                        rel,
+                        format!(
+                            "UNSAFE_AUDITED entry no longer contains any `{tok}` code: \
+                             remove it from the allow-list"
+                        ),
+                    );
+                }
+            }
+            Err(_) => report.push(
+                RULE_DEAD_ALLOW,
+                Severity::Error,
+                rel,
+                "UNSAFE_AUDITED entry does not exist on disk".to_string(),
+            ),
+        }
+    }
+    for rel in DENY_UNSAFE_ROOTS {
+        report.subject();
+        report.check();
+        if !root.join(rel).is_file() {
+            report.push(
+                RULE_DEAD_ALLOW,
+                Severity::Error,
+                rel,
+                "DENY_UNSAFE_ROOTS entry does not exist on disk".to_string(),
+            );
+        }
     }
     Ok(())
 }
@@ -820,6 +953,76 @@ mod tests {
     }
 
     #[test]
+    fn dead_allow_marker_is_flagged() {
+        let marker = allow_marker("lint/no-panics");
+        // The unwrap was removed in a refactor; the marker stayed.
+        let src = format!(
+            "fn f(x: Option<u8>) -> u8 {{\n\
+             \x20   // {marker}: documented wrapper\n\
+             \x20   x.unwrap_or(0)\n\
+             }}\n"
+        );
+        let mut report = AnalysisReport::new();
+        lint_source("a.rs", &src, ALL, &mut report);
+        assert_eq!(report.error_count(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, RULE_DEAD_ALLOW);
+        assert_eq!(report.findings[0].subject, "a.rs:2");
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_marker_is_flagged() {
+        let src = "fn f() {\n\
+                   \x20   // ddl-lint: allow(no-panix): typo'd rule name\n\
+                   \x20   let _ = 1;\n\
+                   }\n";
+        let mut report = AnalysisReport::new();
+        lint_source("a.rs", src, ALL, &mut report);
+        assert_eq!(report.error_count(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, RULE_DEAD_ALLOW);
+        assert!(report.findings[0].message.contains("no-panix"));
+    }
+
+    #[test]
+    fn markers_in_docs_and_strings_are_not_dead_allows() {
+        let marker = allow_marker("lint/no-panics");
+        // Doc comments and string literals mention markers as prose —
+        // they never suppressed anything, so they cannot be dead.
+        let src = format!(
+            "//! Suppress with `// {marker}: reason`.\n\
+             /// Example: `// {marker}: reason`.\n\
+             fn f() -> String {{\n\
+             \x20   format!(\"{marker}\")\n\
+             }}\n"
+        );
+        let mut report = AnalysisReport::new();
+        lint_source("a.rs", &src, ALL, &mut report);
+        assert!(report.passes(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn live_unsafe_marker_requires_a_whole_word_match() {
+        let tok = unsafe_token();
+        let marker = allow_marker("lint/no-unsafe");
+        // `unsafe_code` in an attribute is not the keyword: a marker
+        // "covering" only that spelling is dead.
+        let src = format!(
+            "// {marker}: stale\n\
+             #[allow({tok}_code)]\n\
+             mod arch;\n"
+        );
+        let mut report = AnalysisReport::new();
+        let rules = RuleSet {
+            no_panics: true,
+            no_std_time: false,
+            exec_hot_path: false,
+            no_unsafe: true,
+        };
+        lint_source("a.rs", &src, rules, &mut report);
+        assert_eq!(report.error_count(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, RULE_DEAD_ALLOW);
+    }
+
+    #[test]
     fn exec_hot_path_scope_is_exact() {
         assert!(is_exec_hot_path("crates/core/src/scheduler.rs"));
         assert!(is_exec_hot_path("crates/core/src/parallel.rs"));
@@ -837,6 +1040,52 @@ mod tests {
         assert!(!is_pure_planning("crates/core/src/measure.rs"));
         assert!(!is_pure_planning("crates/core/src/parallel.rs"));
         assert!(!is_pure_planning("crates/core/src/obs.rs"));
+    }
+
+    #[test]
+    fn fixture_corpus_covers_every_rule() {
+        // Every rule ships a positive (`.flag.rs`, must trip exactly
+        // that rule) and a negative (`.ok.rs`, must be fully clean
+        // under every rule) snippet, and the corpus directory contains
+        // nothing else.
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/lint");
+        let rules = [
+            "no-panics",
+            "no-std-time",
+            "no-bare-lock",
+            "no-unbounded-queue",
+            "no-unsafe",
+            "dead-allow",
+            "forbid-unsafe",
+        ];
+        for rule in rules {
+            for (suffix, want_clean) in [("ok", true), ("flag", false)] {
+                let path = dir.join(format!("{rule}.{suffix}.rs"));
+                let source =
+                    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                let mut report = AnalysisReport::new();
+                if rule == "forbid-unsafe" {
+                    lint_crate_root("crates/x/src/lib.rs", &source, &mut report);
+                } else {
+                    lint_source("fixture.rs", &source, ALL, &mut report);
+                }
+                if want_clean {
+                    assert!(report.passes(), "{rule}.{suffix}: {:#?}", report.findings);
+                } else {
+                    assert!(
+                        report
+                            .findings
+                            .iter()
+                            .any(|f| f.severity == Severity::Error
+                                && f.rule == format!("lint/{rule}")),
+                        "{rule}.{suffix} did not trip lint/{rule}: {:#?}",
+                        report.findings
+                    );
+                }
+            }
+        }
+        let entries = fs::read_dir(&dir).expect("fixture dir").count();
+        assert_eq!(entries, rules.len() * 2, "stray files in fixtures/lint");
     }
 
     #[test]

@@ -44,6 +44,14 @@ pub(crate) fn detect_isa() -> &'static str {
 /// `false` when no suitable unit exists so the caller can take the
 /// portable path instead; never touches `buf` in that case.
 pub(crate) fn dft_inplace_vector(buf: &mut [Complex64], tw: &[Complex64]) -> bool {
+    // Shadow assertions for the preconditions the `ddl-cert` pointer
+    // verifier proves the unsafe kernels rely on: a power-of-two
+    // length within the leaf cap, and a twiddle table with exactly one
+    // factor per butterfly (`n - 1` across all levels). Debug builds
+    // fail fast at the safe boundary instead of inside an intrinsic.
+    debug_assert!(buf.len() <= 1 || buf.len().is_power_of_two());
+    debug_assert!(buf.len() <= crate::MAX_SIMD_LEAF);
+    debug_assert_eq!(tw.len(), buf.len().saturating_sub(1));
     #[cfg(target_arch = "x86_64")]
     {
         if crate::active_isa() == "avx2" {

@@ -396,4 +396,29 @@ mod tests {
         assert!(matches!(isa, "avx2" | "neon" | "portable"));
         assert_eq!(isa, active_isa());
     }
+
+    /// The shadow assertions at the safe/unsafe boundary must actually
+    /// fire: a twiddle table that is too short for the buffer — the
+    /// exact precondition the `ddl-cert` pointer proof assumes — has to
+    /// panic in debug builds rather than reach an intrinsic.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn violated_kernel_precondition_panics_in_debug_builds() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut buf = signal(8);
+        let short_tw = signal(3); // an 8-point network needs 7 factors
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            arch::dft_inplace_vector(&mut buf, &short_tw);
+        }));
+        assert!(
+            result.is_err(),
+            "debug build accepted a 3-entry twiddle table for an 8-point buffer"
+        );
+        let mut odd = signal(6); // not a power of two
+        let tw = signal(5);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            arch::dft_inplace_vector(&mut odd, &tw);
+        }));
+        assert!(result.is_err(), "debug build accepted a non-pow2 length");
+    }
 }

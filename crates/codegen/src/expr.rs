@@ -201,6 +201,25 @@ impl Graph {
         live
     }
 
+    /// Longest chain of *rounding* operations (adds/subs/mults; `Neg`
+    /// and loads are exact) from any root down to a leaf. This is the
+    /// arithmetic depth that drives worst-case rounding accumulation —
+    /// the static error-bound pass in `ddl-analyze` reports it per
+    /// codelet size. Nodes are interned operands-first, so a single
+    /// forward pass sees every operand before its parent.
+    pub fn depth(&self, roots: &[ExprId]) -> usize {
+        let mut d = vec![0usize; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            d[i] = match *node {
+                Node::Add(a, b) | Node::Sub(a, b) => 1 + d[a.0 as usize].max(d[b.0 as usize]),
+                Node::MulC(_, a) => 1 + d[a.0 as usize],
+                Node::Neg(a) => d[a.0 as usize],
+                Node::LoadRe(_) | Node::LoadIm(_) | Node::Const(_) => 0,
+            };
+        }
+        roots.iter().map(|r| d[r.0 as usize]).max().unwrap_or(0)
+    }
+
     /// Counts arithmetic operations (adds/subs/negs/mults) reachable from
     /// `roots` — the generator's quality metric.
     pub fn op_count(&self, roots: &[ExprId]) -> (usize, usize) {

@@ -32,5 +32,5 @@ pub mod simplify;
 
 pub use dft_gen::generate_dft;
 pub use emit::{emit_codelet, emit_module};
-pub use expr::{ExprId, Graph};
+pub use expr::{ExprId, Graph, Node};
 pub use interp::evaluate;

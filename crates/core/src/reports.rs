@@ -75,9 +75,23 @@ pub fn check_report_text(text: &str) -> Result<CheckedReport, DdlError> {
         )?))),
         CALIBRATION_SCHEMA => Ok(CheckedReport::Calibration(CalibrationReport::parse(text)?)),
         ATTRIBUTION_SCHEMA => Ok(CheckedReport::Attribution(AttributionReport::parse(text)?)),
-        other => Ok(CheckedReport::Unknown {
-            schema: other.to_string(),
-        }),
+        other => {
+            // Even schemas this crate does not own must version
+            // sanely: if the document carries a `version` field it has
+            // to be a non-negative integer, or every downstream
+            // compatibility check is meaningless.
+            if let Some(v) = map.get("version") {
+                let ok = v.as_f64().is_some_and(|f| f >= 0.0 && f.fract() == 0.0);
+                if !ok {
+                    return Err(metrics_err(format!(
+                        "report: schema {other} has a non-integer version field"
+                    )));
+                }
+            }
+            Ok(CheckedReport::Unknown {
+                schema: other.to_string(),
+            })
+        }
     }
 }
 
@@ -131,5 +145,15 @@ mod tests {
         assert!(check_report_text("{}").is_err());
         assert!(check_report_text("not json").is_err());
         assert!(check_report_text("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn unknown_schema_versions_must_be_non_negative_integers() {
+        assert!(check_report_text(r#"{"schema": "ddl-cert", "version": 1.5}"#).is_err());
+        assert!(check_report_text(r#"{"schema": "ddl-cert", "version": -1}"#).is_err());
+        assert!(check_report_text(r#"{"schema": "ddl-cert", "version": "1"}"#).is_err());
+        assert!(check_report_text(r#"{"schema": "ddl-cert", "version": 3}"#).is_ok());
+        // A versionless unknown document still passes through.
+        assert!(check_report_text(r#"{"schema": "ddl-whatever"}"#).is_ok());
     }
 }

@@ -96,12 +96,29 @@ cargo run --release -q -p ddl-bench --bin bench_suite -- \
     || echo "warning: benchmark trajectory drifted from results/bench_baseline.json (soft gate)"
 
 # Static analysis gate: workspace lint (panic discipline, forbid(unsafe),
-# timing hygiene), then the plan/DAG analyzer over every golden plan and
-# generated codelet. Both exit non-zero on any error-severity finding;
-# the analyzer report is validated by round-tripping it through --check.
+# timing hygiene, dead allow markers), then the plan/DAG analyzer over
+# every golden plan and generated codelet. Both exit non-zero on any
+# error-severity finding; the analyzer report is validated by
+# round-tripping it through --check.
 run cargo run --release -q -p ddl-analyze --bin ddl_lint -- --out target/lint-report.json
 run cargo run --release -q -p ddl-analyze --bin ddl_analyze -- --out target/analyze-report.json
 run cargo run --release -q -p ddl-analyze --bin ddl_analyze -- --check target/analyze-report.json
+
+# Certificate gate (DESIGN.md §12): prove every SIMD intrinsic access
+# in-bounds and aligned, the inter-procedural lock-order graph acyclic
+# and matching the pinned golden, and the per-size ulp bounds derived
+# and monotone; emit the versioned ddl-cert artifact and re-validate it
+# through --check. Hard gate: any error-severity finding fails the
+# build.
+run cargo run --release -q -p ddl-analyze --bin ddl_cert -- --out target/cert-report.json
+run cargo run --release -q -p ddl-analyze --bin ddl_cert -- --check target/cert-report.json
+
+# The gate must be able to fail: seed one known violation of each class
+# and require the verifier to catch it. Each demo exits zero only when
+# the seeded defect IS caught, so a silently-weakened verifier breaks
+# the build here.
+run cargo run --release -q -p ddl-analyze --bin ddl_cert -- --demo-mutation ptr-off-by-one
+run cargo run --release -q -p ddl-analyze --bin ddl_cert -- --demo-mutation lock-inversion
 
 echo
 echo "CI gate passed."
