@@ -13,16 +13,19 @@
 //!   `--ledger <path>` the run (plus an attribution digest for the
 //!   pinned sizes) is appended as one line to the JSONL ledger.
 //! * **`--check <path>`** (repeatable) — validates a previously emitted
-//!   artifact through `ddl_core::check_report_text`: `ddl-metrics`,
-//!   `ddl-calibration` and `ddl-attribution` reports and Chrome traces
-//!   are dispatched by the shared validator; the `ddl-bench` schema this
-//!   crate owns is layered on its `Unknown` passthrough. Violations
-//!   print the offending JSON path and exit non-zero.
+//!   artifact through `ddl_core::check_report`: `ddl-metrics`,
+//!   `ddl-calibration`, `ddl-attribution`, `ddl-telemetry` and
+//!   `ddl-flight` reports (JSONL artifacts line by line) and Chrome
+//!   traces are dispatched by the shared validator; the `ddl-bench`
+//!   schema this crate owns is layered on its `Unknown` passthrough.
+//!   Violations print the offending JSON path and exit non-zero.
 //! * **`--compare <current> <baseline>`** — compares two stored reports
 //!   without re-running the suite.
 //! * **`--ledger-check <path>`** — validates every line of a trajectory
 //!   ledger and exits non-zero if any consecutive same-environment pair
 //!   regressed beyond `--tolerance`.
+//! * **`--ledger-report <path>`** — renders the trajectory ledger as a
+//!   per-case markdown trend table on stdout (no gating).
 //! * **`--simd-check`** — measures the scalar and SIMD backends on the
 //!   DDL DFT at the acceptance size (2^16) and exits non-zero when the
 //!   SIMD median speedup is below the pinned floor while a vector unit
@@ -42,7 +45,9 @@
 //! ```
 
 use ddl_analyze::{annotate_static, crosscheck};
-use ddl_bench::ledger::{append_entry, check_ledger, read_ledger, AttributionSummary, LedgerEntry};
+use ddl_bench::ledger::{
+    append_entry, check_ledger, read_ledger, render_report, AttributionSummary, LedgerEntry,
+};
 use ddl_bench::suite::{
     compare, default_repeats, dft_case, run_suite, BenchReport, Comparison, SuiteConfig,
     DEFAULT_TOLERANCE,
@@ -51,7 +56,7 @@ use ddl_cachesim::CacheConfig;
 use ddl_core::attrib::{attribute_dft, attribute_wht, AttributionReport, AttributionRun};
 use ddl_core::planner::{plan_dft, plan_wht, try_plan_dft_with, PlannerConfig, Strategy};
 use ddl_core::{
-    calibrate_dft, calibrate_wht, check_report_text, simd_active_isa, validate_chrome_trace,
+    calibrate_dft, calibrate_wht, check_report, simd_active_isa, validate_chrome_trace,
     write_chrome_trace, BackendKind, CalibrationConfig, CalibrationReport, CheckedReport, DftPlan,
     Recorder, WhtPlan,
 };
@@ -93,6 +98,7 @@ struct Args {
     attribution_out: Option<PathBuf>,
     ledger: Option<PathBuf>,
     ledger_check: Option<PathBuf>,
+    ledger_report: Option<PathBuf>,
     simd_check: bool,
 }
 
@@ -116,6 +122,7 @@ fn parse_args() -> Args {
         attribution_out: None,
         ledger: None,
         ledger_check: None,
+        ledger_report: None,
         simd_check: false,
     };
     let mut args = std::env::args().skip(1);
@@ -165,13 +172,16 @@ fn parse_args() -> Args {
             "--ledger-check" => {
                 parsed.ledger_check = Some(next_path(&mut args, "--ledger-check"));
             }
+            "--ledger-report" => {
+                parsed.ledger_report = Some(next_path(&mut args, "--ledger-report"));
+            }
             "--simd-check" => parsed.simd_check = true,
             other => die(&format!(
                 "unknown argument {other} (expected --quick | --label <s> | --out <path> | \
                  --baseline <path> | --tolerance <f> | --repeats <k> | --check <path> | \
                  --compare <current> <baseline> | --calibrate-out <path> | --trace-out <path> | \
                  --attribution-out <path> | --ledger <path> | --ledger-check <path> | \
-                 --simd-check)"
+                 --ledger-report <path> | --simd-check)"
             )),
         }
     }
@@ -210,6 +220,15 @@ fn main() -> ExitCode {
 
     if let Some(path) = &args.ledger_check {
         return run_ledger_check(path, args.tolerance);
+    }
+
+    if let Some(path) = &args.ledger_report {
+        let entries = match read_ledger(path) {
+            Ok(e) => e,
+            Err(e) => die(&format!("{e}")),
+        };
+        print!("{}", render_report(&entries));
+        return ExitCode::SUCCESS;
     }
 
     if args.simd_check {
@@ -584,13 +603,13 @@ fn report_comparison(cmp: &Comparison, tolerance: f64) -> ExitCode {
     }
 }
 
-/// Validates one artifact through the shared `ddl-core` dispatcher,
-/// layering the `ddl-bench` schema (which core does not own) on the
-/// `Unknown` passthrough; returns a short human summary or the
-/// path-bearing error message.
+/// Validates one artifact through the shared `ddl-core` dispatcher
+/// (which validates `.jsonl` artifacts line by line), layering the
+/// `ddl-bench` schema (which core does not own) on the `Unknown`
+/// passthrough; returns a short human summary or the path-bearing
+/// error message.
 fn check_artifact(path: &Path) -> Result<String, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read file: {e}"))?;
-    match check_report_text(&text).map_err(|e| e.to_string())? {
+    match check_report(path).map_err(|e| e.to_string())? {
         CheckedReport::Trace(s) => Ok(format!(
             "ddl-trace: {} events ({} begin/end pairs, {} completes, depth {}, {} dropped)",
             s.events, s.begins, s.completes, s.max_depth, s.events_dropped
@@ -611,7 +630,26 @@ fn check_artifact(path: &Path) -> Result<String, String> {
             r.label,
             r.runs.len()
         )),
+        CheckedReport::Telemetry(r) => {
+            let (admitted, shed) = r.outcome_totals();
+            Ok(format!(
+                "ddl-telemetry: {} histogram series, {} admitted + {} shed samples, quiesced={}",
+                r.entries.len(),
+                admitted,
+                shed,
+                r.counters
+                    .get("serve.snapshot_quiesced")
+                    .copied()
+                    .unwrap_or(0)
+            ))
+        }
+        CheckedReport::Flight(d) => Ok(format!(
+            "ddl-flight: last dump seq {}, trigger {:?}, request {} ({})",
+            d.seq, d.trigger, d.capsule.id, d.capsule.outcome
+        )),
         CheckedReport::Unknown { schema } if schema == "ddl-bench" => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read file: {e}"))?;
             let r = BenchReport::parse(&text).map_err(|e| e.to_string())?;
             Ok(format!(
                 "ddl-bench: label {:?}, {} cases, {} mode, host {}",

@@ -25,7 +25,10 @@ use ddl_core::obs::{env_metrics_out, merge_counters, Counter, PlannerRunMetrics}
 use ddl_core::planner::{try_plan_dft_with, try_plan_wht_with, PlannerConfig, Strategy};
 use ddl_core::tree::Tree;
 use ddl_core::wisdom::Wisdom;
-use ddl_core::{try_execute_dft_batch, DftPlan, MetricsReport, Recorder, WhtPlan};
+use ddl_core::{
+    execute_batch_scheduled, try_execute_dft_batch, BatchOptions, CancelToken, DftPlan,
+    MetricsReport, Recorder, WhtPlan,
+};
 use ddl_num::{Complex64, Direction};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -134,6 +137,32 @@ fn emit_report(metrics_out: Option<&Path>) -> ExitCode {
     let batch = try_execute_dft_batch(&batch_plan, &inputs, &mut outputs, 2).expect("batch");
     report.batches.push(batch.metrics("dft-smoke-batch"));
 
+    // --- scheduler outcomes: one batch per shed path, so `--check` can
+    //     gate that deadline_expired/cancelled/steals actually flow into
+    //     the report (schema v2) rather than silently reading as zero ---
+    let expired = execute_batch_scheduled(
+        (0..8usize).collect(),
+        &BatchOptions::with_threads(2).deadline(std::time::Duration::ZERO),
+        || (),
+        |_idx, item, _| {
+            std::hint::black_box(item);
+        },
+    );
+    report.batches.push(expired.metrics("sched-deadline-batch"));
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = execute_batch_scheduled(
+        (0..8usize).collect(),
+        &BatchOptions::with_threads(2).cancel_token(token),
+        || (),
+        |_idx, item, _| {
+            std::hint::black_box(item);
+        },
+    );
+    report
+        .batches
+        .push(cancelled.metrics("sched-cancelled-batch"));
+
     // --- wisdom: save/load/hit cycle through the counter sink ---
     let dir = std::env::temp_dir().join(format!("ddl-obs-smoke-{}", std::process::id()));
     std::fs::create_dir_all(&dir).ok();
@@ -216,6 +245,24 @@ fn check_report(path: &Path) -> ExitCode {
     }
     if report.counters.is_empty() {
         return fail("counters section is empty".into());
+    }
+    // Scheduler outcome accounting (schema v2): every batch partitions
+    // its items into exactly one outcome, and the smoke run must have
+    // exercised both shed paths.
+    for b in &report.batches {
+        let accounted = b.ok + b.panicked + b.deadline_expired + b.cancelled;
+        if accounted != b.items {
+            return fail(format!(
+                "batch {:?}: outcomes sum to {accounted} but batch has {} items",
+                b.label, b.items
+            ));
+        }
+    }
+    if !report.batches.iter().any(|b| b.deadline_expired > 0) {
+        return fail("no batch recorded a deadline-expired item".into());
+    }
+    if !report.batches.iter().any(|b| b.cancelled > 0) {
+        return fail("no batch recorded a cancelled item".into());
     }
 
     println!(

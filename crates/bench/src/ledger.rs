@@ -410,6 +410,92 @@ fn ref_name(entry: &LedgerEntry) -> String {
     }
 }
 
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Renders the ledger as a human-readable trend report: a run legend,
+/// then one markdown table row per case with one column per run and a
+/// `last/first` trend ratio. Runs whose environment differs from the
+/// first run (quick mode or CPU) mark their trend with `*`, since the
+/// ratio then mixes code and host effects.
+pub fn render_report(entries: &[LedgerEntry]) -> String {
+    let mut out = String::from("# Performance trajectory\n\n");
+    if entries.is_empty() {
+        out.push_str("(ledger is empty)\n");
+        return out;
+    }
+    let mut ids: Vec<&String> = entries
+        .iter()
+        .flat_map(|e| e.cases.keys())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    ids.sort();
+    out.push_str(&format!(
+        "{} run(s), {} case(s).\n\n| run | ref | mode | cpu |\n|---|---|---|---|\n",
+        entries.len(),
+        ids.len()
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "| r{} | {} | {} | {} |\n",
+            i + 1,
+            ref_name(e),
+            if e.quick { "quick" } else { "full" },
+            e.cpu
+        ));
+    }
+    out.push_str("\n| case |");
+    for i in 1..=entries.len() {
+        out.push_str(&format!(" r{i} |"));
+    }
+    out.push_str(" last/first |\n|---|");
+    out.push_str(&"---|".repeat(entries.len() + 1));
+    out.push('\n');
+    let mut starred = false;
+    for id in ids {
+        out.push_str(&format!("| {id} |"));
+        let present: Vec<(usize, f64)> = entries
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.cases.get(id).map(|&ns| (i, ns)))
+            .collect();
+        for e in entries {
+            match e.cases.get(id) {
+                Some(&ns) => out.push_str(&format!(" {} |", fmt_ns(ns))),
+                None => out.push_str(" — |"),
+            }
+        }
+        match (present.first(), present.last()) {
+            (Some(&(fi, first)), Some(&(li, last))) if fi != li && first > 0.0 => {
+                let comparable =
+                    entries[fi].quick == entries[li].quick && entries[fi].cpu == entries[li].cpu;
+                starred |= !comparable;
+                out.push_str(&format!(
+                    " {:.2}x{} |\n",
+                    last / first,
+                    if comparable { "" } else { "*" }
+                ));
+            }
+            _ => out.push_str(" — |\n"),
+        }
+    }
+    if starred {
+        out.push_str(
+            "\n\\* endpoints ran under different environments (quick mode \
+             or CPU differ); the ratio mixes code and host effects.\n",
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -598,6 +684,47 @@ mod tests {
         assert_eq!(check.regressions.len(), 1);
         assert_eq!(check.regressions[0].id, "bad");
         assert_eq!(check.regressions[0].drift, 1.0);
+    }
+
+    #[test]
+    fn rendered_report_tracks_the_committed_fixture() {
+        let fixture =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/trajectory_3.jsonl");
+        let entries = read_ledger(&fixture).unwrap();
+        assert_eq!(entries.len(), 3, "fixture is three runs");
+        let report = render_report(&entries);
+        assert!(report.starts_with("# Performance trajectory"));
+        assert!(report.contains("3 run(s), 3 case(s)."));
+        // Legend rows carry the git refs of all three runs.
+        for sha in ["aaaa111", "bbbb222", "cccc333"] {
+            assert!(report.contains(sha), "missing {sha} in:\n{report}");
+        }
+        // The improving case trends below 1x, the regressing one above.
+        assert!(
+            report.contains("| dft-ddl-n1024 | 820.0 ns | 790.0 ns | 780.0 ns | 0.95x |"),
+            "unexpected trend row in:\n{report}"
+        );
+        assert!(
+            report.contains("| wht-ddl-n256 | 310.0 ns | 305.0 ns | 1.40 us | 4.52x |"),
+            "unexpected trend row in:\n{report}"
+        );
+        // Same environment throughout: no mixed-environment footnote.
+        assert!(!report.contains('*'), "unexpected footnote in:\n{report}");
+    }
+
+    #[test]
+    fn rendered_report_marks_cross_environment_trends() {
+        let entries = vec![
+            entry("a", true, "cpu0", &[("dft", 100.0)]),
+            entry("b", false, "cpu1", &[("dft", 200.0), ("solo", 5.0)]),
+        ];
+        let report = render_report(&entries);
+        assert!(report.contains("| dft | 100.0 ns | 200.0 ns | 2.00x* |"));
+        // A case present in only one run has no trend, and a missing
+        // cell renders as a dash.
+        assert!(report.contains("| solo | — | 5.0 ns | — |"));
+        assert!(report.contains("different environments"));
+        assert!(render_report(&[]).contains("(ledger is empty)"));
     }
 
     #[test]

@@ -36,6 +36,7 @@ use ddl_num::{Complex64, DdlError, Direction};
 use crate::backend::BackendKind;
 use crate::dft::DftPlan;
 use crate::faultpoint;
+use crate::flight::RequestId;
 use crate::planner::{try_plan_dft, try_plan_wht, PlannerConfig, Strategy};
 use crate::scheduler::CancelToken;
 use crate::wht::WhtPlan;
@@ -259,6 +260,7 @@ impl Engine {
             started: Instant::now(),
             deadline: None,
             cancel: CancelToken::new(),
+            request: None,
         }
     }
 
@@ -266,14 +268,22 @@ impl Engine {
     /// on miss. Never blocks on — or crashes from — a poisoned shard:
     /// such keys are compiled uncached instead.
     pub fn plan(&self, key: PlanKey) -> Result<Arc<PlanArtifact>, DdlError> {
+        self.plan_observed(key).map(|(artifact, _hit)| artifact)
+    }
+
+    /// [`Engine::plan`] that also reports whether the artifact came from
+    /// the cache, so callers attributing latency per request can label
+    /// the plan phase as a hit or a miss without diffing global stats
+    /// (which races when requests plan concurrently).
+    pub fn plan_observed(&self, key: PlanKey) -> Result<(Arc<PlanArtifact>, bool), DdlError> {
         if let Some(hit) = self.lookup(key) {
             self.inner.plan_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
+            return Ok((hit, true));
         }
         self.inner.plan_misses.fetch_add(1, Ordering::Relaxed);
         let artifact = Arc::new(self.compile(key)?);
         self.insert(key, Arc::clone(&artifact));
-        Ok(artifact)
+        Ok((artifact, false))
     }
 
     /// Seeds the cache from a wisdom store: every entry matching this
@@ -410,6 +420,7 @@ pub struct Session {
     started: Instant,
     deadline: Option<Duration>,
     cancel: CancelToken,
+    request: Option<RequestId>,
 }
 
 impl Session {
@@ -417,6 +428,18 @@ impl Session {
     pub fn with_deadline(mut self, deadline: Duration) -> Session {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Tags the session with the request it serves, so spans and flight
+    /// capsules emitted on its behalf attribute to one wire request.
+    pub fn with_request(mut self, id: RequestId) -> Session {
+        self.request = Some(id);
+        self
+    }
+
+    /// The request this session is serving, if tagged.
+    pub fn request_id(&self) -> Option<RequestId> {
+        self.request
     }
 
     /// A clone of this session's cancellation token; cancel it from any

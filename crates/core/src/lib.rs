@@ -53,7 +53,9 @@ pub mod dft;
 pub mod dft2d;
 pub mod engine;
 pub mod faultpoint;
+pub mod flight;
 pub mod grammar;
+pub mod histo;
 pub mod json;
 pub mod measure;
 pub mod model;
@@ -84,6 +86,15 @@ pub use ddl_num::DdlError;
 pub use dft::DftPlan;
 pub use dft2d::Dft2dPlan;
 pub use engine::{Engine, EngineConfig, EngineStats, PlanKey, Session, TransformKind};
+pub use flight::{
+    next_request_id, FlightDump, FlightRecorder, RequestCapsule, RequestId, FLIGHT_OUT_ENV,
+    FLIGHT_SCHEMA, FLIGHT_VERSION,
+};
+pub use histo::{
+    HistogramSet, HistogramSnapshot, LatencyHistogram, TelemetryEntry, TelemetryReport,
+    HISTO_BUCKETS, TELEMETRY_SCHEMA, TELEMETRY_VERSION,
+};
+pub use measure::Deadline;
 pub use model::{CacheModel, StageCost};
 pub use obs::{
     BatchMetrics, Counter, ExecutionMetrics, MetricsReport, NullSink, PlannerRunMetrics, Recorder,
@@ -100,7 +111,9 @@ pub use planner::{
 };
 pub use reports::{check_report, check_report_text, CheckedReport};
 pub use rfft::RfftPlan;
-pub use scheduler::{execute_batch_scheduled, BatchOptions, CancelToken};
+pub use scheduler::{
+    execute_batch_scheduled, scheduler_totals, BatchOptions, CancelToken, SchedulerTotals,
+};
 pub use sixstep::SixStepPlan;
 pub use trace::{
     chrome_trace_json, validate_chrome_trace, write_chrome_trace, TraceSummary, TRACE_SCHEMA,

@@ -8,10 +8,64 @@
 //! planner backend (`Get_time` in the paper's Fig. 8) and by the benchmark
 //! harness.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Batch-size ceiling of the geometric growth in [`time_per_call`].
 const MAX_BATCH: u64 = 1 << 20;
+
+/// A request deadline anchored to one monotonic clock read.
+///
+/// The anchor is captured **once, at admission**: every later phase
+/// (queue wait, planning, execution) measures against the same instant,
+/// so the deadline budget covers the request's whole wall time rather
+/// than restarting whenever a phase re-reads the clock. A request that
+/// spends its entire budget waiting in a queue is exactly as expired as
+/// one that spends it executing — `tests/telemetry.rs` pins this with a
+/// fault-injected slow-queue test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    anchor: Instant,
+    limit: Duration,
+}
+
+impl Deadline {
+    /// A deadline of `limit` anchored at `anchor` (the admission
+    /// instant).
+    pub fn from_admission(anchor: Instant, limit: Duration) -> Deadline {
+        Deadline { anchor, limit }
+    }
+
+    /// A deadline anchored at the current instant.
+    pub fn starting_now(limit: Duration) -> Deadline {
+        Deadline::from_admission(Instant::now(), limit)
+    }
+
+    /// The admission instant the budget is measured from.
+    pub fn anchor(&self) -> Instant {
+        self.anchor
+    }
+
+    /// The total budget.
+    pub fn limit(&self) -> Duration {
+        self.limit
+    }
+
+    /// Budget still available, saturating at zero.
+    pub fn remaining(&self) -> Duration {
+        self.limit.saturating_sub(self.anchor.elapsed())
+    }
+
+    /// `Some(late_ns)` once the budget is spent: how far past the
+    /// deadline the clock has run, in nanoseconds.
+    pub fn expired(&self) -> Option<u64> {
+        let elapsed = self.anchor.elapsed();
+        if elapsed > self.limit {
+            Some((elapsed - self.limit).as_nanos() as u64)
+        } else {
+            None
+        }
+    }
+}
 
 /// Repeats `f` until the accumulated time exceeds `min_total_secs` (at
 /// least `min_reps` times, with a floor of one timed repetition) and
@@ -114,6 +168,31 @@ pub fn time_per_point_ns(n: usize, seconds: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn deadline_is_anchored_at_admission() {
+        let anchor = Instant::now();
+        let d = Deadline::from_admission(anchor, Duration::from_secs(3600));
+        assert_eq!(d.anchor(), anchor);
+        assert_eq!(d.limit(), Duration::from_secs(3600));
+        assert_eq!(d.expired(), None);
+        assert!(d.remaining() <= Duration::from_secs(3600));
+
+        // An anchor in effect "captured" long ago: the budget is already
+        // spent even though no phase has run yet.
+        std::thread::sleep(Duration::from_millis(2));
+        let stale = Deadline::from_admission(anchor, Duration::from_micros(1));
+        let late = stale.expired().expect("budget must be spent");
+        assert!(late > 0);
+        assert_eq!(stale.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn deadline_starting_now_has_full_budget() {
+        let d = Deadline::starting_now(Duration::from_secs(60));
+        assert_eq!(d.expired(), None);
+        assert!(d.remaining() > Duration::from_secs(59));
+    }
 
     #[test]
     fn time_per_call_is_positive_and_sane() {

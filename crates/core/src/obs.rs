@@ -43,8 +43,9 @@ pub const METRICS_OUT_ENV: &str = "DDL_METRICS_OUT";
 /// Schema identifier carried by every report.
 pub const METRICS_SCHEMA: &str = "ddl-metrics";
 
-/// Current schema version; readers refuse anything newer.
-pub const METRICS_VERSION: u32 = 1;
+/// Current schema version; readers refuse anything newer. Version 2
+/// adds the additive per-batch `steals` field (work-stealing telemetry).
+pub const METRICS_VERSION: u32 = 2;
 
 /// Execution stage classification, mirroring the terms of the paper's
 /// Eq. (2)/(3): leaf computation (`T_left`/`T_right` bottom out in leaf
@@ -666,6 +667,9 @@ pub struct BatchMetrics {
     /// Executions in the batch whose requested backend degraded to
     /// `Scalar` at dispatch time.
     pub backend_fallbacks: u64,
+    /// Items executed by a scheduler worker other than the one whose
+    /// deque they were dealt to (work-stealing migrations).
+    pub steals: u64,
 }
 
 /// Estimated leaf-stage floating-point operations of a tree: the sum of
@@ -972,6 +976,7 @@ fn batch_to_json(b: &BatchMetrics) -> Json {
         "backend_fallbacks".into(),
         Json::Num(b.backend_fallbacks as f64),
     );
+    m.insert("steals".into(), Json::Num(b.steals as f64));
     m.insert(
         "degraded_to_sequential".into(),
         Json::Bool(b.degraded_to_sequential),
@@ -1004,6 +1009,9 @@ fn batch_from_json(v: &Json, i: usize) -> Result<BatchMetrics, DdlError> {
             .get("backend_fallbacks")
             .and_then(Json::as_u64)
             .unwrap_or(0),
+        // Additive in PR 9 (service telemetry); older documents were
+        // written before steals were counted.
+        steals: m.get("steals").and_then(Json::as_u64).unwrap_or(0),
         degraded_to_sequential: get_bool(m, &path, "degraded_to_sequential")?,
         wall_ns: get_u64(m, &path, "wall_ns")?,
         queue_ns_max: get_u64(m, &path, "queue_ns_max")?,
@@ -1056,6 +1064,7 @@ mod tests {
                 deadline_expired: 0,
                 cancelled: 0,
                 backend_fallbacks: 0,
+                steals: 0,
                 degraded_to_sequential: false,
                 wall_ns: 500_000,
                 queue_ns_max: 1_000,
@@ -1078,11 +1087,18 @@ mod tests {
 
     #[test]
     fn schema_violations_are_rejected() {
+        // The future-version probe is derived from the real constant so
+        // this test keeps refusing *newer* documents (not merely
+        // "version 99") after every schema bump.
+        let future = format!(
+            r#"{{"schema": "ddl-metrics", "version": {}}}"#,
+            METRICS_VERSION + 1
+        );
         for (doc, why) in [
             ("{}", "missing schema"),
             (r#"{"schema": "other", "version": 1}"#, "wrong schema"),
             (r#"{"schema": "ddl-metrics"}"#, "missing version"),
-            (r#"{"schema": "ddl-metrics", "version": 99}"#, "future"),
+            (future.as_str(), "future"),
             (
                 r#"{"schema": "ddl-metrics", "version": 1, "planner": 7}"#,
                 "planner not array",

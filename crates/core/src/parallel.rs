@@ -28,6 +28,7 @@
 //!   panicking wrappers are retained on top of them.
 
 use crate::dft::DftPlan;
+use crate::flight::RequestId;
 use crate::obs::BatchMetrics;
 use crate::scheduler::{execute_batch_scheduled, BatchOptions};
 use crate::wht::WhtPlan;
@@ -53,6 +54,8 @@ pub struct BatchReport {
     wall_ns: u64,
     degraded_to_sequential: bool,
     backend_fallbacks: u64,
+    steals: u64,
+    request: Option<RequestId>,
 }
 
 impl BatchReport {
@@ -107,6 +110,23 @@ impl BatchReport {
         self.backend_fallbacks = fallbacks;
     }
 
+    /// Tasks this batch's workers took from a sibling's deque: how much
+    /// the work-stealing scheduler actually rebalanced.
+    pub fn steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// The service request this batch was executed on behalf of, when
+    /// the caller attributed one via [`BatchOptions::request`].
+    pub fn request(&self) -> Option<RequestId> {
+        self.request
+    }
+
+    /// Attributes the batch to a request (scheduler internal).
+    pub(crate) fn set_request(&mut self, request: Option<RequestId>) {
+        self.request = request;
+    }
+
     /// Items shed because the batch deadline had expired when they were
     /// dequeued.
     pub fn deadline_expired(&self) -> usize {
@@ -130,6 +150,7 @@ impl BatchReport {
         timings: Vec<ItemTiming>,
         wall_ns: u64,
         degraded_to_sequential: bool,
+        steals: u64,
     ) -> BatchReport {
         BatchReport {
             outcomes,
@@ -137,6 +158,8 @@ impl BatchReport {
             wall_ns,
             degraded_to_sequential,
             backend_fallbacks: 0,
+            steals,
+            request: None,
         }
     }
 
@@ -161,6 +184,7 @@ impl BatchReport {
             run_ns_total: self.timings.iter().map(|t| t.run_ns).sum(),
             run_ns_max: self.timings.iter().map(|t| t.run_ns).max().unwrap_or(0),
             backend_fallbacks: self.backend_fallbacks,
+            steals: self.steals,
         }
     }
 }

@@ -14,6 +14,8 @@
 
 use crate::attrib::{AttributionReport, ATTRIBUTION_SCHEMA};
 use crate::calibrate::{CalibrationReport, CALIBRATION_SCHEMA};
+use crate::flight::{FlightDump, FLIGHT_SCHEMA};
+use crate::histo::{TelemetryReport, TELEMETRY_SCHEMA};
 use crate::json;
 use crate::obs::{metrics_err, MetricsReport, METRICS_SCHEMA};
 use crate::trace::{validate_chrome_trace, TraceSummary};
@@ -31,6 +33,11 @@ pub enum CheckedReport {
     Calibration(CalibrationReport),
     /// A `ddl-attribution` document.
     Attribution(AttributionReport),
+    /// A `ddl-telemetry` service snapshot.
+    Telemetry(Box<TelemetryReport>),
+    /// A `ddl-flight` flight-recorder dump (one capsule per line in the
+    /// JSONL artifact; file-level checks return the last line's dump).
+    Flight(Box<FlightDump>),
     /// A syntactically valid document with a schema this crate does not
     /// own (e.g. `ddl-bench`); the caller may dispatch further.
     Unknown {
@@ -47,6 +54,8 @@ impl CheckedReport {
             CheckedReport::Trace(_) => crate::trace::TRACE_SCHEMA,
             CheckedReport::Calibration(_) => CALIBRATION_SCHEMA,
             CheckedReport::Attribution(_) => ATTRIBUTION_SCHEMA,
+            CheckedReport::Telemetry(_) => TELEMETRY_SCHEMA,
+            CheckedReport::Flight(_) => FLIGHT_SCHEMA,
             CheckedReport::Unknown { schema } => schema,
         }
     }
@@ -75,6 +84,10 @@ pub fn check_report_text(text: &str) -> Result<CheckedReport, DdlError> {
         )?))),
         CALIBRATION_SCHEMA => Ok(CheckedReport::Calibration(CalibrationReport::parse(text)?)),
         ATTRIBUTION_SCHEMA => Ok(CheckedReport::Attribution(AttributionReport::parse(text)?)),
+        TELEMETRY_SCHEMA => Ok(CheckedReport::Telemetry(Box::new(TelemetryReport::parse(
+            text,
+        )?))),
+        FLIGHT_SCHEMA => Ok(CheckedReport::Flight(Box::new(FlightDump::parse(text)?))),
         other => {
             // Even schemas this crate does not own must version
             // sanely: if the document carries a `version` field it has
@@ -96,11 +109,48 @@ pub fn check_report_text(text: &str) -> Result<CheckedReport, DdlError> {
 }
 
 /// [`check_report_text`] over a file, with the path in error messages.
+///
+/// A `.jsonl` file is validated line by line (blank lines skipped): every
+/// line must parse, all lines must declare the same schema, and the last
+/// line's report is returned. The flight recorder appends one
+/// [`FlightDump`] per trigger in exactly this shape.
 pub fn check_report(path: &Path) -> Result<CheckedReport, DdlError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| metrics_err(format!("reading {}: {e}", path.display())))?;
-    check_report_text(&text)
-        .map_err(|e| metrics_err(format!("{}: {}", path.display(), detail_of(&e))))
+    let jsonl = path
+        .extension()
+        .is_some_and(|ext| ext.eq_ignore_ascii_case("jsonl"));
+    let checked = if jsonl {
+        check_report_lines(&text)
+    } else {
+        check_report_text(&text)
+    };
+    checked.map_err(|e| metrics_err(format!("{}: {}", path.display(), detail_of(&e))))
+}
+
+/// Validates a JSONL artifact: each non-blank line is one document, all
+/// of the same schema. Returns the last line's report.
+fn check_report_lines(text: &str) -> Result<CheckedReport, DdlError> {
+    let mut last: Option<CheckedReport> = None;
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let checked = check_report_text(line)
+            .map_err(|e| metrics_err(format!("line {}: {}", idx + 1, detail_of(&e))))?;
+        if let Some(prev) = &last {
+            if prev.schema() != checked.schema() {
+                return Err(metrics_err(format!(
+                    "line {}: schema {} differs from earlier schema {}",
+                    idx + 1,
+                    checked.schema(),
+                    prev.schema()
+                )));
+            }
+        }
+        last = Some(checked);
+    }
+    last.ok_or_else(|| metrics_err("jsonl report: no non-blank lines".into()))
 }
 
 fn detail_of(e: &DdlError) -> String {
@@ -145,6 +195,73 @@ mod tests {
         assert!(check_report_text("{}").is_err());
         assert!(check_report_text("not json").is_err());
         assert!(check_report_text("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn dispatches_telemetry_and_flight_documents() {
+        let telemetry = crate::histo::TelemetryReport::default().to_json().compact();
+        match check_report_text(&telemetry).unwrap() {
+            CheckedReport::Telemetry(_) => {}
+            other => panic!("wrong dispatch: {}", other.schema()),
+        }
+        let dump = FlightDump {
+            trigger: "panic".into(),
+            seq: 1,
+            capsule: crate::flight::RequestCapsule {
+                id: 7,
+                outcome: "panicked".into(),
+                ..Default::default()
+            },
+            recent: Vec::new(),
+        };
+        match check_report_text(&dump.to_line()).unwrap() {
+            CheckedReport::Flight(back) => assert_eq!(back.trigger, "panic"),
+            other => panic!("wrong dispatch: {}", other.schema()),
+        }
+    }
+
+    #[test]
+    fn jsonl_files_validate_every_line() {
+        let dump = |seq: u64| FlightDump {
+            trigger: "deadline".into(),
+            seq,
+            capsule: crate::flight::RequestCapsule {
+                id: seq,
+                outcome: "deadline_expired".into(),
+                ..Default::default()
+            },
+            recent: Vec::new(),
+        };
+        let dir = std::env::temp_dir().join(format!("ddl-reports-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.jsonl");
+        std::fs::write(
+            &good,
+            format!("{}\n{}\n", dump(1).to_line(), dump(2).to_line()),
+        )
+        .unwrap();
+        match check_report(&good).unwrap() {
+            CheckedReport::Flight(back) => assert_eq!(back.seq, 2, "last line wins"),
+            other => panic!("wrong dispatch: {}", other.schema()),
+        }
+
+        // A corrupt middle line is reported with its 1-based number.
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, format!("{}\nnot json\n", dump(1).to_line())).unwrap();
+        let err = check_report(&bad).unwrap_err();
+        assert!(format!("{err}").contains("line 2"), "got: {err}");
+
+        // Mixed schemas in one artifact are rejected.
+        let mixed = dir.join("mixed.jsonl");
+        let telemetry = crate::histo::TelemetryReport::default().to_json().compact();
+        std::fs::write(&mixed, format!("{}\n{}\n", dump(1).to_line(), telemetry)).unwrap();
+        assert!(check_report(&mixed).is_err());
+
+        // Empty artifacts fail rather than vacuously pass.
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "\n").unwrap();
+        assert!(check_report(&empty).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,13 +33,53 @@
 //!   are never interrupted (execution is cooperative).
 
 use crate::faultpoint;
+use crate::flight::RequestId;
 use crate::parallel::{panic_payload_text, BatchReport, ItemTiming};
 use ddl_num::DdlError;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Process-global scheduler outcome totals, accumulated once per
+/// finished batch. Telemetry snapshots (`ddl-serve`'s `telemetry` wire
+/// op) read these to report steal pressure and shed counts across every
+/// batch the process ever ran, without threading a registry through
+/// each call site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerTotals {
+    /// Batches executed (empty batches included).
+    pub batches: u64,
+    /// Successful steals: tasks taken from a sibling's deque.
+    pub steals: u64,
+    /// Items shed with [`DdlError::DeadlineExceeded`] at dequeue.
+    pub deadline_expired: u64,
+    /// Items shed with [`DdlError::Cancelled`] at dequeue.
+    pub cancelled: u64,
+}
+
+static TOTAL_BATCHES: AtomicU64 = AtomicU64::new(0);
+static TOTAL_STEALS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_DEADLINE_EXPIRED: AtomicU64 = AtomicU64::new(0);
+static TOTAL_CANCELLED: AtomicU64 = AtomicU64::new(0);
+
+/// The process-global scheduler totals so far.
+pub fn scheduler_totals() -> SchedulerTotals {
+    SchedulerTotals {
+        batches: TOTAL_BATCHES.load(Ordering::Relaxed),
+        steals: TOTAL_STEALS.load(Ordering::Relaxed),
+        deadline_expired: TOTAL_DEADLINE_EXPIRED.load(Ordering::Relaxed),
+        cancelled: TOTAL_CANCELLED.load(Ordering::Relaxed),
+    }
+}
+
+fn accumulate_totals(report: &BatchReport) {
+    TOTAL_BATCHES.fetch_add(1, Ordering::Relaxed);
+    TOTAL_STEALS.fetch_add(report.steals(), Ordering::Relaxed);
+    TOTAL_DEADLINE_EXPIRED.fetch_add(report.deadline_expired() as u64, Ordering::Relaxed);
+    TOTAL_CANCELLED.fetch_add(report.cancelled() as u64, Ordering::Relaxed);
+}
 
 /// Cooperative cancellation flag shared between a request's issuer and
 /// the scheduler. Cloning shares the flag.
@@ -76,6 +116,10 @@ pub struct BatchOptions {
     pub deadline: Option<Duration>,
     /// Cancellation token checked at every dequeue.
     pub cancel: Option<CancelToken>,
+    /// Identity of the service request this batch executes on behalf
+    /// of; echoed into the [`BatchReport`] so spans and metrics can be
+    /// attributed back to one admitted request.
+    pub request: Option<RequestId>,
 }
 
 impl BatchOptions {
@@ -100,6 +144,13 @@ impl BatchOptions {
         self.cancel = Some(token);
         self
     }
+
+    /// Attributes the batch to a service request.
+    #[must_use]
+    pub fn request(mut self, id: RequestId) -> BatchOptions {
+        self.request = Some(id);
+        self
+    }
 }
 
 /// Recovers a mutex guard whether or not the lock is poisoned. Poison
@@ -116,10 +167,12 @@ struct Completion {
 }
 
 /// Pops the next task for `worker`: front of its own deque first, then
-/// the back of each sibling's (steal order is rotationally fair).
+/// the back of each sibling's (steal order is rotationally fair). Each
+/// successful sibling pop counts as one steal.
 fn next_task<Item>(
     deques: &[Mutex<VecDeque<(usize, Item)>>],
     worker: usize,
+    steals: &AtomicU64,
 ) -> Option<(usize, Item)> {
     if let Some(task) = relock(&deques[worker]).pop_front() {
         return Some(task);
@@ -127,6 +180,7 @@ fn next_task<Item>(
     for off in 1..deques.len() {
         let victim = (worker + off) % deques.len();
         if let Some(task) = relock(&deques[victim]).pop_back() {
+            steals.fetch_add(1, Ordering::Relaxed);
             return Some(task);
         }
     }
@@ -143,6 +197,7 @@ fn worker_loop<Item, S, FS, FI>(
     epoch: Instant,
     deadline_at: Option<Instant>,
     cancel: Option<&CancelToken>,
+    steals: &AtomicU64,
     new_scratch: &FS,
     run_item: &FI,
 ) where
@@ -150,7 +205,7 @@ fn worker_loop<Item, S, FS, FI>(
     FI: Fn(usize, Item, &mut S),
 {
     let mut scratch: Option<S> = None;
-    while let Some((index, item)) = next_task(deques, worker) {
+    while let Some((index, item)) = next_task(deques, worker, steals) {
         let queue_ns = epoch.elapsed().as_nanos() as u64;
         let outcome;
         let run_ns;
@@ -221,12 +276,16 @@ where
     let batch = items.len();
     let deadline_at = opts.deadline.and_then(|d| epoch.checked_add(d));
     if batch == 0 {
-        return BatchReport::from_parts(
+        let mut report = BatchReport::from_parts(
             Vec::new(),
             Vec::new(),
             epoch.elapsed().as_nanos() as u64,
             false,
+            0,
         );
+        report.set_request(opts.request);
+        accumulate_totals(&report);
+        return report;
     }
     let threads = opts.threads.clamp(1, batch);
 
@@ -244,11 +303,13 @@ where
 
     let slots: Mutex<Vec<Option<Completion>>> =
         Mutex::new(std::iter::repeat_with(|| None).take(batch).collect());
+    let steals = AtomicU64::new(0);
     let mut degraded = false;
 
     {
         let deques = &deques;
         let slots = &slots;
+        let steals = &steals;
         let new_scratch = &new_scratch;
         let run_item = &run_item;
         let cancel = opts.cancel.as_ref();
@@ -268,6 +329,7 @@ where
                                 epoch,
                                 deadline_at,
                                 cancel,
+                                steals,
                                 new_scratch,
                                 run_item,
                             )
@@ -289,6 +351,7 @@ where
                 epoch,
                 deadline_at,
                 cancel,
+                steals,
                 new_scratch,
                 run_item,
             );
@@ -324,12 +387,16 @@ where
             }
         }
     }
-    BatchReport::from_parts(
+    let mut report = BatchReport::from_parts(
         outcomes,
         timings,
         epoch.elapsed().as_nanos() as u64,
         degraded,
-    )
+        steals.load(Ordering::Relaxed),
+    );
+    report.set_request(opts.request);
+    accumulate_totals(&report);
+    report
 }
 
 #[cfg(test)]
@@ -428,5 +495,46 @@ mod tests {
         let report = run_indices(0, &BatchOptions::with_threads(4));
         assert_eq!(report.items(), 0);
         assert!(report.all_ok());
+    }
+
+    #[test]
+    fn steals_are_counted_and_accumulate_into_totals() {
+        let before = scheduler_totals();
+        // One slow head item on worker 0 forces siblings to steal its
+        // remaining share; at least one steal must be observed.
+        let items: Vec<usize> = (0..32).collect();
+        let report = execute_batch_scheduled(
+            items,
+            &BatchOptions::with_threads(4),
+            || (),
+            |_idx, item, _| {
+                if item == 0 {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            },
+        );
+        assert!(report.all_ok());
+        assert!(report.steals() > 0, "skewed batch must trigger stealing");
+        let after = scheduler_totals();
+        assert!(after.batches > before.batches);
+        assert!(after.steals >= before.steals + report.steals());
+    }
+
+    #[test]
+    fn single_worker_never_steals() {
+        let report = run_indices(8, &BatchOptions::with_threads(1));
+        assert!(report.all_ok());
+        assert_eq!(report.steals(), 0);
+    }
+
+    #[test]
+    fn request_id_is_echoed_into_the_report() {
+        let id = crate::flight::next_request_id();
+        let report = run_indices(3, &BatchOptions::with_threads(2).request(id));
+        assert_eq!(report.request(), Some(id));
+        assert_eq!(
+            run_indices(3, &BatchOptions::with_threads(2)).request(),
+            None
+        );
     }
 }

@@ -3,6 +3,8 @@
 //! ```text
 //! ddl-serve [--listen ADDR] [--oneshot] [--workers N] [--queue N]
 //!           [--deadline-ms K] [--faults SEED:SPECS] [--wisdom PATH]
+//!           [--telemetry-out PATH] [--telemetry-interval-ms K]
+//!           [--flight-out PATH]
 //! ```
 //!
 //! * `--listen ADDR`   serve newline-delimited requests over TCP
@@ -16,14 +18,22 @@
 //! * `--faults S:SPECS` arm fault injection, e.g.
 //!   `--faults 42:serve.worker.panic=p0.1;serve.queue.full=every@7`.
 //! * `--wisdom PATH`   warm the plan cache from a wisdom file.
+//! * `--telemetry-out PATH` write the `ddl-telemetry` snapshot to PATH
+//!   periodically (see `--telemetry-interval-ms`, default 1000) and
+//!   once more on clean shutdown — the final write is quiescent.
+//! * `--flight-out PATH` route flight-recorder dumps (JSONL) to PATH;
+//!   overrides the `DDL_FLIGHT_OUT` environment variable.
 //!
 //! Request grammar (see `ddl-serve` crate docs): `plan dft 1024 ddl`,
 //! `exec dft 1024 ddl deadline_ms=50`, `exec dft ct(16, ct(16, 16))`,
-//! `exec wht 256 sdl`, `stats`.
+//! `exec wht 256 sdl`, `stats`, `telemetry`, `telemetry text`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use ddl_core::{faultpoint, EngineConfig, Wisdom};
@@ -37,12 +47,16 @@ struct Args {
     deadline: Option<Duration>,
     faults: Option<(u64, String)>,
     wisdom: Option<String>,
+    telemetry_out: Option<PathBuf>,
+    telemetry_interval: Duration,
+    flight_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: ddl-serve [--listen ADDR] [--oneshot] [--workers N] [--queue N] \
-         [--deadline-ms K] [--faults SEED:SPECS] [--wisdom PATH]"
+         [--deadline-ms K] [--faults SEED:SPECS] [--wisdom PATH] \
+         [--telemetry-out PATH] [--telemetry-interval-ms K] [--flight-out PATH]"
     );
     std::process::exit(2)
 }
@@ -56,6 +70,9 @@ fn parse_args() -> Args {
         deadline: None,
         faults: None,
         wisdom: None,
+        telemetry_out: None,
+        telemetry_interval: Duration::from_millis(1000),
+        flight_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -84,6 +101,14 @@ fn parse_args() -> Args {
                 args.faults = Some((seed, rules.to_string()));
             }
             "--wisdom" => args.wisdom = Some(value("--wisdom")),
+            "--telemetry-out" => args.telemetry_out = Some(PathBuf::from(value("--telemetry-out"))),
+            "--telemetry-interval-ms" => {
+                let ms: u64 = value("--telemetry-interval-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage());
+                args.telemetry_interval = Duration::from_millis(ms.max(1));
+            }
+            "--flight-out" => args.flight_out = Some(PathBuf::from(value("--flight-out"))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("ddl-serve: unknown flag {other:?}");
@@ -147,6 +172,44 @@ fn main() -> ExitCode {
         engine: EngineConfig::default(),
     });
 
+    if let Some(path) = &args.flight_out {
+        svc.set_flight_out(Some(path.clone()));
+        eprintln!("ddl-serve: flight dumps -> {}", path.display());
+    }
+
+    // The periodic snapshot thread is a plain best-effort writer; the
+    // final (quiescent) snapshot is written on the main path after the
+    // serving loop ends.
+    let telemetry_stop = Arc::new(AtomicBool::new(false));
+    let telemetry_writer = args.telemetry_out.as_ref().map(|path| {
+        let svc = svc.clone();
+        let path = path.clone();
+        let stop = Arc::clone(&telemetry_stop);
+        let interval = args.telemetry_interval;
+        std::thread::Builder::new()
+            .name("ddl-serve-telemetry".to_string())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    if let Err(e) = svc.write_telemetry(&path) {
+                        eprintln!("ddl-serve: telemetry write failed: {e}");
+                    }
+                }
+            })
+    });
+    let finish_telemetry = |svc: &Service| {
+        telemetry_stop.store(true, Ordering::Release);
+        if let Some(Ok(h)) = telemetry_writer {
+            let _ = h.join();
+        }
+        if let Some(path) = &args.telemetry_out {
+            match svc.write_telemetry(path) {
+                Ok(()) => eprintln!("ddl-serve: telemetry snapshot -> {}", path.display()),
+                Err(e) => eprintln!("ddl-serve: telemetry write failed: {e}"),
+            }
+        }
+    };
+
     if let Some(path) = &args.wisdom {
         match Wisdom::load(std::path::Path::new(path)) {
             Ok(wisdom) => {
@@ -178,6 +241,9 @@ fn main() -> ExitCode {
             println!("{}", svc.handle(&line));
         }
         svc.shutdown();
+        // Workers are joined: this snapshot is the quiescent one the CI
+        // conservation gate checks.
+        finish_telemetry(&svc);
         return ExitCode::SUCCESS;
     }
 
@@ -205,5 +271,6 @@ fn main() -> ExitCode {
             Err(e) => eprintln!("ddl-serve: accept failed: {e}"),
         }
     }
+    finish_telemetry(&svc);
     ExitCode::SUCCESS
 }

@@ -20,6 +20,8 @@
 //!                                       → ok exec dft n=4096 dc=4096 backend=… wall_ns=…
 //! exec wht 256 sdl                      → ok exec wht n=256 dc=256 backend=… wall_ns=…
 //! stats                                 → ok stats accepted=… shed=… …
+//! telemetry                             → ok telemetry {"schema":"ddl-telemetry",…}
+//! telemetry text                        → Prometheus-style text exposition
 //! ```
 //!
 //! The optional trailing `backend=<scalar|interp|simd>` token selects
@@ -48,11 +50,28 @@
 //! * **Every accepted request gets exactly one response** — the
 //!   conservation invariant the chaos suite asserts:
 //!   `accepted == completed + failed` once the queue drains.
+//!
+//! # Telemetry
+//!
+//! Every admitted request gets a [`RequestId`] and is timed against a
+//! single monotonic clock captured at admission
+//! ([`Deadline`](ddl_core::Deadline)): queue wait, planning and
+//! execution all draw from the same budget. Latency lands in a labeled
+//! [`HistogramSet`] — per wire op, transform kind, backend and outcome —
+//! and a bounded [`FlightRecorder`] ring keeps each request's span
+//! capsule. Panic containment, deadline expiry, shard quarantine and
+//! queue shed each dump a `ddl-flight` JSONL line (when an output path
+//! is configured via [`Service::set_flight_out`] or `DDL_FLIGHT_OUT`).
+//! The `telemetry` wire op snapshots everything as a versioned
+//! `ddl-telemetry` document whose conservation law — outcome histogram
+//! sums exactly partition `accepted`/`shed` on a quiescent snapshot —
+//! is machine-checked by `ddl_core::check_report`.
 
 #![forbid(unsafe_code)]
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -60,8 +79,11 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ddl_core::engine::{PlanKey, TransformKind};
+use ddl_core::histo::OUTCOME_OVERLOADED;
 use ddl_core::{
-    faultpoint, grammar, BackendKind, DdlError, DftPlan, Engine, EngineConfig, Strategy, WhtPlan,
+    faultpoint, grammar, next_request_id, scheduler_totals, BackendKind, DdlError, Deadline,
+    DftPlan, Engine, EngineConfig, FlightRecorder, HistogramSet, RequestCapsule, RequestId,
+    Strategy, TelemetryReport, WhtPlan,
 };
 use ddl_num::{Complex64, Direction};
 
@@ -132,6 +154,27 @@ pub enum Request {
     },
     /// Report service and engine counters.
     Stats,
+    /// Snapshot the versioned telemetry document (`text` selects the
+    /// Prometheus exposition instead of JSON).
+    Telemetry {
+        /// Render as Prometheus text instead of one JSON line.
+        text: bool,
+    },
+}
+
+/// `(op, kind, backend)` histogram labels for a request; `-` marks a
+/// dimension the op does not have.
+fn request_labels(request: &Request) -> (&'static str, String, String) {
+    match request {
+        Request::Plan { kind, backend, .. } => {
+            ("plan", kind.label().into(), backend.label().into())
+        }
+        Request::ExecPlanned { kind, backend, .. } | Request::ExecExpr { kind, backend, .. } => {
+            ("exec", kind.label().into(), backend.label().into())
+        }
+        Request::Stats => ("meta", "stats".into(), "-".into()),
+        Request::Telemetry { .. } => ("meta", "telemetry".into(), "-".into()),
+    }
 }
 
 fn parse_err(pos: usize, msg: impl Into<String>) -> DdlError {
@@ -187,6 +230,11 @@ pub fn parse_request(line: &str) -> Result<Request, DdlError> {
     let mut toks: Vec<&str> = line.split_whitespace().collect();
     match toks.first().copied() {
         Some("stats") => Ok(Request::Stats),
+        Some("telemetry") => match toks.as_slice() {
+            ["telemetry"] => Ok(Request::Telemetry { text: false }),
+            ["telemetry", "text"] => Ok(Request::Telemetry { text: true }),
+            _ => Err(parse_err(0, "usage: telemetry [text]")),
+        },
         Some("plan") => {
             let backend = pop_backend(&mut toks)?.unwrap_or_else(BackendKind::selected);
             if toks.len() != 4 {
@@ -304,15 +352,31 @@ pub struct ServiceStats {
     pub deadline_expired: u64,
     /// Requests currently queued.
     pub queued: usize,
+    /// Requests dequeued but not yet answered.
+    pub in_flight: u64,
     /// Worker threads currently running.
     pub workers: usize,
 }
 
 struct Job {
+    id: RequestId,
+    /// The wire line, kept for the flight capsule's detail field.
+    line: String,
     request: Request,
+    /// The admission instant — the single monotonic anchor every phase
+    /// (queue wait, plan, execute) and the deadline measure from.
     submitted: Instant,
     deadline: Option<Duration>,
     reply: SyncSender<String>,
+}
+
+/// Per-phase latency attribution for one request, filled in by
+/// [`run_request`] as the phases run.
+#[derive(Clone, Copy, Default)]
+struct Phases {
+    plan_ns: u64,
+    execute_ns: u64,
+    plan_cache_hit: Option<bool>,
 }
 
 struct ServiceInner {
@@ -328,6 +392,14 @@ struct ServiceInner {
     failed: AtomicU64,
     worker_panics: AtomicU64,
     deadline_expired: AtomicU64,
+    /// Requests popped from the queue but not yet finished. Incremented
+    /// while the queue lock is held (a request is never in neither
+    /// place) and decremented only after its histogram sample lands, so
+    /// `queued == 0 && in_flight == 0` implies the histograms cover
+    /// every admitted request.
+    in_flight: AtomicU64,
+    histos: HistogramSet,
+    flight: FlightRecorder,
 }
 
 /// A pending response for one submitted request.
@@ -419,6 +491,9 @@ impl Service {
                 failed: AtomicU64::new(0),
                 worker_panics: AtomicU64::new(0),
                 deadline_expired: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+                histos: HistogramSet::new(),
+                flight: FlightRecorder::from_env(64),
             }),
             workers: Arc::new(Mutex::new(Vec::new())),
         }
@@ -433,14 +508,34 @@ impl Service {
     /// response, or fails immediately — malformed lines with a parse
     /// error, a full queue with [`DdlError::Overloaded`]. Never blocks.
     pub fn submit(&self, line: &str) -> Result<Ticket, DdlError> {
+        let admitted = Instant::now();
         let request = parse_request(line)?;
-        // `stats` is a lock-free read; answer inline without a slot.
-        if request == Request::Stats {
-            let (tx, rx) = mpsc::sync_channel(1);
-            let _ = tx.send(self.stats_line());
-            self.inner.accepted.fetch_add(1, Ordering::Relaxed);
-            self.inner.completed.fetch_add(1, Ordering::Relaxed);
-            return Ok(Ticket { rx, deadline: None });
+        // `stats` and `telemetry` are reads; answer inline without a
+        // queue slot. Their counters and histogram sample land *before*
+        // the response is built, so a telemetry snapshot always
+        // accounts for the request that asked for it.
+        match &request {
+            Request::Stats | Request::Telemetry { .. } => {
+                self.inner.accepted.fetch_add(1, Ordering::Relaxed);
+                self.inner.completed.fetch_add(1, Ordering::Relaxed);
+                let (op, kind, backend) = request_labels(&request);
+                self.inner.histos.record(
+                    op,
+                    &kind,
+                    &backend,
+                    "ok",
+                    admitted.elapsed().as_nanos() as u64,
+                );
+                let body = match request {
+                    Request::Telemetry { text: true } => self.telemetry_text(),
+                    Request::Telemetry { text: false } => self.telemetry_line(),
+                    _ => self.stats_line(),
+                };
+                let (tx, rx) = mpsc::sync_channel(1);
+                let _ = tx.send(body);
+                return Ok(Ticket { rx, deadline: None });
+            }
+            _ => {}
         }
         let deadline = match &request {
             Request::ExecPlanned { deadline, .. } | Request::ExecExpr { deadline, .. } => {
@@ -448,23 +543,52 @@ impl Service {
             }
             _ => self.inner.config.default_deadline,
         };
+        let id = next_request_id();
+        let labels = request_labels(&request);
         let (tx, rx) = mpsc::sync_channel(1);
-        {
+        let shed_at = {
             let mut q = relock(&self.inner.queue);
             let capacity = self.inner.config.queue_capacity;
             if q.len() >= capacity || faultpoint::hit("serve.queue.full") {
-                self.inner.shed.fetch_add(1, Ordering::Relaxed);
-                return Err(DdlError::Overloaded {
-                    queued: q.len(),
-                    capacity,
+                Some((q.len(), capacity))
+            } else {
+                q.push_back(Job {
+                    id,
+                    line: line.trim().to_string(),
+                    request,
+                    submitted: admitted,
+                    deadline,
+                    reply: tx,
                 });
+                None
             }
-            q.push_back(Job {
-                request,
-                submitted: Instant::now(),
-                deadline,
-                reply: tx,
-            });
+        };
+        if let Some((queued, capacity)) = shed_at {
+            // Shed accounting runs after the queue guard drops — the
+            // flight recorder and histogram set take their own locks.
+            self.inner.shed.fetch_add(1, Ordering::Relaxed);
+            let (op, kind, backend) = labels;
+            let capsule = RequestCapsule {
+                id: id.get(),
+                op: op.into(),
+                kind,
+                backend,
+                outcome: OUTCOME_OVERLOADED.into(),
+                detail: line.trim().to_string(),
+                total_ns: admitted.elapsed().as_nanos() as u64,
+                ..Default::default()
+            }
+            .truncate_detail();
+            self.inner.flight.record(capsule.clone());
+            let _ = self.inner.flight.dump("queue_shed", &capsule);
+            self.inner.histos.record(
+                op,
+                &capsule.kind,
+                &capsule.backend,
+                OUTCOME_OVERLOADED,
+                capsule.total_ns,
+            );
+            return Err(DdlError::Overloaded { queued, capacity });
         }
         self.inner.accepted.fetch_add(1, Ordering::Relaxed);
         self.inner.ready.notify_one();
@@ -490,7 +614,16 @@ impl Service {
     /// Returns whether a job was served. Tests and degraded mode use
     /// this; worker threads run the same path in a loop.
     pub fn process_one(&self) -> bool {
-        let job = relock(&self.inner.queue).pop_front();
+        let job = {
+            let mut q = relock(&self.inner.queue);
+            let job = q.pop_front();
+            if job.is_some() {
+                // In flight while the queue lock is still held: the
+                // request is never in neither place.
+                self.inner.in_flight.fetch_add(1, Ordering::Relaxed);
+            }
+            job
+        };
         match job {
             Some(job) => {
                 serve_job(&self.inner, job);
@@ -520,6 +653,7 @@ impl Service {
             worker_panics: self.inner.worker_panics.load(Ordering::Relaxed),
             deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
             queued: relock(&self.inner.queue).len(),
+            in_flight: self.inner.in_flight.load(Ordering::Acquire),
             workers: self.inner.workers_live.load(Ordering::Acquire),
         }
     }
@@ -547,6 +681,96 @@ impl Service {
             e.sessions
         )
     }
+
+    /// A point-in-time `ddl-telemetry` snapshot.
+    ///
+    /// The `serve.snapshot_quiesced` counter is 1 exactly when the
+    /// snapshot provably covers every admitted request: queue empty,
+    /// nothing in flight, the accepted counter stable across the
+    /// histogram read, and the outcome sums matching the admission
+    /// counters. [`TelemetryReport::parse`] enforces exact conservation
+    /// only on such snapshots (the inequalities always hold).
+    pub fn telemetry(&self) -> TelemetryReport {
+        let queued = relock(&self.inner.queue).len() as u64;
+        let in_flight = self.inner.in_flight.load(Ordering::Acquire);
+        let accepted_before = self.inner.accepted.load(Ordering::Relaxed);
+        let entries = self.inner.histos.entries();
+        let accepted = self.inner.accepted.load(Ordering::Relaxed);
+        let shed = self.inner.shed.load(Ordering::Relaxed);
+        let mut report = TelemetryReport {
+            entries,
+            counters: BTreeMap::new(),
+        };
+        let (admitted_sum, shed_sum) = report.outcome_totals();
+        let quiesced = queued == 0
+            && in_flight == 0
+            && accepted_before == accepted
+            && admitted_sum == accepted
+            && shed_sum == shed;
+        let e = self.inner.engine.stats();
+        let sched = scheduler_totals();
+        let c = &mut report.counters;
+        c.insert("serve.accepted".into(), accepted);
+        c.insert("serve.shed".into(), shed);
+        c.insert(
+            "serve.completed".into(),
+            self.inner.completed.load(Ordering::Relaxed),
+        );
+        c.insert(
+            "serve.failed".into(),
+            self.inner.failed.load(Ordering::Relaxed),
+        );
+        c.insert(
+            "serve.worker_panics".into(),
+            self.inner.worker_panics.load(Ordering::Relaxed),
+        );
+        c.insert(
+            "serve.deadline_expired".into(),
+            self.inner.deadline_expired.load(Ordering::Relaxed),
+        );
+        c.insert("serve.queued".into(), queued);
+        c.insert("serve.in_flight".into(), in_flight);
+        c.insert(
+            "serve.workers".into(),
+            self.inner.workers_live.load(Ordering::Acquire) as u64,
+        );
+        c.insert("serve.snapshot_quiesced".into(), u64::from(quiesced));
+        c.insert("engine.plan_hits".into(), e.plan_hits);
+        c.insert("engine.plan_misses".into(), e.plan_misses);
+        c.insert("engine.plans_compiled".into(), e.plans_compiled);
+        c.insert("engine.shards_quarantined".into(), e.shards_quarantined);
+        c.insert("engine.sessions".into(), e.sessions);
+        c.insert("scheduler.batches".into(), sched.batches);
+        c.insert("scheduler.steals".into(), sched.steals);
+        c.insert("scheduler.deadline_expired".into(), sched.deadline_expired);
+        c.insert("scheduler.cancelled".into(), sched.cancelled);
+        c.insert("flight.capsules".into(), self.inner.flight.recorded());
+        c.insert("flight.dumps".into(), self.inner.flight.dumps());
+        report
+    }
+
+    /// The `ok telemetry <json>` wire line (one compact JSON document).
+    pub fn telemetry_line(&self) -> String {
+        format!("ok telemetry {}", self.telemetry().to_json().compact())
+    }
+
+    /// Prometheus-style text exposition of the current snapshot.
+    pub fn telemetry_text(&self) -> String {
+        self.telemetry().render_prometheus()
+    }
+
+    /// Routes flight-recorder dumps to `path` (`None` disables them).
+    /// Overrides the `DDL_FLIGHT_OUT` environment default.
+    pub fn set_flight_out(&self, path: Option<PathBuf>) {
+        self.inner.flight.set_out(path);
+    }
+
+    /// Writes the current telemetry snapshot to `path` as pretty JSON.
+    pub fn write_telemetry(&self, path: &Path) -> Result<(), DdlError> {
+        let text = self.telemetry().to_json().pretty();
+        std::fs::write(path, text)
+            .map_err(|e| DdlError::Resource(format!("writing {}: {e}", path.display())))
+    }
 }
 
 fn worker_loop(inner: &Arc<ServiceInner>) {
@@ -555,6 +779,7 @@ fn worker_loop(inner: &Arc<ServiceInner>) {
             let mut q = relock(&inner.queue);
             loop {
                 if let Some(j) = q.pop_front() {
+                    inner.in_flight.fetch_add(1, Ordering::Relaxed);
                     break Some(j);
                 }
                 if inner.shutdown.load(Ordering::Acquire) {
@@ -577,56 +802,152 @@ fn worker_loop(inner: &Arc<ServiceInner>) {
     }
 }
 
-/// Serves one job: deadline check at dequeue, panic-contained execution,
-/// exactly one response.
+/// Serves one job: queue-wait deadline check against the admission
+/// anchor, panic-contained execution, post-execution deadline re-check,
+/// then exactly one pass through [`finish`].
 fn serve_job(inner: &ServiceInner, job: Job) {
-    if let Some(limit) = job.deadline {
-        let elapsed = job.submitted.elapsed();
-        if elapsed > limit {
-            let e = DdlError::DeadlineExceeded {
-                context: "serve: dequeue",
-                late_ns: (elapsed - limit).as_nanos() as u64,
-            };
-            inner.failed.fetch_add(1, Ordering::Relaxed);
-            inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(wire_err(&e));
-            return;
+    let queue_ns = job.submitted.elapsed().as_nanos() as u64;
+    let deadline = job
+        .deadline
+        .map(|limit| Deadline::from_admission(job.submitted, limit));
+    // Queue-wait expiry measures against the admission anchor: budget
+    // spent waiting is as gone as budget spent executing. The
+    // `serve.dequeue.slow` fault point simulates a dequeue so late the
+    // whole budget burned in the queue.
+    let queue_expired = deadline.and_then(|d| {
+        if faultpoint::hit("serve.dequeue.slow") {
+            Some(d.limit().as_nanos() as u64)
+        } else {
+            d.expired()
         }
-    }
-    let outcome = catch_unwind(AssertUnwindSafe(|| run_request(inner, &job.request)));
-    let line = match outcome {
-        Ok(Ok(line)) => {
-            inner.completed.fetch_add(1, Ordering::Relaxed);
-            line
-        }
-        Ok(Err(e)) => {
-            inner.failed.fetch_add(1, Ordering::Relaxed);
-            if matches!(e, DdlError::DeadlineExceeded { .. }) {
-                inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    });
+    let mut phases = Phases::default();
+    let mut quarantine_grew = false;
+    let result = if let Some(late_ns) = queue_expired {
+        Err(DdlError::DeadlineExceeded {
+            context: "serve: queue wait",
+            late_ns,
+        })
+    } else {
+        let quarantined_before = inner.engine.stats().shards_quarantined;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            run_request(inner, &job.request, &mut phases)
+        }));
+        quarantine_grew = inner.engine.stats().shards_quarantined > quarantined_before;
+        match outcome {
+            // The same anchor is re-checked after execution: finishing
+            // late is expiry even when every phase *started* in budget.
+            Ok(Ok(line)) => match deadline.and_then(|d| d.expired()) {
+                Some(late_ns) => Err(DdlError::DeadlineExceeded {
+                    context: "serve: execute",
+                    late_ns,
+                }),
+                None => Ok(line),
+            },
+            Ok(Err(e)) => Err(e),
+            Err(payload) => {
+                let text = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                Err(DdlError::WorkerPanic {
+                    item: 0,
+                    payload: text,
+                })
             }
-            wire_err(&e)
-        }
-        Err(payload) => {
-            inner.failed.fetch_add(1, Ordering::Relaxed);
-            inner.worker_panics.fetch_add(1, Ordering::Relaxed);
-            let text = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "opaque panic payload".to_string());
-            wire_err(&DdlError::WorkerPanic {
-                item: 0,
-                payload: text,
-            })
         }
     };
+    finish(inner, job, result, phases, queue_ns, quarantine_grew);
+}
+
+/// The single exit path for a dequeued job: counters, flight capsule
+/// (plus trigger dumps), histogram sample, reply — in that order. The
+/// `in_flight` gauge drops only after the histogram sample lands, so a
+/// quiescent telemetry snapshot can never miss a request it counted.
+fn finish(
+    inner: &ServiceInner,
+    job: Job,
+    result: Result<String, DdlError>,
+    phases: Phases,
+    queue_ns: u64,
+    quarantine_grew: bool,
+) {
+    let (line, outcome) = match &result {
+        Ok(line) => (line.clone(), "ok"),
+        Err(e) => {
+            let outcome = match e {
+                DdlError::DeadlineExceeded { .. } => "deadline_expired",
+                DdlError::WorkerPanic { .. } => "panicked",
+                _ => "error",
+            };
+            (wire_err(e), outcome)
+        }
+    };
+    match outcome {
+        "ok" => {
+            inner.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        "deadline_expired" => {
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+            inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+        }
+        "panicked" => {
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+            inner.worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {
+            inner.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let total_ns = job.submitted.elapsed().as_nanos() as u64;
+    let (op, kind, backend) = request_labels(&job.request);
+    let capsule = RequestCapsule {
+        id: job.id.get(),
+        op: op.into(),
+        kind,
+        backend,
+        outcome: outcome.into(),
+        detail: job.line,
+        queue_ns,
+        plan_ns: phases.plan_ns,
+        execute_ns: phases.execute_ns,
+        total_ns,
+        plan_cache_hit: phases.plan_cache_hit,
+    }
+    .truncate_detail();
+    inner.flight.record(capsule.clone());
+    match outcome {
+        "panicked" => {
+            let _ = inner.flight.dump("panic", &capsule);
+        }
+        "deadline_expired" => {
+            let _ = inner.flight.dump("deadline", &capsule);
+        }
+        _ => {}
+    }
+    if quarantine_grew {
+        let _ = inner.flight.dump("shard_quarantine", &capsule);
+    }
+    inner
+        .histos
+        .record(op, &capsule.kind, &capsule.backend, outcome, total_ns);
+    // Release pairs with the telemetry snapshot's acquire read: once it
+    // observes `in_flight == 0`, every histogram sample above is
+    // visible to it.
+    inner.in_flight.fetch_sub(1, Ordering::Release);
     let _ = job.reply.send(line);
 }
 
-fn run_request(inner: &ServiceInner, request: &Request) -> Result<String, DdlError> {
+fn run_request(
+    inner: &ServiceInner,
+    request: &Request,
+    phases: &mut Phases,
+) -> Result<String, DdlError> {
     faultpoint::maybe_panic("serve.worker.panic");
     match request {
-        Request::Stats => Ok(String::new()), // answered at admission
+        // Both answered at admission; a queue slot never sees them.
+        Request::Stats | Request::Telemetry { .. } => Ok(String::new()),
         Request::Plan {
             kind,
             n,
@@ -639,9 +960,10 @@ fn run_request(inner: &ServiceInner, request: &Request) -> Result<String, DdlErr
                 strategy: *strategy,
                 backend: *backend,
             };
-            let before = inner.engine.stats().plan_hits;
-            let artifact = inner.engine.plan(key)?;
-            let cached = inner.engine.stats().plan_hits > before;
+            let plan_started = Instant::now();
+            let (artifact, cached) = inner.engine.plan_observed(key)?;
+            phases.plan_ns = plan_started.elapsed().as_nanos() as u64;
+            phases.plan_cache_hit = Some(cached);
             let tree = match (kind, artifact.as_dft(), artifact.as_wht()) {
                 (_, Some(p), _) => grammar::print_dft(p.tree()),
                 (_, _, Some(p)) => grammar::print_wht(p.tree()),
@@ -668,18 +990,22 @@ fn run_request(inner: &ServiceInner, request: &Request) -> Result<String, DdlErr
                 strategy: *strategy,
                 backend: *backend,
             };
-            let artifact = inner.engine.plan(key)?;
+            let plan_started = Instant::now();
+            let (artifact, cached) = inner.engine.plan_observed(key)?;
+            phases.plan_ns = plan_started.elapsed().as_nanos() as u64;
+            phases.plan_cache_hit = Some(cached);
             let started = Instant::now();
             let dc = match (artifact.as_dft(), artifact.as_wht()) {
                 (Some(plan), _) => exec_dft_ones(plan)?,
                 (_, Some(plan)) => exec_wht_ones(plan)?,
                 _ => return Err(DdlError::Resource("unknown artifact kind".into())),
             };
+            phases.execute_ns = started.elapsed().as_nanos() as u64;
             Ok(format!(
                 "ok exec {} n={n} dc={dc} backend={} wall_ns={}",
                 kind.label(),
                 backend.label(),
-                started.elapsed().as_nanos()
+                phases.execute_ns
             ))
         }
         Request::ExecExpr {
@@ -688,24 +1014,33 @@ fn run_request(inner: &ServiceInner, request: &Request) -> Result<String, DdlErr
             backend,
             ..
         } => {
+            // Parsing and compiling the explicit tree is this form's
+            // plan phase; it never consults the engine cache.
+            let plan_started = Instant::now();
             let tree = grammar::parse(expr)?;
             let n = tree.size();
-            let started = Instant::now();
-            let dc = match kind {
+            enum Compiled {
+                Dft(DftPlan),
+                Wht(WhtPlan),
+            }
+            let compiled = match kind {
                 TransformKind::Dft(dir) => {
-                    let plan = DftPlan::with_backend(tree, *dir, *backend)?;
-                    exec_dft_ones(&plan)?
+                    Compiled::Dft(DftPlan::with_backend(tree, *dir, *backend)?)
                 }
-                TransformKind::Wht => {
-                    let plan = WhtPlan::new(tree)?;
-                    exec_wht_ones(&plan)?
-                }
+                TransformKind::Wht => Compiled::Wht(WhtPlan::new(tree)?),
             };
+            phases.plan_ns = plan_started.elapsed().as_nanos() as u64;
+            let started = Instant::now();
+            let dc = match &compiled {
+                Compiled::Dft(plan) => exec_dft_ones(plan)?,
+                Compiled::Wht(plan) => exec_wht_ones(plan)?,
+            };
+            phases.execute_ns = started.elapsed().as_nanos() as u64;
             Ok(format!(
                 "ok exec {} n={n} dc={dc} backend={} wall_ns={}",
                 kind.label(),
                 backend.label(),
-                started.elapsed().as_nanos()
+                phases.execute_ns
             ))
         }
     }
@@ -936,5 +1271,85 @@ mod tests {
         let svc = Service::without_workers(small(0, 8));
         let line = svc.handle("exec dft ct(16, ct(16, 16))");
         assert!(line.starts_with("ok exec dft n=4096 dc=4096"), "got {line}");
+    }
+
+    #[test]
+    fn telemetry_parses_and_is_covered_by_the_grammar() {
+        assert_eq!(
+            parse_request("telemetry"),
+            Ok(Request::Telemetry { text: false })
+        );
+        assert_eq!(
+            parse_request("telemetry text"),
+            Ok(Request::Telemetry { text: true })
+        );
+        assert!(matches!(
+            parse_request("telemetry json"),
+            Err(DdlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn telemetry_snapshot_conserves_outcomes_when_quiesced() {
+        let svc = Service::without_workers(small(0, 8));
+        for line in ["plan dft 64 sdl", "exec dft 64 sdl", "exec wht 32 sdl"] {
+            assert!(svc.handle(line).starts_with("ok "), "line {line:?}");
+        }
+        let report = svc.telemetry();
+        assert_eq!(report.counters.get("serve.snapshot_quiesced"), Some(&1));
+        let (admitted, shed) = report.outcome_totals();
+        assert_eq!(Some(&admitted), report.counters.get("serve.accepted"));
+        assert_eq!(Some(&shed), report.counters.get("serve.shed"));
+        // The wire line round-trips through the strict parser, which
+        // re-enforces the quiesced conservation law.
+        let line = svc.handle("telemetry");
+        let json = line.strip_prefix("ok telemetry ").expect("wire prefix");
+        let back = TelemetryReport::parse(json).expect("valid snapshot");
+        assert_eq!(back.counters.get("serve.snapshot_quiesced"), Some(&1));
+        // The text form exposes the same families.
+        let text = svc.handle("telemetry text");
+        assert!(text.contains("ddl_serve_accepted"), "got:\n{text}");
+        assert!(text.contains("_bucket"), "got:\n{text}");
+    }
+
+    #[test]
+    fn shed_requests_land_in_the_overloaded_histogram() {
+        let _x = faultpoint::exclusive();
+        let svc = Service::without_workers(small(0, 8));
+        let _g = faultpoint::arm(17, &[("serve.queue.full", FaultMode::Once(0))]);
+        assert!(svc.submit("exec dft 64 sdl").is_err());
+        let report = svc.telemetry();
+        let (admitted, shed) = report.outcome_totals();
+        assert_eq!((admitted, shed), (0, 1));
+        assert_eq!(report.counters.get("serve.shed"), Some(&1));
+        assert_eq!(report.counters.get("serve.snapshot_quiesced"), Some(&1));
+    }
+
+    #[test]
+    fn flight_capsules_attribute_phases_to_the_request() {
+        let svc = Service::without_workers(small(0, 8));
+        let dir = std::env::temp_dir().join(format!("ddl-serve-flight-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let out = dir.join("flight.jsonl");
+        svc.set_flight_out(Some(out.clone()));
+        {
+            let _x = faultpoint::exclusive();
+            let _g = faultpoint::arm(5, &[("serve.worker.panic", FaultMode::Once(0))]);
+            let t = svc.submit("exec dft 64 sdl").expect("admitted");
+            assert!(svc.process_one());
+            assert!(t.wait().starts_with("err worker-panic:"));
+        }
+        let text = std::fs::read_to_string(&out).expect("dump written");
+        let dump = ddl_core::FlightDump::parse(text.lines().next().expect("one line"))
+            .expect("parseable dump");
+        assert_eq!(dump.trigger, "panic");
+        assert_eq!(dump.capsule.outcome, "panicked");
+        assert!(dump.capsule.id > 0, "request id propagated");
+        assert_eq!(dump.capsule.detail, "exec dft 64 sdl");
+        assert!(
+            dump.capsule.total_ns >= dump.capsule.queue_ns,
+            "total covers the queue phase"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

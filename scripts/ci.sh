@@ -20,9 +20,13 @@ run cargo test --workspace -q
 # seed, re-run explicitly so it emits the JSONL fault report artifact
 # (each test appends one line per injected fault class). The gate also
 # checks the report covers at least five distinct fault classes, so a
-# silently-skipped chaos test cannot pass unnoticed.
-rm -f target/chaos-report.jsonl
+# silently-skipped chaos test cannot pass unnoticed. The flight recorder
+# routes its dumps to a shared artifact; the run must produce capsules
+# for at least three distinct triggers, and the artifact must validate
+# line by line as ddl-flight v1.
+rm -f target/chaos-report.jsonl target/flight-chaos.jsonl
 run env DDL_CHAOS_SEED=42 DDL_CHAOS_REPORT=target/chaos-report.jsonl \
+    DDL_FLIGHT_OUT=target/flight-chaos.jsonl \
     cargo test -q --test chaos
 echo
 echo "==> chaos report fault-class coverage"
@@ -31,6 +35,15 @@ if [ "$classes" -lt 5 ]; then
     echo "error: chaos report covers only $classes fault classes (need >= 5)"
     exit 1
 fi
+echo
+echo "==> flight recorder trigger coverage"
+triggers=$(grep -o '"trigger":"[^"]*"' target/flight-chaos.jsonl | sort -u | tee /dev/stderr | wc -l)
+if [ "$triggers" -lt 3 ]; then
+    echo "error: flight recorder covers only $triggers dump triggers (need >= 3)"
+    exit 1
+fi
+run cargo run --release -q -p ddl-bench --bin bench_suite -- \
+    --check target/flight-chaos.jsonl
 
 # Cross-backend conformance (DESIGN.md §11): the suite self-selects
 # backends per test, then re-runs with each backend forced process-wide
@@ -64,6 +77,46 @@ cargo run --release -q -p ddl-bench --bin bench_suite -- --simd-check \
 run cargo run --release -q -p ddl-bench --bin obs_smoke -- --metrics-out target/metrics-smoke.json
 run cargo run --release -q -p ddl-bench --bin obs_smoke -- --check target/metrics-smoke.json
 
+# Service telemetry smoke: drive a scripted mixed plan/exec session
+# through the oneshot server with a worker panic and a slow dequeue
+# injected, so the flight recorder dumps both a "panic" and a "deadline"
+# capsule. The quiescent shutdown snapshot and the flight artifact are
+# then schema-validated (the ddl-telemetry parser re-derives outcome
+# conservation when quiesced), and the admitted-sample count in the
+# snapshot must exactly equal the wire-level response tally.
+echo
+echo "==> ddl-serve telemetry smoke"
+rm -f target/telemetry-serve.json target/flight-serve.jsonl
+printf '%s\n' \
+    "plan dft 1024 ddl" \
+    "exec dft 1024 ddl" \
+    "exec dft 256 sdl" \
+    "exec wht 256 sdl" \
+    "exec dft ct(16, 16)" \
+    "exec dft 64 sdl deadline_ms=3600000" \
+    "telemetry text" \
+    "telemetry" \
+    | cargo run --release -q -p ddl-serve --bin ddl-serve -- --oneshot --workers 2 \
+        --faults "42:serve.worker.panic=once@1;serve.dequeue.slow=once@0" \
+        --telemetry-out target/telemetry-serve.json \
+        --flight-out target/flight-serve.jsonl \
+    > target/serve-smoke.out
+grep -q '"trigger":"panic"' target/flight-serve.jsonl
+grep -q '"trigger":"deadline"' target/flight-serve.jsonl
+grep -q '^ddl_serve_accepted' target/serve-smoke.out
+telemetry_check=$(cargo run --release -q -p ddl-bench --bin bench_suite -- \
+    --check target/telemetry-serve.json --check target/flight-serve.jsonl)
+echo "$telemetry_check"
+echo "$telemetry_check" | grep -q 'quiesced=1'
+# One response line per request, except `telemetry text`, whose response
+# is the multi-line Prometheus body (counted as one more).
+wire=$(grep -c '^ok \|^err ' target/serve-smoke.out)
+wire=$((wire + 1))
+if ! echo "$telemetry_check" | grep -q "${wire} admitted + 0 shed"; then
+    echo "error: telemetry snapshot does not conserve the wire tally ($wire responses)"
+    exit 1
+fi
+
 # Benchmark trajectory: quick suite emitting a ddl-bench report plus the
 # cost-model calibration report, a Chrome trace of one instrumented run
 # and the per-node cache-miss attribution report (DFT/WHT at 2^10 and
@@ -85,9 +138,14 @@ run cargo run --release -q -p ddl-bench --bin bench_suite -- \
     --compare target/BENCH_ci.json target/BENCH_ci.json
 
 # Longitudinal ledger: every entry (including the one just appended) must
-# parse, and no consecutive same-environment pair may have regressed.
+# parse, and no consecutive same-environment pair may have regressed. The
+# rendered trend table is archived as a human-readable artifact.
 run cargo run --release -q -p ddl-bench --bin bench_suite -- \
     --ledger-check results/trajectory.jsonl
+echo
+echo "==> trajectory trend report"
+cargo run --release -q -p ddl-bench --bin bench_suite -- \
+    --ledger-report results/trajectory.jsonl | tee target/trajectory-report.md | head -n 6
 
 echo
 echo "==> bench baseline comparison (soft gate)"

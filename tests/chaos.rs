@@ -14,8 +14,15 @@
 //!
 //! Fault classes covered: item panics, worker-spawn failure, deadline
 //! expiry, corrupt wisdom loads, admission-queue saturation, engine
-//! shard poisoning, service-worker panics, and execution-backend
-//! dispatch fallback.
+//! shard poisoning, service-worker panics, execution-backend dispatch
+//! fallback, and deadline budgets burned entirely in the admission
+//! queue (`serve.dequeue.slow`).
+//!
+//! Service fault classes additionally assert the flight recorder: each
+//! dump-triggering fault (queue shed, worker panic, queue-wait expiry)
+//! must leave a parseable `ddl-flight` capsule naming the faulting
+//! request. Dumps go to `$DDL_FLIGHT_OUT` when CI sets it (the uploaded
+//! artifact), or to a per-test temp file otherwise.
 //!
 //! The seed is pinned by `DDL_CHAOS_SEED` (default 42); CI runs with the
 //! pinned default so failures replay exactly. When `DDL_CHAOS_REPORT`
@@ -31,10 +38,11 @@ use dynamic_data_layout::core::planner::{PlannerConfig, Strategy};
 use dynamic_data_layout::core::scheduler::{execute_batch_scheduled, BatchOptions};
 use dynamic_data_layout::core::tree::Tree;
 use dynamic_data_layout::core::wisdom::Wisdom;
-use dynamic_data_layout::core::BatchReport;
+use dynamic_data_layout::core::{BatchReport, FlightDump};
 use dynamic_data_layout::num::{Complex64, DdlError, Direction};
 use dynamic_data_layout::serve::{Service, ServiceConfig, Ticket};
 use std::io::Write as _;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -82,6 +90,39 @@ fn report_line(class: &str, detail: &str) {
             seed()
         );
     }
+}
+
+/// Flight-dump destination for a chaos service test: the shared
+/// `DDL_FLIGHT_OUT` artifact when CI set one (the recorder already
+/// routes there via the environment), a fresh per-test temp file
+/// otherwise.
+fn flight_out_for(svc: &Service, tag: &str) -> PathBuf {
+    match std::env::var("DDL_FLIGHT_OUT") {
+        Ok(path) => PathBuf::from(path),
+        Err(_) => {
+            let path = std::env::temp_dir().join(format!(
+                "ddl-chaos-flight-{}-{tag}.jsonl",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            svc.set_flight_out(Some(path.clone()));
+            path
+        }
+    }
+}
+
+/// Finds a parseable dump in `path` with the given trigger (and exact
+/// capsule detail, when one is given). Every line must parse.
+fn find_dump(path: &Path, trigger: &str, detail: Option<&str>) -> FlightDump {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("flight artifact {}: {e}", path.display()));
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let dump = FlightDump::parse(line).expect("every flight dump line parses");
+        if dump.trigger == trigger && detail.is_none_or(|d| dump.capsule.detail == d) {
+            return dump;
+        }
+    }
+    panic!("no {trigger:?} dump in {}", path.display());
 }
 
 fn assert_batch_conservation(report: &BatchReport) {
@@ -286,6 +327,7 @@ fn chaos_queue_saturation_sheds_and_conserves() {
         default_deadline: None,
         engine: EngineConfig::default(),
     });
+    let flight_out = flight_out_for(&svc, "queue-saturation");
 
     let mut tickets: Vec<Ticket> = Vec::new();
     let mut shed = 0usize;
@@ -313,6 +355,11 @@ fn chaos_queue_saturation_sheds_and_conserves() {
     assert_eq!(s.shed, 8);
     assert_eq!(s.accepted, s.completed + s.failed, "conservation");
     assert_eq!(s.queued, 0);
+
+    // Each shed request left a flight capsule behind.
+    let dump = find_dump(&flight_out, "queue_shed", Some("exec dft 64 sdl"));
+    assert_eq!(dump.capsule.outcome, "overloaded");
+    assert!(dump.capsule.id > 0, "shed request still has an id");
     report_line(
         "serve.queue.full",
         "\"submitted\":12,\"accepted\":4,\"shed\":8",
@@ -367,8 +414,9 @@ fn chaos_service_worker_panics_conserve_responses() {
             default_deadline: None,
             engine: EngineConfig::default(),
         });
+        let flight_out = flight_out_for(&svc, "panic-storm");
         let svc2 = svc.clone();
-        with_watchdog("panic-storm", move || {
+        let (responses, stats) = with_watchdog("panic-storm", move || {
             let mut responses = Vec::new();
             for chunk in 0..5 {
                 let tickets: Vec<Ticket> = (0..4)
@@ -383,10 +431,11 @@ fn chaos_service_worker_panics_conserve_responses() {
                 }
             }
             (responses, svc2.stats())
-        })
+        });
+        (responses, stats, flight_out)
     };
 
-    let (responses, stats) = run();
+    let (responses, stats, flight_out) = run();
     assert_eq!(responses.len(), 20, "every request answered exactly once");
     let panics = responses
         .iter()
@@ -404,8 +453,15 @@ fn chaos_service_worker_panics_conserve_responses() {
     );
     assert_eq!(stats.worker_panics as usize, panics);
 
+    // Every contained panic dumped a flight capsule with the faulting
+    // request's id and span breakdown.
+    let dump = find_dump(&flight_out, "panic", None);
+    assert_eq!(dump.capsule.outcome, "panicked");
+    assert!(dump.capsule.id > 0);
+    assert!(dump.capsule.detail.starts_with("exec dft"));
+
     // Deterministic replay: same seed, same drain schedule, same fates.
-    let (replay, _) = run();
+    let (replay, _, _) = run();
     let fates = |rs: &[String]| -> Vec<bool> { rs.iter().map(|r| r.starts_with("ok ")).collect() };
     assert_eq!(
         fates(&responses),
@@ -496,5 +552,58 @@ fn chaos_backend_dispatch_falls_back_to_scalar() {
     report_line(
         "backend.dispatch.fallback",
         &format!("\"items\":{items},\"fallbacks\":{items},\"matched_scalar\":true"),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Class 9: the whole deadline budget burns in the admission queue.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_slow_dequeue_expires_deadline_during_queue_wait() {
+    let _x = faultpoint::exclusive();
+    let svc = Service::without_workers(ServiceConfig {
+        workers: 0,
+        queue_capacity: 8,
+        default_deadline: None,
+        engine: EngineConfig::default(),
+    });
+    let flight_out = flight_out_for(&svc, "slow-dequeue");
+
+    // An hour of budget: only the injected slow dequeue can expire it,
+    // proving the check measures from the admission anchor rather than
+    // re-reading the clock per phase.
+    let line = "exec dft 64 sdl deadline_ms=3600000";
+    let resp = {
+        let _g = faultpoint::arm(seed(), &[("serve.dequeue.slow", FaultMode::Once(0))]);
+        let t = svc.submit(line).expect("admitted");
+        let svc2 = svc.clone();
+        with_watchdog("slow-dequeue", move || while svc2.process_one() {});
+        t.wait()
+    };
+    assert!(resp.starts_with("err deadline:"), "got {resp}");
+    assert!(
+        resp.contains("queue wait"),
+        "expiry must blame the queue phase, not execution: {resp}"
+    );
+    let s = svc.stats();
+    assert_eq!((s.failed, s.deadline_expired), (1, 1));
+    assert_eq!(s.accepted, s.completed + s.failed, "conservation");
+
+    // The flight capsule attributes the whole loss to the queue phase.
+    let dump = find_dump(&flight_out, "deadline", Some(line));
+    assert!(dump.capsule.id > 0);
+    assert_eq!(dump.capsule.outcome, "deadline_expired");
+    assert_eq!(dump.capsule.plan_ns, 0, "request never reached planning");
+    assert_eq!(dump.capsule.execute_ns, 0, "request never executed");
+    assert!(dump.capsule.total_ns >= dump.capsule.queue_ns);
+
+    // Disarmed, the same request sails through well inside its budget.
+    let t = svc.submit(line).expect("admitted");
+    assert!(svc.process_one());
+    assert!(t.wait().starts_with("ok exec dft n=64"));
+    report_line(
+        "serve.dequeue.slow",
+        "\"requests\":1,\"deadline_expired\":1,\"phase\":\"queue-wait\"",
     );
 }
