@@ -11,13 +11,17 @@
 //!   is compared case-by-case against the stored report: regressions
 //!   beyond `--tolerance` (or a vanished case) exit non-zero. With
 //!   `--ledger <path>` the run (plus an attribution digest for the
-//!   pinned sizes) is appended as one line to the JSONL ledger.
+//!   pinned sizes) is appended as one line to the JSONL ledger. With
+//!   `--hierarchy-out <path>` the attribution runs (which simulate
+//!   L1, L2 and the d-TLB simultaneously) are distilled into the
+//!   per-plan `ddl-scorecard` table.
 //! * **`--check <path>`** (repeatable) — validates a previously emitted
 //!   artifact through `ddl_core::check_report`: `ddl-metrics`,
 //!   `ddl-calibration`, `ddl-attribution`, `ddl-telemetry` and
 //!   `ddl-flight` reports (JSONL artifacts line by line) and Chrome
-//!   traces are dispatched by the shared validator; the `ddl-bench`
-//!   schema this crate owns is layered on its `Unknown` passthrough.
+//!   traces are dispatched by the shared validator; the `ddl-bench` and
+//!   `ddl-scorecard` schemas this crate owns are layered on its
+//!   `Unknown` passthrough.
 //!   Violations print the offending JSON path and exit non-zero.
 //! * **`--compare <current> <baseline>`** — compares two stored reports
 //!   without re-running the suite.
@@ -48,17 +52,20 @@ use ddl_analyze::{annotate_static, crosscheck};
 use ddl_bench::ledger::{
     append_entry, check_ledger, read_ledger, render_report, AttributionSummary, LedgerEntry,
 };
+use ddl_bench::scorecard::Scorecard;
 use ddl_bench::suite::{
     compare, default_repeats, dft_case, run_suite, BenchReport, Comparison, SuiteConfig,
     DEFAULT_TOLERANCE,
 };
-use ddl_cachesim::CacheConfig;
-use ddl_core::attrib::{attribute_dft, attribute_wht, AttributionReport, AttributionRun};
+use ddl_cachesim::{CacheConfig, HierarchyConfig};
+use ddl_core::attrib::{
+    attribute_dft_hier, attribute_rfft_hier, attribute_wht_hier, AttributionReport, AttributionRun,
+};
 use ddl_core::planner::{plan_dft, plan_wht, try_plan_dft_with, PlannerConfig, Strategy};
 use ddl_core::{
     calibrate_dft, calibrate_wht, check_report, simd_active_isa, validate_chrome_trace,
     write_chrome_trace, BackendKind, CalibrationConfig, CalibrationReport, CheckedReport, DftPlan,
-    Recorder, WhtPlan,
+    Recorder, RfftPlan, WhtPlan,
 };
 use ddl_num::{Complex64, Direction};
 use std::path::{Path, PathBuf};
@@ -96,6 +103,7 @@ struct Args {
     calibrate_out: Option<PathBuf>,
     trace_out: Option<PathBuf>,
     attribution_out: Option<PathBuf>,
+    hierarchy_out: Option<PathBuf>,
     ledger: Option<PathBuf>,
     ledger_check: Option<PathBuf>,
     ledger_report: Option<PathBuf>,
@@ -120,6 +128,7 @@ fn parse_args() -> Args {
         calibrate_out: None,
         trace_out: None,
         attribution_out: None,
+        hierarchy_out: None,
         ledger: None,
         ledger_check: None,
         ledger_report: None,
@@ -168,6 +177,9 @@ fn parse_args() -> Args {
             "--attribution-out" => {
                 parsed.attribution_out = Some(next_path(&mut args, "--attribution-out"));
             }
+            "--hierarchy-out" => {
+                parsed.hierarchy_out = Some(next_path(&mut args, "--hierarchy-out"));
+            }
             "--ledger" => parsed.ledger = Some(next_path(&mut args, "--ledger")),
             "--ledger-check" => {
                 parsed.ledger_check = Some(next_path(&mut args, "--ledger-check"));
@@ -180,8 +192,8 @@ fn parse_args() -> Args {
                 "unknown argument {other} (expected --quick | --label <s> | --out <path> | \
                  --baseline <path> | --tolerance <f> | --repeats <k> | --check <path> | \
                  --compare <current> <baseline> | --calibrate-out <path> | --trace-out <path> | \
-                 --attribution-out <path> | --ledger <path> | --ledger-check <path> | \
-                 --ledger-report <path> | --simd-check)"
+                 --attribution-out <path> | --hierarchy-out <path> | --ledger <path> | \
+                 --ledger-check <path> | --ledger-report <path> | --simd-check)"
             )),
         }
     }
@@ -280,9 +292,10 @@ fn main() -> ExitCode {
         }
     }
 
-    // Attribution runs feed both the standalone report and the ledger
-    // digest; compute them once when either consumer is enabled.
-    if args.attribution_out.is_some() || args.ledger.is_some() {
+    // Attribution runs feed the standalone report, the hierarchy
+    // scorecard and the ledger digest; compute them once when any
+    // consumer is enabled.
+    if args.attribution_out.is_some() || args.hierarchy_out.is_some() || args.ledger.is_some() {
         let (attribution, summaries) = match attribution_runs(&args.label) {
             Ok(pair) => pair,
             Err(e) => die(&format!("attribution failed: {e}")),
@@ -298,6 +311,21 @@ fn main() -> ExitCode {
                 "attribution report written to {} ({} runs)",
                 path.display(),
                 attribution.runs.len()
+            );
+        }
+        if let Some(path) = &args.hierarchy_out {
+            let card = match Scorecard::from_report(&attribution) {
+                Ok(c) => c,
+                Err(e) => die(&format!("hierarchy scorecard: {e}")),
+            };
+            if let Err(e) = card.write(path) {
+                die(&format!("hierarchy scorecard: {e}"));
+            }
+            print!("{}", card.render());
+            eprintln!(
+                "hierarchy scorecard written to {} ({} rows)",
+                path.display(),
+                card.rows.len()
             );
         }
         if let Some(path) = &args.ledger {
@@ -341,12 +369,16 @@ fn warn_mode_mismatch(current: &BenchReport, baseline: &BenchReport) {
 }
 
 /// Attributes cache misses per plan node for the pinned transform sizes
-/// (both strategies), prints any three-way classification disagreements,
-/// and returns the full report plus the per-run ledger digests.
+/// (both strategies), simultaneously at L1/L2/d-TLB via the hierarchy
+/// attributor, prints any three-way classification disagreements, and
+/// returns the full report plus the per-run ledger digests. The real
+/// FFT pipeline rides along under the DDL strategy so its pack/dft/
+/// untangle stages get the same per-node scorecard.
 fn attribution_runs(
     label: &str,
 ) -> Result<(AttributionReport, Vec<AttributionSummary>), ddl_num::DdlError> {
     let cache = CacheConfig::paper_default(ATTRIBUTION_LINE_BYTES);
+    let hier = HierarchyConfig::typical(cache);
     let mut report = AttributionReport {
         label: label.to_string(),
         runs: Vec::new(),
@@ -365,11 +397,16 @@ fn attribution_runs(
             };
             let dft = DftPlan::new(plan_dft(n, &cfg).tree, Direction::Forward)?;
             let wht = WhtPlan::new(plan_wht(n, &cfg).tree)?;
-            let runs = [
-                attribute_dft(&dft, 1, cache)?,
-                attribute_wht(&wht, 1, cache)?,
+            let mut runs = vec![
+                attribute_dft_hier(&dft, 1, cache, hier)?,
+                attribute_wht_hier(&wht, 1, cache, hier)?,
             ];
+            if strategy == Strategy::Ddl {
+                let rfft = RfftPlan::plan(n, &cfg)?;
+                runs.push(attribute_rfft_hier(&rfft, cache, hier)?);
+            }
             for mut run in runs {
+                run.strategy = Some(strategy_name.to_string());
                 annotate_static(&mut run);
                 for d in crosscheck(&run) {
                     eprintln!(
@@ -384,11 +421,12 @@ fn attribution_runs(
     }
     for s in &summaries {
         println!(
-            "attribution {:<4} n={:<7} {:<4} miss rate {:>6.3}%  ({} of {} leaves Case III)",
+            "attribution {:<4} n={:<7} {:<4} miss rate {:>6.3}%  tlb {:>6.3}%  ({} of {} leaves Case III)",
             s.transform,
             s.n,
             s.strategy,
             s.miss_rate * 100.0,
+            s.tlb_miss_rate.unwrap_or(0.0) * 100.0,
             s.case3_leaves,
             s.leaves
         );
@@ -407,6 +445,8 @@ fn summarize_run(run: &AttributionRun, strategy: &str) -> AttributionSummary {
         accesses: run.totals.accesses,
         leaves,
         case3_leaves,
+        tlb_miss_rate: run.tlb_miss_rate(),
+        case3_leaves_page: run.case3_leaf_counts_page().map(|(_, c)| c),
     }
 }
 
@@ -657,6 +697,16 @@ fn check_artifact(path: &Path) -> Result<String, String> {
                 r.cases.len(),
                 if r.quick { "quick" } else { "full" },
                 r.env.cpu
+            ))
+        }
+        CheckedReport::Unknown { schema } if schema == "ddl-scorecard" => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read file: {e}"))?;
+            let card = Scorecard::parse(&text).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "ddl-scorecard: label {:?}, {} rows",
+                card.label,
+                card.rows.len()
             ))
         }
         CheckedReport::Unknown { schema } => Err(format!("$.schema: unknown schema {schema:?}")),

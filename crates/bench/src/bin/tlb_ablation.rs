@@ -4,57 +4,239 @@
 //! the small sized transforms obtained after factorization", Section
 //! III-B) — true for its machines, but on modern hosts page-granular
 //! strides exhaust the dTLB long before a multi-megabyte L2 fills. This
-//! binary replays SDL and DDL execution traces through a cache + dTLB
-//! pair and reports both miss sources side by side.
+//! binary attributes SDL and DDL execution traces simultaneously against
+//! the paper cache and an L1/L2/d-TLB hierarchy and reports line and
+//! page miss sources side by side.
+//!
+//! The table is derived end-to-end from the `ddl-attribution` v2
+//! artifact, not from ad-hoc counters: **emit** attributes each plan
+//! once through the hierarchy attributor and writes the artifact;
+//! **render** reads it back — re-verifying per-node conservation at
+//! every level in the parse — and prints the table from the stored
+//! counters. The committed `results/tlb_ablation.txt` regenerates with:
 //!
 //! ```sh
-//! cargo run --release -p ddl-bench --bin tlb_ablation [--max-log-n 20] [--quick]
+//! cargo run --release -p ddl-bench --bin tlb_ablation -- \
+//!     --artifact target/tlb-ablation.json --out results/tlb_ablation.txt
 //! ```
+//!
+//! `--emit` / `--render` restrict the run to one half (CI emits, checks
+//! the artifact through `bench_suite --check`, then renders and diffs).
 
-use ddl_bench::{parse_sweep_args, SweepArgs};
-use ddl_cachesim::{CacheConfig, CacheWithTlb, Tlb};
+use ddl_analyze::annotate_static;
+use ddl_bench::die;
+use ddl_cachesim::{CacheConfig, HierarchyConfig};
+use ddl_core::attrib::{attribute_dft_hier, AttributionReport, AttributionRun};
 use ddl_core::planner::{plan_dft_sweep, PlannerConfig};
-use ddl_core::traced::simulate_dft_into;
 use ddl_core::DftPlan;
 use ddl_num::Direction;
+use std::path::{Path, PathBuf};
+
+/// Smallest table row: below 2^14 both layouts fit every level on the
+/// simulated geometry and the rows are identical noise.
+const FIRST_LOG: u32 = 14;
+
+struct Args {
+    max_log: u32,
+    quick: bool,
+    artifact: PathBuf,
+    emit_only: bool,
+    render_only: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        max_log: 22,
+        quick: false,
+        artifact: PathBuf::from("target/tlb-ablation.json"),
+        emit_only: false,
+        render_only: false,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-log-n" => {
+                parsed.max_log = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--max-log-n needs an integer"));
+            }
+            "--quick" => parsed.quick = true,
+            "--artifact" => {
+                parsed.artifact = PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| die("--artifact needs a path")),
+                );
+            }
+            "--emit" => parsed.emit_only = true,
+            "--render" => parsed.render_only = true,
+            "--out" => {
+                parsed.out = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--out needs a path")),
+                ));
+            }
+            other => die(&format!(
+                "unknown argument {other} (expected --max-log-n <k> | --quick | \
+                 --artifact <path> | --emit | --render | --out <path>)"
+            )),
+        }
+    }
+    if parsed.emit_only && parsed.render_only {
+        die("--emit and --render are mutually exclusive (omit both for emit+render)");
+    }
+    parsed
+}
 
 fn main() {
-    let SweepArgs { max_log, quick, .. } = parse_sweep_args();
-    let max_log = if quick {
-        max_log.min(16)
+    let args = parse_args();
+    let max_log = if args.quick {
+        args.max_log.min(16)
     } else {
-        max_log.min(20)
+        args.max_log.min(20)
     };
+
+    if !args.render_only {
+        emit(&args.artifact, max_log);
+    }
+    if !args.emit_only {
+        let table = render(&args.artifact);
+        match &args.out {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent).ok();
+                }
+                if let Err(e) = std::fs::write(path, &table) {
+                    die(&format!("writing {}: {e}", path.display()));
+                }
+                eprintln!("table written to {}", path.display());
+            }
+            None => print!("{table}"),
+        }
+    }
+}
+
+/// Plans both sweeps against the simulated cache, attributes every
+/// table-sized plan once through the L1/L2/d-TLB hierarchy attributor,
+/// and writes the `ddl-attribution` v2 artifact.
+fn emit(path: &Path, max_log: u32) {
     let cache = CacheConfig::paper_default(64);
+    let hier = HierarchyConfig::typical(cache);
 
     eprintln!("planning SDL/DDL sweeps against the simulated cache ...");
     let sdl = plan_dft_sweep(1 << max_log, &PlannerConfig::sdl_simulated(cache, 16));
     let ddl = plan_dft_sweep(1 << max_log, &PlannerConfig::ddl_simulated(cache, 16));
 
-    println!("# TLB ablation: 64-entry 4-way dTLB, 4 KiB pages, + paper cache");
-    println!(
-        "{:>8} {:>12} {:>12} {:>14} {:>14}",
-        "log2(n)", "SDL tlb-m%", "DDL tlb-m%", "SDL cache-m%", "DDL cache-m%"
-    );
-    for log_n in 14..=max_log {
+    let mut report = AttributionReport {
+        label: "tlb-ablation".to_string(),
+        runs: Vec::new(),
+    };
+    for log_n in FIRST_LOG..=max_log {
         let idx = (log_n - 1) as usize;
-        let run = |tree: &ddl_core::Tree| {
-            let plan = DftPlan::new(tree.clone(), Direction::Forward).unwrap();
-            let mut both = CacheWithTlb::new(cache, Tlb::typical_l1_dtlb());
-            simulate_dft_into(&plan, &mut both);
-            (both.tlb.stats().miss_rate(), both.cache.stats().miss_rate())
-        };
-        let (st, sc) = run(&sdl[idx].1.tree);
-        let (dt, dc) = run(&ddl[idx].1.tree);
-        println!(
-            "{:>8} {:>12.2} {:>12.2} {:>14.2} {:>14.2}",
-            log_n,
-            st * 100.0,
-            dt * 100.0,
-            sc * 100.0,
-            dc * 100.0
-        );
+        for (name, sweep) in [("sdl", &sdl), ("ddl", &ddl)] {
+            let plan = match DftPlan::new(sweep[idx].1.tree.clone(), Direction::Forward) {
+                Ok(p) => p,
+                Err(e) => die(&format!("compiling {name} 2^{log_n} plan: {e}")),
+            };
+            let mut run = match attribute_dft_hier(&plan, 1, cache, hier) {
+                Ok(r) => r,
+                Err(e) => die(&format!("attributing {name} 2^{log_n}: {e}")),
+            };
+            run.strategy = Some(name.to_string());
+            annotate_static(&mut run);
+            report.runs.push(run);
+            eprintln!("attributed {name} 2^{log_n}");
+        }
     }
-    println!("\n# DDL's unit-stride conversion helps the TLB for the same reason it");
-    println!("# helps lines: fewer pages touched per unit of useful data");
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).ok();
+    }
+    if let Err(e) = report.write(path) {
+        die(&format!("writing artifact: {e}"));
+    }
+    eprintln!(
+        "attribution artifact written to {} ({} runs)",
+        path.display(),
+        report.runs.len()
+    );
+}
+
+/// Reads the artifact back (the parse re-verifies node-sum conservation
+/// and L2/L1 coupling at every level) and renders the ablation table
+/// purely from the stored counters.
+fn render(path: &Path) -> String {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => die(&format!("reading {}: {e}", path.display())),
+    };
+    let report = match AttributionReport::parse(&text) {
+        Ok(r) => r,
+        Err(e) => die(&format!("{}: {e}", path.display())),
+    };
+
+    let pick = |strategy: &str, n: usize| -> &AttributionRun {
+        report
+            .runs
+            .iter()
+            .find(|r| r.transform == "dft" && r.n == n && r.strategy.as_deref() == Some(strategy))
+            .unwrap_or_else(|| {
+                die(&format!(
+                    "artifact has no {strategy} dft run at n={n}; re-run --emit"
+                ))
+            })
+    };
+    let tlb_rate = |run: &AttributionRun| -> f64 {
+        run.tlb_miss_rate().unwrap_or_else(|| {
+            die(&format!(
+                "run {} n={} has no hierarchy attribution; re-run --emit",
+                run.transform, run.n
+            ))
+        })
+    };
+
+    let mut logs: Vec<u32> = report
+        .runs
+        .iter()
+        .filter(|r| r.transform == "dft")
+        .map(|r| r.n.trailing_zeros())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    logs.sort_unstable();
+    if logs.is_empty() {
+        die("artifact has no dft runs");
+    }
+
+    // The d-TLB geometry in the header comes from the artifact, so the
+    // title can never drift from what was actually simulated.
+    let hier = pick("sdl", 1 << logs[0])
+        .hierarchy
+        .as_ref()
+        .unwrap_or_else(|| die("artifact runs lack hierarchy attribution; re-run --emit"));
+    let mut out = format!(
+        "# TLB ablation: {}-entry {}-way dTLB, {} KiB pages, + paper cache\n",
+        hier.config.tlb_entries,
+        hier.config.tlb_ways,
+        hier.config.tlb_page_bytes / 1024
+    );
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14}\n",
+        "log2(n)", "SDL tlb-m%", "DDL tlb-m%", "SDL cache-m%", "DDL cache-m%"
+    ));
+    for &log_n in &logs {
+        let n = 1usize << log_n;
+        let (s, d) = (pick("sdl", n), pick("ddl", n));
+        out.push_str(&format!(
+            "{:>8} {:>12.2} {:>12.2} {:>14.2} {:>14.2}\n",
+            log_n,
+            tlb_rate(s) * 100.0,
+            tlb_rate(d) * 100.0,
+            s.totals.miss_rate() * 100.0,
+            d.totals.miss_rate() * 100.0
+        ));
+    }
+    out.push_str("\n# DDL's unit-stride conversion helps the TLB for the same reason it\n");
+    out.push_str("# helps lines: fewer pages touched per unit of useful data\n");
+    out
 }

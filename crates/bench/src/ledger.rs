@@ -25,7 +25,11 @@ use std::path::Path;
 /// Schema identifier stamped into every ledger line.
 pub const TRAJECTORY_SCHEMA: &str = "ddl-trajectory";
 /// Current ledger schema version; readers refuse newer lines.
-pub const TRAJECTORY_VERSION: u64 = 1;
+///
+/// v2 (additive): attribution digests may carry `tlb_miss_rate` and
+/// `case3_leaves_page` from hierarchy-attributed runs. v1 lines (no
+/// such keys) still parse; both fields stay `None`.
+pub const TRAJECTORY_VERSION: u64 = 2;
 
 fn ledger_err(detail: String) -> DdlError {
     DdlError::Metrics { detail }
@@ -51,6 +55,12 @@ pub struct AttributionSummary {
     pub leaves: u64,
     /// Leaves empirically classified Case III.
     pub case3_leaves: u64,
+    /// Whole-run d-TLB miss rate, when the run carried a hierarchy
+    /// attribution (ledger v2; absent on v1 lines).
+    pub tlb_miss_rate: Option<f64>,
+    /// Leaves classified Case III at *page* geometry — the TLB viewed
+    /// as a cache with page-sized lines (ledger v2; absent on v1).
+    pub case3_leaves_page: Option<u64>,
 }
 
 /// One run of the suite, as a single ledger line.
@@ -125,6 +135,12 @@ impl LedgerEntry {
                         am.insert("accesses".into(), Json::Num(a.accesses as f64));
                         am.insert("leaves".into(), Json::Num(a.leaves as f64));
                         am.insert("case3_leaves".into(), Json::Num(a.case3_leaves as f64));
+                        if let Some(t) = a.tlb_miss_rate {
+                            am.insert("tlb_miss_rate".into(), Json::Num(t));
+                        }
+                        if let Some(c) = a.case3_leaves_page {
+                            am.insert("case3_leaves_page".into(), Json::Num(c as f64));
+                        }
                         Json::Obj(am)
                     })
                     .collect(),
@@ -219,6 +235,26 @@ impl LedgerEntry {
                         accesses: u("accesses")?,
                         leaves: u("leaves")?,
                         case3_leaves: u("case3_leaves")?,
+                        // v2 additive fields: absent on v1 lines, and a
+                        // present-but-bad value is an error, not a None.
+                        tlb_miss_rate: match am.get("tlb_miss_rate") {
+                            None => None,
+                            Some(v) => Some(
+                                v.as_f64()
+                                    .filter(|x| x.is_finite() && *x >= 0.0)
+                                    .ok_or_else(|| {
+                                        ledger_err(format!(
+                                            "ledger line: {path}.tlb_miss_rate: bad"
+                                        ))
+                                    })?,
+                            ),
+                        },
+                        case3_leaves_page: match am.get("case3_leaves_page") {
+                            None => None,
+                            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                                ledger_err(format!("ledger line: {path}.case3_leaves_page: bad"))
+                            })?),
+                        },
                     });
                 }
             }
@@ -520,6 +556,8 @@ mod tests {
                 accesses: 2000,
                 leaves: 3,
                 case3_leaves: 0,
+                tlb_miss_rate: Some(0.002),
+                case3_leaves_page: Some(0),
             }],
         }
     }
@@ -534,6 +572,41 @@ mod tests {
         let line = e.to_line();
         assert!(!line.contains('\n'));
         assert_eq!(LedgerEntry::parse_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn v1_lines_without_hierarchy_fields_still_parse() {
+        // A pre-v2 line (version 1, no tlb/page keys) must keep
+        // parsing, with the additive fields absent.
+        let mut e = entry("a", true, "cpu0", &[("dft-ddl-n16", 123.5)]);
+        e.attribution[0].tlb_miss_rate = None;
+        e.attribution[0].case3_leaves_page = None;
+        let line = e.to_line().replace("\"version\":2", "\"version\":1");
+        assert_ne!(line, e.to_line(), "version rewrite did not apply");
+        let back = LedgerEntry::parse_line(&line).unwrap();
+        assert_eq!(back, e);
+        assert_eq!(back.attribution[0].tlb_miss_rate, None);
+        assert_eq!(back.attribution[0].case3_leaves_page, None);
+    }
+
+    #[test]
+    fn newer_versions_are_refused() {
+        let e = entry("a", true, "cpu0", &[("dft-ddl-n16", 123.5)]);
+        let line = e.to_line().replace("\"version\":2", "\"version\":3");
+        assert_ne!(line, e.to_line(), "version rewrite did not apply");
+        let err = LedgerEntry::parse_line(&line).unwrap_err().to_string();
+        assert!(err.contains("newer than supported"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn bad_hierarchy_fields_are_errors_not_none() {
+        let e = entry("a", true, "cpu0", &[("dft-ddl-n16", 123.5)]);
+        let line = e
+            .to_line()
+            .replace("\"tlb_miss_rate\":0.002", "\"tlb_miss_rate\":-1");
+        assert_ne!(line, e.to_line(), "garble did not apply");
+        let err = LedgerEntry::parse_line(&line).unwrap_err().to_string();
+        assert!(err.contains("tlb_miss_rate"), "wrong error: {err}");
     }
 
     #[test]

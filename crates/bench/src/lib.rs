@@ -19,7 +19,8 @@
 //! observability report, and `bench_suite` (backed by [`suite`]) runs
 //! the pinned performance-trajectory suite with baseline comparison,
 //! cost-model calibration, Chrome-trace export, per-node cache-miss
-//! attribution and the longitudinal [`ledger`].
+//! attribution (L1/L2/d-TLB, distilled into the per-plan [`scorecard`])
+//! and the longitudinal [`ledger`].
 //!
 //! This library provides the pieces they share: measured planning with a
 //! wisdom cache (so one planning pass serves every binary), timing
@@ -34,6 +35,7 @@ use std::path::PathBuf;
 
 pub mod host;
 pub mod ledger;
+pub mod scorecard;
 pub mod suite;
 
 /// Default size sweep for the performance figures: `2^10 .. 2^22`.
@@ -120,7 +122,7 @@ pub struct SweepArgs {
 
 /// Prints a usage error and exits: the sweep binaries have no caller to
 /// recover into, and a clean diagnostic beats an unwind.
-fn die(msg: &str) -> ! {
+pub fn die(msg: &str) -> ! {
     eprintln!("ddl-bench: {msg}");
     std::process::exit(2);
 }

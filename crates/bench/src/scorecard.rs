@@ -1,0 +1,338 @@
+//! The per-plan hierarchy scorecard artifact (`ddl-scorecard`).
+//!
+//! A `ddl-attribution` v2 report carries the full per-node trees; this
+//! module distills it into one row per attributed run — the plan's
+//! whole-run miss rate at the simulated cache, plus the L1/L2/d-TLB
+//! rates from the hierarchy attribution and the Case III leaf counts at
+//! both line and page geometry. The scorecard is the artifact CI diffs
+//! and humans read: "did DDL's reorganizations pay at *every* level of
+//! the memory hierarchy for this plan?" answered in one table.
+//!
+//! Like every artifact in this repo the document is versioned, readers
+//! refuse newer versions, and parsing re-verifies the invariants the
+//! writer promised (rates in `[0, 1]`, Case III counts bounded by the
+//! leaf count) instead of trusting the bytes.
+
+use ddl_core::attrib::AttributionReport;
+use ddl_core::json::{self, Json};
+use ddl_num::DdlError;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Schema identifier stamped into every scorecard document.
+pub const SCORECARD_SCHEMA: &str = "ddl-scorecard";
+/// Current scorecard schema version; readers refuse newer documents.
+pub const SCORECARD_VERSION: u64 = 1;
+
+fn scorecard_err(detail: String) -> DdlError {
+    DdlError::Metrics { detail }
+}
+
+/// One attributed run, reduced to its hierarchy headline numbers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScorecardRow {
+    /// `dft` | `wht` | `rfft`.
+    pub transform: String,
+    /// Transform size.
+    pub n: usize,
+    /// Planner strategy (`sdl` | `ddl`), or `"unknown"` when the run
+    /// predates strategy tagging.
+    pub strategy: String,
+    /// Factorization-tree expression of the attributed plan.
+    pub tree: String,
+    /// Whole-run miss rate at the run's primary simulated cache.
+    pub line_miss_rate: f64,
+    /// Whole-run L1 miss rate from the hierarchy attribution.
+    pub l1_miss_rate: f64,
+    /// Whole-run L2 miss rate (of L2 accesses, i.e. of L1 misses).
+    pub l2_miss_rate: f64,
+    /// Whole-run d-TLB miss rate.
+    pub tlb_miss_rate: f64,
+    /// Classified leaves in the attributed tree.
+    pub leaves: u64,
+    /// Leaves empirically Case III at line geometry.
+    pub case3_leaves: u64,
+    /// Leaves empirically Case III at page geometry (the TLB viewed as
+    /// a cache whose line is the page).
+    pub case3_leaves_page: u64,
+}
+
+/// The scorecard document: one row per hierarchy-attributed run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scorecard {
+    /// Run label (matches the attribution report it was derived from).
+    pub label: String,
+    /// One row per run, in report order.
+    pub rows: Vec<ScorecardRow>,
+}
+
+impl Scorecard {
+    /// Distills an attribution report into a scorecard. Every run must
+    /// carry a hierarchy attribution: a line-only (v1) report has no
+    /// L1/L2/TLB story to summarize, and silently emitting zeros would
+    /// fabricate one.
+    pub fn from_report(report: &AttributionReport) -> Result<Scorecard, DdlError> {
+        let mut rows = Vec::with_capacity(report.runs.len());
+        for run in &report.runs {
+            let h = run.hierarchy.as_ref().ok_or_else(|| {
+                scorecard_err(format!(
+                    "run {} n={} has no hierarchy attribution; scorecards need v2 runs",
+                    run.transform, run.n
+                ))
+            })?;
+            let (leaves, case3_leaves) = run.case3_leaf_counts();
+            let (_, case3_leaves_page) = run.case3_leaf_counts_page().unwrap_or((leaves, 0));
+            rows.push(ScorecardRow {
+                transform: run.transform.clone(),
+                n: run.n,
+                strategy: run
+                    .strategy
+                    .clone()
+                    .unwrap_or_else(|| "unknown".to_string()),
+                tree: run.tree.clone(),
+                line_miss_rate: run.totals.miss_rate(),
+                l1_miss_rate: h.totals.l1.miss_rate(),
+                l2_miss_rate: h.totals.l2.miss_rate(),
+                tlb_miss_rate: h.totals.tlb.miss_rate(),
+                leaves,
+                case3_leaves,
+                case3_leaves_page,
+            });
+        }
+        Ok(Scorecard {
+            label: report.label.clone(),
+            rows,
+        })
+    }
+
+    /// Serializes as a pretty-printed versioned JSON document.
+    pub fn to_json(&self) -> String {
+        let mut m = BTreeMap::new();
+        m.insert("schema".into(), Json::Str(SCORECARD_SCHEMA.into()));
+        m.insert("version".into(), Json::Num(SCORECARD_VERSION as f64));
+        m.insert("label".into(), Json::Str(self.label.clone()));
+        m.insert(
+            "rows".into(),
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        let mut rm = BTreeMap::new();
+                        rm.insert("transform".into(), Json::Str(r.transform.clone()));
+                        rm.insert("n".into(), Json::Num(r.n as f64));
+                        rm.insert("strategy".into(), Json::Str(r.strategy.clone()));
+                        rm.insert("tree".into(), Json::Str(r.tree.clone()));
+                        rm.insert("line_miss_rate".into(), Json::Num(r.line_miss_rate));
+                        rm.insert("l1_miss_rate".into(), Json::Num(r.l1_miss_rate));
+                        rm.insert("l2_miss_rate".into(), Json::Num(r.l2_miss_rate));
+                        rm.insert("tlb_miss_rate".into(), Json::Num(r.tlb_miss_rate));
+                        rm.insert("leaves".into(), Json::Num(r.leaves as f64));
+                        rm.insert("case3_leaves".into(), Json::Num(r.case3_leaves as f64));
+                        rm.insert(
+                            "case3_leaves_page".into(),
+                            Json::Num(r.case3_leaves_page as f64),
+                        );
+                        Json::Obj(rm)
+                    })
+                    .collect(),
+            ),
+        );
+        Json::Obj(m).pretty()
+    }
+
+    /// Parses and re-verifies a scorecard document. Refuses newer
+    /// versions; rejects rates outside `[0, 1]` and Case III counts
+    /// exceeding the leaf count — the parse is also an invariant check.
+    pub fn parse(text: &str) -> Result<Scorecard, DdlError> {
+        let doc = json::parse(text).map_err(|e| scorecard_err(format!("scorecard: {e}")))?;
+        let m = doc
+            .as_obj()
+            .ok_or_else(|| scorecard_err("scorecard: not an object".into()))?;
+        match m.get("schema").and_then(Json::as_str) {
+            Some(s) if s == SCORECARD_SCHEMA => {}
+            Some(s) => {
+                return Err(scorecard_err(format!(
+                    "scorecard: expected schema {SCORECARD_SCHEMA:?}, got {s:?}"
+                )))
+            }
+            None => return Err(scorecard_err("scorecard: missing schema".into())),
+        }
+        match m.get("version").and_then(Json::as_u64) {
+            Some(v) if v <= SCORECARD_VERSION => {}
+            Some(v) => {
+                return Err(scorecard_err(format!(
+                    "scorecard: version {v} is newer than supported {SCORECARD_VERSION}"
+                )))
+            }
+            None => return Err(scorecard_err("scorecard: missing version".into())),
+        }
+        let label = m
+            .get("label")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| scorecard_err("scorecard: missing or non-string label".into()))?;
+        let items = match m.get("rows") {
+            Some(Json::Arr(items)) => items,
+            _ => return Err(scorecard_err("scorecard: missing rows array".into())),
+        };
+        let mut rows = Vec::with_capacity(items.len());
+        for (i, item) in items.iter().enumerate() {
+            let rm = item
+                .as_obj()
+                .ok_or_else(|| scorecard_err(format!("scorecard: rows[{i}]: not an object")))?;
+            let path = format!("rows[{i}]");
+            let s = |key: &str| -> Result<String, DdlError> {
+                rm.get(key)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| scorecard_err(format!("scorecard: {path}.{key}: bad")))
+            };
+            let u = |key: &str| -> Result<u64, DdlError> {
+                rm.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| scorecard_err(format!("scorecard: {path}.{key}: bad")))
+            };
+            let rate = |key: &str| -> Result<f64, DdlError> {
+                rm.get(key)
+                    .and_then(Json::as_f64)
+                    .filter(|x| x.is_finite() && (0.0..=1.0).contains(x))
+                    .ok_or_else(|| {
+                        scorecard_err(format!("scorecard: {path}.{key}: not a rate in [0, 1]"))
+                    })
+            };
+            let row = ScorecardRow {
+                transform: s("transform")?,
+                n: u("n")? as usize,
+                strategy: s("strategy")?,
+                tree: s("tree")?,
+                line_miss_rate: rate("line_miss_rate")?,
+                l1_miss_rate: rate("l1_miss_rate")?,
+                l2_miss_rate: rate("l2_miss_rate")?,
+                tlb_miss_rate: rate("tlb_miss_rate")?,
+                leaves: u("leaves")?,
+                case3_leaves: u("case3_leaves")?,
+                case3_leaves_page: u("case3_leaves_page")?,
+            };
+            if row.case3_leaves > row.leaves || row.case3_leaves_page > row.leaves {
+                return Err(scorecard_err(format!(
+                    "scorecard: {path}: Case III count exceeds {} leaves",
+                    row.leaves
+                )));
+            }
+            rows.push(row);
+        }
+        Ok(Scorecard { label, rows })
+    }
+
+    /// Writes the document, creating parent directories as needed.
+    pub fn write(&self, path: &Path) -> Result<(), DdlError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| scorecard_err(format!("creating {}: {e}", parent.display())))?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+            .map_err(|e| scorecard_err(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Renders the scorecard as a human-readable table: one row per
+    /// plan, miss rates in percent at every level of the hierarchy.
+    pub fn render(&self) -> String {
+        let mut out = format!("# Hierarchy scorecard: {}\n\n", self.label);
+        out.push_str(&format!(
+            "{:<5} {:>8} {:<5} {:>8} {:>8} {:>8} {:>8} {:>7} {:>9}\n",
+            "plan", "n", "strat", "cache-m%", "l1-m%", "l2-m%", "tlb-m%", "leaves", "case3 l/p"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<5} {:>8} {:<5} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>7} {:>5}/{}\n",
+                r.transform,
+                r.n,
+                r.strategy,
+                r.line_miss_rate * 100.0,
+                r.l1_miss_rate * 100.0,
+                r.l2_miss_rate * 100.0,
+                r.tlb_miss_rate * 100.0,
+                r.leaves,
+                r.case3_leaves,
+                r.case3_leaves_page
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddl_cachesim::{CacheConfig, HierarchyConfig};
+    use ddl_core::attrib::{attribute_dft, attribute_dft_hier};
+    use ddl_core::DftPlan;
+    use ddl_num::Direction;
+
+    fn sample_report() -> AttributionReport {
+        let cache = CacheConfig::paper_default(64);
+        let plan = DftPlan::from_expr("ctddl(64, 32)", Direction::Forward).unwrap();
+        let mut run = attribute_dft_hier(&plan, 1, cache, HierarchyConfig::typical(cache)).unwrap();
+        run.strategy = Some("ddl".into());
+        AttributionReport {
+            label: "test".into(),
+            runs: vec![run],
+        }
+    }
+
+    #[test]
+    fn scorecard_round_trips_and_renders() {
+        let card = Scorecard::from_report(&sample_report()).unwrap();
+        assert_eq!(card.rows.len(), 1);
+        let row = &card.rows[0];
+        assert_eq!(row.transform, "dft");
+        assert_eq!(row.strategy, "ddl");
+        assert!(row.leaves > 0);
+        let back = Scorecard::parse(&card.to_json()).unwrap();
+        assert_eq!(back, card);
+        let table = card.render();
+        assert!(table.contains("tlb-m%"), "missing column in:\n{table}");
+        assert!(table.contains("dft"), "missing row in:\n{table}");
+    }
+
+    #[test]
+    fn line_only_reports_are_refused() {
+        let cache = CacheConfig::paper_default(64);
+        let plan = DftPlan::from_expr("ct(16, 4)", Direction::Forward).unwrap();
+        let run = attribute_dft(&plan, 1, cache).unwrap();
+        let report = AttributionReport {
+            label: "v1".into(),
+            runs: vec![run],
+        };
+        let err = Scorecard::from_report(&report).unwrap_err().to_string();
+        assert!(err.contains("no hierarchy attribution"), "{err}");
+    }
+
+    #[test]
+    fn parse_refuses_newer_versions_and_bad_invariants() {
+        let card = Scorecard::from_report(&sample_report()).unwrap();
+        let text = card.to_json();
+
+        let newer = text.replace("\"version\": 1", "\"version\": 2");
+        assert_ne!(newer, text, "version rewrite did not apply");
+        let err = Scorecard::parse(&newer).unwrap_err().to_string();
+        assert!(err.contains("newer than supported"), "{err}");
+
+        let leaves = card.rows[0].leaves;
+        let bad = text.replace(
+            &format!("\"case3_leaves\": {}", card.rows[0].case3_leaves),
+            &format!("\"case3_leaves\": {}", leaves + 1),
+        );
+        assert_ne!(bad, text, "garble did not apply");
+        let err = Scorecard::parse(&bad).unwrap_err().to_string();
+        assert!(err.contains("exceeds"), "{err}");
+
+        let bad_rate = text.replace("\"tlb_miss_rate\": 0", "\"tlb_miss_rate\": 2");
+        if bad_rate != text {
+            let err = Scorecard::parse(&bad_rate).unwrap_err().to_string();
+            assert!(err.contains("rate"), "{err}");
+        }
+    }
+}

@@ -24,8 +24,17 @@
 //! calls one child `n1` times — aggregate into one arena node with a
 //! `calls` count, so the tree mirrors the plan tree, not the dynamic call
 //! trace.
+//!
+//! The arena itself is generic over the stat record it charges
+//! ([`BucketStats`]): the single-level [`AttributingCache`] charges
+//! [`CacheStats`] deltas, and [`HierarchyAttributingCache`] charges
+//! [`HierStats`] triples — one address stream attributed simultaneously
+//! to an L1, an L2 and a d-TLB, with conservation holding at every level
+//! because the delta mechanism is the same.
 
-use crate::cache::{Cache, CacheStats};
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::hierarchy::TwoLevelCache;
+use crate::tlb::Tlb;
 use crate::trace::MemoryTracer;
 
 /// Identity of an executor tree node: the span attributes the executors
@@ -42,30 +51,173 @@ pub struct NodeKey {
     pub reorg: bool,
 }
 
+/// A stat record the span arena can charge snapshot deltas of: monotone
+/// counters with pointwise difference and sum. Conservation of the arena
+/// holds for any implementor because every counter delta lands in exactly
+/// one bucket.
+pub trait BucketStats: Copy + Default + PartialEq {
+    /// Pointwise `self - earlier` (counters are monotone).
+    fn delta_since(&self, earlier: &Self) -> Self;
+    /// Pointwise accumulate.
+    fn add(&mut self, other: &Self);
+}
+
+impl BucketStats for CacheStats {
+    fn delta_since(&self, earlier: &Self) -> Self {
+        CacheStats::delta_since(self, earlier)
+    }
+    fn add(&mut self, other: &Self) {
+        CacheStats::add(self, other)
+    }
+}
+
+/// Per-level stat triple of the memory hierarchy: one snapshot (or
+/// delta, or accumulated bucket) each for L1, L2 and the d-TLB.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct HierStats {
+    /// L1 counters. Accesses count per-line touches (see
+    /// [`TwoLevelCache::read`]).
+    pub l1: CacheStats,
+    /// L2 counters; its accesses are exactly the L1 misses.
+    pub l2: CacheStats,
+    /// d-TLB counters over the same (undecomposed) address stream.
+    pub tlb: CacheStats,
+}
+
+impl BucketStats for HierStats {
+    fn delta_since(&self, earlier: &Self) -> Self {
+        HierStats {
+            l1: self.l1.delta_since(&earlier.l1),
+            l2: self.l2.delta_since(&earlier.l2),
+            tlb: self.tlb.delta_since(&earlier.tlb),
+        }
+    }
+    fn add(&mut self, other: &Self) {
+        self.l1.add(&other.l1);
+        self.l2.add(&other.l2);
+        self.tlb.add(&other.tlb);
+    }
+}
+
 /// One node of the attributed tree (arena-allocated; indices into
-/// [`AttributingCache::nodes`]).
+/// [`AttributingCache::nodes`] / [`HierarchyAttributingCache::nodes`]).
 #[derive(Clone, Debug)]
-pub struct AttributedNode {
+pub struct AttributedNode<S = CacheStats> {
     /// Span identity `(label, size, stride, reorg)`.
     pub key: NodeKey,
     /// Number of dynamic visits aggregated into this node.
     pub calls: u64,
     /// Exclusive (self) cache events: charged while this node was the
     /// innermost open span.
-    pub self_stats: CacheStats,
+    pub self_stats: S,
     /// Parent arena index; `None` for roots.
     pub parent: Option<usize>,
     /// Child arena indices in first-visit order.
     pub children: Vec<usize>,
 }
 
-impl AttributedNode {
+impl<S: BucketStats> AttributedNode<S> {
     /// Inclusive stats: this node's self events plus all descendants'.
     /// Needs the arena because children are stored by index.
-    pub fn inclusive_stats(&self, arena: &[AttributedNode]) -> CacheStats {
+    pub fn inclusive_stats(&self, arena: &[AttributedNode<S>]) -> S {
         let mut total = self.self_stats;
         for &c in &self.children {
             total.add(&arena[c].inclusive_stats(arena));
+        }
+        total
+    }
+}
+
+/// The span-segmentation arena shared by both attributors: an open-span
+/// stack, aggregated nodes, and the snapshot-delta charging that makes
+/// conservation exact. Callers pass the current counter snapshot into
+/// every operation; the arena never looks at the cache itself.
+#[derive(Clone, Debug)]
+struct SpanArena<S> {
+    nodes: Vec<AttributedNode<S>>,
+    /// Arena indices of nodes with no parent.
+    roots: Vec<usize>,
+    /// Open-span stack of arena indices (top = innermost).
+    stack: Vec<usize>,
+    /// Events observed while no node span was open.
+    outside: S,
+    /// Counters at the last flush point.
+    last: S,
+}
+
+impl<S: BucketStats> SpanArena<S> {
+    fn new(now: S) -> Self {
+        SpanArena {
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            stack: Vec::new(),
+            outside: S::default(),
+            last: now,
+        }
+    }
+
+    /// Charges everything since the last flush point to the innermost
+    /// open node (or `outside`).
+    fn flush(&mut self, now: S) {
+        let delta = now.delta_since(&self.last);
+        self.last = now;
+        match self.stack.last() {
+            Some(&idx) => self.nodes[idx].self_stats.add(&delta),
+            None => self.outside.add(&delta),
+        }
+    }
+
+    fn enter(&mut self, key: NodeKey, now: S) {
+        self.flush(now);
+        let parent = self.stack.last().copied();
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        let existing = siblings.iter().copied().find(|&i| self.nodes[i].key == key);
+        let idx = match existing {
+            Some(i) => i,
+            None => {
+                let i = self.nodes.len();
+                self.nodes.push(AttributedNode {
+                    key,
+                    calls: 0,
+                    self_stats: S::default(),
+                    parent,
+                    children: Vec::new(),
+                });
+                match parent {
+                    Some(p) => self.nodes[p].children.push(i),
+                    None => self.roots.push(i),
+                }
+                i
+            }
+        };
+        self.nodes[idx].calls += 1;
+        self.stack.push(idx);
+    }
+
+    fn exit(&mut self, now: S) {
+        self.flush(now);
+        assert!(
+            self.stack.pop().is_some(),
+            "node_exit without matching node_enter"
+        );
+    }
+
+    fn finish(&mut self, now: S) {
+        self.flush(now);
+        assert!(
+            self.stack.is_empty(),
+            "finish with {} node span(s) still open",
+            self.stack.len()
+        );
+    }
+
+    fn attributed_total(&self) -> S {
+        let mut total = self.outside;
+        for node in &self.nodes {
+            total.add(&node.self_stats);
         }
         total
     }
@@ -82,15 +234,7 @@ impl AttributedNode {
 #[derive(Clone, Debug)]
 pub struct AttributingCache {
     cache: Cache,
-    nodes: Vec<AttributedNode>,
-    /// Arena indices of nodes with no parent.
-    roots: Vec<usize>,
-    /// Open-span stack of arena indices (top = innermost).
-    stack: Vec<usize>,
-    /// Events observed while no node span was open.
-    outside: CacheStats,
-    /// Cache counters at the last flush point.
-    last: CacheStats,
+    arena: SpanArena<CacheStats>,
 }
 
 impl AttributingCache {
@@ -100,23 +244,7 @@ impl AttributingCache {
         let last = cache.stats();
         AttributingCache {
             cache,
-            nodes: Vec::new(),
-            roots: Vec::new(),
-            stack: Vec::new(),
-            outside: CacheStats::default(),
-            last,
-        }
-    }
-
-    /// Charges everything since the last flush point to the innermost
-    /// open node (or `outside`).
-    fn flush(&mut self) {
-        let now = self.cache.stats();
-        let delta = now.delta_since(&self.last);
-        self.last = now;
-        match self.stack.last() {
-            Some(&idx) => self.nodes[idx].self_stats.add(&delta),
-            None => self.outside.add(&delta),
+            arena: SpanArena::new(last),
         }
     }
 
@@ -125,54 +253,22 @@ impl AttributingCache {
     ///
     /// [`node_exit`]: AttributingCache::node_exit
     pub fn node_enter(&mut self, key: NodeKey) {
-        self.flush();
-        let parent = self.stack.last().copied();
-        let siblings = match parent {
-            Some(p) => &self.nodes[p].children,
-            None => &self.roots,
-        };
-        let existing = siblings.iter().copied().find(|&i| self.nodes[i].key == key);
-        let idx = match existing {
-            Some(i) => i,
-            None => {
-                let i = self.nodes.len();
-                self.nodes.push(AttributedNode {
-                    key,
-                    calls: 0,
-                    self_stats: CacheStats::default(),
-                    parent,
-                    children: Vec::new(),
-                });
-                match parent {
-                    Some(p) => self.nodes[p].children.push(i),
-                    None => self.roots.push(i),
-                }
-                i
-            }
-        };
-        self.nodes[idx].calls += 1;
-        self.stack.push(idx);
+        let now = self.cache.stats();
+        self.arena.enter(key, now);
     }
 
     /// Closes the innermost node span. Panics on an unbalanced exit.
     pub fn node_exit(&mut self) {
-        self.flush();
-        assert!(
-            self.stack.pop().is_some(),
-            "node_exit without matching node_enter"
-        );
+        let now = self.cache.stats();
+        self.arena.exit(now);
     }
 
     /// Flushes trailing events (after the last span closed) into
     /// `outside`. Call once after the run; further events keep
     /// accumulating normally.
     pub fn finish(&mut self) {
-        self.flush();
-        assert!(
-            self.stack.is_empty(),
-            "finish with {} node span(s) still open",
-            self.stack.len()
-        );
+        let now = self.cache.stats();
+        self.arena.finish(now);
     }
 
     /// The wrapped cache.
@@ -185,17 +281,17 @@ impl AttributingCache {
     ///
     /// [`roots`]: AttributingCache::roots
     pub fn nodes(&self) -> &[AttributedNode] {
-        &self.nodes
+        &self.arena.nodes
     }
 
     /// Arena indices of root nodes.
     pub fn roots(&self) -> &[usize] {
-        &self.roots
+        &self.arena.roots
     }
 
     /// Events charged to no node (setup, teardown, between spans).
     pub fn outside(&self) -> CacheStats {
-        self.outside
+        self.arena.outside
     }
 
     /// Whole-run totals from the wrapped cache.
@@ -209,11 +305,7 @@ impl AttributingCache {
     /// [`finish`]: AttributingCache::finish
     /// [`totals`]: AttributingCache::totals
     pub fn attributed_total(&self) -> CacheStats {
-        let mut total = self.outside;
-        for node in &self.nodes {
-            total.add(&node.self_stats);
-        }
-        total
+        self.arena.attributed_total()
     }
 }
 
@@ -228,6 +320,170 @@ impl MemoryTracer for AttributingCache {
     #[inline]
     fn write(&mut self, addr: u64, bytes: u32) {
         self.cache.write(addr, bytes);
+    }
+}
+
+/// Geometry of the attributed memory hierarchy: an inclusive L1/L2 pair
+/// plus a d-TLB (structurally a cache whose line is the page).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// L2 geometry (must dominate L1 capacity; see [`TwoLevelCache`]).
+    pub l2: CacheConfig,
+    /// d-TLB entries.
+    pub tlb_entries: usize,
+    /// Page size in bytes (the TLB's "line").
+    pub tlb_page_bytes: usize,
+    /// d-TLB associativity.
+    pub tlb_ways: usize,
+}
+
+impl HierarchyConfig {
+    /// A typical modern hierarchy in front of the given L2: 32 KiB 8-way
+    /// L1 (same line size as the L2) and the 64-entry 4-way 4 KiB-page
+    /// dTLB of [`Tlb::typical_l1_dtlb`].
+    pub fn typical(l2: CacheConfig) -> Self {
+        HierarchyConfig {
+            l1: CacheConfig {
+                capacity_bytes: 32 * 1024,
+                line_bytes: l2.line_bytes,
+                associativity: 8,
+            },
+            l2,
+            tlb_entries: 64,
+            tlb_page_bytes: 4096,
+            tlb_ways: 4,
+        }
+    }
+
+    /// Instantiates the TLB model for this geometry.
+    pub fn tlb(&self) -> Tlb {
+        Tlb::new(self.tlb_entries, self.tlb_page_bytes, self.tlb_ways)
+    }
+
+    /// The TLB's reach expressed as an equivalent cache geometry
+    /// (`entries × page` capacity, page-sized lines): the form in which
+    /// the paper's Case I/II/III closed form and the static conflict
+    /// analyzer can be evaluated at page granularity.
+    pub fn tlb_as_cache(&self) -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: self.tlb_entries * self.tlb_page_bytes,
+            line_bytes: self.tlb_page_bytes,
+            associativity: self.tlb_ways,
+        }
+    }
+}
+
+/// One address stream attributed simultaneously to L1, L2 and a d-TLB,
+/// segmented at the same executor node-span boundaries as
+/// [`AttributingCache`].
+///
+/// The memory side is an inclusive [`TwoLevelCache`] (accesses decompose
+/// into per-line L1 touches; only L1 misses reach L2) plus a [`Tlb`] fed
+/// the raw, undecomposed stream. Each node's exclusive bucket is a
+/// [`HierStats`] delta triple, so conservation holds independently at
+/// every level, and within any bucket `l2.accesses == l1.misses` exactly
+/// — the L2 access *is* the L1 miss, observed through the same flush
+/// window.
+#[derive(Clone, Debug)]
+pub struct HierarchyAttributingCache {
+    config: HierarchyConfig,
+    mem: TwoLevelCache,
+    tlb: Tlb,
+    arena: SpanArena<HierStats>,
+}
+
+impl HierarchyAttributingCache {
+    /// Builds the hierarchy from its geometry with cold caches.
+    pub fn new(config: &HierarchyConfig) -> Self {
+        let mem = TwoLevelCache::new(config.l1, config.l2);
+        let tlb = config.tlb();
+        let now = HierStats {
+            l1: mem.l1_stats(),
+            l2: mem.l2_stats(),
+            tlb: tlb.stats(),
+        };
+        HierarchyAttributingCache {
+            config: *config,
+            mem,
+            tlb,
+            arena: SpanArena::new(now),
+        }
+    }
+
+    /// The geometry this attributor simulates.
+    pub fn config(&self) -> HierarchyConfig {
+        self.config
+    }
+
+    fn snapshot(&self) -> HierStats {
+        HierStats {
+            l1: self.mem.l1_stats(),
+            l2: self.mem.l2_stats(),
+            tlb: self.tlb.stats(),
+        }
+    }
+
+    /// Opens a node span (see [`AttributingCache::node_enter`]).
+    pub fn node_enter(&mut self, key: NodeKey) {
+        let now = self.snapshot();
+        self.arena.enter(key, now);
+    }
+
+    /// Closes the innermost node span. Panics on an unbalanced exit.
+    pub fn node_exit(&mut self) {
+        let now = self.snapshot();
+        self.arena.exit(now);
+    }
+
+    /// Flushes trailing events into `outside`; call once after the run.
+    pub fn finish(&mut self) {
+        let now = self.snapshot();
+        self.arena.finish(now);
+    }
+
+    /// The attributed-node arena (triple-stat nodes).
+    pub fn nodes(&self) -> &[AttributedNode<HierStats>] {
+        &self.arena.nodes
+    }
+
+    /// Arena indices of root nodes.
+    pub fn roots(&self) -> &[usize] {
+        &self.arena.roots
+    }
+
+    /// Events charged to no node, per level.
+    pub fn outside(&self) -> HierStats {
+        self.arena.outside
+    }
+
+    /// Whole-run totals, per level.
+    pub fn totals(&self) -> HierStats {
+        self.snapshot()
+    }
+
+    /// Sum of all per-node self triples plus the outside bucket. After
+    /// [`finish`](HierarchyAttributingCache::finish), equals
+    /// [`totals`](HierarchyAttributingCache::totals) at every level.
+    pub fn attributed_total(&self) -> HierStats {
+        self.arena.attributed_total()
+    }
+}
+
+impl MemoryTracer for HierarchyAttributingCache {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn read(&mut self, addr: u64, bytes: u32) {
+        self.mem.read(addr, bytes);
+        self.tlb.access(addr, bytes);
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64, bytes: u32) {
+        self.mem.write(addr, bytes);
+        self.tlb.access(addr, bytes);
     }
 }
 
@@ -363,5 +619,107 @@ mod tests {
         let mut a = attrib();
         a.node_enter(key(4, 1));
         a.finish();
+    }
+
+    // --- hierarchy attribution ---
+
+    fn small_hier() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig {
+                capacity_bytes: 1024,
+                line_bytes: 64,
+                associativity: 1,
+            },
+            l2: CacheConfig {
+                capacity_bytes: 8192,
+                line_bytes: 64,
+                associativity: 2,
+            },
+            tlb_entries: 4,
+            tlb_page_bytes: 4096,
+            tlb_ways: 4,
+        }
+    }
+
+    fn assert_hier_conserved(h: &HierarchyAttributingCache) {
+        let attributed = h.attributed_total();
+        let totals = h.totals();
+        assert_eq!(attributed.l1, totals.l1, "L1 conservation");
+        assert_eq!(attributed.l2, totals.l2, "L2 conservation");
+        assert_eq!(attributed.tlb, totals.tlb, "TLB conservation");
+    }
+
+    #[test]
+    fn hierarchy_conserves_at_all_three_levels() {
+        let mut h = HierarchyAttributingCache::new(&small_hier());
+        h.read(0, 16); // outside
+        h.node_enter(key(8, 1));
+        for i in 0..64u64 {
+            h.read(i * 64, 16); // 4 KiB: misses L1, part hits L2
+        }
+        h.node_enter(key(4, 2));
+        h.write(1 << 20, 16); // far page: TLB miss
+        h.node_exit();
+        h.node_exit();
+        h.finish();
+        assert_hier_conserved(&h);
+        assert_eq!(h.outside().l1.accesses, 1);
+        assert_eq!(h.outside().tlb.accesses, 1);
+        assert!(h.totals().l1.misses > 0);
+        assert!(h.totals().tlb.misses > 0);
+    }
+
+    #[test]
+    fn per_node_l2_accesses_equal_l1_misses() {
+        let mut h = HierarchyAttributingCache::new(&small_hier());
+        h.node_enter(key(16, 1));
+        for i in 0..32u64 {
+            h.read(i * 128, 8);
+        }
+        h.node_enter(key(4, 4));
+        for i in 0..32u64 {
+            h.read(i * 128, 8); // re-walk: mixed hits/misses
+        }
+        h.node_exit();
+        h.node_exit();
+        h.finish();
+        for node in h.nodes() {
+            assert_eq!(
+                node.self_stats.l2.accesses, node.self_stats.l1.misses,
+                "node {:?}",
+                node.key
+            );
+        }
+        let outside = h.outside();
+        assert_eq!(outside.l2.accesses, outside.l1.misses);
+        assert_hier_conserved(&h);
+    }
+
+    #[test]
+    fn tlb_sees_undecomposed_stream() {
+        // One 256-byte access: 4 L1 line touches but a single TLB access.
+        let mut h = HierarchyAttributingCache::new(&small_hier());
+        h.node_enter(key(2, 1));
+        h.read(0, 256);
+        h.node_exit();
+        h.finish();
+        let node = &h.nodes()[0];
+        assert_eq!(node.self_stats.l1.accesses, 4);
+        assert_eq!(node.self_stats.tlb.accesses, 1);
+        assert_hier_conserved(&h);
+    }
+
+    #[test]
+    fn typical_hierarchy_is_well_formed() {
+        let cfg = HierarchyConfig::typical(CacheConfig::paper_default(64));
+        assert!(cfg.l1.capacity_bytes <= cfg.l2.capacity_bytes);
+        assert_eq!(cfg.tlb_as_cache().capacity_bytes, 64 * 4096);
+        assert_eq!(cfg.tlb_as_cache().line_bytes, 4096);
+        let mut h = HierarchyAttributingCache::new(&cfg);
+        h.node_enter(key(4, 1));
+        h.read(0, 64);
+        h.node_exit();
+        h.finish();
+        assert_hier_conserved(&h);
     }
 }

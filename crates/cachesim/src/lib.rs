@@ -23,7 +23,9 @@
 //! * [`analysis`] — trace profiling: stride histograms and working sets.
 //! * [`attrib`] — per-node attribution: an [`attrib::AttributingCache`]
 //!   that segments the address stream at executor node boundaries and
-//!   charges counter deltas to an arena tree with exact conservation.
+//!   charges counter deltas to an arena tree with exact conservation, and
+//!   an [`attrib::HierarchyAttributingCache`] that attributes the same
+//!   stream to L1, L2 and a d-TLB simultaneously.
 //!
 //! ```
 //! use ddl_cachesim::{Cache, CacheConfig};
@@ -46,7 +48,10 @@ pub mod tlb;
 pub mod trace;
 
 pub use analysis::{dominant_stride, profile, TraceProfile};
-pub use attrib::{AttributedNode, AttributingCache, NodeKey};
+pub use attrib::{
+    AttributedNode, AttributingCache, BucketStats, HierStats, HierarchyAttributingCache,
+    HierarchyConfig, NodeKey,
+};
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::TwoLevelCache;
 pub use tlb::{CacheWithTlb, Tlb};

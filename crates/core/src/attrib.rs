@@ -23,21 +23,35 @@
 //!    fills the `static_*` fields post-hoc; `ddl-core` cannot depend on
 //!    it).
 //!
-//! The result serializes as the versioned `ddl-attribution` v1 schema;
-//! parsing re-verifies conservation, so a schema check is also an
-//! invariant check.
+//! Since v2 the same address stream can additionally be attributed to a
+//! full memory hierarchy — an inclusive L1/L2 pair plus a d-TLB
+//! (`ddl_cachesim::HierarchyAttributingCache`) — giving every node an
+//! exclusive `(l1, l2, tlb)` delta triple alongside its v1 counters, and
+//! leaves a second, page-granularity Case classification: the TLB is
+//! just a cache whose line is the page, so the paper's Sec. III-B closed
+//! form applies verbatim at 4 KiB-line geometry. The v1 single-level
+//! counters are computed from the *raw* stream exactly as before, so
+//! `totals` stay byte-identical with and without hierarchy attribution.
+//!
+//! The result serializes as the versioned `ddl-attribution` v2 schema
+//! (v1 documents, which lack the additive hierarchy blocks, still
+//! parse); parsing re-verifies conservation — at the single level, and
+//! when hierarchy data is present at L1, L2 and TLB independently, plus
+//! the structural `L2 accesses ≡ L1 misses` identity per node — so a
+//! schema check is also an invariant check.
 
 use crate::dft::DftPlan;
 use crate::json::{self, Json};
 use crate::model::CacheModel;
 use crate::obs::{get_bool, get_str, get_u64, metrics_err, obj, Sink, SpanInfo, SpanKind};
+use crate::rfft::RfftPlan;
 use crate::traced::SIM_PAGE_BYTES;
 use crate::tree::Tree;
 use crate::wht::WhtPlan;
 use crate::{DFT_POINT_BYTES, WHT_POINT_BYTES};
 use ddl_cachesim::{
-    AddressSpace, AttributedNode, AttributingCache, Cache, CacheConfig, CacheStats, MemoryTracer,
-    NodeKey,
+    AddressSpace, AttributedNode, AttributingCache, BucketStats, Cache, CacheConfig, CacheStats,
+    HierStats, HierarchyAttributingCache, HierarchyConfig, MemoryTracer, NodeKey,
 };
 use ddl_num::{Complex64, DdlError};
 use std::cell::RefCell;
@@ -46,8 +60,10 @@ use std::rc::Rc;
 
 /// Schema identifier of attribution reports.
 pub const ATTRIBUTION_SCHEMA: &str = "ddl-attribution";
-/// Current attribution schema version; readers refuse newer.
-pub const ATTRIBUTION_VERSION: u32 = 1;
+/// Current attribution schema version; readers refuse newer. v2 adds
+/// the additive per-node `levels` triples, page-granularity Case
+/// classifications, and the per-run `hierarchy` block.
+pub const ATTRIBUTION_VERSION: u32 = 2;
 
 /// The paper's Sec. III-B taxonomy, as a per-leaf verdict.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +134,21 @@ pub struct NodeAttribution {
     pub static_pathological: Option<bool>,
     /// Worst per-set conflict degree from the static analyzer.
     pub static_degree: Option<u64>,
+    /// Exclusive per-level `(l1, l2, tlb)` counters from hierarchy
+    /// attribution (v2; present iff the run carries a `hierarchy`
+    /// block).
+    pub levels: Option<HierStats>,
+    /// Empirical classification of the node's exclusive TLB traffic at
+    /// page granularity (v2).
+    pub empirical_page: Option<CaseClass>,
+    /// Analytical Sec. III-B classification evaluated against the TLB's
+    /// page geometry (leaves only; v2).
+    pub model_page: Option<CaseClass>,
+    /// Static conflict-analyzer verdict at page geometry (v2, filled by
+    /// `ddl-analyze`).
+    pub static_pathological_page: Option<bool>,
+    /// Worst per-set conflict degree at page geometry.
+    pub static_degree_page: Option<u64>,
     /// Child nodes in first-visit order.
     pub children: Vec<NodeAttribution>,
 }
@@ -164,11 +195,24 @@ impl NodeAttribution {
     }
 }
 
+/// Whole-run memory-hierarchy attribution (v2): the geometry simulated
+/// and the per-level totals/outside buckets that the per-node `levels`
+/// triples must sum to.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HierarchyAttribution {
+    /// L1/L2/d-TLB geometry.
+    pub config: HierarchyConfig,
+    /// Whole-run counters per level.
+    pub totals: HierStats,
+    /// Events charged to no node span, per level.
+    pub outside: HierStats,
+}
+
 /// One attributed simulation: a plan executed once at a root stride
 /// against a fresh cache.
 #[derive(Clone, Debug, PartialEq)]
 pub struct AttributionRun {
-    /// `"dft"` or `"wht"`.
+    /// `"dft"`, `"wht"` or `"rfft"`.
     pub transform: String,
     /// Transform size.
     pub n: usize,
@@ -185,6 +229,12 @@ pub struct AttributionRun {
     /// Events charged to no node span (buffer setup/teardown; zero for
     /// the executors, which span their entire recursion).
     pub outside: CacheStats,
+    /// Planner strategy that produced the tree (`"sdl"` / `"ddl"`),
+    /// when the caller recorded it (v2; lets artifact consumers group
+    /// runs without re-parsing tree expressions).
+    pub strategy: Option<String>,
+    /// Memory-hierarchy attribution of the same address stream (v2).
+    pub hierarchy: Option<HierarchyAttribution>,
     /// Attributed root nodes (one per top-level execution).
     pub roots: Vec<NodeAttribution>,
 }
@@ -235,6 +285,95 @@ impl AttributionRun {
         });
         (leaves, case3)
     }
+
+    /// Number of page-classified leaves and how many are empirically
+    /// Case III *at page granularity*; `None` for runs without
+    /// hierarchy attribution.
+    pub fn case3_leaf_counts_page(&self) -> Option<(u64, u64)> {
+        self.hierarchy.as_ref()?;
+        let mut leaves = 0;
+        let mut case3 = 0;
+        self.walk(&mut |node, _| {
+            if node.model_page.is_some() {
+                leaves += 1;
+                if node.empirical_page == Some(CaseClass::Case3) {
+                    case3 += 1;
+                }
+            }
+        });
+        Some((leaves, case3))
+    }
+
+    /// Whole-run d-TLB miss rate; `None` without hierarchy attribution.
+    pub fn tlb_miss_rate(&self) -> Option<f64> {
+        self.hierarchy.as_ref().map(|h| h.totals.tlb.miss_rate())
+    }
+
+    /// Per-level sum of all node `levels` triples plus the hierarchy
+    /// outside bucket (missing node triples count as zero); `None`
+    /// without hierarchy attribution.
+    pub fn hier_attributed_total(&self) -> Option<HierStats> {
+        let h = self.hierarchy.as_ref()?;
+        let mut total = h.outside;
+        self.walk(&mut |node, _| {
+            if let Some(l) = &node.levels {
+                total.add(l);
+            }
+        });
+        Some(total)
+    }
+
+    /// Verifies the v2 hierarchy invariants (vacuously true without
+    /// hierarchy data): every node carries a `levels` triple, per-node
+    /// and outside `l2.accesses == l1.misses` (an L2 access *is* an L1
+    /// miss, observed through the same flush window), and node-sums +
+    /// outside equal the totals independently at L1, L2 and TLB.
+    pub fn check_hierarchy(&self) -> Result<(), String> {
+        let Some(h) = &self.hierarchy else {
+            return Ok(());
+        };
+        let mut missing = Vec::new();
+        let mut decoupled = Vec::new();
+        self.walk(&mut |node, path| match &node.levels {
+            None => missing.push(path.to_string()),
+            Some(l) => {
+                if l.l2.accesses != l.l1.misses {
+                    decoupled.push(format!(
+                        "{path} (l2 accesses {} != l1 misses {})",
+                        l.l2.accesses, l.l1.misses
+                    ));
+                }
+            }
+        });
+        if !missing.is_empty() {
+            return Err(format!(
+                "hierarchy present but nodes lack levels: {missing:?}"
+            ));
+        }
+        if h.outside.l2.accesses != h.outside.l1.misses {
+            decoupled.push(format!(
+                "outside (l2 accesses {} != l1 misses {})",
+                h.outside.l2.accesses, h.outside.l1.misses
+            ));
+        }
+        if !decoupled.is_empty() {
+            return Err(format!("L2/L1 coupling violated at: {decoupled:?}"));
+        }
+        // ddl-lint: allow(no-panics): hier_attributed_total is Some whenever hierarchy is Some
+        let got = self.hier_attributed_total().expect("hierarchy present");
+        for (level, got, want) in [
+            ("l1", got.l1, h.totals.l1),
+            ("l2", got.l2, h.totals.l2),
+            ("tlb", got.tlb, h.totals.tlb),
+        ] {
+            if got != want {
+                return Err(format!(
+                    "{level} conservation violated (attributed {got:?} != totals {want:?})"
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A set of attributed runs under one label — the `ddl-attribution` v1
@@ -248,12 +387,74 @@ pub struct AttributionReport {
 }
 
 // ---------------------------------------------------------------------------
-// Bridge: one shared AttributingCache behind the executor's two channels.
+// Bridge: one shared attributor bundle behind the executor's two channels.
 // ---------------------------------------------------------------------------
 
+/// The attributors one run drives together: the v1 single-level
+/// [`AttributingCache`] over the raw stream (so `totals` stay identical
+/// to the unattributed simulators) and, optionally, the
+/// [`HierarchyAttributingCache`]. Both receive the same access stream
+/// and the same node-span boundaries, so their arenas are structurally
+/// identical (same indices) and can be zipped when building the report.
+#[derive(Debug)]
+struct AttribBundle {
+    line: AttributingCache,
+    hier: Option<HierarchyAttributingCache>,
+}
+
+impl AttribBundle {
+    fn new(config: CacheConfig, hier: Option<HierarchyConfig>) -> Self {
+        AttribBundle {
+            line: AttributingCache::new(Cache::new(config)),
+            hier: hier.map(|h| HierarchyAttributingCache::new(&h)),
+        }
+    }
+
+    fn node_enter(&mut self, key: NodeKey) {
+        self.line.node_enter(key);
+        if let Some(h) = &mut self.hier {
+            h.node_enter(key);
+        }
+    }
+
+    fn node_exit(&mut self) {
+        self.line.node_exit();
+        if let Some(h) = &mut self.hier {
+            h.node_exit();
+        }
+    }
+
+    fn finish(&mut self) {
+        self.line.finish();
+        if let Some(h) = &mut self.hier {
+            h.finish();
+        }
+    }
+}
+
+impl MemoryTracer for AttribBundle {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn read(&mut self, addr: u64, bytes: u32) {
+        self.line.read(addr, bytes);
+        if let Some(h) = &mut self.hier {
+            h.read(addr, bytes);
+        }
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u64, bytes: u32) {
+        self.line.write(addr, bytes);
+        if let Some(h) = &mut self.hier {
+            h.write(addr, bytes);
+        }
+    }
+}
+
 /// [`MemoryTracer`] half of the bridge: forwards the address stream into
-/// the shared attributing cache.
-struct SharedTracer(Rc<RefCell<AttributingCache>>);
+/// the shared attributor bundle.
+struct SharedTracer(Rc<RefCell<AttribBundle>>);
 
 impl MemoryTracer for SharedTracer {
     const ENABLED: bool = true;
@@ -273,12 +474,12 @@ impl MemoryTracer for SharedTracer {
 /// boundaries. Other span kinds (execution, planner) nest around node
 /// spans, so they are tracked on a local stack and skipped.
 struct AttribSink {
-    shared: Rc<RefCell<AttributingCache>>,
+    shared: Rc<RefCell<AttribBundle>>,
     kinds: Vec<SpanKind>,
 }
 
 impl AttribSink {
-    fn new(shared: Rc<RefCell<AttributingCache>>) -> Self {
+    fn new(shared: Rc<RefCell<AttribBundle>>) -> Self {
         AttribSink {
             shared,
             kinds: Vec::new(),
@@ -320,6 +521,27 @@ impl Sink for AttribSink {
 // Drivers (mirror crate::traced's buffer layout exactly).
 // ---------------------------------------------------------------------------
 
+/// Builds the shared bundle, runs `body` against it, and tears the
+/// bridge back down into the finished bundle.
+fn drive_bundle(
+    config: CacheConfig,
+    hier: Option<HierarchyConfig>,
+    body: impl FnOnce(&mut SharedTracer, &mut AttribSink) -> Result<(), DdlError>,
+) -> Result<AttribBundle, DdlError> {
+    let shared = Rc::new(RefCell::new(AttribBundle::new(config, hier)));
+    let mut tracer = SharedTracer(Rc::clone(&shared));
+    let mut sink = AttribSink::new(Rc::clone(&shared));
+    body(&mut tracer, &mut sink)?;
+    drop(tracer);
+    drop(sink);
+    let mut bundle = Rc::try_unwrap(shared)
+        // ddl-lint: allow(no-panics): both clones were just dropped; a leak here is a bug, not a recoverable state
+        .expect("attribution bridge outlived the run")
+        .into_inner();
+    bundle.finish();
+    Ok(bundle)
+}
+
 /// Runs one out-of-place DFT execution with input read at `root_stride`
 /// against a fresh cache, attributing every simulated cache event to the
 /// plan-tree node that caused it. Buffer layout matches
@@ -329,6 +551,27 @@ pub fn attribute_dft(
     plan: &DftPlan,
     root_stride: usize,
     config: CacheConfig,
+) -> Result<AttributionRun, DdlError> {
+    attribute_dft_with(plan, root_stride, config, None)
+}
+
+/// [`attribute_dft`] plus simultaneous L1/L2/TLB attribution of the
+/// same address stream. The single-level `totals`/`stats` fields are
+/// unchanged by the extra observers.
+pub fn attribute_dft_hier(
+    plan: &DftPlan,
+    root_stride: usize,
+    config: CacheConfig,
+    hier: HierarchyConfig,
+) -> Result<AttributionRun, DdlError> {
+    attribute_dft_with(plan, root_stride, config, Some(hier))
+}
+
+fn attribute_dft_with(
+    plan: &DftPlan,
+    root_stride: usize,
+    config: CacheConfig,
+    hier: Option<HierarchyConfig>,
 ) -> Result<AttributionRun, DdlError> {
     let n = plan.n();
     let span = (n - 1) * root_stride + 1;
@@ -342,37 +585,37 @@ pub fn attribute_dft(
     let mut y = vec![Complex64::ZERO; n];
     let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
 
-    let shared = Rc::new(RefCell::new(AttributingCache::new(Cache::new(config))));
-    let mut tracer = SharedTracer(Rc::clone(&shared));
-    let mut sink = AttribSink::new(Rc::clone(&shared));
-    plan.try_execute_view_observed(
-        &x,
-        0,
-        root_stride,
-        &mut y,
-        0,
-        1,
-        &mut scratch,
-        &mut tracer,
-        [xa, ya, sa, ta],
-        &mut sink,
-    )?;
+    let bundle = drive_bundle(config, hier, |tracer, sink| {
+        plan.try_execute_view_observed(
+            &x,
+            0,
+            root_stride,
+            &mut y,
+            0,
+            1,
+            &mut scratch,
+            tracer,
+            [xa, ya, sa, ta],
+            sink,
+        )
+    })?;
     std::hint::black_box(&mut y);
-    drop(tracer);
-    drop(sink);
-    let mut attrib = Rc::try_unwrap(shared)
-        // ddl-lint: allow(no-panics): both clones were just dropped; a leak here is a bug, not a recoverable state
-        .expect("attribution bridge outlived the run")
-        .into_inner();
-    attrib.finish();
 
-    let mut run = finish_run(attrib, "dft", n, plan.tree(), root_stride, DFT_POINT_BYTES);
+    let mut run = finish_run(
+        bundle,
+        "dft",
+        n,
+        plan.tree().to_string(),
+        root_stride,
+        DFT_POINT_BYTES,
+    );
     let model =
         CacheModel::from_geometry(config.capacity_bytes, config.line_bytes, DFT_POINT_BYTES);
     for root in &mut run.roots {
         annotate_dft(plan.tree(), root_stride, 1, root, &model);
     }
     classify_empirical_tree(&mut run.roots, model.line_points);
+    annotate_page_classes(&mut run);
     Ok(run)
 }
 
@@ -384,6 +627,25 @@ pub fn attribute_wht(
     root_stride: usize,
     config: CacheConfig,
 ) -> Result<AttributionRun, DdlError> {
+    attribute_wht_with(plan, root_stride, config, None)
+}
+
+/// [`attribute_wht`] plus simultaneous L1/L2/TLB attribution.
+pub fn attribute_wht_hier(
+    plan: &WhtPlan,
+    root_stride: usize,
+    config: CacheConfig,
+    hier: HierarchyConfig,
+) -> Result<AttributionRun, DdlError> {
+    attribute_wht_with(plan, root_stride, config, Some(hier))
+}
+
+fn attribute_wht_with(
+    plan: &WhtPlan,
+    root_stride: usize,
+    config: CacheConfig,
+    hier: Option<HierarchyConfig>,
+) -> Result<AttributionRun, DdlError> {
     let n = plan.n();
     let span = (n - 1) * root_stride + 1;
     let mut space = AddressSpace::new(SIM_PAGE_BYTES);
@@ -393,66 +655,157 @@ pub fn attribute_wht(
     let mut data = vec![1.5f64; span];
     let mut scratch = vec![0.0f64; plan.scratch_len()];
 
-    let shared = Rc::new(RefCell::new(AttributingCache::new(Cache::new(config))));
-    let mut tracer = SharedTracer(Rc::clone(&shared));
-    let mut sink = AttribSink::new(Rc::clone(&shared));
-    plan.try_execute_view_observed(
-        &mut data,
-        0,
-        root_stride,
-        &mut scratch,
-        &mut tracer,
-        [da, sa],
-        &mut sink,
-    )?;
+    let bundle = drive_bundle(config, hier, |tracer, sink| {
+        plan.try_execute_view_observed(
+            &mut data,
+            0,
+            root_stride,
+            &mut scratch,
+            tracer,
+            [da, sa],
+            sink,
+        )
+    })?;
     std::hint::black_box(&mut data);
-    drop(tracer);
-    drop(sink);
-    let mut attrib = Rc::try_unwrap(shared)
-        // ddl-lint: allow(no-panics): both clones were just dropped; a leak here is a bug, not a recoverable state
-        .expect("attribution bridge outlived the run")
-        .into_inner();
-    attrib.finish();
 
-    let mut run = finish_run(attrib, "wht", n, plan.tree(), root_stride, WHT_POINT_BYTES);
+    let mut run = finish_run(
+        bundle,
+        "wht",
+        n,
+        plan.tree().to_string(),
+        root_stride,
+        WHT_POINT_BYTES,
+    );
     let model =
         CacheModel::from_geometry(config.capacity_bytes, config.line_bytes, WHT_POINT_BYTES);
     for root in &mut run.roots {
         annotate_wht(plan.tree(), root_stride, root, &model);
     }
     classify_empirical_tree(&mut run.roots, model.line_points);
+    annotate_page_classes(&mut run);
+    Ok(run)
+}
+
+/// Runs one forward real-input FFT (unit stride) against a fresh cache,
+/// attributing the pack and untangle pipeline stages alongside the
+/// inner half-size DFT's tree nodes — the pipeline transform gets the
+/// same per-node scorecard as a bare DFT. The inner DFT subtree carries
+/// model classifications; the wrapper stages are classified empirically.
+pub fn attribute_rfft(plan: &RfftPlan, config: CacheConfig) -> Result<AttributionRun, DdlError> {
+    attribute_rfft_with(plan, config, None)
+}
+
+/// [`attribute_rfft`] plus simultaneous L1/L2/TLB attribution.
+pub fn attribute_rfft_hier(
+    plan: &RfftPlan,
+    config: CacheConfig,
+    hier: HierarchyConfig,
+) -> Result<AttributionRun, DdlError> {
+    attribute_rfft_with(plan, config, Some(hier))
+}
+
+fn attribute_rfft_with(
+    plan: &RfftPlan,
+    config: CacheConfig,
+    hier: Option<HierarchyConfig>,
+) -> Result<AttributionRun, DdlError> {
+    let n = plan.n();
+    let h = n / 2;
+    let half = plan.half_forward();
+    let mut space = AddressSpace::new(SIM_PAGE_BYTES);
+    let xa = space.alloc((n * 8) as u64);
+    let za = space.alloc((h * DFT_POINT_BYTES) as u64);
+    let zfa = space.alloc((h * DFT_POINT_BYTES) as u64);
+    let speca = space.alloc(((h + 1) * DFT_POINT_BYTES) as u64);
+    let sa = space.alloc((half.scratch_len().max(1) * DFT_POINT_BYTES) as u64);
+    let ta = space.alloc((half.twiddle_points().max(1) * DFT_POINT_BYTES) as u64);
+
+    let x = vec![0.75f64; n];
+    let mut spectrum = vec![Complex64::ZERO; h + 1];
+    let mut scratch = vec![Complex64::ZERO; half.scratch_len()];
+
+    let bundle = drive_bundle(config, hier, |tracer, sink| {
+        plan.try_forward_observed(
+            &x,
+            &mut spectrum,
+            &mut scratch,
+            tracer,
+            [xa, za, zfa, speca, sa, ta],
+            sink,
+        )
+    })?;
+    std::hint::black_box(&mut spectrum);
+
+    let mut run = finish_run(
+        bundle,
+        "rfft",
+        n,
+        format!("rfft({})", half.tree()),
+        1,
+        DFT_POINT_BYTES,
+    );
+    let model =
+        CacheModel::from_geometry(config.capacity_bytes, config.line_bytes, DFT_POINT_BYTES);
+    for root in &mut run.roots {
+        for child in &mut root.children {
+            if child.label == "dft" {
+                annotate_dft(half.tree(), 1, 1, child, &model);
+            }
+        }
+    }
+    classify_empirical_tree(&mut run.roots, model.line_points);
+    annotate_page_classes(&mut run);
     Ok(run)
 }
 
 fn finish_run(
-    attrib: AttributingCache,
+    bundle: AttribBundle,
     transform: &str,
     n: usize,
-    tree: &Tree,
+    tree: String,
     root_stride: usize,
     point_bytes: usize,
 ) -> AttributionRun {
+    let attrib = &bundle.line;
     let arena = attrib.nodes();
+    // Both attributors saw the same enter/exit sequence, so their arenas
+    // are index-for-index identical; zip the triple stats in by index.
+    let hier_arena = bundle.hier.as_ref().map(|h| h.nodes());
     let roots = attrib
         .roots()
         .iter()
-        .map(|&i| build_node(arena, i))
+        .map(|&i| build_node(arena, hier_arena, i))
         .collect();
     AttributionRun {
         transform: transform.to_string(),
         n,
-        tree: tree.to_string(),
+        tree,
         root_stride,
         point_bytes,
         cache: attrib.cache().config(),
         totals: attrib.totals(),
         outside: attrib.outside(),
+        strategy: None,
+        hierarchy: bundle.hier.as_ref().map(|h| HierarchyAttribution {
+            config: h.config(),
+            totals: h.totals(),
+            outside: h.outside(),
+        }),
         roots,
     }
 }
 
-fn build_node(arena: &[AttributedNode], idx: usize) -> NodeAttribution {
+fn build_node(
+    arena: &[AttributedNode],
+    hier_arena: Option<&[AttributedNode<HierStats>]>,
+    idx: usize,
+) -> NodeAttribution {
     let a = &arena[idx];
+    let levels = hier_arena.map(|h| {
+        debug_assert_eq!(h[idx].key, a.key, "attributor arenas diverged");
+        debug_assert_eq!(h[idx].calls, a.calls, "attributor arenas diverged");
+        h[idx].self_stats
+    });
     NodeAttribution {
         label: a.key.label.to_string(),
         size: a.key.size,
@@ -465,8 +818,43 @@ fn build_node(arena: &[AttributedNode], idx: usize) -> NodeAttribution {
         model: None,
         static_pathological: None,
         static_degree: None,
-        children: a.children.iter().map(|&c| build_node(arena, c)).collect(),
+        levels,
+        empirical_page: None,
+        model_page: None,
+        static_pathological_page: None,
+        static_degree_page: None,
+        children: a
+            .children
+            .iter()
+            .map(|&c| build_node(arena, hier_arena, c))
+            .collect(),
     }
+}
+
+/// Fills the page-granularity classifications on a hierarchy-attributed
+/// run: the TLB is a cache with page-sized lines, so the empirical rule
+/// applies to each node's exclusive TLB counters and the Sec. III-B
+/// closed form applies to each leaf's strides against the TLB-as-cache
+/// geometry. No-op for runs without hierarchy data.
+fn annotate_page_classes(run: &mut AttributionRun) {
+    let Some(h) = &run.hierarchy else {
+        return;
+    };
+    let page_cache = h.config.tlb_as_cache();
+    let page_model = CacheModel::from_geometry(
+        page_cache.capacity_bytes,
+        page_cache.line_bytes,
+        run.point_bytes,
+    );
+    run.walk_mut(&mut |node, _| {
+        if let Some(l) = &node.levels {
+            node.empirical_page = classify_empirical(&l.tlb, page_model.line_points);
+        }
+        if node.model.is_some() {
+            let ws = node.write_stride.unwrap_or(node.stride);
+            node.model_page = Some(classify_model(&page_model, node.size, node.stride, ws));
+        }
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -589,7 +977,7 @@ fn annotate_wht(tree: &Tree, stride: usize, node: &mut NodeAttribution, model: &
 }
 
 // ---------------------------------------------------------------------------
-// Serialization (ddl-attribution v1).
+// Serialization (ddl-attribution v2; v1 documents still parse).
 // ---------------------------------------------------------------------------
 
 fn stats_to_json(s: &CacheStats) -> Json {
@@ -622,6 +1010,102 @@ fn stats_from_json(v: &Json, path: &str) -> Result<CacheStats, DdlError> {
     })
 }
 
+fn hier_stats_to_json(h: &HierStats) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("l1".into(), stats_to_json(&h.l1));
+    m.insert("l2".into(), stats_to_json(&h.l2));
+    m.insert("tlb".into(), stats_to_json(&h.tlb));
+    Json::Obj(m)
+}
+
+fn hier_stats_from_json(v: &Json, path: &str) -> Result<HierStats, DdlError> {
+    let m = obj(v, path)?;
+    let level = |key: &str| -> Result<CacheStats, DdlError> {
+        stats_from_json(
+            m.get(key)
+                .ok_or_else(|| metrics_err(format!("{path}: missing {key}")))?,
+            &format!("{path}.{key}"),
+        )
+    };
+    Ok(HierStats {
+        l1: level("l1")?,
+        l2: level("l2")?,
+        tlb: level("tlb")?,
+    })
+}
+
+fn cache_config_to_json(c: &CacheConfig) -> Json {
+    let mut m = BTreeMap::new();
+    m.insert("capacity_bytes".into(), Json::Num(c.capacity_bytes as f64));
+    m.insert("line_bytes".into(), Json::Num(c.line_bytes as f64));
+    m.insert("associativity".into(), Json::Num(c.associativity as f64));
+    Json::Obj(m)
+}
+
+fn cache_config_from_json(v: &Json, path: &str) -> Result<CacheConfig, DdlError> {
+    let m = obj(v, path)?;
+    Ok(CacheConfig {
+        capacity_bytes: get_u64(m, path, "capacity_bytes")? as usize,
+        line_bytes: get_u64(m, path, "line_bytes")? as usize,
+        associativity: get_u64(m, path, "associativity")? as usize,
+    })
+}
+
+fn hierarchy_to_json(h: &HierarchyAttribution) -> Json {
+    let mut cfg = BTreeMap::new();
+    cfg.insert("l1".into(), cache_config_to_json(&h.config.l1));
+    cfg.insert("l2".into(), cache_config_to_json(&h.config.l2));
+    cfg.insert("tlb_entries".into(), Json::Num(h.config.tlb_entries as f64));
+    cfg.insert(
+        "tlb_page_bytes".into(),
+        Json::Num(h.config.tlb_page_bytes as f64),
+    );
+    cfg.insert("tlb_ways".into(), Json::Num(h.config.tlb_ways as f64));
+    let mut m = BTreeMap::new();
+    m.insert("config".into(), Json::Obj(cfg));
+    m.insert("totals".into(), hier_stats_to_json(&h.totals));
+    m.insert("outside".into(), hier_stats_to_json(&h.outside));
+    Json::Obj(m)
+}
+
+fn hierarchy_from_json(v: &Json, path: &str) -> Result<HierarchyAttribution, DdlError> {
+    let m = obj(v, path)?;
+    let cfg_path = format!("{path}.config");
+    let cm = obj(
+        m.get("config")
+            .ok_or_else(|| metrics_err(format!("{path}: missing config")))?,
+        &cfg_path,
+    )?;
+    let config = HierarchyConfig {
+        l1: cache_config_from_json(
+            cm.get("l1")
+                .ok_or_else(|| metrics_err(format!("{cfg_path}: missing l1")))?,
+            &format!("{cfg_path}.l1"),
+        )?,
+        l2: cache_config_from_json(
+            cm.get("l2")
+                .ok_or_else(|| metrics_err(format!("{cfg_path}: missing l2")))?,
+            &format!("{cfg_path}.l2"),
+        )?,
+        tlb_entries: get_u64(cm, &cfg_path, "tlb_entries")? as usize,
+        tlb_page_bytes: get_u64(cm, &cfg_path, "tlb_page_bytes")? as usize,
+        tlb_ways: get_u64(cm, &cfg_path, "tlb_ways")? as usize,
+    };
+    Ok(HierarchyAttribution {
+        config,
+        totals: hier_stats_from_json(
+            m.get("totals")
+                .ok_or_else(|| metrics_err(format!("{path}: missing totals")))?,
+            &format!("{path}.totals"),
+        )?,
+        outside: hier_stats_from_json(
+            m.get("outside")
+                .ok_or_else(|| metrics_err(format!("{path}: missing outside")))?,
+            &format!("{path}.outside"),
+        )?,
+    })
+}
+
 fn node_to_json(n: &NodeAttribution) -> Json {
     let mut m = BTreeMap::new();
     m.insert("label".into(), Json::Str(n.label.clone()));
@@ -644,6 +1128,21 @@ fn node_to_json(n: &NodeAttribution) -> Json {
     }
     if let Some(d) = n.static_degree {
         m.insert("static_degree".into(), Json::Num(d as f64));
+    }
+    if let Some(l) = &n.levels {
+        m.insert("levels".into(), hier_stats_to_json(l));
+    }
+    if let Some(c) = n.empirical_page {
+        m.insert("empirical_page".into(), Json::Str(c.as_str().into()));
+    }
+    if let Some(c) = n.model_page {
+        m.insert("model_page".into(), Json::Str(c.as_str().into()));
+    }
+    if let Some(p) = n.static_pathological_page {
+        m.insert("static_pathological_page".into(), Json::Bool(p));
+    }
+    if let Some(d) = n.static_degree_page {
+        m.insert("static_degree_page".into(), Json::Num(d as f64));
     }
     m.insert(
         "children".into(),
@@ -718,31 +1217,48 @@ fn node_from_json(v: &Json, path: &str) -> Result<NodeAttribution, DdlError> {
             ),
             None => None,
         },
+        levels: match m.get("levels") {
+            Some(v) => Some(hier_stats_from_json(v, &format!("{path}.levels"))?),
+            None => None,
+        },
+        empirical_page: case_from_json(m, path, "empirical_page")?,
+        model_page: case_from_json(m, path, "model_page")?,
+        static_pathological_page: match m.get("static_pathological_page") {
+            Some(Json::Bool(b)) => Some(*b),
+            Some(_) => {
+                return Err(metrics_err(format!(
+                    "{path}.static_pathological_page: not a boolean"
+                )))
+            }
+            None => None,
+        },
+        static_degree_page: match m.get("static_degree_page") {
+            Some(v) => Some(v.as_u64().ok_or_else(|| {
+                metrics_err(format!("{path}.static_degree_page: not an integer"))
+            })?),
+            None => None,
+        },
         children,
     })
 }
 
 fn run_to_json(r: &AttributionRun) -> Json {
-    let mut cache = BTreeMap::new();
-    cache.insert(
-        "capacity_bytes".into(),
-        Json::Num(r.cache.capacity_bytes as f64),
-    );
-    cache.insert("line_bytes".into(), Json::Num(r.cache.line_bytes as f64));
-    cache.insert(
-        "associativity".into(),
-        Json::Num(r.cache.associativity as f64),
-    );
     let mut m = BTreeMap::new();
     m.insert("transform".into(), Json::Str(r.transform.clone()));
     m.insert("n".into(), Json::Num(r.n as f64));
     m.insert("tree".into(), Json::Str(r.tree.clone()));
     m.insert("root_stride".into(), Json::Num(r.root_stride as f64));
     m.insert("point_bytes".into(), Json::Num(r.point_bytes as f64));
-    m.insert("cache".into(), Json::Obj(cache));
+    m.insert("cache".into(), cache_config_to_json(&r.cache));
     m.insert("totals".into(), stats_to_json(&r.totals));
     m.insert("outside".into(), stats_to_json(&r.outside));
     m.insert("conserved".into(), Json::Bool(r.conserved()));
+    if let Some(s) = &r.strategy {
+        m.insert("strategy".into(), Json::Str(s.clone()));
+    }
+    if let Some(h) = &r.hierarchy {
+        m.insert("hierarchy".into(), hierarchy_to_json(h));
+    }
     m.insert(
         "nodes".into(),
         Json::Arr(r.roots.iter().map(node_to_json).collect()),
@@ -752,12 +1268,6 @@ fn run_to_json(r: &AttributionRun) -> Json {
 
 fn run_from_json(v: &Json, path: &str) -> Result<AttributionRun, DdlError> {
     let m = obj(v, path)?;
-    let cache_path = format!("{path}.cache");
-    let cm = obj(
-        m.get("cache")
-            .ok_or_else(|| metrics_err(format!("{path}: missing cache")))?,
-        &cache_path,
-    )?;
     let roots = match m.get("nodes") {
         Some(Json::Arr(items)) => items
             .iter()
@@ -772,11 +1282,11 @@ fn run_from_json(v: &Json, path: &str) -> Result<AttributionRun, DdlError> {
         tree: get_str(m, path, "tree")?,
         root_stride: get_u64(m, path, "root_stride")? as usize,
         point_bytes: get_u64(m, path, "point_bytes")? as usize,
-        cache: CacheConfig {
-            capacity_bytes: get_u64(cm, &cache_path, "capacity_bytes")? as usize,
-            line_bytes: get_u64(cm, &cache_path, "line_bytes")? as usize,
-            associativity: get_u64(cm, &cache_path, "associativity")? as usize,
-        },
+        cache: cache_config_from_json(
+            m.get("cache")
+                .ok_or_else(|| metrics_err(format!("{path}: missing cache")))?,
+            &format!("{path}.cache"),
+        )?,
         totals: stats_from_json(
             m.get("totals")
                 .ok_or_else(|| metrics_err(format!("{path}: missing totals")))?,
@@ -787,6 +1297,18 @@ fn run_from_json(v: &Json, path: &str) -> Result<AttributionRun, DdlError> {
                 .ok_or_else(|| metrics_err(format!("{path}: missing outside")))?,
             &format!("{path}.outside"),
         )?,
+        strategy: match m.get("strategy") {
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| metrics_err(format!("{path}.strategy: not a string")))?
+                    .to_string(),
+            ),
+            None => None,
+        },
+        hierarchy: match m.get("hierarchy") {
+            Some(v) => Some(hierarchy_from_json(v, &format!("{path}.hierarchy"))?),
+            None => None,
+        },
         roots,
     };
     // A schema check is also an invariant check: conservation must hold
@@ -798,11 +1320,16 @@ fn run_from_json(v: &Json, path: &str) -> Result<AttributionRun, DdlError> {
             run.totals
         )));
     }
+    // Same at every hierarchy level, plus the L2-access ≡ L1-miss
+    // structural identity per node.
+    if let Err(e) = run.check_hierarchy() {
+        return Err(metrics_err(format!("{path}: {e}")));
+    }
     Ok(run)
 }
 
 impl AttributionReport {
-    /// Serializes under the `ddl-attribution` v1 schema.
+    /// Serializes under the `ddl-attribution` v2 schema.
     pub fn to_json(&self) -> Json {
         let mut m = BTreeMap::new();
         m.insert("schema".into(), Json::Str(ATTRIBUTION_SCHEMA.into()));
@@ -986,12 +1513,134 @@ mod tests {
         };
         let newer = report
             .to_text()
-            .replace("\"version\": 1", "\"version\": 99");
+            .replace("\"version\": 2", "\"version\": 99");
         assert!(AttributionReport::parse(&newer).is_err());
+        // The next version up specifically must be refused too.
+        let v3 = report.to_text().replace("\"version\": 2", "\"version\": 3");
+        assert!(AttributionReport::parse(&v3).is_err());
+        // A v1 document (no hierarchy blocks) must still parse.
+        let v1 = report.to_text().replace("\"version\": 2", "\"version\": 1");
+        assert!(AttributionReport::parse(&v1).is_ok());
         let wrong = report
             .to_text()
             .replace("ddl-attribution", "ddl-somethingelse");
         assert!(AttributionReport::parse(&wrong).is_err());
+    }
+
+    #[test]
+    fn hierarchy_attribution_conserves_and_matches_single_level_simulators() {
+        use crate::traced::simulate_dft_into;
+        use ddl_cachesim::{CacheWithTlb, Tlb};
+        let plan = DftPlan::from_expr("ct(ddl(8), ct(8, 4))", Direction::Forward).unwrap();
+        let cache = paper_cache();
+        let hier = HierarchyConfig::typical(cache);
+        let run = attribute_dft_hier(&plan, 1, cache, hier).unwrap();
+        assert!(run.conserved());
+        run.check_hierarchy().unwrap();
+        // The extra observers must not perturb the v1 single-level view.
+        assert_eq!(run.totals, simulate_dft_at_stride(&plan, 1, cache));
+        // The TLB sees the raw (undecomposed) stream, so its totals match
+        // the classic CacheWithTlb pairing byte for byte — this is what
+        // lets the TLB ablation regenerate from the artifact.
+        let mut both = CacheWithTlb::new(cache, Tlb::typical_l1_dtlb());
+        simulate_dft_into(&plan, &mut both);
+        let h = run.hierarchy.as_ref().unwrap();
+        assert_eq!(h.totals.tlb, both.tlb.stats());
+        run.walk(&mut |node, path| {
+            assert!(node.levels.is_some(), "{path}: no levels");
+            if node.model.is_some() {
+                assert!(node.model_page.is_some(), "{path}: no page model class");
+            }
+        });
+    }
+
+    #[test]
+    fn wht_hierarchy_attribution_conserves() {
+        let plan = WhtPlan::from_expr("split(splitddl(8, 8), split(8, 4))").unwrap();
+        let cache = paper_cache();
+        let run = attribute_wht_hier(&plan, 2, cache, HierarchyConfig::typical(cache)).unwrap();
+        assert!(run.conserved());
+        run.check_hierarchy().unwrap();
+        assert_eq!(run.totals, simulate_wht_at_stride(&plan, 2, cache));
+    }
+
+    #[test]
+    fn rfft_attribution_covers_pipeline_stages() {
+        use crate::planner::PlannerConfig;
+        let plan = RfftPlan::plan(256, &PlannerConfig::ddl_analytical()).unwrap();
+        let run = attribute_rfft(&plan, paper_cache()).unwrap();
+        assert!(run.conserved());
+        assert_eq!(run.outside, CacheStats::default());
+        assert_eq!(run.roots.len(), 1);
+        let root = &run.roots[0];
+        assert_eq!(root.label, "rfft");
+        assert_eq!(root.size, 256);
+        let child_labels: Vec<&str> = root.children.iter().map(|c| c.label.as_str()).collect();
+        assert_eq!(child_labels, ["pack", "dft", "untangle"]);
+        let mut model_leaves = 0;
+        run.walk(&mut |node, _| {
+            if node.model.is_some() {
+                model_leaves += 1;
+            }
+        });
+        assert!(model_leaves >= 1, "inner DFT leaves must carry the model");
+    }
+
+    #[test]
+    fn hierarchy_report_round_trips_and_parse_rechecks_level_invariants() {
+        use crate::planner::PlannerConfig;
+        let cache = paper_cache();
+        let hier = HierarchyConfig::typical(cache);
+        let dft = DftPlan::from_expr("ct(ddl(8), 8)", Direction::Forward).unwrap();
+        let rfft = RfftPlan::plan(64, &PlannerConfig::sdl_analytical()).unwrap();
+        let mut report = AttributionReport {
+            label: "hier".into(),
+            runs: vec![
+                attribute_dft_hier(&dft, 2, cache, hier).unwrap(),
+                attribute_rfft_hier(&rfft, cache, hier).unwrap(),
+            ],
+        };
+        report.runs[0].strategy = Some("ddl".into());
+        let back = AttributionReport::parse(&report.to_text()).unwrap();
+        assert_eq!(back, report);
+
+        // Breaking TLB-level conservation must fail the parse re-check.
+        let mut bad = report.clone();
+        bad.runs[0].hierarchy.as_mut().unwrap().totals.tlb.misses += 1;
+        let err = AttributionReport::parse(&bad.to_text()).unwrap_err();
+        assert!(
+            err.to_string().contains("conservation"),
+            "unexpected error: {err}"
+        );
+
+        // Decoupling a node's L2 accesses from its L1 misses must too.
+        let mut bad = report.clone();
+        bad.runs[0].roots[0].levels.as_mut().unwrap().l2.accesses += 1;
+        let err = AttributionReport::parse(&bad.to_text()).unwrap_err();
+        assert!(
+            err.to_string().contains("L2/L1 coupling"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn page_geometry_case_classification_tracks_the_tlb_as_cache() {
+        let hier = HierarchyConfig::typical(paper_cache());
+        let pc = hier.tlb_as_cache();
+        let page_model =
+            CacheModel::from_geometry(pc.capacity_bytes, pc.line_bytes, DFT_POINT_BYTES);
+        // 4 KiB pages of 16-byte points: 256 points per "line".
+        assert_eq!(page_model.line_points, 256);
+        // A large power-of-two stride exhausts the TLB's reach exactly
+        // like Case III exhausts cache sets...
+        assert_eq!(
+            classify_model(&page_model, 64, 2048, 1),
+            CaseClass::Case3,
+            "pathological page stride must be Case III at page geometry"
+        );
+        // ...and DDL's unit-stride conversion flips it to Case I/II at
+        // page geometry just as it does at line geometry.
+        assert_eq!(classify_model(&page_model, 64, 1, 1), CaseClass::CaseI2);
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //! the real signal (exactly inverse, including the `1/n` factor).
 
 use crate::dft::{DftPlan, PlanError};
+use crate::obs::{Sink, SpanInfo, SpanKind};
 use crate::planner::{plan_dft, PlannerConfig};
 use crate::tree::Tree;
+use ddl_cachesim::MemoryTracer;
 use ddl_num::{root_of_unity, Complex64, DdlError, Direction};
 
 /// A compiled real-input FFT of (even) size `n`.
@@ -65,6 +67,12 @@ impl RfftPlan {
         self.n / 2 + 1
     }
 
+    /// The compiled half-size complex forward plan (the pipeline's inner
+    /// transform — attribution walks its tree).
+    pub fn half_forward(&self) -> &DftPlan {
+        &self.half_forward
+    }
+
     /// Forward transform: `spectrum[k] = Σ_i x[i] e^{-2πi ik/n}` for
     /// `k = 0 ..= n/2`.
     pub fn forward(&self, x: &[f64], spectrum: &mut [Complex64]) {
@@ -107,6 +115,109 @@ impl RfftPlan {
             let w = root_of_unity(n, k, Direction::Forward);
             spectrum[k] = e + w * o;
         }
+        Ok(())
+    }
+
+    /// [`RfftPlan::try_forward`] with the executor's two observability
+    /// channels: the packed-buffer and untangle stages emit their own
+    /// node spans (labels `"pack"` / `"untangle"`) and simulated memory
+    /// traffic, and the inner half-size DFT runs through its observed
+    /// path — so a pipeline transform gets the same per-node attribution
+    /// as a bare DFT. `addrs` are the simulated base addresses of, in
+    /// order: the real input, the packed buffer, the half-size spectrum,
+    /// the output spectrum, the DFT scratch, and the twiddle table.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_forward_observed<T: MemoryTracer, S: Sink>(
+        &self,
+        x: &[f64],
+        spectrum: &mut [Complex64],
+        scratch: &mut [Complex64],
+        tracer: &mut T,
+        addrs: [u64; 6],
+        sink: &mut S,
+    ) -> Result<(), DdlError> {
+        let n = self.n;
+        let h = n / 2;
+        if x.len() < n {
+            return Err(DdlError::shape("rfft: input too short", n, x.len()));
+        }
+        if spectrum.len() < h + 1 {
+            return Err(DdlError::shape(
+                "rfft: output too short",
+                h + 1,
+                spectrum.len(),
+            ));
+        }
+        let [xa, za, zfa, speca, sa, ta] = addrs;
+
+        sink.span_begin(SpanInfo {
+            kind: SpanKind::Node,
+            label: "rfft",
+            size: n,
+            stride: 1,
+            reorg: false,
+            backend: "scalar",
+        });
+
+        // pack: z[i] = x[2i] + i x[2i+1] — sequential reads of the real
+        // signal, unit-stride complex writes.
+        sink.span_begin(SpanInfo {
+            kind: SpanKind::Node,
+            label: "pack",
+            size: h,
+            stride: 1,
+            reorg: false,
+            backend: "scalar",
+        });
+        let mut z = vec![Complex64::ZERO; h];
+        for (i, zi) in z.iter_mut().enumerate() {
+            tracer.read(xa + (2 * i) as u64 * 8, 8);
+            tracer.read(xa + (2 * i + 1) as u64 * 8, 8);
+            *zi = Complex64::new(x[2 * i], x[2 * i + 1]);
+            tracer.write(za + (i * 16) as u64, 16);
+        }
+        sink.span_end();
+
+        let mut zf = vec![Complex64::ZERO; h];
+        self.half_forward.try_execute_view_observed(
+            &z,
+            0,
+            1,
+            &mut zf,
+            0,
+            1,
+            scratch,
+            tracer,
+            [za, zfa, sa, ta],
+            sink,
+        )?;
+
+        // untangle: X[k] = E[k] + w_n^k O[k] — two half-spectrum reads
+        // (one forward, one mirrored) and a unit-stride write per bin;
+        // the twiddle is computed, not loaded.
+        sink.span_begin(SpanInfo {
+            kind: SpanKind::Node,
+            label: "untangle",
+            size: h + 1,
+            stride: 1,
+            reorg: false,
+            backend: "scalar",
+        });
+        for (k, out) in spectrum.iter_mut().enumerate().take(h + 1) {
+            let fwd = k % h;
+            let mir = (h - k) % h;
+            tracer.read(zfa + (fwd * 16) as u64, 16);
+            tracer.read(zfa + (mir * 16) as u64, 16);
+            let zk = zf[fwd];
+            let zmk = zf[mir].conj();
+            let e = (zk + zmk).scale(0.5);
+            let o = (zk - zmk).scale(0.5).mul_neg_i();
+            let w = root_of_unity(n, k, Direction::Forward);
+            *out = e + w * o;
+            tracer.write(speca + (k * 16) as u64, 16);
+        }
+        sink.span_end();
+        sink.span_end();
         Ok(())
     }
 

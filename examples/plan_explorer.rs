@@ -18,12 +18,14 @@
 //! `--trace-out <path>` the same timeline is exported as Chrome
 //! trace-event JSON (open in Perfetto or chrome://tracing).
 //!
-//! Finally it renders the per-node cache-miss attribution of the SDL and
+//! Finally it renders the per-node hierarchy scorecard of the SDL and
 //! DDL plans side by side: every node of the executed tree annotated
-//! with its simulated (exclusive) misses and the three independent
-//! Case III verdicts — empirical, analytical model, static conflict
-//! analysis — so you can see *which* subtree the misses live in and
-//! whether the three methods agree on why.
+//! with its simulated (exclusive) misses, its exclusive L1/L2/d-TLB
+//! miss rates from the simultaneous hierarchy attribution, and the
+//! three independent Case III verdicts — empirical, analytical model,
+//! static conflict analysis — so you can see *which* subtree the misses
+//! live in, at *which* level of the memory hierarchy, and whether the
+//! three methods agree on why.
 
 use dynamic_data_layout::analyze::annotate_static;
 use dynamic_data_layout::core::attrib::NodeAttribution;
@@ -87,7 +89,9 @@ fn main() {
 }
 
 /// Attributes simulated cache misses per plan node for the SDL and DDL
-/// plans at `2^log_n` and renders the annotated trees.
+/// plans at `2^log_n` — simultaneously against the paper cache and a
+/// typical L1/L2/d-TLB hierarchy — and renders the annotated trees as
+/// hierarchy scorecards.
 fn attribution_trees(log_n: u32, cache: CacheConfig) {
     let n = 1usize << log_n;
     for (name, cfg) in [
@@ -95,16 +99,29 @@ fn attribution_trees(log_n: u32, cache: CacheConfig) {
         ("ddl", PlannerConfig::ddl_analytical()),
     ] {
         let plan = DftPlan::new(plan_dft(n, &cfg).tree, Direction::Forward).unwrap();
-        let mut run = attribute_dft(&plan, 1, cache).unwrap();
+        let mut run = attribute_dft_hier(&plan, 1, cache, HierarchyConfig::typical(cache)).unwrap();
         annotate_static(&mut run);
+        let h = run.hierarchy.as_ref().unwrap();
         println!(
-            "\nper-node cache-miss attribution ({name} plan at 2^{log_n}, paper cache; \
-             total miss rate {:.2}%):",
-            run.totals.miss_rate() * 100.0
+            "\nper-node hierarchy scorecard ({name} plan at 2^{log_n}, paper cache; \
+             total miss rate {:.2}%, L1 {:.2}%, L2 {:.2}%, TLB {:.2}%):",
+            run.totals.miss_rate() * 100.0,
+            h.totals.l1.miss_rate() * 100.0,
+            h.totals.l2.miss_rate() * 100.0,
+            h.totals.tlb.miss_rate() * 100.0
         );
         println!(
-            "{:<32} {:>6} {:>12} {:>7} | {:>9} {:>9} {:>10}",
-            "node", "calls", "self-misses", "miss%", "empirical", "model", "static"
+            "{:<32} {:>6} {:>12} {:>7} | {:>7} {:>7} {:>7} | {:>9} {:>9} {:>10}",
+            "node",
+            "calls",
+            "self-misses",
+            "miss%",
+            "l1-m%",
+            "l2-m%",
+            "tlb-m%",
+            "empirical",
+            "model",
+            "static"
         );
         for root in &run.roots {
             render_node(root, 0);
@@ -113,7 +130,9 @@ fn attribution_trees(log_n: u32, cache: CacheConfig) {
     println!(
         "\n(empirical: simulated exclusive miss rate; model: the paper's Case I/II vs III \
          closed form; static: conflict-degree analysis. Agreement across all three \
-         corroborates the Case III diagnosis; `-` means the class does not apply.)"
+         corroborates the Case III diagnosis; `-` means the class does not apply. \
+         l1/l2/tlb: exclusive per-node miss rates from the simultaneous hierarchy \
+         attribution — the TLB is just a cache whose line is the 4 KiB page.)"
     );
 }
 
@@ -125,6 +144,17 @@ fn render_node(node: &NodeAttribution, depth: usize) {
         (Some(false), _) => "clean".to_string(),
         _ => "-".to_string(),
     };
+    let level = |s: &CacheStats| {
+        if s.line_lookups == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.2}", s.miss_rate() * 100.0)
+        }
+    };
+    let (l1, l2, tlb) = match &node.levels {
+        Some(l) => (level(&l.l1), level(&l.l2), level(&l.tlb)),
+        None => ("-".to_string(), "-".to_string(), "-".to_string()),
+    };
     let name = format!(
         "{:indent$}{}:{}@{}{}",
         "",
@@ -135,7 +165,7 @@ fn render_node(node: &NodeAttribution, depth: usize) {
         indent = depth * 2
     );
     println!(
-        "{name:<32} {:>6} {:>12} {:>7.2} | {:>9} {:>9} {:>10}",
+        "{name:<32} {:>6} {:>12} {:>7.2} | {l1:>7} {l2:>7} {tlb:>7} | {:>9} {:>9} {:>10}",
         node.calls,
         node.stats.misses,
         node.stats.miss_rate() * 100.0,

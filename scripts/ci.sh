@@ -118,9 +118,10 @@ if ! echo "$telemetry_check" | grep -q "${wire} admitted + 0 shed"; then
 fi
 
 # Benchmark trajectory: quick suite emitting a ddl-bench report plus the
-# cost-model calibration report, a Chrome trace of one instrumented run
-# and the per-node cache-miss attribution report (DFT/WHT at 2^10 and
-# 2^16, both strategies). The run also appends one line to the
+# cost-model calibration report, a Chrome trace of one instrumented run,
+# the per-node L1/L2/d-TLB attribution report (DFT/WHT at 2^10 and
+# 2^16, both strategies; ddl-attribution v2) and its per-plan hierarchy
+# scorecard (ddl-scorecard v1). The run also appends one line to the
 # longitudinal ledger. Every artifact is schema-validated, the
 # self-comparison is a hard gate (it must always pass), and the committed
 # baseline comparison is a soft gate: cross-host timing drift warns
@@ -128,12 +129,34 @@ fi
 run cargo run --release -q -p ddl-bench --bin bench_suite -- --quick --label ci \
     --out target/BENCH_ci.json --calibrate-out target/calibration-ci.json \
     --trace-out target/trace-ci.json --attribution-out target/attribution-ci.json \
+    --hierarchy-out target/scorecard-ci.json \
     --ledger results/trajectory.jsonl
 run cargo run --release -q -p ddl-bench --bin bench_suite -- \
     --check target/BENCH_ci.json \
     --check target/calibration-ci.json \
     --check target/trace-ci.json \
-    --check target/attribution-ci.json
+    --check target/attribution-ci.json \
+    --check target/scorecard-ci.json
+
+# TLB ablation regeneration: emit the ddl-attribution v2 artifact for
+# the table-sized plans (--quick: 2^14..2^16), validate it, render the
+# table purely from the stored counters, and diff the overlapping rows
+# against the committed results/tlb_ablation.txt. Soft gate: the
+# committed table was produced by a full run; simulated counters are
+# host-independent, so a mismatch means the attribution changed — warn
+# loudly but let doc-only drift be fixed in-tree.
+echo
+echo "==> TLB ablation regeneration (soft gate)"
+run cargo run --release -q -p ddl-bench --bin tlb_ablation -- --quick \
+    --artifact target/tlb-ablation-ci.json --out target/tlb_ablation_ci.txt
+run cargo run --release -q -p ddl-bench --bin bench_suite -- \
+    --check target/tlb-ablation-ci.json
+# --quick renders 2^14..2^16: header (2 lines) + 3 rows = 5 overlapping
+# lines with the committed full table.
+if ! diff <(head -n 5 results/tlb_ablation.txt) \
+          <(head -n 5 target/tlb_ablation_ci.txt); then
+    echo "warning: regenerated TLB ablation rows differ from results/tlb_ablation.txt (soft gate)"
+fi
 run cargo run --release -q -p ddl-bench --bin bench_suite -- \
     --compare target/BENCH_ci.json target/BENCH_ci.json
 

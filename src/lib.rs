@@ -60,9 +60,12 @@ pub use ddl_workloads as workloads;
 
 /// The commonly needed names in one import.
 pub mod prelude {
-    pub use ddl_cachesim::{Cache, CacheConfig, CacheStats};
+    pub use ddl_cachesim::{
+        Cache, CacheConfig, CacheStats, HierStats, HierarchyAttributingCache, HierarchyConfig,
+    };
     pub use ddl_core::attrib::{
-        attribute_dft, attribute_wht, AttributionReport, AttributionRun, CaseClass,
+        attribute_dft, attribute_dft_hier, attribute_rfft, attribute_rfft_hier, attribute_wht,
+        attribute_wht_hier, AttributionReport, AttributionRun, CaseClass, HierarchyAttribution,
     };
     pub use ddl_core::calibrate::{
         calibrate_dft, calibrate_wht, CalibrationConfig, CalibrationReport,

@@ -282,6 +282,8 @@ fn sample_ledger_entry() -> LedgerEntry {
             accesses: 2048,
             leaves: 3,
             case3_leaves: 1,
+            tlb_miss_rate: Some(0.004),
+            case3_leaves_page: Some(0),
         }],
     }
 }
@@ -441,7 +443,7 @@ fn malformed_attribution_reports_are_typed_errors() {
     let text = sample_attribution_text();
     let garbles: Vec<String> = vec![
         text.replace("ddl-attribution", "ddl-imposter"), // wrong schema
-        text.replace("\"version\": 1", "\"version\": 99"), // future version
+        text.replace("\"version\": 2", "\"version\": 99"), // future version
         text.replace("\"label\"", "\"lebal\""),          // missing field
         text.replace("\"hits\"", "\"htis\""),            // missing counter
     ];
